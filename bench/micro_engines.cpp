@@ -1,0 +1,178 @@
+// Engine-level micro benchmarks (google-benchmark): BDD operations,
+// simulators, ATPG justification, min-cut computation, and image steps.
+// These are not paper artifacts; they track the performance of the
+// substrates everything else is built on.
+
+#include <benchmark/benchmark.h>
+
+#include "atpg/comb_atpg.hpp"
+#include "bdd/bdd.hpp"
+#include "designs/iu.hpp"
+#include "designs/usb.hpp"
+#include "mc/image.hpp"
+#include "mc/reach.hpp"
+#include "mincut/mincut.hpp"
+#include "netlist/builder.hpp"
+#include "sim/sim3.hpp"
+#include "sim/sim64.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rfn;
+
+Netlist random_netlist(size_t inputs, size_t gates, uint64_t seed) {
+  Rng rng(seed);
+  NetBuilder b;
+  std::vector<GateId> pool;
+  for (size_t i = 0; i < inputs; ++i) pool.push_back(b.input("i" + std::to_string(i)));
+  for (size_t i = 0; i < gates; ++i) {
+    const GateId x = pool[rng.below(pool.size())];
+    const GateId y = pool[rng.below(pool.size())];
+    switch (rng.below(4)) {
+      case 0: pool.push_back(b.and_(x, y)); break;
+      case 1: pool.push_back(b.or_(x, y)); break;
+      case 2: pool.push_back(b.xor_(x, y)); break;
+      case 3: pool.push_back(b.not_(x)); break;
+    }
+  }
+  b.output("root", pool.back());
+  return b.take();
+}
+
+void BM_BddApply(benchmark::State& state) {
+  const auto nvars = static_cast<uint32_t>(state.range(0));
+  BddMgr mgr(nvars);
+  Rng rng(7);
+  std::vector<Bdd> pool;
+  for (uint32_t v = 0; v < nvars; ++v) pool.push_back(mgr.var(v));
+  for (auto _ : state) {
+    const Bdd a = pool[rng.below(pool.size())];
+    const Bdd b = pool[rng.below(pool.size())];
+    Bdd r = rng.flip() ? (a & b) : (a ^ b);
+    benchmark::DoNotOptimize(r.id());
+    pool.push_back(std::move(r));
+    // Random combination chains grow without bound; periodically restart
+    // from the literals so the benchmark measures apply, not blowup.
+    if (pool.size() > 256 || mgr.live_nodes() > 200000) {
+      pool.resize(nvars);
+      mgr.garbage_collect();
+    }
+  }
+  state.counters["live_nodes"] = static_cast<double>(mgr.live_nodes());
+}
+BENCHMARK(BM_BddApply)->Arg(16)->Arg(64);
+
+void BM_BddAndExists(benchmark::State& state) {
+  BddMgr mgr(28);
+  Rng rng(11);
+  // Random clause conjunctions as relation/state stand-ins.
+  auto random_fn = [&](int clauses) {
+    Bdd acc = mgr.bdd_true();
+    for (int i = 0; i < clauses; ++i) {
+      Bdd clause = mgr.bdd_false();
+      for (int j = 0; j < 3; ++j) {
+        const BddVar v = static_cast<BddVar>(rng.below(28));
+        clause |= rng.flip() ? mgr.var(v) : mgr.nvar(v);
+      }
+      acc &= clause;
+    }
+    return acc;
+  };
+  const Bdd f = random_fn(14);
+  const Bdd g = random_fn(14);
+  std::vector<BddVar> vars{0, 2, 4, 6, 8, 10, 12, 14};
+  for (auto _ : state) {
+    Bdd r = mgr.and_exists(f, g, vars);
+    benchmark::DoNotOptimize(r.id());
+  }
+}
+BENCHMARK(BM_BddAndExists);
+
+void BM_BddSift(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    BddMgr mgr(24);
+    Bdd f = mgr.bdd_true();
+    for (BddVar i = 0; i < 12; ++i) f &= !(mgr.var(i) ^ mgr.var(i + 12));
+    state.ResumeTiming();
+    mgr.reorder_sift();
+    benchmark::DoNotOptimize(mgr.live_nodes());
+  }
+}
+BENCHMARK(BM_BddSift);
+
+void BM_Sim3Cycle(benchmark::State& state) {
+  const rfn::designs::IuDesign iu = rfn::designs::make_iu({});
+  Sim3 sim(iu.netlist);
+  sim.load_initial_state();
+  Rng rng(3);
+  for (auto _ : state) {
+    for (GateId in : iu.netlist.inputs())
+      sim.set(in, rng.flip() ? Tri::T : Tri::F);
+    sim.eval();
+    sim.step();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(iu.netlist.num_gates()));
+}
+BENCHMARK(BM_Sim3Cycle);
+
+void BM_Sim64Cycle(benchmark::State& state) {
+  const rfn::designs::IuDesign iu = rfn::designs::make_iu({});
+  Sim64 sim(iu.netlist);
+  Rng rng(3);
+  sim.load_initial_state(rng);
+  for (auto _ : state) {
+    sim.randomize_inputs(rng);
+    sim.eval();
+    sim.step();
+  }
+  // 64 patterns per pass.
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<int64_t>(iu.netlist.num_gates()));
+}
+BENCHMARK(BM_Sim64Cycle);
+
+void BM_CombAtpgJustify(benchmark::State& state) {
+  const Netlist n = random_netlist(48, 1200, 5);
+  const GateId root = n.output("root");
+  int polarity = 0;
+  for (auto _ : state) {
+    const CombAtpgResult r = justify(n, {{root, (polarity++ & 1) != 0}});
+    benchmark::DoNotOptimize(r.status);
+  }
+}
+BENCHMARK(BM_CombAtpgJustify);
+
+void BM_MinCut(benchmark::State& state) {
+  const rfn::designs::UsbDesign usb = rfn::designs::make_usb({});
+  for (auto _ : state) {
+    const MinCutResult r = compute_mincut_design(usb.netlist);
+    benchmark::DoNotOptimize(r.cut_size);
+  }
+}
+BENCHMARK(BM_MinCut);
+
+void BM_PostImage(benchmark::State& state) {
+  const rfn::designs::UsbDesign usb = rfn::designs::make_usb({});
+  // Abstract the packet engine: a realistic Step-2 workload.
+  std::vector<GateId> regs;
+  for (GateId g : usb.usb2) regs.push_back(g);
+  const Subcircuit sub = extract_abstract_model(usb.netlist, regs, regs);
+  BddMgr mgr;
+  Encoder enc(mgr, sub.net);
+  mgr.set_auto_reorder(true);
+  ImageComputer img(enc);
+  Bdd states = enc.initial_states();
+  for (auto _ : state) {
+    states = img.post_image(states) | states;
+    benchmark::DoNotOptimize(states.id());
+  }
+  state.counters["live_nodes"] = static_cast<double>(mgr.live_nodes());
+}
+BENCHMARK(BM_PostImage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,178 @@
+#include "atpg/comb_atpg.hpp"
+
+#include "util/log.hpp"
+
+namespace rfn {
+
+const char* atpg_status_name(AtpgStatus s) {
+  switch (s) {
+    case AtpgStatus::Sat: return "sat";
+    case AtpgStatus::Unsat: return "unsat";
+    case AtpgStatus::Abort: return "abort";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Walks from an unjustified gate objective down an X-path to a free signal
+/// decision (signal, value). The chosen value is a heuristic; the search
+/// explores the flip on conflict.
+std::pair<GateId, bool> backtrace(const ImplicationEngine& eng, GateId g, bool v) {
+  const Netlist& n = eng.netlist();
+  while (!eng.is_free(g)) {
+    const auto& fi = n.fanins(g);
+    GateId next = kNullGate;
+    bool next_v = v;
+    auto first_x = [&]() {
+      for (GateId f : fi)
+        if (eng.value(f) == Tri::X) return f;
+      return kNullGate;
+    };
+    switch (n.type(g)) {
+      case GateType::Buf:
+        next = fi[0];
+        next_v = v;
+        break;
+      case GateType::Not:
+        next = fi[0];
+        next_v = !v;
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        const bool conj = n.type(g) == GateType::And ? v : !v;
+        next = first_x();
+        next_v = conj ? true : false;
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        const bool disj = n.type(g) == GateType::Or ? v : !v;
+        next = first_x();
+        next_v = disj ? true : false;
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        const bool parity = n.type(g) == GateType::Xor ? v : !v;
+        const Tri a = eng.value(fi[0]);
+        const Tri b = eng.value(fi[1]);
+        if (a != Tri::X) {
+          next = fi[1];
+          next_v = (a == Tri::T) != parity;
+        } else if (b != Tri::X) {
+          next = fi[0];
+          next_v = (b == Tri::T) != parity;
+        } else {
+          next = fi[0];
+          next_v = false;  // arbitrary; flip explored on conflict
+        }
+        break;
+      }
+      case GateType::Mux: {
+        const Tri sel = eng.value(fi[0]);
+        if (sel == Tri::F) {
+          next = fi[1];
+          next_v = v;
+        } else if (sel == Tri::T) {
+          next = fi[2];
+          next_v = v;
+        } else if (eng.value(fi[1]) == tri_of(v)) {
+          next = fi[0];  // steer the select toward the agreeing data input
+          next_v = false;
+        } else if (eng.value(fi[2]) == tri_of(v)) {
+          next = fi[0];
+          next_v = true;
+        } else {
+          next = fi[0];
+          next_v = false;
+        }
+        break;
+      }
+      default:
+        fatal(detail::format("backtrace through non-combinational gate %u type=%s val=%c",
+                             g, gate_type_name(n.type(g)), tri_char(eng.value(g))));
+    }
+    RFN_CHECK(next != kNullGate, "backtrace found no X fanin at gate %u", g);
+    g = next;
+    v = next_v;
+  }
+  return {g, v};
+}
+
+}  // namespace
+
+CombAtpgResult justify(const Netlist& n, const Cube& targets, const AtpgOptions& opt) {
+  CombAtpgResult res;
+  ImplicationEngine eng(n);
+  const Deadline deadline(opt.time_limit_s);
+
+  // Assert the target cube. A conflict here is a definitive Unsat.
+  for (const Literal& lit : targets) {
+    if (!eng.assign(lit.signal, lit.value)) {
+      res.status = AtpgStatus::Unsat;
+      return res;
+    }
+  }
+
+  struct Decision {
+    GateId signal;
+    bool value;
+    bool flipped;
+    size_t mark;
+  };
+  std::vector<Decision> stack;
+
+  bool conflict = false;
+  for (;;) {
+    if (conflict) {
+      ++res.backtracks;
+      if (res.backtracks > opt.max_backtracks || deadline.expired()) {
+        res.status = AtpgStatus::Abort;
+        return res;
+      }
+      // Chronological backtracking: flip the most recent unflipped decision.
+      conflict = false;
+      for (;;) {
+        if (stack.empty()) {
+          res.status = AtpgStatus::Unsat;
+          return res;
+        }
+        Decision& d = stack.back();
+        eng.undo_to(d.mark);
+        if (!d.flipped) {
+          d.flipped = true;
+          d.value = !d.value;
+          if (eng.assign(d.signal, d.value)) break;
+          // Flip also conflicts: pop and continue unwinding.
+        }
+        stack.pop_back();
+      }
+      continue;
+    }
+
+    const GateId obj = eng.find_unjustified();
+    if (obj == kNullGate) {
+      // All required values are justified by the free-signal assignment.
+      res.status = AtpgStatus::Sat;
+      for (GateId g : eng.trail()) {
+        if (eng.is_free(g)) res.free_assignment.push_back({g, eng.value(g) == Tri::T});
+      }
+      res.valuation = eng.values();
+      return res;
+    }
+
+    auto [signal, value] = backtrace(eng, obj, eng.value(obj) == Tri::T);
+    if (opt.decision_seed != 0)
+      value ^= ((opt.decision_seed >> (res.decisions % 64)) & 1) != 0;
+    ++res.decisions;
+    stack.push_back({signal, value, false, eng.mark()});
+    if (!eng.assign(signal, value)) conflict = true;
+    if ((res.decisions & 0x3FF) == 0 && deadline.expired()) {
+      res.status = AtpgStatus::Abort;
+      return res;
+    }
+  }
+}
+
+}  // namespace rfn

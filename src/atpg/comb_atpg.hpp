@@ -1,0 +1,55 @@
+#pragma once
+// Combinational justification ATPG.
+//
+// Contract (paper Section 2): given a design and a cube of required signal
+// values, report
+//   * Sat    — an assignment of the free signals (primary inputs and
+//              register outputs) satisfying the cube, plus the implied full
+//              valuation;
+//   * Unsat  — no assignment exists;
+//   * Abort  — a resource limit (backtracks / time) was exceeded.
+//
+// The search is PODEM-style: decisions are made only on free signals,
+// located by backtracing the current justification objective through an
+// X-path; conflicts trigger chronological backtracking with both branches
+// explored, which makes the search complete.
+
+#include "atpg/implication.hpp"
+#include "netlist/netlist.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rfn {
+
+enum class AtpgStatus { Sat, Unsat, Abort };
+
+const char* atpg_status_name(AtpgStatus s);
+
+struct AtpgOptions {
+  /// Backtrack budget; the engine aborts beyond it (paper: "some resource
+  /// limits are exceeded").
+  uint64_t max_backtracks = 1u << 20;
+  /// Wall-clock budget in seconds; negative = unlimited.
+  double time_limit_s = -1.0;
+  /// Perturbs the backtrace value heuristic: decision i's default value is
+  /// XORed with bit (i mod 64) of the seed. Zero keeps the plain heuristic.
+  /// Used to diversify otherwise-deterministic justifications (multi-trace
+  /// extraction).
+  uint64_t decision_seed = 0;
+};
+
+struct CombAtpgResult {
+  AtpgStatus status = AtpgStatus::Abort;
+  /// Assignment of free signals only (Sat only). Free signals the search
+  /// never constrained are omitted and may take any value.
+  Cube free_assignment;
+  /// Full implied valuation indexed by GateId (Sat only).
+  std::vector<Tri> valuation;
+  uint64_t backtracks = 0;
+  uint64_t decisions = 0;
+};
+
+/// Finds an assignment of free signals satisfying all literals of `targets`.
+CombAtpgResult justify(const Netlist& n, const Cube& targets,
+                       const AtpgOptions& opt = {});
+
+}  // namespace rfn

@@ -1,0 +1,67 @@
+#pragma once
+// Three-valued implication engine over a gate-level netlist.
+//
+// This is the deduction core of the ATPG engines: given a set of required
+// signal values it propagates forward (fanin values determine an output) and
+// backward (an output value forces fanin values, e.g. AND=1 forces all
+// fanins to 1), detecting conflicts. Assignments are recorded on a trail so
+// the branch-and-bound search can backtrack in O(undone assignments).
+//
+// Registers are treated exactly like primary inputs: the engine works either
+// on an unrolled (purely combinational) model, or on a single frame of a
+// sequential design where register outputs are free cut points.
+
+#include <deque>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn {
+
+class ImplicationEngine {
+ public:
+  explicit ImplicationEngine(const Netlist& n);
+
+  const Netlist& netlist() const { return *n_; }
+
+  /// Asserts signal g = value and runs implication to closure.
+  /// Returns false on conflict (state remains valid; caller must undo).
+  bool assign(GateId g, bool value);
+
+  Tri value(GateId g) const { return vals_[g]; }
+  const std::vector<Tri>& values() const { return vals_; }
+
+  /// Free signals are the decision variables: primary inputs and register
+  /// outputs.
+  bool is_free(GateId g) const { return n_->is_input(g) || n_->is_reg(g); }
+
+  /// Trail position to pass to undo_to later.
+  size_t mark() const { return trail_.size(); }
+  /// Rolls assignments back to a previous mark.
+  void undo_to(size_t mark);
+  const std::vector<GateId>& trail() const { return trail_; }
+
+  /// A combinational gate is justified when its fanin values force its
+  /// assigned output value. Gates with X output are trivially justified.
+  bool justified(GateId g) const;
+
+  /// First unjustified gate on the trail, or kNullGate when the current
+  /// partial assignment is self-consistent (J-frontier empty).
+  GateId find_unjustified() const;
+
+ private:
+  bool set_value(GateId g, Tri v);  // trail + queue bookkeeping; false = conflict
+  bool imply_gate(GateId g);        // local forward+backward rules
+  bool propagate();
+
+  Tri forward_value(GateId g) const;
+
+  const Netlist* n_;
+  std::vector<Tri> vals_;
+  std::vector<GateId> trail_;
+  std::deque<GateId> queue_;
+  std::vector<uint8_t> in_queue_;
+  std::vector<std::vector<GateId>> fanouts_;
+};
+
+}  // namespace rfn

@@ -1,0 +1,492 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+namespace rfn {
+
+// ---------------------------------------------------------------------------
+// Bdd handle
+// ---------------------------------------------------------------------------
+
+Bdd::Bdd(BddMgr* mgr, uint32_t id) : mgr_(mgr), id_(id) {}
+
+Bdd::Bdd(const Bdd& other) : mgr_(other.mgr_), id_(other.id_) {
+  if (mgr_) mgr_->inc_rc(id_);
+}
+
+Bdd::Bdd(Bdd&& other) noexcept : mgr_(other.mgr_), id_(other.id_) {
+  other.mgr_ = nullptr;
+  other.id_ = 0;
+}
+
+Bdd& Bdd::operator=(const Bdd& other) {
+  if (this == &other) return *this;
+  if (other.mgr_) other.mgr_->inc_rc(other.id_);
+  if (mgr_) mgr_->dec_rc(id_);
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  return *this;
+}
+
+Bdd& Bdd::operator=(Bdd&& other) noexcept {
+  if (this == &other) return *this;
+  if (mgr_) mgr_->dec_rc(id_);
+  mgr_ = other.mgr_;
+  id_ = other.id_;
+  other.mgr_ = nullptr;
+  other.id_ = 0;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (mgr_) mgr_->dec_rc(id_);
+}
+
+bool Bdd::is_false() const { return mgr_ != nullptr && id_ == 0; }
+bool Bdd::is_true() const { return mgr_ != nullptr && id_ == 1; }
+
+Bdd Bdd::operator&(const Bdd& o) const {
+  if (is_null() || o.is_null()) return Bdd();
+  return mgr_->apply_and(*this, o);
+}
+Bdd Bdd::operator|(const Bdd& o) const {
+  if (is_null() || o.is_null()) return Bdd();
+  return mgr_->apply_or(*this, o);
+}
+Bdd Bdd::operator^(const Bdd& o) const {
+  if (is_null() || o.is_null()) return Bdd();
+  return mgr_->apply_xor(*this, o);
+}
+Bdd Bdd::operator!() const {
+  if (is_null()) return Bdd();
+  return mgr_->apply_not(*this);
+}
+
+bool Bdd::implies(const Bdd& o) const {
+  const Bdd diff = *this & !o;
+  RFN_CHECK(!diff.is_null(), "implies: null operand or budget exceeded");
+  return diff.is_false();
+}
+
+// ---------------------------------------------------------------------------
+// Manager: construction, nodes, unique table
+// ---------------------------------------------------------------------------
+
+BddMgr::BddMgr(uint32_t initial_vars) {
+  nodes_.reserve(1u << 16);
+  // Terminals occupy ids 0 (false) and 1 (true).
+  nodes_.push_back({kTermVar, kNil, kNil, kNil, kMaxRc});
+  nodes_.push_back({kTermVar, kNil, kNil, kNil, kMaxRc});
+  stats_.live_nodes = 0;  // terminals not counted
+  cache_.resize(1u << 16);
+  cache_mask_ = cache_.size() - 1;
+  for (uint32_t i = 0; i < initial_vars; ++i) new_var();
+}
+
+BddMgr::~BddMgr() = default;
+
+BddVar BddMgr::new_var() {
+  const BddVar v = static_cast<BddVar>(perm_.size());
+  perm_.push_back(v);  // new variable goes to the bottom level
+  invperm_.push_back(v);
+  subtables_.emplace_back();
+  subtables_.back().buckets.assign(16, kNil);
+  stats_.num_vars = perm_.size();
+  return v;
+}
+
+void BddMgr::inc_rc(uint32_t node) {
+  Node& n = nodes_[node];
+  if (n.rc >= kMaxRc) return;
+  if (n.rc == 0 && n.var != kTermVar && dead_estimate_ > 0) --dead_estimate_;
+  ++n.rc;
+}
+
+void BddMgr::dec_rc(uint32_t node) {
+  Node& n = nodes_[node];
+  if (n.rc >= kMaxRc) return;
+  RFN_CHECK(n.rc > 0, "refcount underflow on node %u", node);
+  --n.rc;
+  if (n.rc == 0) ++dead_estimate_;
+}
+
+size_t BddMgr::hash_pair(uint32_t lo, uint32_t hi, size_t mask) {
+  uint64_t h = (static_cast<uint64_t>(lo) << 32) | hi;
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  return static_cast<size_t>(h) & mask;
+}
+
+void BddMgr::subtable_insert(Subtable& st, uint32_t node) {
+  const size_t b = hash_pair(nodes_[node].lo, nodes_[node].hi, st.buckets.size() - 1);
+  nodes_[node].next = st.buckets[b];
+  st.buckets[b] = node;
+  ++st.count;
+}
+
+void BddMgr::subtable_remove(Subtable& st, uint32_t node) {
+  const size_t b = hash_pair(nodes_[node].lo, nodes_[node].hi, st.buckets.size() - 1);
+  uint32_t* link = &st.buckets[b];
+  while (*link != kNil) {
+    if (*link == node) {
+      *link = nodes_[node].next;
+      --st.count;
+      return;
+    }
+    link = &nodes_[*link].next;
+  }
+  fatal("subtable_remove: node not found");
+}
+
+void BddMgr::maybe_grow(Subtable& st) {
+  if (st.count < st.buckets.size() * 2) return;
+  std::vector<uint32_t> old = std::move(st.buckets);
+  st.buckets.assign(old.size() * 4, kNil);
+  const size_t mask = st.buckets.size() - 1;
+  for (uint32_t head : old) {
+    while (head != kNil) {
+      const uint32_t next = nodes_[head].next;
+      const size_t b = hash_pair(nodes_[head].lo, nodes_[head].hi, mask);
+      nodes_[head].next = st.buckets[b];
+      st.buckets[b] = head;
+      head = next;
+    }
+  }
+}
+
+uint32_t BddMgr::find_or_add(BddVar v, uint32_t lo, uint32_t hi) {
+  if (lo == hi) return lo;
+  Subtable& st = subtables_[v];
+  const size_t b = hash_pair(lo, hi, st.buckets.size() - 1);
+  for (uint32_t node = st.buckets[b]; node != kNil; node = nodes_[node].next) {
+    const Node& n = nodes_[node];
+    if (n.lo == lo && n.hi == hi) return node;
+  }
+  // Allocate (from free list or fresh).
+  if (node_budget_ != 0 && !in_reorder_ && stats_.live_nodes >= node_budget_)
+    throw BudgetExceeded{};
+  uint32_t id;
+  if (free_head_ != kNil) {
+    id = free_head_;
+    free_head_ = nodes_[id].next;
+    --free_count_;
+  } else {
+    id = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back({});
+  }
+  Node& n = nodes_[id];
+  n.var = v;
+  n.lo = lo;
+  n.hi = hi;
+  n.rc = 0;
+  inc_rc(lo);
+  inc_rc(hi);
+  ++dead_estimate_;  // born dead until someone references it
+  ++stats_.live_nodes;
+  subtable_insert(st, id);
+  maybe_grow(st);
+  return id;
+}
+
+void BddMgr::free_dead_node(uint32_t root) {
+  std::vector<uint32_t> work{root};
+  while (!work.empty()) {
+    const uint32_t id = work.back();
+    work.pop_back();
+    Node& n = nodes_[id];
+    if (n.rc != 0 || n.var == kTermVar || n.var == kInvalidVar) continue;
+    subtable_remove(subtables_[n.var], id);
+    const uint32_t lo = n.lo, hi = n.hi;
+    n.var = kInvalidVar;
+    n.next = free_head_;
+    free_head_ = id;
+    ++free_count_;
+    --stats_.live_nodes;
+    if (dead_estimate_ > 0) --dead_estimate_;
+    for (uint32_t child : {lo, hi}) {
+      Node& c = nodes_[child];
+      if (c.var == kTermVar) continue;
+      if (c.rc < kMaxRc) {
+        RFN_CHECK(c.rc > 0, "child refcount underflow");
+        --c.rc;
+        if (c.rc == 0) {
+          ++dead_estimate_;
+          work.push_back(child);
+        }
+      }
+    }
+  }
+}
+
+void BddMgr::garbage_collect() {
+  cache_clear();
+  for (uint32_t id = 2; id < nodes_.size(); ++id) {
+    if (nodes_[id].var != kInvalidVar && nodes_[id].var != kTermVar &&
+        nodes_[id].rc == 0)
+      free_dead_node(id);
+  }
+  dead_estimate_ = 0;
+  ++stats_.gc_runs;
+}
+
+void BddMgr::housekeeping() {
+  if (in_reorder_) return;
+  if (dead_estimate_ > 4096 && dead_estimate_ * 4 > stats_.live_nodes)
+    garbage_collect();
+  if (auto_reorder_ && stats_.live_nodes > reorder_threshold_) {
+    reorder_sift();
+    // Back off so we do not thrash: next reorder at 2x the post-sift size.
+    reorder_threshold_ = std::max(reorder_threshold_, stats_.live_nodes * 2);
+  }
+}
+
+Bdd BddMgr::make(uint32_t id) {
+  inc_rc(id);
+  return Bdd(this, id);
+}
+
+// ---------------------------------------------------------------------------
+// Computed table
+// ---------------------------------------------------------------------------
+
+uint32_t BddMgr::cache_lookup(Op op, uint32_t a, uint32_t b, uint32_t c) {
+  ++stats_.cache_lookups;
+  if (deadline_ && !in_reorder_ && (++deadline_tick_ & 0x3FFF) == 0 &&
+      deadline_->expired())
+    throw BudgetExceeded{};
+  uint64_t h = (static_cast<uint64_t>(a) * 0x100000001b3ULL) ^
+               (static_cast<uint64_t>(b) << 21) ^ (static_cast<uint64_t>(c) << 42) ^
+               static_cast<uint64_t>(op);
+  h *= 0x9e3779b97f4a7c15ULL;
+  const CacheEntry& e = cache_[(h >> 32) & cache_mask_];
+  if (e.result != kNil && e.op == op && e.a == a && e.b == b && e.c == c) {
+    ++stats_.cache_hits;
+    return e.result;
+  }
+  return kNil;
+}
+
+void BddMgr::cache_insert(Op op, uint32_t a, uint32_t b, uint32_t c, uint32_t result) {
+  uint64_t h = (static_cast<uint64_t>(a) * 0x100000001b3ULL) ^
+               (static_cast<uint64_t>(b) << 21) ^ (static_cast<uint64_t>(c) << 42) ^
+               static_cast<uint64_t>(op);
+  h *= 0x9e3779b97f4a7c15ULL;
+  cache_[(h >> 32) & cache_mask_] = {a, b, c, result, op};
+}
+
+void BddMgr::cache_clear() {
+  for (CacheEntry& e : cache_) e.result = kNil;
+}
+
+// ---------------------------------------------------------------------------
+// Cofactors and core recursions
+// ---------------------------------------------------------------------------
+
+void BddMgr::cofactors(uint32_t f, uint32_t lvl, uint32_t& f0, uint32_t& f1) const {
+  if (level(f) == lvl) {
+    f0 = nodes_[f].lo;
+    f1 = nodes_[f].hi;
+  } else {
+    f0 = f1 = f;
+  }
+}
+
+uint32_t BddMgr::and_rec(uint32_t f, uint32_t g) {
+  if (f == 0 || g == 0) return 0;
+  if (f == 1) return g;
+  if (g == 1) return f;
+  if (f == g) return f;
+  if (f > g) std::swap(f, g);
+  const uint32_t cached = cache_lookup(Op::And, f, g, kNil);
+  if (cached != kNil) return cached;
+  const uint32_t lvl = std::min(level(f), level(g));
+  uint32_t f0, f1, g0, g1;
+  cofactors(f, lvl, f0, f1);
+  cofactors(g, lvl, g0, g1);
+  const uint32_t r0 = and_rec(f0, g0);
+  const uint32_t r1 = and_rec(f1, g1);
+  const uint32_t r = find_or_add(invperm_[lvl], r0, r1);
+  cache_insert(Op::And, f, g, kNil, r);
+  return r;
+}
+
+uint32_t BddMgr::xor_rec(uint32_t f, uint32_t g) {
+  if (f == g) return 0;
+  if (f == 0) return g;
+  if (g == 0) return f;
+  if (f == 1) return not_rec(g);
+  if (g == 1) return not_rec(f);
+  if (f > g) std::swap(f, g);
+  const uint32_t cached = cache_lookup(Op::Xor, f, g, kNil);
+  if (cached != kNil) return cached;
+  const uint32_t lvl = std::min(level(f), level(g));
+  uint32_t f0, f1, g0, g1;
+  cofactors(f, lvl, f0, f1);
+  cofactors(g, lvl, g0, g1);
+  const uint32_t r = find_or_add(invperm_[lvl], xor_rec(f0, g0), xor_rec(f1, g1));
+  cache_insert(Op::Xor, f, g, kNil, r);
+  return r;
+}
+
+uint32_t BddMgr::not_rec(uint32_t f) {
+  if (f == 0) return 1;
+  if (f == 1) return 0;
+  const uint32_t cached = cache_lookup(Op::Not, f, kNil, kNil);
+  if (cached != kNil) return cached;
+  const uint32_t r =
+      find_or_add(nodes_[f].var, not_rec(nodes_[f].lo), not_rec(nodes_[f].hi));
+  cache_insert(Op::Not, f, kNil, kNil, r);
+  // Negation is an involution; prime the reverse direction too.
+  cache_insert(Op::Not, r, kNil, kNil, f);
+  return r;
+}
+
+uint32_t BddMgr::ite_rec(uint32_t f, uint32_t g, uint32_t h) {
+  if (f == 1) return g;
+  if (f == 0) return h;
+  if (g == h) return g;
+  if (g == 1 && h == 0) return f;
+  if (g == 0 && h == 1) return not_rec(f);
+  if (f == g) return ite_rec(f, 1, h);   // f ? f : h == f | h
+  if (f == h) return ite_rec(f, g, 0);   // f ? g : f == f & g
+  const uint32_t cached = cache_lookup(Op::Ite, f, g, h);
+  if (cached != kNil) return cached;
+  const uint32_t lvl = std::min(level(f), std::min(level(g), level(h)));
+  uint32_t f0, f1, g0, g1, h0, h1;
+  cofactors(f, lvl, f0, f1);
+  cofactors(g, lvl, g0, g1);
+  cofactors(h, lvl, h0, h1);
+  const uint32_t r0 = ite_rec(f0, g0, h0);
+  const uint32_t r1 = ite_rec(f1, g1, h1);
+  const uint32_t r = find_or_add(invperm_[lvl], r0, r1);
+  cache_insert(Op::Ite, f, g, h, r);
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------------
+
+namespace {
+void check_same_mgr(const BddMgr* mgr, const Bdd& x) {
+  RFN_CHECK(!x.is_null() && x.mgr() == mgr, "operand from wrong/null manager");
+}
+}  // namespace
+
+Bdd BddMgr::literal(BddVar v, bool positive) {
+  RFN_CHECK(v < num_vars(), "literal on unknown var %u", v);
+  return run_guarded([&] { return positive ? find_or_add(v, 0, 1) : find_or_add(v, 1, 0); });
+}
+
+Bdd BddMgr::apply_and(const Bdd& f, const Bdd& g) {
+  if (f.is_null() || g.is_null()) return Bdd();
+  check_same_mgr(this, f);
+  check_same_mgr(this, g);
+  return run_guarded([&] { return and_rec(f.id(), g.id()); });
+}
+
+Bdd BddMgr::apply_or(const Bdd& f, const Bdd& g) {
+  if (f.is_null() || g.is_null()) return Bdd();
+  check_same_mgr(this, f);
+  check_same_mgr(this, g);
+  // f | g == ite(f, 1, g).
+  return run_guarded([&] { return ite_rec(f.id(), 1, g.id()); });
+}
+
+Bdd BddMgr::apply_xor(const Bdd& f, const Bdd& g) {
+  if (f.is_null() || g.is_null()) return Bdd();
+  check_same_mgr(this, f);
+  check_same_mgr(this, g);
+  return run_guarded([&] { return xor_rec(f.id(), g.id()); });
+}
+
+Bdd BddMgr::apply_not(const Bdd& f) {
+  if (f.is_null()) return Bdd();
+  check_same_mgr(this, f);
+  return run_guarded([&] { return not_rec(f.id()); });
+}
+
+Bdd BddMgr::ite(const Bdd& f, const Bdd& g, const Bdd& h) {
+  if (f.is_null() || g.is_null() || h.is_null()) return Bdd();
+  check_same_mgr(this, f);
+  check_same_mgr(this, g);
+  check_same_mgr(this, h);
+  return run_guarded([&] { return ite_rec(f.id(), g.id(), h.id()); });
+}
+
+Bdd BddMgr::cofactor(const Bdd& f, BddVar v, bool value) {
+  if (f.is_null()) return Bdd();
+  check_same_mgr(this, f);
+  return run_guarded([&] {
+    std::vector<uint32_t> memo(0);
+    return cofactor_rec(f.id(), v, value, memo);
+  });
+}
+
+uint32_t BddMgr::cofactor_rec(uint32_t f, BddVar v, bool value,
+                              std::vector<uint32_t>& memo) {
+  if (f < 2) return f;
+  if (level(f) > perm_[v]) return f;  // f entirely below v
+  if (nodes_[f].var == v) return value ? nodes_[f].hi : nodes_[f].lo;
+  if (memo.empty()) memo.assign(nodes_.size(), kNil);
+  if (memo[f] != kNil) return memo[f];
+  const uint32_t r = find_or_add(nodes_[f].var, cofactor_rec(nodes_[f].lo, v, value, memo),
+                                 cofactor_rec(nodes_[f].hi, v, value, memo));
+  memo[f] = r;
+  return r;
+}
+
+void BddMgr::check_integrity() const {
+  size_t live = 0;
+  for (uint32_t id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.var == kInvalidVar) continue;
+    ++live;
+    RFN_CHECK(n.var < num_vars(), "node %u has bad var", id);
+    RFN_CHECK(n.lo != n.hi, "node %u is redundant", id);
+    for (uint32_t child : {n.lo, n.hi}) {
+      const Node& c = nodes_[child];
+      RFN_CHECK(c.var != kInvalidVar, "node %u points at freed child %u", id, child);
+      if (c.var != kTermVar)
+        RFN_CHECK(perm_[c.var] > perm_[n.var], "order violation at node %u", id);
+    }
+    // The node must be findable in its subtable.
+    const Subtable& st = subtables_[n.var];
+    const size_t b = hash_pair(n.lo, n.hi, st.buckets.size() - 1);
+    bool found = false;
+    for (uint32_t cur = st.buckets[b]; cur != kNil; cur = nodes_[cur].next)
+      if (cur == id) {
+        found = true;
+        break;
+      }
+    RFN_CHECK(found, "node %u missing from subtable", id);
+  }
+  RFN_CHECK(live == stats_.live_nodes, "live count drift: %zu vs %zu", live,
+            stats_.live_nodes);
+  // Refcount cross-check: rc(node) >= number of internal parents.
+  std::vector<uint32_t> parents(nodes_.size(), 0);
+  for (uint32_t id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.var == kInvalidVar || n.var == kTermVar) continue;
+    if (n.lo >= 2) ++parents[n.lo];
+    if (n.hi >= 2) ++parents[n.hi];
+  }
+  for (uint32_t id = 2; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    if (n.var == kInvalidVar || n.var == kTermVar || n.rc >= kMaxRc) continue;
+    RFN_CHECK(n.rc >= parents[id], "node %u rc %u < %u internal parents", id, n.rc,
+              parents[id]);
+  }
+}
+
+std::string lits_to_string(const std::vector<BddLit>& lits) {
+  std::string out;
+  for (size_t i = 0; i < lits.size(); ++i) {
+    if (i) out += " & ";
+    if (!lits[i].positive) out += "!";
+    out += "x" + std::to_string(lits[i].var);
+  }
+  return out.empty() ? "true" : out;
+}
+
+}  // namespace rfn

@@ -1,0 +1,330 @@
+#pragma once
+// Reduced Ordered Binary Decision Diagram (ROBDD) package.
+//
+// A from-scratch replacement for the CUDD package the paper's prototype used
+// [14]. Features required by the RFN engines:
+//   * unique tables organized per variable (a prerequisite for in-place
+//     adjacent-level swap, hence dynamic reordering);
+//   * a lossy computed-table cache for the recursive operators;
+//   * reference-counted nodes with deferred garbage collection at operation
+//     boundaries ("safe points");
+//   * AND / OR / XOR / NOT / ITE, existential quantification, the
+//     and-exists relational product used by image computation, variable
+//     substitution, cofactors;
+//   * cube utilities: satisfying cube, *shortest* cube (the paper's
+//     "fattest cube ... with least number of assignments", Section 2.2),
+//     per-variable support, model counting;
+//   * sifting-based dynamic variable reordering (Section 2.2 "we allow
+//     automatic dynamic BDD variable reordering").
+//
+// Design notes. Nodes have no complement edges; canonical form is the plain
+// (var, lo, hi) triple with lo != hi and maximal sharing. node(v, lo, hi)
+// denotes (!v & lo) | (v & hi). Node ids are stable across garbage
+// collection and reordering (reordering rewrites nodes in place, preserving
+// each id's *function*), so external Bdd handles survive both. Garbage
+// collection and reordering run only between public operations, never
+// inside a recursion.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rfn {
+
+class BddMgr;
+
+using BddVar = uint32_t;
+
+/// A (variable, polarity) pair; `positive` true means the variable itself.
+struct BddLit {
+  BddVar var = 0;
+  bool positive = true;
+
+  friend bool operator==(const BddLit&, const BddLit&) = default;
+};
+
+/// RAII handle to a BDD node. Copying increments the node reference count;
+/// destruction decrements it. A default-constructed handle is null.
+class Bdd {
+ public:
+  Bdd() = default;
+  Bdd(const Bdd& other);
+  Bdd(Bdd&& other) noexcept;
+  Bdd& operator=(const Bdd& other);
+  Bdd& operator=(Bdd&& other) noexcept;
+  ~Bdd();
+
+  bool is_null() const { return mgr_ == nullptr; }
+  bool is_false() const;
+  bool is_true() const;
+  bool is_terminal() const { return is_false() || is_true(); }
+
+  uint32_t id() const { return id_; }
+  BddMgr* mgr() const { return mgr_; }
+
+  /// Structural equality; by canonicity this is semantic equivalence.
+  friend bool operator==(const Bdd& a, const Bdd& b) {
+    return a.mgr_ == b.mgr_ && a.id_ == b.id_;
+  }
+
+  // Logical operators (null-safe only for assignment; operands must be
+  // non-null and share a manager).
+  Bdd operator&(const Bdd& o) const;
+  Bdd operator|(const Bdd& o) const;
+  Bdd operator^(const Bdd& o) const;
+  Bdd operator!() const;
+  Bdd& operator&=(const Bdd& o) { return *this = *this & o; }
+  Bdd& operator|=(const Bdd& o) { return *this = *this | o; }
+
+  /// f & !o
+  Bdd diff(const Bdd& o) const { return *this & !o; }
+  /// True iff this implies o (f & !o == false).
+  bool implies(const Bdd& o) const;
+  /// True iff the conjunction is satisfiable.
+  bool intersects(const Bdd& o) const { return !((*this & o).is_false()); }
+
+ private:
+  friend class BddMgr;
+  Bdd(BddMgr* mgr, uint32_t id);  // takes no extra reference; used internally
+
+  BddMgr* mgr_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+/// Statistics snapshot for logs and benches.
+struct BddStats {
+  size_t live_nodes = 0;
+  size_t allocated_nodes = 0;
+  size_t num_vars = 0;
+  size_t gc_runs = 0;
+  size_t reorderings = 0;
+  size_t cache_lookups = 0;
+  size_t cache_hits = 0;
+};
+
+class BddMgr {
+ public:
+  explicit BddMgr(uint32_t initial_vars = 0);
+  ~BddMgr();
+
+  BddMgr(const BddMgr&) = delete;
+  BddMgr& operator=(const BddMgr&) = delete;
+
+  // --- variables ---
+
+  /// Creates a fresh variable at the bottom of the current order.
+  BddVar new_var();
+  uint32_t num_vars() const { return static_cast<uint32_t>(perm_.size()); }
+  /// Current level of a variable (0 = top).
+  uint32_t level_of(BddVar v) const { return perm_[v]; }
+  /// Variable at a level.
+  BddVar var_at_level(uint32_t level) const { return invperm_[level]; }
+
+  // --- constants and literals ---
+
+  Bdd bdd_false() { return make(0); }
+  Bdd bdd_true() { return make(1); }
+  Bdd literal(BddVar v, bool positive = true);
+  Bdd var(BddVar v) { return literal(v, true); }
+  Bdd nvar(BddVar v) { return literal(v, false); }
+
+  // --- core operations ---
+
+  Bdd apply_and(const Bdd& f, const Bdd& g);
+  Bdd apply_or(const Bdd& f, const Bdd& g);
+  Bdd apply_xor(const Bdd& f, const Bdd& g);
+  Bdd apply_not(const Bdd& f);
+  Bdd ite(const Bdd& f, const Bdd& g, const Bdd& h);
+
+  /// Cofactor of f with v set to `value`.
+  Bdd cofactor(const Bdd& f, BddVar v, bool value);
+
+  /// Existential quantification of `vars` out of f.
+  Bdd exists(const Bdd& f, const std::vector<BddVar>& vars);
+  /// Universal quantification.
+  Bdd forall(const Bdd& f, const std::vector<BddVar>& vars);
+  /// exists(vars, f & g) computed without building f & g — the relational
+  /// product at the heart of image computation.
+  Bdd and_exists(const Bdd& f, const Bdd& g, const std::vector<BddVar>& vars);
+
+  /// Simultaneous variable substitution: var v is replaced by map[v]
+  /// (identity where map[v] == v). Works for arbitrary (even
+  /// order-violating) maps.
+  Bdd rename(const Bdd& f, const std::vector<BddVar>& map);
+
+  /// Conjunction of literals as a BDD.
+  Bdd cube(const std::vector<BddLit>& lits);
+
+  // --- queries ---
+
+  /// Variables in the support of f, ascending by variable index.
+  std::vector<BddVar> support(const Bdd& f);
+  /// Number of satisfying assignments over `nvars` variables.
+  double sat_count(const Bdd& f, uint32_t nvars);
+  /// Some satisfying cube (empty for the constants).
+  std::vector<BddLit> any_cube(const Bdd& f);
+  /// A satisfying cube with the minimum number of literals — the paper's
+  /// "fattest cube". Returns empty if f is a constant.
+  std::vector<BddLit> shortest_cube(const Bdd& f);
+  /// Up to `limit` distinct satisfying path-cubes of f in DFS order. The
+  /// hybrid trace engine iterates these when ATPG rejects a candidate.
+  std::vector<std::vector<BddLit>> first_cubes(const Bdd& f, size_t limit);
+  /// Evaluates f under a total assignment (indexed by variable).
+  bool eval(const Bdd& f, const std::vector<bool>& assignment);
+  /// DAG size of f (internal nodes, excluding terminals).
+  size_t node_count(const Bdd& f);
+
+  // --- memory management & reordering ---
+
+  /// Hard cap on live nodes (0 = unlimited). When an operation would grow
+  /// the manager past the cap, it is abandoned: the public call returns a
+  /// null Bdd, intermediate garbage is collected, and the manager stays
+  /// consistent. This is how resource-bounded runs (plain MC on oversized
+  /// designs, per-iteration limits in RFN) fail gracefully.
+  void set_node_budget(size_t max_live_nodes) { node_budget_ = max_live_nodes; }
+  size_t node_budget() const { return node_budget_; }
+
+  /// Wall-clock guard checked inside the recursive operators (every few
+  /// thousand cache probes): an operation that thrashes the lossy computed
+  /// table can burn unbounded CPU without allocating, so the node budget
+  /// alone cannot bound it. Pass nullptr to clear. The Deadline must
+  /// outlive the manager or be cleared before it dies.
+  void set_deadline(const Deadline* deadline) { deadline_ = deadline; }
+
+  void garbage_collect();
+  /// Runs one sifting pass over all variables. Returns live node delta.
+  void reorder_sift();
+  /// Enables automatic sifting when the live node count crosses a growing
+  /// threshold (checked at operation boundaries).
+  void set_auto_reorder(bool enabled) { auto_reorder_ = enabled; }
+  /// Captures / restores a variable order (vector of variables, top first).
+  std::vector<BddVar> current_order() const { return invperm_; }
+  void set_order(const std::vector<BddVar>& order);
+
+  const BddStats& stats() const { return stats_; }
+  size_t live_nodes() const { return stats_.live_nodes; }
+
+  /// Validates internal invariants (canonicity, refcount consistency,
+  /// subtable membership). O(nodes); used by tests.
+  void check_integrity() const;
+
+ private:
+  friend class Bdd;
+  friend class BddReorderTestPeer;
+
+  struct Node {
+    BddVar var;     // kInvalidVar when on the free list; kTermVar for 0/1
+    uint32_t lo, hi;
+    uint32_t next;  // unique-table chain / free-list link
+    uint32_t rc;    // parents + external handles; saturates at kMaxRc
+  };
+  static constexpr BddVar kTermVar = 0xFFFFFFFEu;
+  static constexpr BddVar kInvalidVar = 0xFFFFFFFFu;
+  static constexpr uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr uint32_t kMaxRc = 0xFFFFFFF0u;
+
+  struct Subtable {
+    std::vector<uint32_t> buckets;  // heads of chains, kNil-terminated
+    uint32_t count = 0;             // nodes currently in this subtable
+  };
+
+  enum class Op : uint8_t {
+    And = 1, Xor, Not, Ite, Exists, Forall, AndExists,
+  };
+
+  struct CacheEntry {
+    uint32_t a = kNil, b = kNil, c = kNil;
+    uint32_t result = kNil;
+    Op op{};
+  };
+
+  // node helpers
+  uint32_t level(uint32_t node) const {
+    const BddVar v = nodes_[node].var;
+    return v == kTermVar ? kTermLevel : perm_[v];
+  }
+  static constexpr uint32_t kTermLevel = 0xFFFFFFFFu;
+
+  void inc_rc(uint32_t node);
+  void dec_rc(uint32_t node);
+  uint32_t find_or_add(BddVar v, uint32_t lo, uint32_t hi);
+  void subtable_insert(Subtable& st, uint32_t node);
+  void subtable_remove(Subtable& st, uint32_t node);
+  void maybe_grow(Subtable& st);
+  static size_t hash_pair(uint32_t lo, uint32_t hi, size_t mask);
+
+  // cache
+  uint32_t cache_lookup(Op op, uint32_t a, uint32_t b, uint32_t c);
+  void cache_insert(Op op, uint32_t a, uint32_t b, uint32_t c, uint32_t result);
+  void cache_clear();
+
+  // recursive workers (raw ids; no rc manipulation on results)
+  uint32_t and_rec(uint32_t f, uint32_t g);
+  uint32_t xor_rec(uint32_t f, uint32_t g);
+  uint32_t not_rec(uint32_t f);
+  uint32_t ite_rec(uint32_t f, uint32_t g, uint32_t h);
+  uint32_t exists_rec(uint32_t f, uint32_t cube);
+  uint32_t and_exists_rec(uint32_t f, uint32_t g, uint32_t cube);
+  uint32_t cofactor_rec(uint32_t f, BddVar v, bool value,
+                        std::vector<uint32_t>& memo);
+  /// Cofactors f by variable at `lvl` (identity if f is below).
+  void cofactors(uint32_t f, uint32_t lvl, uint32_t& f0, uint32_t& f1) const;
+
+  /// Safe point: run pending GC / auto-reorder. Called on public entry.
+  void housekeeping();
+  Bdd make(uint32_t id);  // wraps id into a referenced handle
+
+  // reordering internals (reorder.cpp)
+  size_t swap_levels(uint32_t lvl);  // swaps lvl and lvl+1; returns live count
+  void sift_var(BddVar v, size_t& best_live);
+  void free_dead_node(uint32_t node);  // node with rc==0: unlink + cascade
+
+  std::vector<Node> nodes_;
+  uint32_t free_head_ = kNil;
+  size_t free_count_ = 0;
+  size_t dead_estimate_ = 0;
+
+  std::vector<Subtable> subtables_;   // indexed by var
+  std::vector<uint32_t> perm_;        // var -> level
+  std::vector<BddVar> invperm_;       // level -> var
+
+  std::vector<CacheEntry> cache_;
+  size_t cache_mask_ = 0;
+
+  bool auto_reorder_ = false;
+  size_t reorder_threshold_ = 1u << 14;
+  bool in_reorder_ = false;
+  size_t node_budget_ = 0;
+  const Deadline* deadline_ = nullptr;
+  uint64_t deadline_tick_ = 0;
+
+  /// Thrown by find_or_add when the node budget is exceeded; caught at the
+  /// public operation boundary.
+  struct BudgetExceeded {};
+
+  /// Runs a recursive worker at a public boundary: housekeeping first, wrap
+  /// the raw result in a handle, and convert a blown node budget into a
+  /// null handle (after collecting the abandoned intermediates, which are
+  /// all unreferenced and thus reclaimable).
+  template <typename Fn>
+  Bdd run_guarded(Fn&& fn) {
+    housekeeping();
+    try {
+      return make(fn());
+    } catch (const BudgetExceeded&) {
+      garbage_collect();
+      return Bdd();
+    }
+  }
+
+  BddStats stats_;
+};
+
+/// Pretty-prints a literal list like "x3 & !x7 & x9" (for diagnostics).
+std::string lits_to_string(const std::vector<BddLit>& lits);
+
+}  // namespace rfn

@@ -1,0 +1,72 @@
+#include "core/abstraction.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "netlist/analysis.hpp"
+
+namespace rfn {
+
+std::vector<GateId> initial_abstraction_registers(const Netlist& m,
+                                                  const std::vector<GateId>& property_roots) {
+  // If a property root is itself a register (the usual watchdog idiom),
+  // include it; support_registers alone would stop at it without including
+  // its next-state cone.
+  std::vector<GateId> regs = support_registers(m, property_roots);
+  for (GateId r : property_roots) {
+    if (m.is_reg(r) && std::find(regs.begin(), regs.end(), r) == regs.end())
+      regs.push_back(r);
+  }
+  return regs;
+}
+
+SavedOrder save_order(const BddMgr& mgr, const Encoder& enc, const Subcircuit& sub) {
+  SavedOrder saved;
+  for (uint32_t lvl = 0; lvl < mgr.num_vars(); ++lvl) {
+    const BddVar v = mgr.var_at_level(lvl);
+    const GateId reg = enc.reg_of_var(v);
+    if (reg != kNullGate) {
+      saved.tokens.push_back({enc.is_next_var(v) ? SavedOrder::Kind::Next
+                                                 : SavedOrder::Kind::Cur,
+                              sub.to_old(reg)});
+      continue;
+    }
+    const GateId input = enc.input_of_var(v);
+    if (input != kNullGate)
+      saved.tokens.push_back({SavedOrder::Kind::Cur, sub.to_old(input)});
+  }
+  return saved;
+}
+
+void apply_saved_order(BddMgr& mgr, const Encoder& enc, const Subcircuit& sub,
+                       const SavedOrder& saved) {
+  if (saved.empty()) return;
+  // Map (kind, m_id) -> var in the new encoder. The "current value" of an
+  // original signal is its state var if it is a kept register, or its input
+  // var if it appears as a (pseudo-)input.
+  std::map<std::pair<int, GateId>, BddVar> var_of;
+  const Netlist& n = enc.netlist();
+  for (GateId r : n.regs()) {
+    var_of[{0, sub.to_old(r)}] = enc.state_var(r);
+    var_of[{1, sub.to_old(r)}] = enc.next_var(r);
+  }
+  for (GateId i : n.inputs()) var_of[{0, sub.to_old(i)}] = enc.input_var(i);
+
+  std::vector<bool> placed(mgr.num_vars(), false);
+  std::vector<BddVar> order;
+  order.reserve(mgr.num_vars());
+  for (const SavedOrder::Token& t : saved.tokens) {
+    const auto it = var_of.find({t.kind == SavedOrder::Kind::Next ? 1 : 0, t.m_id});
+    if (it == var_of.end() || placed[it->second]) continue;
+    placed[it->second] = true;
+    order.push_back(it->second);
+  }
+  // Remaining variables keep their current relative order at the bottom.
+  for (uint32_t lvl = 0; lvl < mgr.num_vars(); ++lvl) {
+    const BddVar v = mgr.var_at_level(lvl);
+    if (!placed[v]) order.push_back(v);
+  }
+  mgr.set_order(order);
+}
+
+}  // namespace rfn

@@ -1,0 +1,48 @@
+#pragma once
+// Step 1 helpers: initial abstraction and BDD variable-order persistence.
+//
+// The very first abstract model is the subcircuit containing the transitive
+// fanins (up to register outputs) of the property signals. At the end of
+// each Step 2 the current BDD variable order is saved — keyed by original-
+// design signal — and replayed as the initial order of the next iteration's
+// fresh manager (paper Section 2.2, last paragraph).
+
+#include <vector>
+
+#include "bdd/bdd.hpp"
+#include "mc/encoder.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/subcircuit.hpp"
+
+namespace rfn {
+
+/// Registers of the initial abstract model: those whose outputs lie in the
+/// combinational fanin cone of the property signals.
+std::vector<GateId> initial_abstraction_registers(const Netlist& m,
+                                                  const std::vector<GateId>& property_roots);
+
+/// A variable order expressed in original-design terms so it can be carried
+/// across abstract models of different sizes.
+struct SavedOrder {
+  enum class Kind : uint8_t { Cur, Next };
+  struct Token {
+    Kind kind;
+    GateId m_id;  // original-design signal: register, input, or cut signal
+  };
+  std::vector<Token> tokens;  // top level first
+  bool empty() const { return tokens.empty(); }
+};
+
+/// Captures the manager's current order, translating each variable of `enc`
+/// through `sub` into original-design ids. Variables the encoder does not
+/// know (e.g. a min-cut child encoder's cut vars) are skipped.
+SavedOrder save_order(const BddMgr& mgr, const Encoder& enc, const Subcircuit& sub);
+
+/// Reorders `mgr` so that variables whose token appears in `saved` follow the
+/// saved relative order; unknown variables keep their relative order after
+/// them. Call right after constructing the encoder, before building any
+/// large BDDs.
+void apply_saved_order(BddMgr& mgr, const Encoder& enc, const Subcircuit& sub,
+                       const SavedOrder& saved);
+
+}  // namespace rfn

@@ -1,0 +1,231 @@
+#include "core/hybrid_trace.hpp"
+
+#include "mc/image.hpp"
+#include "util/log.hpp"
+
+namespace rfn {
+
+namespace {
+
+/// Splits a BDD cube into N-cube parts. Literals on MC-input variables that
+/// correspond to internal signals of N land in `internal`; those on N's
+/// registers/inputs land in `state`/`inputs`.
+struct SplitCube {
+  Cube state;     // over N's registers
+  Cube inputs;    // over N's primary inputs
+  Cube internal;  // over internal signals of N (cut variables)
+};
+
+SplitCube split_mc_cube(const Encoder& enc_n, const Encoder& enc_mc,
+                        const Subcircuit& mc, const Netlist& n,
+                        const std::vector<BddLit>& lits) {
+  SplitCube out;
+  for (const BddLit& l : lits) {
+    if (enc_n.is_state_var(l.var)) {
+      out.state.push_back({enc_n.reg_of_var(l.var), l.positive});
+      continue;
+    }
+    const GateId n_input = enc_n.input_of_var(l.var);
+    if (n_input != kNullGate) {
+      out.inputs.push_back({n_input, l.positive});
+      continue;
+    }
+    // Must be a fresh MC input variable: translate through MC to N ids.
+    const GateId mc_input = enc_mc.input_of_var(l.var);
+    RFN_CHECK(mc_input != kNullGate, "cube literal on unknown var %u", l.var);
+    const GateId n_sig = mc.to_old(mc_input);
+    RFN_CHECK(n.is_comb(n_sig), "cut signal %u is not internal", n_sig);
+    out.internal.push_back({n_sig, l.positive});
+  }
+  return out;
+}
+
+/// Shared machinery for one or many backward walks over the same min-cut
+/// design, encoders and rings.
+class HybridWalker {
+ public:
+  HybridWalker(Encoder& enc, const Netlist& n, const ReachResult& reach,
+               const Bdd& bad, const HybridTraceOptions& opt, HybridTraceStats& st)
+      : enc_(enc),
+        n_(n),
+        reach_(reach),
+        opt_(opt),
+        st_(st),
+        mcr_(compute_mincut_design(n)),
+        enc_mc_(enc.mgr(), mcr_.mc, enc),
+        img_mc_(enc_mc_) {
+    st_.mc_inputs = mcr_.mc.net.num_inputs();
+    st_.model_inputs = n.num_inputs();
+    st_.cone_inputs = mcr_.cone_inputs;
+    RFN_INFO("hybrid: model inputs=%zu cone inputs=%zu mincut inputs=%zu",
+             st_.model_inputs, st_.cone_inputs, st_.mc_inputs);
+    while (k_ < reach.rings.size() && !reach.rings[k_].intersects(bad)) ++k_;
+    RFN_CHECK(k_ < reach.rings.size(), "rings do not intersect bad");
+    target_set_ = reach.rings[k_] & bad;
+  }
+
+  size_t k() const { return k_; }
+
+  /// Candidate starting cubes over the bad intersection (fattest first,
+  /// then DFS path cubes).
+  std::vector<std::vector<BddLit>> start_cubes(size_t count) {
+    BddMgr& mgr = enc_.mgr();
+    std::vector<std::vector<BddLit>> cubes;
+    cubes.push_back(mgr.shortest_cube(target_set_));
+    for (auto& c : mgr.first_cubes(target_set_, count)) {
+      if (c != cubes.front()) cubes.push_back(std::move(c));
+      if (cubes.size() >= count) break;
+    }
+    return cubes;
+  }
+
+  /// Walks backward from one starting cube; empty trace on failure.
+  /// `variant` rotates the candidate-cube order at every backward step, so
+  /// different variants explore different abstract traces.
+  Trace walk(const std::vector<BddLit>& start_lits, size_t variant = 0) {
+    BddMgr& mgr = enc_.mgr();
+    Trace trace;
+    trace.steps.resize(k_ + 1);
+    {
+      Cube state, inputs;
+      std::vector<BddLit> other;
+      enc_.split_lits(start_lits, state, inputs, other);
+      RFN_CHECK(other.empty() && inputs.empty(), "bad set mentions non-state vars");
+      trace.steps[k_].state = state;
+    }
+
+    Cube target = trace.steps[k_].state;
+    for (size_t i = k_; i-- > 0;) {
+      const Bdd target_bdd = enc_.cube_bdd(target);
+      const Bdd pre = img_mc_.pre_image_with_inputs(target_bdd);
+      const Bdd step_set = pre & reach_.rings[i];
+      RFN_CHECK(!step_set.is_false(), "hybrid trace dead-ends at step %zu", i);
+
+      // Candidate cubes: the fattest cube first, then path cubes in DFS
+      // order.
+      std::vector<std::vector<BddLit>> candidates;
+      candidates.push_back(mgr.shortest_cube(step_set));
+      for (auto& c : mgr.first_cubes(step_set, opt_.cube_limit))
+        candidates.push_back(std::move(c));
+
+      bool accepted = false;
+      for (size_t ci = 0; ci < candidates.size(); ++ci) {
+        const auto& lits = candidates[(ci + variant) % candidates.size()];
+        SplitCube sc = split_mc_cube(enc_, enc_mc_, mcr_.mc, n_, lits);
+        if (sc.internal.empty()) {
+          // No-cut cube: accept directly.
+          ++st_.nocut_cubes;
+          trace.steps[i].state = sc.state;
+          trace.steps[i].inputs = sc.inputs;
+          target = sc.state;
+          accepted = true;
+          break;
+        }
+        // Min-cut cube: ask combinational ATPG on N for a consistent no-cut
+        // cube. Registers of N are free signals for the justification.
+        ++st_.mincut_cubes;
+        ++st_.atpg_calls;
+        Cube targets = sc.internal;
+        for (const Literal& lit : sc.state) cube_add(targets, lit);
+        for (const Literal& lit : sc.inputs) cube_add(targets, lit);
+        AtpgOptions atpg_opt = opt_.atpg;
+        // Each walk variant perturbs the justification's decisions so the
+        // extracted no-cut cubes (and hence the traces) diversify.
+        atpg_opt.decision_seed = variant * 0x9E3779B97F4A7C15ULL;
+        const CombAtpgResult res = justify(n_, targets, atpg_opt);
+        if (res.status != AtpgStatus::Sat) {
+          ++st_.atpg_rejects;
+          continue;
+        }
+        Cube state, inputs;
+        for (const Literal& lit : res.free_assignment) {
+          if (n_.is_reg(lit.signal))
+            cube_add(state, lit);
+          else
+            cube_add(inputs, lit);
+        }
+        // The justified assignment must still cover the min-cut cube's
+        // state literals (they were targets, so it does); keep them
+        // explicit.
+        for (const Literal& lit : sc.state) cube_add(state, lit);
+        for (const Literal& lit : sc.inputs) cube_add(inputs, lit);
+        trace.steps[i].state = state;
+        trace.steps[i].inputs = inputs;
+        target = state;
+        accepted = true;
+        break;
+      }
+      if (!accepted) {
+        RFN_WARN("hybrid trace: all %zu candidate cubes rejected at step %zu",
+                 candidates.size(), i);
+        return Trace{};
+      }
+    }
+    return trace;
+  }
+
+ private:
+  Encoder& enc_;
+  const Netlist& n_;
+  const ReachResult& reach_;
+  const HybridTraceOptions& opt_;
+  HybridTraceStats& st_;
+  MinCutResult mcr_;
+  Encoder enc_mc_;
+  ImageComputer img_mc_;
+  size_t k_ = 0;
+  Bdd target_set_;
+};
+
+bool same_trace(const Trace& a, const Trace& b) {
+  if (a.steps.size() != b.steps.size()) return false;
+  for (size_t i = 0; i < a.steps.size(); ++i) {
+    if (a.steps[i].state != b.steps[i].state) return false;
+    if (a.steps[i].inputs != b.steps[i].inputs) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Trace hybrid_error_trace(Encoder& enc, const Netlist& n, const ReachResult& reach,
+                         const Bdd& bad, const HybridTraceOptions& opt,
+                         HybridTraceStats* stats) {
+  HybridTraceStats local_stats;
+  HybridTraceStats& st = stats ? *stats : local_stats;
+  RFN_CHECK(reach.status == ReachStatus::BadReachable, "no abstract error trace");
+  HybridWalker walker(enc, n, reach, bad, opt, st);
+  return walker.walk(walker.start_cubes(1).front(), 0);
+}
+
+std::vector<Trace> hybrid_error_traces(Encoder& enc, const Netlist& n,
+                                       const ReachResult& reach, const Bdd& bad,
+                                       size_t count, const HybridTraceOptions& opt,
+                                       HybridTraceStats* stats) {
+  HybridTraceStats local_stats;
+  HybridTraceStats& st = stats ? *stats : local_stats;
+  RFN_CHECK(reach.status == ReachStatus::BadReachable, "no abstract error trace");
+  RFN_CHECK(count >= 1, "need at least one trace");
+  HybridWalker walker(enc, n, reach, bad, opt, st);
+
+  std::vector<Trace> traces;
+  const auto starts = walker.start_cubes(count);
+  for (size_t variant = 0; variant < count && traces.size() < count; ++variant) {
+    for (const auto& start : starts) {
+      Trace t = walker.walk(start, variant);
+      if (t.empty()) continue;
+      // Different starts/variants can converge onto the same trace.
+      bool duplicate = false;
+      for (const Trace& seen : traces)
+        if (same_trace(seen, t)) {
+          duplicate = true;
+          break;
+        }
+      if (!duplicate) traces.push_back(std::move(t));
+      if (traces.size() >= count) break;
+    }
+  }
+  return traces;
+}
+
+}  // namespace rfn

@@ -1,0 +1,191 @@
+#include "core/rfn.hpp"
+
+#include <algorithm>
+
+#include "core/abstraction.hpp"
+#include "netlist/analysis.hpp"
+#include "core/concretize.hpp"
+#include "mc/approx_reach.hpp"
+#include "mc/image.hpp"
+#include "util/log.hpp"
+
+namespace rfn {
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::Holds: return "T";
+    case Verdict::Fails: return "F";
+    case Verdict::Unknown: return "?";
+  }
+  return "?";
+}
+
+RfnVerifier::RfnVerifier(const Netlist& m, GateId bad, RfnOptions opt)
+    : m_(&m), bad_(bad), opt_(std::move(opt)) {
+  RFN_CHECK(bad < m.size(), "bad signal out of range");
+  included_ = initial_abstraction_registers(m, {bad});
+}
+
+RfnResult RfnVerifier::run() {
+  RfnResult result;
+  const Deadline deadline(opt_.time_limit_s);
+  SavedOrder saved_order;
+  const std::vector<GateId> roots{bad_};
+
+  for (size_t iter = 0; iter < opt_.max_iterations; ++iter) {
+    if (deadline.expired()) {
+      result.note = "time limit exceeded";
+      break;
+    }
+    RfnIteration it;
+    const Stopwatch iter_watch;
+    ++result.iterations;
+
+    // --- Step 1: abstract model ---
+    std::sort(included_.begin(), included_.end());
+    const Subcircuit sub = extract_abstract_model(*m_, roots, included_);
+    it.abstract_regs = sub.net.num_regs();
+    it.abstract_inputs = sub.net.num_inputs();
+    RFN_INFO("iter %zu: abstract model regs=%zu inputs=%zu gates=%zu", iter,
+             it.abstract_regs, it.abstract_inputs, sub.net.num_gates());
+
+    // --- Step 2: prove or find an abstract error trace ---
+    BddMgr mgr;
+    Encoder enc(mgr, sub.net);
+    if (opt_.save_var_order) apply_saved_order(mgr, enc, sub, saved_order);
+    mgr.set_auto_reorder(opt_.dynamic_reordering);
+    mgr.set_node_budget(opt_.reach.max_live_nodes);
+    ImageComputer img(enc);
+
+    const GateId bad_new = sub.to_new(bad_);
+    RFN_CHECK(bad_new != kNullGate, "property signal missing from abstraction");
+    // Bad states: states from which some input valuation raises the signal.
+    const Bdd bad_set = mgr.exists(enc.signal_fn(bad_new), enc.input_vars());
+    if (img.aborted() || bad_set.is_null()) {
+      it.reach_status = ReachStatus::ResourceOut;
+      it.seconds = iter_watch.seconds();
+      result.per_iteration.push_back(it);
+      result.note = "abstract model exceeded the BDD node budget";
+      break;
+    }
+
+    ReachOptions reach_opt = opt_.reach;
+    if (opt_.time_limit_s >= 0.0) {
+      const double rem = deadline.remaining_seconds();
+      reach_opt.time_limit_s = reach_opt.time_limit_s < 0.0
+                                   ? rem
+                                   : std::min(reach_opt.time_limit_s, rem);
+    }
+    const ReachResult reach = forward_reach(img, enc.initial_states(), bad_set, reach_opt);
+    it.reach_status = reach.status;
+    it.reach_steps = reach.steps;
+
+    if (reach.status == ReachStatus::Proved) {
+      if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
+      it.seconds = iter_watch.seconds();
+      result.per_iteration.push_back(it);
+      result.verdict = Verdict::Holds;
+      break;
+    }
+    if (reach.status == ReachStatus::ResourceOut) {
+      // Future-work fallback: the overlapping-partition approximate
+      // traversal may still prove the property when the exact fixpoint
+      // cannot complete on a large abstract model.
+      if (opt_.approx_fallback && !deadline.expired()) {
+        it.approx_used = true;
+        ApproxReachOptions aopt;
+        aopt.block_size = opt_.approx_block_size;
+        aopt.overlap = opt_.approx_overlap;
+        aopt.time_limit_s = opt_.time_limit_s >= 0.0 ? deadline.remaining_seconds()
+                                                     : reach_opt.time_limit_s;
+        aopt.max_live_nodes = reach_opt.max_live_nodes;
+        const ApproxReachResult approx =
+            approx_forward_reach(enc, enc.initial_states(), bad_set, aopt);
+        if (approx.status == ApproxStatus::Proved) {
+          it.approx_proved = true;
+          it.seconds = iter_watch.seconds();
+          result.per_iteration.push_back(it);
+          result.verdict = Verdict::Holds;
+          result.note = "proved by overlapping-partition approximation";
+          break;
+        }
+        // Inconclusive: there is no error trace to drive Step 4, but the
+        // loop can still make progress topologically — pull in the next
+        // batch of registers closest to the property and retry. This
+        // bottoms out at the full-COI abstraction, where the approximate
+        // traversal is as strong as it gets.
+        std::vector<bool> have(m_->size(), false);
+        for (GateId r : included_) have[r] = true;
+        size_t added = 0;
+        for (GateId r : closest_registers(*m_, roots, included_.size() + 8)) {
+          if (have[r]) continue;
+          included_.push_back(r);
+          ++added;
+        }
+        if (added > 0) {
+          RFN_INFO("iter %zu: approx inconclusive; blind-refining with %zu registers",
+                   iter, added);
+          it.seconds = iter_watch.seconds();
+          result.per_iteration.push_back(it);
+          continue;
+        }
+      }
+      it.seconds = iter_watch.seconds();
+      result.per_iteration.push_back(it);
+      result.note = "abstract fixpoint exceeded resources";
+      break;
+    }
+
+    // Abstract error trace(s) via the hybrid engine.
+    const std::vector<Trace> traces_n =
+        hybrid_error_traces(enc, sub.net, reach, bad_set,
+                            std::max<size_t>(1, opt_.traces_per_iteration), opt_.hybrid,
+                            &it.hybrid);
+    if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
+    if (traces_n.empty()) {
+      it.seconds = iter_watch.seconds();
+      result.per_iteration.push_back(it);
+      result.note = "hybrid trace engine exhausted candidates";
+      break;
+    }
+    std::vector<Trace> traces;
+    traces.reserve(traces_n.size());
+    for (const Trace& t : traces_n) traces.push_back(sub.trace_to_old(t));
+    const Trace& abs_trace = traces.front();
+    it.trace_cycles = abs_trace.cycles();
+    RFN_INFO("iter %zu: %zu abstract error trace(s), first %zu cycles", iter,
+             traces.size(), abs_trace.cycles());
+
+    // --- Step 3: concretize on the original design ---
+    const ConcretizeResult conc =
+        traces.size() == 1
+            ? concretize_trace(*m_, abs_trace, bad_, opt_.concretize_atpg)
+            : concretize_with_traces(*m_, traces, bad_, opt_.concretize_atpg);
+    it.concretize_status = conc.status;
+    if (conc.status == AtpgStatus::Sat) {
+      it.seconds = iter_watch.seconds();
+      result.per_iteration.push_back(it);
+      result.verdict = Verdict::Fails;
+      result.error_trace = conc.trace;
+      break;
+    }
+
+    // --- Step 4: refine ---
+    const std::vector<GateId> crucial = identify_crucial_registers(
+        *m_, roots, bad_, included_, abs_trace, opt_.refine, &it.refine);
+    it.seconds = iter_watch.seconds();
+    result.per_iteration.push_back(it);
+    if (crucial.empty()) {
+      result.note = "refinement produced no crucial registers";
+      break;
+    }
+    RFN_INFO("iter %zu: refining with %zu crucial registers", iter, crucial.size());
+    for (GateId r : crucial) included_.push_back(r);
+  }
+
+  result.final_abstract_regs = included_.size();
+  result.seconds = deadline.elapsed_seconds();
+  return result;
+}
+
+}  // namespace rfn

@@ -1,0 +1,104 @@
+#pragma once
+// RFN: the abstraction-refinement property verifier (the paper's core).
+//
+// Verifies an unreachability property — "the `bad` signal never rises" — on
+// a gate-level design by iterating:
+//   1. build the abstract model (subcircuit) for the current register set;
+//   2. BDD forward fixpoint on the abstract model; Proved there implies
+//      Proved on the original design (subcircuit over-approximation), else
+//      extract an abstract error trace with the BDD-ATPG hybrid engine;
+//   3. concretize on the original design with guided sequential ATPG;
+//   4. on spurious traces, refine via 3-valued simulation + greedy ATPG
+//      register minimization.
+// RFN never performs symbolic image computation on the original design.
+
+#include <string>
+#include <vector>
+
+#include "atpg/comb_atpg.hpp"
+#include "core/hybrid_trace.hpp"
+#include "core/refine.hpp"
+#include "mc/reach.hpp"
+#include "netlist/netlist.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rfn {
+
+struct RfnOptions {
+  /// Overall wall-clock budget (seconds); negative = unlimited.
+  double time_limit_s = -1.0;
+  size_t max_iterations = 1000;
+  /// Per-iteration reachability budget on the abstract model.
+  ReachOptions reach;
+  /// Resource limits for the Step 3 guided search on the original design.
+  AtpgOptions concretize_atpg;
+  /// Resource limits for Step 4's greedy minimization.
+  RefineOptions refine;
+  HybridTraceOptions hybrid;
+  /// Enable dynamic variable reordering during Step 2 and carry the order
+  /// to the next iteration (paper Section 2.2).
+  bool dynamic_reordering = true;
+  bool save_var_order = true;
+  /// When the exact fixpoint on an abstract model exceeds its resources,
+  /// retry with the overlapping-partition approximate traversal (the
+  /// paper's future-work engine): a Proved there is still a proof.
+  bool approx_fallback = true;
+  /// Block sizing for the approximate traversal.
+  size_t approx_block_size = 12;
+  size_t approx_overlap = 4;
+  /// How many abstract error traces Step 2 extracts per iteration. With
+  /// more than one, Step 3 guides sequential ATPG with the whole set (the
+  /// paper's second future-work direction), falling back to consensus
+  /// guidance when each individual trace is spurious.
+  size_t traces_per_iteration = 1;
+};
+
+enum class Verdict { Holds, Fails, Unknown };
+const char* verdict_name(Verdict v);
+
+struct RfnIteration {
+  size_t abstract_regs = 0;
+  size_t abstract_inputs = 0;
+  ReachStatus reach_status{};
+  size_t reach_steps = 0;
+  /// Whether the approximate-traversal fallback ran and what it returned.
+  bool approx_used = false;
+  bool approx_proved = false;
+  size_t trace_cycles = 0;          // abstract error trace length (0 = none)
+  AtpgStatus concretize_status{};   // meaningful when a trace was found
+  RefineStats refine;
+  HybridTraceStats hybrid;
+  double seconds = 0.0;
+};
+
+struct RfnResult {
+  Verdict verdict = Verdict::Unknown;
+  /// Error trace on the original design (Fails only).
+  Trace error_trace;
+  size_t iterations = 0;
+  size_t final_abstract_regs = 0;
+  double seconds = 0.0;
+  std::vector<RfnIteration> per_iteration;
+  std::string note;  // diagnostic for Unknown verdicts
+};
+
+class RfnVerifier {
+ public:
+  /// `bad` is a signal of `m`; the property is "bad never becomes 1 in any
+  /// reachable state/input". Safety properties are modeled by a watchdog
+  /// whose output (or state) is `bad` (paper Section 3).
+  RfnVerifier(const Netlist& m, GateId bad, RfnOptions opt = {});
+
+  RfnResult run();
+
+  /// The included register set after run() (the final abstract model).
+  const std::vector<GateId>& abstract_registers() const { return included_; }
+
+ private:
+  const Netlist* m_;
+  GateId bad_;
+  RfnOptions opt_;
+  std::vector<GateId> included_;
+};
+
+}  // namespace rfn

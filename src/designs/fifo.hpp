@@ -1,0 +1,46 @@
+#pragma once
+// Synchronous FIFO controller design (Table 1 rows psh_hf / psh_af /
+// psh_full).
+//
+// A synthesizable-Verilog FIFO controller with a data-dependent pop path
+// (entries whose lock bit is set cannot be popped), which couples the data
+// memory into the cone of influence of the flag properties — reproducing
+// the paper's shape: ~135 registers in the COI of each property, while the
+// proofs only need the few dozen control registers.
+//
+// Properties (all True, each exported as a watchdog register `bad_*`):
+//   psh_full — the occupancy counter never exceeds the capacity (pushes are
+//              ignored when full);
+//   psh_af   — the registered almost-full flag always agrees with the
+//              occupancy threshold;
+//   psh_hf   — likewise for the half-full flag.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn::designs {
+
+struct FifoParams {
+  /// log2 of the FIFO capacity.
+  size_t addr_bits = 4;
+  /// Data width per entry (one extra lock bit is stored alongside).
+  size_t data_bits = 6;
+};
+
+struct FifoDesign {
+  Netlist netlist;
+  GateId bad_push_full = kNullGate;
+  GateId bad_push_af = kNullGate;
+  GateId bad_push_hf = kNullGate;
+  /// The generated Verilog source (elaborated through the RTL frontend).
+  std::string verilog;
+};
+
+/// Emits the FIFO controller Verilog source for the given parameters.
+std::string fifo_verilog(const FifoParams& p);
+
+/// Generates and elaborates the design.
+FifoDesign make_fifo(const FifoParams& p = {});
+
+}  // namespace rfn::designs

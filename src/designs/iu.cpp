@@ -1,0 +1,145 @@
+#include "designs/iu.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/log.hpp"
+
+namespace rfn::designs {
+
+IuParams paper_scale_iu() {
+  IuParams p;
+  p.stages = 8;
+  p.scoreboard_bits = 16;
+  p.clutter_words = 300;
+  p.word_bits = 8;
+  return p;
+}
+
+IuDesign make_iu(const IuParams& p) {
+  RFN_CHECK(p.stages >= 6 && p.scoreboard_bits >= 8, "IU parameters too small");
+  NetBuilder b;
+
+  const GateId icache_miss = b.input("icache_miss");
+  const GateId dcache_miss = b.input("dcache_miss");
+  const GateId trap_req = b.input("trap_req");
+  const GateId branch = b.input("branch");
+  const GateId chk_en = b.input("chk_en");
+  const Word instr = b.input_word("instr", p.word_bits);
+
+  // Datapath clutter: accumulators mixed from the instruction word through
+  // adders, gated by the stall controller (wired below). The clutter parity
+  // feeds back into the stall conditions, coupling it into every coverage
+  // COI.
+  std::vector<Word> clutter(p.clutter_words);
+  for (size_t c = 0; c < p.clutter_words; ++c)
+    clutter[c] = b.reg_word("acc" + std::to_string(c), p.word_bits, 0);
+
+  GateId clutter_parity = b.constant(false);
+  for (size_t c = 0; c < p.clutter_words; ++c)
+    clutter_parity = b.xor_(clutter_parity, clutter[c][c % p.word_bits]);
+
+  // One-hot stall controller: RUN, STALL_IC, STALL_DC, TRAP, RESUME.
+  enum { RUN = 0, SIC = 1, SDC = 2, TRP = 3, RSM = 4 };
+  Word stall(5);
+  for (size_t s = 0; s < 5; ++s)
+    stall[s] = b.reg("stall" + std::to_string(s), tri_of(s == RUN));
+  // Forward declarations of control signals wired later (registers exist
+  // already, so reading them here is fine).
+  Word valid(p.stages);
+  for (size_t s = 0; s < p.stages; ++s)
+    valid[s] = b.reg("valid" + std::to_string(s), Tri::F);
+  Word sb(p.scoreboard_bits);
+  for (size_t i = 0; i < p.scoreboard_bits; ++i)
+    sb[i] = b.reg("sb" + std::to_string(i), Tri::F);
+
+  // A data-cache stall can only fire while the memory stage holds a valid
+  // instruction — this couples the valid bits (and through them the decode
+  // FSM and scoreboard) back into the stall controller, making the whole
+  // control cluster strongly connected: every coverage set sees the same
+  // COI, as the paper observes for its IU sets.
+  const GateId dstall = b.and_n({dcache_miss, valid[2],
+                                 b.not_(b.and_(chk_en, clutter_parity))});
+  const GateId go_sic = b.and_(stall[RUN], icache_miss);
+  const GateId go_sdc = b.and_n({stall[RUN], b.not_(icache_miss), dstall});
+  const GateId go_trp = b.or_(b.and_(stall[SIC], trap_req), b.and_(stall[SDC], trap_req));
+  const GateId sic_done = b.and_(stall[SIC], b.not_(b.or_(icache_miss, trap_req)));
+  const GateId sdc_done = b.and_(stall[SDC], b.not_(b.or_(dcache_miss, trap_req)));
+  const GateId trp_done = b.and_(stall[TRP], b.not_(trap_req));
+  const GateId rsm_done = stall[RSM];
+  b.set_next(stall[RUN],
+             b.or_n({b.and_n({stall[RUN], b.not_(go_sic), b.not_(go_sdc)}), rsm_done}));
+  b.set_next(stall[SIC], b.or_(go_sic, b.and_n({stall[SIC], b.not_(sic_done),
+                                                b.not_(b.and_(stall[SIC], trap_req))})));
+  b.set_next(stall[SDC], b.or_(go_sdc, b.and_n({stall[SDC], b.not_(sdc_done),
+                                                b.not_(b.and_(stall[SDC], trap_req))})));
+  b.set_next(stall[TRP], b.or_(go_trp, b.and_(stall[TRP], trap_req)));
+  b.set_next(stall[RSM], b.or_n({sic_done, sdc_done, trp_done}));
+
+  const GateId running = stall[RUN];
+
+  // Decode FSM (binary, 3 bits, states 0..5 used; 6 and 7 unreachable).
+  const Word dec = b.reg_word("dec", 3, 0);
+  auto dec_is = [&](uint64_t v) { return b.eq_const(dec, v); };
+  // 0 fetch -> 1 decode -> {2 fold, 3 single} -> 4 issue -> 5 commit -> 0
+  Word dec_next = b.constant_word(0, 3);
+  dec_next = b.mux_word(dec_is(0), dec_next, b.constant_word(1, 3));
+  dec_next = b.mux_word(dec_is(1), dec_next,
+                        b.mux_word(instr[0], b.constant_word(3, 3), b.constant_word(2, 3)));
+  dec_next = b.mux_word(dec_is(2), dec_next, b.constant_word(4, 3));
+  dec_next = b.mux_word(dec_is(3), dec_next, b.constant_word(4, 3));
+  dec_next = b.mux_word(dec_is(4), dec_next, b.constant_word(5, 3));
+  dec_next = b.mux_word(dec_is(5), dec_next, b.constant_word(0, 3));
+  b.set_next_word(dec, b.mux_word(running, dec, dec_next));
+
+  // Pipeline valid bits: shift while running, squash on branch/trap. Issue
+  // is blocked when the scoreboard already tracks the target register.
+  const GateId squash = b.or_(branch, trap_req);
+  GateId conflict = b.constant(false);
+  for (size_t i = 0; i < p.scoreboard_bits && i < 8; ++i) {
+    const GateId tgt = b.eq_const(Word(instr.begin(), instr.begin() + 3), i);
+    conflict = b.or_(conflict, b.and_(sb[i], tgt));
+  }
+  const GateId feed = b.and_n({running, dec_is(4), b.not_(conflict)});
+  b.set_next(valid[0], b.and_(b.mux(running, valid[0], feed), b.not_(squash)));
+  for (size_t s = 1; s < p.stages; ++s)
+    b.set_next(valid[s],
+               b.and_(b.mux(running, valid[s], valid[s - 1]), b.not_(squash)));
+
+  // Scoreboard: a bit sets when issue targets it (low instr bits), clears
+  // when the last pipeline stage retires it.
+  for (size_t i = 0; i < p.scoreboard_bits; ++i) {
+    const GateId tgt = b.eq_const(
+        Word(instr.begin(), instr.begin() + 3), i % 8);
+    const GateId set = b.and_(feed, tgt);
+    const GateId clr = b.and_(valid[p.stages - 1], tgt);
+    b.set_next(sb[i], b.or_(set, b.and_(sb[i], b.not_(clr))));
+  }
+
+  // Clutter updates: adder mixes gated by the stall controller.
+  for (size_t c = 0; c < p.clutter_words; ++c) {
+    Word mixed = b.add_word(clutter[c], c == 0 ? instr : clutter[c - 1]);
+    b.set_next_word(clutter[c], b.mux_word(running, clutter[c], mixed));
+  }
+
+  // An observability anchor keeps everything live.
+  GateId anchor = clutter_parity;
+  for (size_t s = 0; s < 5; ++s) anchor = b.xor_(anchor, stall[s]);
+  b.output("anchor", anchor);
+
+  IuDesign d;
+  // Coverage sets of 10 registers each, drawn from the control FSMs.
+  d.coverage_sets = {
+      {stall[0], stall[1], stall[2], stall[3], stall[4], valid[0], valid[1], valid[2],
+       valid[3], valid[4]},
+      {stall[0], stall[1], stall[2], stall[3], stall[4], dec[0], dec[1], dec[2], sb[0],
+       sb[1]},
+      {dec[0], dec[1], dec[2], sb[0], sb[1], sb[2], sb[3], sb[4], sb[5], sb[6]},
+      {valid[0], valid[1], valid[2], valid[3], valid[4], valid[5], sb[0], sb[1], sb[2],
+       sb[3]},
+      {stall[0], stall[1], stall[2], stall[3], stall[4], dec[0], dec[1], dec[2],
+       valid[0], valid[1]},
+  };
+  d.netlist = b.take();
+  return d;
+}
+
+}  // namespace rfn::designs

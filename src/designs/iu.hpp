@@ -1,0 +1,41 @@
+#pragma once
+// picoJava-Integer-Unit-like design for unreachable-coverage-state analysis
+// (Table 2 rows IU1..IU5).
+//
+// A control-dominated pipeline: a one-hot stall controller, a binary decode
+// FSM, pipeline valid bits and a register scoreboard, all cross-coupled and
+// fed by a block of arithmetic "datapath clutter" registers that sits
+// topologically close to the control (so the BFS baseline's
+// closest-k-registers abstraction drags expensive arithmetic state in,
+// while RFN's counterexample-driven refinement does not — the mechanism
+// behind the paper's "BFS time is more unpredictable" observation).
+//
+// The five coverage sets each contain 10 registers drawn from the control
+// state machines; their COIs are identical because the control is strongly
+// connected (the paper remarks the same about its IU coverage sets).
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn::designs {
+
+struct IuParams {
+  size_t stages = 6;          // pipeline depth (>= 6)
+  size_t scoreboard_bits = 8; // architectural scoreboard width (>= 8)
+  size_t clutter_words = 24;  // datapath clutter words
+  size_t word_bits = 8;
+};
+
+struct IuDesign {
+  Netlist netlist;
+  /// coverage_sets[0..4] are IU1..IU5 (10 registers each).
+  std::vector<std::vector<GateId>> coverage_sets;
+};
+
+IuDesign make_iu(const IuParams& p = {});
+
+/// Paper-scale parameters (~2,500 registers in the coverage COI).
+IuParams paper_scale_iu();
+
+}  // namespace rfn::designs

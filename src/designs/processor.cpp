@@ -1,0 +1,165 @@
+#include "designs/processor.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/log.hpp"
+
+namespace rfn::designs {
+
+ProcessorParams paper_scale_processor() {
+  ProcessorParams p;
+  p.units = 10;
+  p.pipe_depth = 16;
+  p.pipe_width = 12;
+  p.result_regs = 300;
+  p.counter_bits = 5;
+  return p;
+}
+
+ProcessorDesign make_processor(const ProcessorParams& p) {
+  RFN_CHECK(p.units >= 2 && p.pipe_depth >= 2 && p.pipe_width >= 2,
+            "processor parameters too small");
+  NetBuilder b;
+  const size_t U = p.units;
+
+  // Per-unit structures.
+  std::vector<GateId> request(U);
+  std::vector<Word> state(U);        // 2-bit busy FSM: 0 idle, 1 run, 2 wait
+  std::vector<GateId> grant(U);      // arbiter grant register (built below)
+  for (size_t u = 0; u < U; ++u) grant[u] = b.reg("grant" + std::to_string(u));
+
+  GateId unit0_run = kNullGate;
+
+  for (size_t u = 0; u < U; ++u) {
+    const std::string tag = std::to_string(u);
+    const GateId start = b.input("start" + tag);
+    const GateId cancel = b.input("cancel" + tag);
+    const GateId chk_en = b.input("chk_en" + tag);
+    const Word op_in = b.input_word("op" + tag, p.pipe_width);
+
+    state[u] = b.reg_word("state" + tag, 2, 0);
+    const GateId is_idle = b.eq_const(state[u], 0);
+    const GateId is_run = b.eq_const(state[u], 1);
+    const GateId is_wait = b.eq_const(state[u], 2);
+    if (u == 0) unit0_run = is_run;
+
+    // Opcode pipeline: advances while running; stage 0 samples the opcode.
+    // Each stage runs the value through an ALU-ish mix (add + rotate-xor)
+    // rather than a plain shift, giving the datapath a realistic gate/reg
+    // ratio (the paper's processor module has ~22 gates per register).
+    std::vector<Word> stages(p.pipe_depth);
+    for (size_t d = 0; d < p.pipe_depth; ++d)
+      stages[d] = b.reg_word("pipe" + tag + "_" + std::to_string(d), p.pipe_width, 0);
+    b.set_next_word(stages[0], b.mux_word(is_run, stages[0], op_in));
+    for (size_t d = 1; d < p.pipe_depth; ++d) {
+      Word rotated(p.pipe_width);
+      for (size_t i = 0; i < p.pipe_width; ++i)
+        rotated[i] = stages[d][(i + 3) % p.pipe_width];
+      const Word mixed = b.xor_word(b.add_word(stages[d - 1], rotated), stages[d - 1]);
+      b.set_next_word(stages[d], b.mux_word(is_run, stages[d], mixed));
+    }
+
+    // Result-register clutter: mixed from pipeline taps through adders so
+    // the datapath contributes real gate count and feeds back into control.
+    Word results;
+    const size_t chunks = (p.result_regs + p.pipe_width - 1) / p.pipe_width;
+    std::vector<Word> result_words(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t width = std::min(p.pipe_width, p.result_regs - c * p.pipe_width);
+      result_words[c] =
+          b.reg_word("res" + tag + "_" + std::to_string(c), width, 0);
+      const Word& tap = stages[c % p.pipe_depth];
+      Word tap_slice(result_words[c].size());
+      for (size_t i = 0; i < tap_slice.size(); ++i) tap_slice[i] = tap[i % tap.size()];
+      const Word& prev = result_words[c == 0 ? 0 : c - 1];
+      Word prev_slice(result_words[c].size());
+      for (size_t i = 0; i < prev_slice.size(); ++i)
+        prev_slice[i] = prev[(i + 1) % prev.size()];
+      const Word mixed =
+          b.add_word(b.add_word(result_words[c], tap_slice), prev_slice);
+      b.set_next_word(result_words[c], b.mux_word(is_run, result_words[c], mixed));
+      for (GateId g : result_words[c]) results.push_back(g);
+    }
+
+    // Completion condition: cancel, or (when checking is enabled) the
+    // parity of the last pipeline stage mixed with the result clutter —
+    // this puts the whole datapath into the COI of the busy FSM.
+    GateId parity = stages[p.pipe_depth - 1][0];
+    for (size_t i = 1; i < p.pipe_width; ++i)
+      parity = b.xor_(parity, stages[p.pipe_depth - 1][i]);
+    for (size_t i = 0; i < results.size(); i += 7) parity = b.xor_(parity, results[i]);
+    const GateId done = b.or_(cancel, b.and_(chk_en, parity));
+
+    // FSM: idle --start--> run --done--> wait --grant--> idle.
+    const Word next_idle = b.mux_word(start, b.constant_word(0, 2), b.constant_word(1, 2));
+    const Word next_run = b.mux_word(done, b.constant_word(1, 2), b.constant_word(2, 2));
+    const Word next_wait =
+        b.mux_word(grant[u], b.constant_word(2, 2), b.constant_word(0, 2));
+    Word next_state = b.mux_word(is_idle, state[u], next_idle);
+    next_state = b.mux_word(is_run, next_state, next_run);
+    next_state = b.mux_word(is_wait, next_state, next_wait);
+    b.set_next_word(state[u], next_state);
+
+    request[u] = is_wait;
+  }
+
+  // Rotating one-hot arbiter. ptr marks the highest-priority unit.
+  Word ptr(U);
+  for (size_t u = 0; u < U; ++u)
+    ptr[u] = b.reg("ptr" + std::to_string(u), tri_of(u == 0));
+
+  std::vector<GateId> grant_next(U);
+  for (size_t g = 0; g < U; ++g) {
+    std::vector<GateId> terms;
+    for (size_t s = 0; s < U; ++s) {
+      // Priority position s wins slot g iff no unit between s and g
+      // (cyclically) requests.
+      GateId term = b.and_(ptr[s], request[g]);
+      for (size_t k = s; k % U != g % U; ++k) {
+        term = b.and_(term, b.not_(request[k % U]));
+        if (k > s + U) break;  // safety
+      }
+      terms.push_back(term);
+    }
+    grant_next[g] = b.or_n(terms);
+  }
+  for (size_t u = 0; u < U; ++u) b.set_next(grant[u], grant_next[u]);
+
+  const GateId any_grant = b.or_n(grant_next);
+  for (size_t u = 0; u < U; ++u) {
+    // Rotate: priority moves just past the granted unit.
+    const GateId rotated = grant_next[(u + U - 1) % U];
+    b.set_next(ptr[u], b.mux(any_grant, ptr[u], rotated));
+  }
+
+  // mutex watchdog: two grants high at once.
+  std::vector<GateId> pair_terms;
+  for (size_t i = 0; i < U; ++i)
+    for (size_t j = i + 1; j < U; ++j) pair_terms.push_back(b.and_(grant[i], grant[j]));
+  const GateId clash = b.or_n(pair_terms);
+  const GateId bad_mutex = b.reg("bad_mutex", Tri::F);
+  b.set_next(bad_mutex, b.or_(bad_mutex, clash));
+
+  // error_flag bug: unit 0's session counter arms a latch at a magic count;
+  // an armed flush colliding with grant0 raises the flag (reachable, paper:
+  // 30-cycle error trace).
+  const GateId flush = b.input("flush");
+  const Word session = b.reg_word("session", p.counter_bits, 0);
+  b.set_next_word(session, b.mux_word(unit0_run, session, b.inc_word(session)));
+  const uint64_t magic = (uint64_t{1} << p.counter_bits) - 8;
+  const GateId armed = b.reg("armed", Tri::F);
+  b.set_next(armed, b.or_(armed, b.eq_const(session, magic)));
+  const GateId error_flag = b.reg("error_flag", Tri::F);
+  b.set_next(error_flag,
+             b.or_(error_flag, b.and_(armed, b.and_(flush, grant[0]))));
+
+  b.output("bad_mutex", bad_mutex);
+  b.output("error_flag", error_flag);
+
+  ProcessorDesign d;
+  d.netlist = b.take();
+  d.bad_mutex = bad_mutex;
+  d.error_flag = error_flag;
+  return d;
+}
+
+}  // namespace rfn::designs

@@ -1,0 +1,46 @@
+#pragma once
+// Processor-module design (Table 1 rows `mutex` and `error_flag`).
+//
+// A synthetic pipelined multi-unit processor control block sized to the
+// paper's scale (~5,000 registers, ~100k gates in the property COI):
+//   * U functional units, each with a busy FSM, a deep opcode pipeline, and
+//     a block of result registers ("datapath clutter") that feeds back into
+//     the unit's request logic — pulling everything into the COI of the
+//     properties;
+//   * a rotating one-hot arbiter granting the shared writeback bus;
+//   * property `mutex` (True): at most one grant at a time — provable from
+//     the arbiter core alone, a tiny fraction of the COI;
+//   * property `error_flag` (False): a deliberately planted protocol bug —
+//     unit 0 raises the flag when its grant collides with a pipeline flush
+//     while a session counter holds a magic value, reachable only through a
+//     specific ~30-cycle input sequence (the paper's violated property had
+//     a 30-cycle error trace).
+
+#include "netlist/netlist.hpp"
+
+namespace rfn::designs {
+
+struct ProcessorParams {
+  size_t units = 8;
+  size_t pipe_depth = 12;
+  size_t pipe_width = 8;
+  /// Result-register clutter per unit.
+  size_t result_regs = 48;
+  /// Session-counter width; the bug arms when the counter reaches
+  /// 2^counter_bits - 8 (with pipeline delays this puts the shortest error
+  /// trace around 2^counter_bits cycles).
+  size_t counter_bits = 5;
+};
+
+struct ProcessorDesign {
+  Netlist netlist;
+  GateId bad_mutex = kNullGate;   // watchdog register, never 1 (True)
+  GateId error_flag = kNullGate;  // watchdog register, reachable (False)
+};
+
+ProcessorDesign make_processor(const ProcessorParams& p = {});
+
+/// Paper-scale parameters: ~5,000 registers in the COI.
+ProcessorParams paper_scale_processor();
+
+}  // namespace rfn::designs

@@ -1,0 +1,138 @@
+#include "designs/usb.hpp"
+
+#include "netlist/builder.hpp"
+#include "util/log.hpp"
+
+namespace rfn::designs {
+
+UsbParams paper_scale_usb() {
+  UsbParams p;
+  p.clutter_words = 120;
+  p.word_bits = 8;
+  return p;
+}
+
+UsbDesign make_usb(const UsbParams& p) {
+  NetBuilder b;
+
+  const GateId dp = b.input("dp");
+  const GateId dm = b.input("dm");
+  const GateId sof_tick = b.input("sof_tick");
+  const GateId chk_en = b.input("chk_en");
+
+  // Clutter registers are declared up front: their parity feeds back into
+  // the packet engine (below), putting the CRC datapath into the coverage
+  // signals' COI.
+  std::vector<Word> clutter(p.clutter_words);
+  GateId parity = b.constant(false);
+  for (size_t c = 0; c < p.clutter_words; ++c) {
+    clutter[c] = b.reg_word("buf" + std::to_string(c), p.word_bits, 0);
+    parity = b.xor_(parity, clutter[c][0]);
+  }
+
+  // Line-state decoder: J (10), K (01), SE0 (00); SE1 (11) is filtered, so
+  // the encoded line register never holds 3.
+  const Word line = b.reg_word("line", 2, 2);  // reset to J
+  const GateId se1 = b.and_(dp, dm);
+  Word line_in(2);
+  line_in[0] = b.and_(dm, b.not_(dp));
+  line_in[1] = b.and_(dp, b.not_(dm));
+  b.set_next_word(line, b.mux_word(se1, line_in, line));
+
+  const GateId is_j = b.and_(line[1], b.not_(line[0]));
+  const GateId is_k = b.and_(line[0], b.not_(line[1]));
+  const GateId is_se0 = b.nor_(line[0], line[1]);
+
+  // NRZI decoding: a 0 line transition means bit 1 held, transition means 0.
+  const GateId prev_k = b.reg("prev_k", Tri::F);
+  b.set_next(prev_k, is_k);
+  const GateId bit = b.xnor_(is_k, prev_k);
+
+  // Bit-stuff counter: counts consecutive ones, forced to reset at 6 —
+  // value 7 is unreachable.
+  const Word stuff = b.reg_word("stuff", 3, 0);
+  const GateId at6 = b.eq_const(stuff, 6);
+  const Word stuff_next =
+      b.mux_word(b.and_(bit, b.not_(at6)), b.constant_word(0, 3), b.inc_word(stuff));
+  b.set_next_word(stuff, stuff_next);
+
+  // Packet FSM (3 bits): IDLE(0) SYNC(1) PID(2) DATA(3) CRC(4) EOP(5);
+  // 6 and 7 unused.
+  const Word pkt = b.reg_word("pkt", 3, 0);
+  auto pkt_is = [&](uint64_t v) { return b.eq_const(pkt, v); };
+  const Word nibble_cnt = b.reg_word("nibble", 3, 0);
+  const GateId nibble_done = b.eq_const(nibble_cnt, 7);
+  Word pkt_next = b.mux_word(is_k, pkt, b.constant_word(1, 3));       // IDLE -k-> SYNC
+  pkt_next = b.mux_word(pkt_is(1), pkt_next,
+                        b.mux_word(is_j, b.constant_word(1, 3), b.constant_word(2, 3)));
+  pkt_next = b.mux_word(pkt_is(2), pkt_next,
+                        b.mux_word(nibble_done, b.constant_word(2, 3),
+                                   b.constant_word(3, 3)));
+  // Leaving DATA requires SE0, or a (checker-enabled) datapath parity hit —
+  // the coupling that pulls the CRC clutter into every coverage COI.
+  const GateId leave_data = b.or_(is_se0, b.and_(chk_en, parity));
+  pkt_next = b.mux_word(pkt_is(3), pkt_next,
+                        b.mux_word(leave_data, b.constant_word(3, 3), b.constant_word(4, 3)));
+  pkt_next = b.mux_word(pkt_is(4), pkt_next, b.constant_word(5, 3));
+  pkt_next = b.mux_word(pkt_is(5), pkt_next,
+                        b.mux_word(is_j, b.constant_word(5, 3), b.constant_word(0, 3)));
+  // In IDLE, pkt_is(0): covered by the first line (default branch).
+  b.set_next_word(pkt, b.mux_word(pkt_is(0), pkt_next,
+                                  b.mux_word(is_k, pkt, b.constant_word(1, 3))));
+
+  b.set_next_word(nibble_cnt, b.mux_word(pkt_is(2), b.constant_word(0, 3),
+                                         b.inc_word(nibble_cnt)));
+
+  // PID register: shifts bits in during the PID state.
+  const Word pid = b.reg_word("pid", 4, 0);
+  Word pid_shift{bit, pid[0], pid[1], pid[2]};
+  b.set_next_word(pid, b.mux_word(pkt_is(2), pid, pid_shift));
+
+  // Address register captured at end of PID phase.
+  const Word addr = b.reg_word("addr", 7, 0);
+  Word addr_shift{bit, addr[0], addr[1], addr[2], addr[3], addr[4], addr[5]};
+  b.set_next_word(addr, b.mux_word(pkt_is(3), addr, addr_shift));
+
+  // Frame counter: increments on SOF in IDLE, wraps at 1280 — frame values
+  // >= 1280 are unreachable coverage states.
+  const Word frame = b.reg_word("frame", 11, 0);
+  const GateId wrap = b.eq_const(frame, 1279);
+  const Word frame_next = b.mux_word(wrap, b.inc_word(frame), b.constant_word(0, 11));
+  b.set_next_word(frame,
+                  b.mux_word(b.and_(sof_tick, pkt_is(0)), frame, frame_next));
+
+  // CRC16 LFSR over recovered bits during DATA.
+  const Word crc = b.reg_word("crc", 16, 0xFFFF);
+  const GateId fb = b.xor_(crc[15], bit);
+  Word crc_next(16);
+  crc_next[0] = fb;
+  for (size_t i = 1; i < 16; ++i) {
+    crc_next[i] = crc[i - 1];
+    if (i == 2 || i == 15) crc_next[i] = b.xor_(crc_next[i], fb);
+  }
+  b.set_next_word(crc, b.mux_word(pkt_is(3), crc, crc_next));
+
+  // Datapath clutter updates: mixed from the CRC register while receiving.
+  for (size_t c = 0; c < p.clutter_words; ++c) {
+    Word src(p.word_bits);
+    for (size_t i = 0; i < p.word_bits; ++i)
+      src[i] = c == 0 ? crc[i % 16] : clutter[c - 1][i];
+    const Word mixed = b.add_word(clutter[c], src);
+    b.set_next_word(clutter[c], b.mux_word(pkt_is(3), clutter[c], mixed));
+  }
+  // Feed parity back into an error latch inside the packet engine COI.
+  const GateId err = b.reg("crc_err", Tri::F);
+  b.set_next(err, b.or_(b.and_(b.and_(chk_en, parity), pkt_is(4)),
+                        b.and_(err, b.not_(pkt_is(0)))));
+  b.output("crc_err", err);
+
+  UsbDesign d;
+  d.usb1 = {pkt[0], pkt[1], pkt[2], line[0], line[1], err};
+  d.usb2 = {frame[0], frame[1], frame[2], frame[3], frame[4], frame[5], frame[6],
+            frame[7], frame[8], frame[9], frame[10], pkt[0], pkt[1], pkt[2],
+            stuff[0], stuff[1], stuff[2], pid[0], pid[1], pid[2], pid[3]};
+  d.netlist = b.take();
+  return d;
+}
+
+}  // namespace rfn::designs

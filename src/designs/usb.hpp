@@ -1,0 +1,33 @@
+#pragma once
+// USB-bus-controller-like design for unreachable-coverage-state analysis
+// (Table 2 rows USB1 and USB2).
+//
+// A USB-flavoured protocol engine: differential line-state decoder, NRZI
+// bit recovery with bit-stuffing counter, packet-engine FSM, PID/address
+// registers, a frame counter that wraps below its natural range, and CRC16
+// machinery as datapath clutter. Coverage sets follow the paper: USB1 has 6
+// coverage signals, USB2 has 21.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn::designs {
+
+struct UsbParams {
+  size_t clutter_words = 16;
+  size_t word_bits = 8;
+};
+
+struct UsbDesign {
+  Netlist netlist;
+  std::vector<GateId> usb1;  // 6 coverage registers
+  std::vector<GateId> usb2;  // 21 coverage registers
+};
+
+UsbDesign make_usb(const UsbParams& p = {});
+
+/// Paper-scale parameters.
+UsbParams paper_scale_usb();
+
+}  // namespace rfn::designs

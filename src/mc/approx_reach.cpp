@@ -1,0 +1,171 @@
+#include "mc/approx_reach.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace rfn {
+
+const char* approx_status_name(ApproxStatus s) {
+  switch (s) {
+    case ApproxStatus::Proved: return "proved";
+    case ApproxStatus::Inconclusive: return "inconclusive";
+    case ApproxStatus::ResourceOut: return "resource-out";
+  }
+  return "?";
+}
+
+namespace {
+
+struct Block {
+  std::vector<GateId> regs;
+  std::vector<BddVar> state_vars;
+  std::vector<BddVar> next_vars;
+  std::vector<Bdd> clusters;  // T_b split into manageable conjuncts
+};
+
+}  // namespace
+
+ApproxReachResult approx_forward_reach(Encoder& enc, const Bdd& init, const Bdd& bad,
+                                       const ApproxReachOptions& opt) {
+  BddMgr& mgr = enc.mgr();
+  const Netlist& n = enc.netlist();
+  const Deadline deadline(opt.time_limit_s);
+  ApproxReachResult res;
+  RFN_CHECK(opt.block_size > opt.overlap, "block_size must exceed overlap");
+
+  const size_t saved_budget = mgr.node_budget();
+  mgr.set_node_budget(opt.max_live_nodes);
+  mgr.set_deadline(&deadline);
+  auto restore = [&]() {
+    mgr.set_deadline(nullptr);
+    mgr.set_node_budget(saved_budget);
+  };
+
+  // Overlapping sliding-window blocks over the register list.
+  const std::vector<GateId>& regs = n.regs();
+  const size_t stride = opt.block_size - opt.overlap;
+  std::vector<Block> blocks;
+  for (size_t start = 0; start < regs.size(); start += stride) {
+    Block b;
+    for (size_t i = start; i < std::min(start + opt.block_size, regs.size()); ++i) {
+      b.regs.push_back(regs[i]);
+      b.state_vars.push_back(enc.state_var(regs[i]));
+      b.next_vars.push_back(enc.next_var(regs[i]));
+    }
+    blocks.push_back(std::move(b));
+    if (start + opt.block_size >= regs.size()) break;
+  }
+  res.blocks = blocks.size();
+
+  // Per-block transition clusters.
+  for (Block& b : blocks) {
+    Bdd current = mgr.bdd_true();
+    size_t count = 0;
+    for (GateId r : b.regs) {
+      const Bdd fn = enc.next_fn(r);
+      const Bdd nv = mgr.var(enc.next_var(r));
+      current &= !(nv ^ fn);
+      if (current.is_null()) {
+        restore();
+        return res;  // ResourceOut
+      }
+      if (++count >= 8 || mgr.node_count(current) > 2000) {
+        b.clusters.push_back(current);
+        current = mgr.bdd_true();
+        count = 0;
+      }
+    }
+    if (!current.is_true()) b.clusters.push_back(current);
+  }
+
+  // Initial per-block projections of the initial set.
+  std::vector<Bdd> R(blocks.size());
+  for (size_t bi = 0; bi < blocks.size(); ++bi) {
+    std::vector<BddVar> others;
+    for (BddVar v : enc.state_vars())
+      if (std::find(blocks[bi].state_vars.begin(), blocks[bi].state_vars.end(), v) ==
+          blocks[bi].state_vars.end())
+        others.push_back(v);
+    R[bi] = mgr.exists(init, others);
+    if (R[bi].is_null()) {
+      restore();
+      return res;
+    }
+  }
+
+  // Rename map: next(B) -> state(B), identity elsewhere.
+  std::vector<BddVar> rename_map(mgr.num_vars());
+  for (BddVar v = 0; v < mgr.num_vars(); ++v) rename_map[v] = v;
+  for (GateId r : n.regs()) rename_map[enc.next_var(r)] = enc.state_var(r);
+
+  // Machine-by-machine rounds.
+  bool changed = true;
+  while (changed && res.rounds < opt.max_rounds) {
+    if (deadline.expired()) {
+      restore();
+      return res;
+    }
+    changed = false;
+    ++res.rounds;
+    for (size_t bi = 0; bi < blocks.size(); ++bi) {
+      const Block& b = blocks[bi];
+      // Operand sequence: every block's current set, then T_b's clusters;
+      // each state/input variable is quantified at its last occurrence.
+      std::vector<const Bdd*> operands;
+      for (const Bdd& r : R) operands.push_back(&r);
+      for (const Bdd& c : b.clusters) operands.push_back(&c);
+
+      std::vector<int> last_use(mgr.num_vars(), -1);
+      for (size_t oi = 0; oi < operands.size(); ++oi)
+        for (BddVar v : mgr.support(*operands[oi]))
+          if (enc.is_state_var(v) || enc.is_input_var(v))
+            last_use[v] = static_cast<int>(oi);
+
+      Bdd acc = mgr.bdd_true();
+      for (size_t oi = 0; oi < operands.size(); ++oi) {
+        std::vector<BddVar> now;
+        for (BddVar v = 0; v < mgr.num_vars(); ++v)
+          if (last_use[v] == static_cast<int>(oi)) now.push_back(v);
+        acc = mgr.and_exists(acc, *operands[oi], now);
+        if (acc.is_null()) {
+          restore();
+          return res;
+        }
+      }
+      const Bdd img = mgr.rename(acc, rename_map);
+      const Bdd grown = R[bi] | img;
+      if (grown.is_null()) {
+        restore();
+        return res;
+      }
+      if (!(grown == R[bi])) {
+        R[bi] = grown;
+        changed = true;
+      }
+    }
+    RFN_DEBUG("approx round %zu: mgr=%zu nodes", res.rounds, mgr.live_nodes());
+  }
+  if (changed) {  // max_rounds exhausted before the fixpoint
+    restore();
+    return res;
+  }
+
+  // Verdict: conjoin block sets against bad with early exit.
+  Bdd hit = bad;
+  for (const Bdd& r : R) {
+    hit &= r;
+    if (hit.is_null()) {
+      restore();
+      return res;
+    }
+    if (hit.is_false()) break;
+  }
+  res.block_sets = std::move(R);
+  res.status = hit.is_false() ? ApproxStatus::Proved : ApproxStatus::Inconclusive;
+  res.seconds = deadline.elapsed_seconds();
+  restore();
+  return res;
+}
+
+}  // namespace rfn

@@ -1,0 +1,55 @@
+#pragma once
+// Approximate forward reachability by overlapping register partitions.
+//
+// Implements the paper's first future-work direction ("to prove the
+// property on abstract models containing hundreds of registers, we plan to
+// use the overlapping partition technique from [5][7]" — Cho et al.'s
+// machine-by-machine approximate traversal / Govindaraju-Dill's overlapping
+// projections). Registers are grouped into overlapping blocks; each block
+// keeps an over-approximate reachable set over its own variables, and
+// blocks are traversed round-robin, each constrained by the others' current
+// sets, until a global fixpoint. The conjunction of the per-block sets
+// over-approximates the exact reachable set, so
+//   (/\_i R_i) intersect bad == empty  ==>  the property holds.
+// The converse does not hold: an intersection is inconclusive.
+
+#include <vector>
+
+#include "mc/encoder.hpp"
+#include "mc/reach.hpp"
+
+namespace rfn {
+
+struct ApproxReachOptions {
+  /// Registers per block and how many of them each neighbor block shares.
+  size_t block_size = 12;
+  size_t overlap = 4;
+  /// Give up after this many full rounds over all blocks.
+  size_t max_rounds = 64;
+  double time_limit_s = -1.0;
+  size_t max_live_nodes = 4u << 20;
+};
+
+enum class ApproxStatus {
+  Proved,        // over-approximation avoids all bad states
+  Inconclusive,  // over-approximation touches bad: no verdict
+  ResourceOut,
+};
+
+const char* approx_status_name(ApproxStatus s);
+
+struct ApproxReachResult {
+  ApproxStatus status = ApproxStatus::ResourceOut;
+  /// Per-block over-approximations (each over its block's state vars).
+  std::vector<Bdd> block_sets;
+  size_t rounds = 0;
+  size_t blocks = 0;
+  double seconds = 0.0;
+};
+
+/// Runs the overlapping-partition traversal on `enc`'s netlist from `init`;
+/// checks the product against `bad` (both over state variables).
+ApproxReachResult approx_forward_reach(Encoder& enc, const Bdd& init, const Bdd& bad,
+                                       const ApproxReachOptions& opt = {});
+
+}  // namespace rfn

@@ -1,0 +1,96 @@
+#include "mc/image.hpp"
+
+#include <algorithm>
+
+namespace rfn {
+
+ImageComputer::ImageComputer(Encoder& enc, const ImageOptions& opt) : enc_(&enc) {
+  BddMgr& mgr = enc.mgr();
+  const Netlist& n = enc.netlist();
+
+  // Cluster next-state constraints in register order.
+  Bdd current = mgr.bdd_true();
+  std::vector<BddVar> current_next;
+  auto flush = [&]() {
+    if (current_next.empty()) return;
+    partitions_.push_back(current);
+    part_next_.push_back(current_next);
+    current = mgr.bdd_true();
+    current_next.clear();
+  };
+  for (GateId r : n.regs()) {
+    const Bdd fn = enc.next_fn(r);
+    const Bdd nv = mgr.var(enc.next_var(r));
+    current &= !(nv ^ fn);  // n_r == f_r
+    if (current.is_null()) {
+      // Resource guard / node budget hit while building: give up cleanly.
+      aborted_ = true;
+      partitions_.clear();
+      part_next_.clear();
+      break;
+    }
+    current_next.push_back(enc.next_var(r));
+    if (current_next.size() >= opt.cluster_max_regs ||
+        mgr.node_count(current) > opt.cluster_node_limit)
+      flush();
+  }
+  if (!aborted_) flush();
+
+  // Variable maps for next<->state renaming.
+  rename_next_to_state_.resize(mgr.num_vars());
+  rename_state_to_next_.resize(mgr.num_vars());
+  for (BddVar v = 0; v < mgr.num_vars(); ++v) {
+    rename_next_to_state_[v] = v;
+    rename_state_to_next_[v] = v;
+  }
+  for (GateId r : n.regs()) {
+    rename_next_to_state_[enc.next_var(r)] = enc.state_var(r);
+    rename_state_to_next_[enc.state_var(r)] = enc.next_var(r);
+  }
+}
+
+Bdd ImageComputer::post_image(const Bdd& states) {
+  if (aborted_ || states.is_null()) return Bdd();
+  BddMgr& mgr = enc_->mgr();
+  // Early-quantification schedule: each state/input variable is eliminated
+  // at the last partition whose support mentions it.
+  const size_t np = partitions_.size();
+  std::vector<int> last_use(mgr.num_vars(), -1);
+  for (size_t i = 0; i < np; ++i) {
+    for (BddVar v : mgr.support(partitions_[i])) {
+      if (enc_->is_state_var(v) || enc_->is_input_var(v))
+        last_use[v] = static_cast<int>(i);
+    }
+  }
+  // Variables never read by any partition are dropped from the source set
+  // immediately.
+  std::vector<BddVar> dead;
+  for (BddVar v : mgr.support(states))
+    if (last_use[v] < 0) dead.push_back(v);
+  Bdd acc = dead.empty() ? states : mgr.exists(states, dead);
+
+  for (size_t i = 0; i < np; ++i) {
+    std::vector<BddVar> now;
+    for (BddVar v = 0; v < mgr.num_vars(); ++v)
+      if (last_use[v] == static_cast<int>(i)) now.push_back(v);
+    acc = mgr.and_exists(acc, partitions_[i], now);
+  }
+  return mgr.rename(acc, rename_next_to_state_);
+}
+
+Bdd ImageComputer::pre_image_with_inputs(const Bdd& target) {
+  if (aborted_ || target.is_null()) return Bdd();
+  BddMgr& mgr = enc_->mgr();
+  Bdd acc = mgr.rename(target, rename_state_to_next_);
+  // Each partition's next vars occur only in that partition (and in acc),
+  // so they can be eliminated as soon as the partition is conjoined.
+  for (size_t i = 0; i < partitions_.size(); ++i)
+    acc = mgr.and_exists(acc, partitions_[i], part_next_[i]);
+  return acc;
+}
+
+Bdd ImageComputer::pre_image(const Bdd& target) {
+  return enc_->mgr().exists(pre_image_with_inputs(target), enc_->input_vars());
+}
+
+}  // namespace rfn

@@ -1,0 +1,58 @@
+#pragma once
+// Symbolic post-image / pre-image computation with partitioned transition
+// functions and early quantification.
+//
+// The transition relation is never built monolithically: next-state
+// constraints (n_r == f_r(s, x)) are clustered into partitions, and image
+// computation interleaves conjunction with existential quantification,
+// eliminating each variable at the last partition that mentions it. This is
+// what makes post-image tolerant of abstract models with thousands of
+// primary inputs (paper Section 2.2: "most of the primary inputs will be
+// quantified out early").
+
+#include <vector>
+
+#include "mc/encoder.hpp"
+
+namespace rfn {
+
+struct ImageOptions {
+  /// Soft cap on the BDD size of one partition during clustering.
+  size_t cluster_node_limit = 2000;
+  /// Hard cap on registers per partition.
+  size_t cluster_max_regs = 16;
+};
+
+class ImageComputer {
+ public:
+  explicit ImageComputer(Encoder& enc, const ImageOptions& opt = {});
+
+  Encoder& encoder() const { return *enc_; }
+  size_t num_partitions() const { return partitions_.size(); }
+
+  /// True when construction ran out of resources (encoder guard tripped or
+  /// the manager's node budget was exhausted while building the transition
+  /// partitions). Image operations on an aborted computer return null.
+  bool aborted() const { return aborted_; }
+
+  /// States reachable in exactly one step from `states` (over state vars).
+  Bdd post_image(const Bdd& states);
+
+  /// (state, input) pairs whose successor lies in `target` (target over
+  /// state vars; result over state+input vars). This is the form the trace
+  /// engines need: the input literals become part of the error trace.
+  Bdd pre_image_with_inputs(const Bdd& target);
+
+  /// States with some input leading into `target` (inputs quantified).
+  Bdd pre_image(const Bdd& target);
+
+ private:
+  Encoder* enc_;
+  bool aborted_ = false;
+  std::vector<Bdd> partitions_;            // T_i(s, x, n_i)
+  std::vector<std::vector<BddVar>> part_next_;  // next vars constrained by T_i
+  std::vector<BddVar> rename_next_to_state_;    // var map
+  std::vector<BddVar> rename_state_to_next_;
+};
+
+}  // namespace rfn

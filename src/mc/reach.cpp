@@ -1,0 +1,70 @@
+#include "mc/reach.hpp"
+
+#include "util/log.hpp"
+
+namespace rfn {
+
+const char* reach_status_name(ReachStatus s) {
+  switch (s) {
+    case ReachStatus::Proved: return "proved";
+    case ReachStatus::BadReachable: return "bad-reachable";
+    case ReachStatus::ResourceOut: return "resource-out";
+  }
+  return "?";
+}
+
+ReachResult forward_reach(ImageComputer& img, const Bdd& init, const Bdd& bad,
+                          const ReachOptions& opt) {
+  BddMgr& mgr = img.encoder().mgr();
+  const Deadline deadline(opt.time_limit_s);
+  ReachResult res;
+  if (img.aborted() || init.is_null() || bad.is_null()) {
+    res.status = ReachStatus::ResourceOut;
+    return res;
+  }
+  res.rings.push_back(init);
+  res.reached = init;
+
+  if (init.intersects(bad)) {
+    res.status = ReachStatus::BadReachable;
+    res.seconds = deadline.elapsed_seconds();
+    return res;
+  }
+
+  Bdd frontier = init;
+  while (res.steps < opt.max_steps) {
+    if (deadline.expired() || mgr.live_nodes() > opt.max_live_nodes) {
+      res.status = ReachStatus::ResourceOut;
+      res.seconds = deadline.elapsed_seconds();
+      return res;
+    }
+    const Bdd img_states = img.post_image(frontier);
+    const Bdd fresh = img_states.diff(res.reached);
+    if (fresh.is_null()) {  // node budget exhausted mid-step
+      res.status = ReachStatus::ResourceOut;
+      res.seconds = deadline.elapsed_seconds();
+      return res;
+    }
+    ++res.steps;
+    if (fresh.is_false()) {
+      res.status = ReachStatus::Proved;
+      res.seconds = deadline.elapsed_seconds();
+      return res;
+    }
+    res.reached |= fresh;
+    res.rings.push_back(fresh);
+    RFN_DEBUG("reach step %zu: reached nodes=%zu mgr=%zu", res.steps,
+              mgr.node_count(res.reached), mgr.live_nodes());
+    if (fresh.intersects(bad)) {
+      res.status = ReachStatus::BadReachable;
+      res.seconds = deadline.elapsed_seconds();
+      return res;
+    }
+    frontier = fresh;
+  }
+  res.status = ReachStatus::ResourceOut;
+  res.seconds = deadline.elapsed_seconds();
+  return res;
+}
+
+}  // namespace rfn

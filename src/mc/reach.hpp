@@ -1,0 +1,46 @@
+#pragma once
+// Forward reachability: fixpoint with onion rings and on-the-fly target
+// detection (Step 2 of RFN).
+
+#include <vector>
+
+#include "mc/image.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rfn {
+
+struct ReachOptions {
+  /// Wall-clock budget in seconds; negative = unlimited.
+  double time_limit_s = -1.0;
+  /// Abort when the manager's live node count exceeds this.
+  size_t max_live_nodes = 4u << 20;
+  /// Abort after this many image steps.
+  size_t max_steps = 1u << 20;
+};
+
+enum class ReachStatus {
+  Proved,        // fixpoint reached, no target state reachable
+  BadReachable,  // some target state reached at step `steps`
+  ResourceOut,   // time / node / step budget exhausted
+};
+
+const char* reach_status_name(ReachStatus s);
+
+struct ReachResult {
+  ReachStatus status = ReachStatus::ResourceOut;
+  /// Onion rings: rings[i] = states first reached at exactly step i
+  /// (rings[0] = initial set). Every state in rings[i] (i>0) has a
+  /// predecessor in rings[i-1], which is what backward trace extraction
+  /// relies on. On BadReachable the last ring intersects `bad`.
+  std::vector<Bdd> rings;
+  /// Union of all rings (the fixpoint when status == Proved).
+  Bdd reached;
+  size_t steps = 0;
+  double seconds = 0.0;
+};
+
+/// BFS forward fixpoint from `init`, stopping early if `bad` is hit.
+ReachResult forward_reach(ImageComputer& img, const Bdd& init, const Bdd& bad,
+                          const ReachOptions& opt = {});
+
+}  // namespace rfn

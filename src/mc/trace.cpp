@@ -1,0 +1,51 @@
+#include "mc/trace.hpp"
+
+namespace rfn {
+
+Trace extract_trace_bdd(ImageComputer& img, const ReachResult& reach, const Bdd& bad) {
+  Encoder& enc = img.encoder();
+  BddMgr& mgr = enc.mgr();
+  RFN_CHECK(reach.status == ReachStatus::BadReachable, "no abstract error trace");
+
+  // Find the earliest ring that hits the target set.
+  size_t k = 0;
+  while (k < reach.rings.size() && !reach.rings[k].intersects(bad)) ++k;
+  RFN_CHECK(k < reach.rings.size(), "rings do not intersect bad");
+
+  Trace trace;
+  trace.steps.resize(k + 1);
+
+  // Fattest cube in the intersection at cycle k (paper: "least number of
+  // assignments").
+  Bdd target_set = reach.rings[k] & bad;
+  std::vector<BddLit> lits = mgr.shortest_cube(target_set);
+  {
+    Cube state, inputs;
+    std::vector<BddLit> other;
+    enc.split_lits(lits, state, inputs, other);
+    RFN_CHECK(other.empty(), "target cube mentions non-state vars");
+    RFN_CHECK(inputs.empty(), "target cube mentions inputs");
+    trace.steps[k].state = state;
+  }
+
+  // Walk backward: at each step intersect the pre-image (with inputs kept)
+  // with the previous ring and pick a fat cube.
+  Cube next_state = trace.steps[k].state;
+  for (size_t i = k; i-- > 0;) {
+    const Bdd target_cube = enc.cube_bdd(next_state);
+    const Bdd pre = img.pre_image_with_inputs(target_cube);
+    const Bdd step_set = pre & reach.rings[i];
+    RFN_CHECK(!step_set.is_false(), "trace extraction dead-ends at step %zu", i);
+    lits = mgr.shortest_cube(step_set);
+    Cube state, inputs;
+    std::vector<BddLit> other;
+    enc.split_lits(lits, state, inputs, other);
+    RFN_CHECK(other.empty(), "pre-image cube mentions unknown vars");
+    trace.steps[i].state = state;
+    trace.steps[i].inputs = inputs;
+    next_state = state;
+  }
+  return trace;
+}
+
+}  // namespace rfn

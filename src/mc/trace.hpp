@@ -1,0 +1,17 @@
+#pragma once
+// Pure-BDD error-trace extraction — the "standard method" of paper Section
+// 2.2 that pre-images directly on the abstract model. Works when the model
+// has few primary inputs; the hybrid engine (core/hybrid_trace.hpp) replaces
+// it when it does not. Kept as a baseline for the ablation bench.
+
+#include "mc/reach.hpp"
+
+namespace rfn {
+
+/// Extracts an error trace from the onion rings of a BadReachable
+/// reachability result: walks fattest cubes backward through
+/// pre_image_with_inputs. The returned trace's state/input cubes are over
+/// the encoder's netlist signals; the final state satisfies `bad`.
+Trace extract_trace_bdd(ImageComputer& img, const ReachResult& reach, const Bdd& bad);
+
+}  // namespace rfn

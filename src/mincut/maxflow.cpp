@@ -1,0 +1,86 @@
+#include "mincut/maxflow.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/log.hpp"
+
+namespace rfn {
+
+MaxFlow::MaxFlow(size_t num_nodes) : graph_(num_nodes) {}
+
+size_t MaxFlow::add_edge(size_t u, size_t v, int64_t capacity) {
+  RFN_CHECK(u < graph_.size() && v < graph_.size(), "edge endpoint out of range");
+  // Paired-edge convention: edge 2k is the forward edge, 2k+1 its reverse;
+  // the reverse of edge e is always e^1.
+  const size_t idx = edges_.size();
+  graph_[u].push_back(idx);
+  edges_.push_back({v, capacity});
+  graph_[v].push_back(idx + 1);
+  edges_.push_back({u, 0});
+  return idx;
+}
+
+bool MaxFlow::bfs(size_t s, size_t t) {
+  level_.assign(graph_.size(), -1);
+  std::deque<size_t> q{s};
+  level_[s] = 0;
+  while (!q.empty()) {
+    const size_t u = q.front();
+    q.pop_front();
+    for (size_t ei : graph_[u]) {
+      const Edge& e = edges_[ei];
+      if (e.cap > 0 && level_[e.to] < 0) {
+        level_[e.to] = level_[u] + 1;
+        q.push_back(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+int64_t MaxFlow::dfs(size_t u, size_t t, int64_t pushed) {
+  if (u == t) return pushed;
+  for (size_t& i = iter_[u]; i < graph_[u].size(); ++i) {
+    const size_t ei = graph_[u][i];
+    Edge& e = edges_[ei];
+    if (e.cap <= 0 || level_[e.to] != level_[u] + 1) continue;
+    const int64_t got = dfs(e.to, t, std::min(pushed, e.cap));
+    if (got > 0) {
+      e.cap -= got;
+      edges_[ei ^ 1].cap += got;
+      return got;
+    }
+  }
+  return 0;
+}
+
+int64_t MaxFlow::run(size_t s, size_t t) {
+  RFN_CHECK(s != t, "maxflow source == sink");
+  int64_t flow = 0;
+  while (bfs(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    while (int64_t pushed = dfs(s, t, kInfCap)) flow += pushed;
+  }
+  return flow;
+}
+
+std::vector<bool> MaxFlow::min_cut_source_side(size_t s) const {
+  std::vector<bool> reach(graph_.size(), false);
+  std::deque<size_t> q{s};
+  reach[s] = true;
+  while (!q.empty()) {
+    const size_t u = q.front();
+    q.pop_front();
+    for (size_t ei : graph_[u]) {
+      const Edge& e = edges_[ei];
+      if (e.cap > 0 && !reach[e.to]) {
+        reach[e.to] = true;
+        q.push_back(e.to);
+      }
+    }
+  }
+  return reach;
+}
+
+}  // namespace rfn

@@ -1,0 +1,50 @@
+#pragma once
+// Dinic max-flow on a unit/infinite-capacity network.
+//
+// Used to compute minimum vertex cuts on netlist DAGs (node-splitting
+// reduction). Capacities are small integers; kInfCap marks uncuttable edges.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rfn {
+
+class MaxFlow {
+ public:
+  static constexpr int64_t kInfCap = INT64_MAX / 4;
+
+  explicit MaxFlow(size_t num_nodes);
+
+  /// Adds a directed edge u->v with the given capacity. Returns the edge
+  /// index (for querying flow/saturation later).
+  size_t add_edge(size_t u, size_t v, int64_t capacity);
+
+  /// Computes the maximum flow from s to t.
+  int64_t run(size_t s, size_t t);
+
+  /// After run(): residual capacity of an edge.
+  int64_t residual(size_t edge) const { return edges_[edge].cap; }
+
+  /// After run(): the set of nodes reachable from s in the residual graph
+  /// (the source side of a minimum cut).
+  std::vector<bool> min_cut_source_side(size_t s) const;
+
+  size_t num_nodes() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    size_t to;
+    int64_t cap;
+  };
+
+  bool bfs(size_t s, size_t t);
+  int64_t dfs(size_t u, size_t t, int64_t pushed);
+
+  std::vector<std::vector<size_t>> graph_;  // node -> edge indices
+  std::vector<Edge> edges_;
+  std::vector<int> level_;
+  std::vector<size_t> iter_;
+};
+
+}  // namespace rfn

@@ -1,0 +1,117 @@
+#include "mincut/mincut.hpp"
+
+#include <algorithm>
+
+#include "mincut/maxflow.hpp"
+#include "netlist/analysis.hpp"
+
+namespace rfn {
+
+std::vector<bool> free_cut_design(const Netlist& n) {
+  // Gates in the transitive fanin of the registers' data inputs...
+  std::vector<GateId> data_roots;
+  data_roots.reserve(n.num_regs());
+  for (GateId r : n.regs()) data_roots.push_back(n.reg_data(r));
+  const std::vector<bool> fanin = comb_fanin_cone(n, data_roots);
+
+  // ...intersected with the transitive fanout of the register outputs.
+  std::vector<bool> fanout(n.size(), false);
+  const auto fanouts = fanout_lists(n);
+  std::vector<GateId> stack;
+  for (GateId r : n.regs()) {
+    fanout[r] = true;
+    stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (GateId fo : fanouts[g]) {
+      if (!n.is_comb(fo) || fanout[fo]) continue;  // stop at registers
+      fanout[fo] = true;
+      stack.push_back(fo);
+    }
+  }
+
+  std::vector<bool> fc(n.size(), false);
+  for (GateId g = 0; g < n.size(); ++g)
+    fc[g] = n.is_reg(g) || (n.is_comb(g) && fanin[g] && fanout[g]);
+  return fc;
+}
+
+MinCutResult compute_mincut_design(const Netlist& n) {
+  MinCutResult result;
+
+  std::vector<GateId> data_roots;
+  for (GateId r : n.regs()) data_roots.push_back(n.reg_data(r));
+  const std::vector<bool> cone = comb_fanin_cone(n, data_roots);
+  const std::vector<bool> fc = free_cut_design(n);
+
+  for (GateId i : n.inputs())
+    if (cone[i]) ++result.cone_inputs;
+
+  // Flow network. Node-splitting: every cuttable signal v (a primary input
+  // or a non-FC combinational gate in the cone) becomes v_in -> v_out with
+  // capacity 1; wires are infinite. FC members are merged into the sink.
+  //   node 2g   = g_in
+  //   node 2g+1 = g_out
+  //   source S, sink T appended at the end.
+  const size_t S = 2 * n.size();
+  const size_t T = S + 1;
+  MaxFlow flow(T + 1);
+  auto g_in = [](GateId g) { return static_cast<size_t>(2 * g); };
+  auto g_out = [](GateId g) { return static_cast<size_t>(2 * g + 1); };
+
+  std::vector<bool> in_network(n.size(), false);
+  for (GateId g = 0; g < n.size(); ++g) {
+    if (!cone[g] || fc[g]) continue;  // FC handled via sink edges
+    if (n.is_input(g)) {
+      in_network[g] = true;
+      flow.add_edge(S, g_in(g), MaxFlow::kInfCap);
+      flow.add_edge(g_in(g), g_out(g), 1);
+    } else if (n.is_comb(g)) {
+      in_network[g] = true;
+      flow.add_edge(g_in(g), g_out(g), 1);
+    }
+    // Constants are ignored: they are freely available in MC.
+  }
+  // Wires. An edge from a cuttable signal u into gate g: if g is cuttable,
+  // u_out -> g_in; if g is in FC (or is a register data input), u_out -> T.
+  for (GateId g = 0; g < n.size(); ++g) {
+    if (!cone[g] && !n.is_reg(g)) continue;
+    if (n.is_reg(g)) {
+      const GateId u = n.reg_data(g);
+      if (in_network[u]) flow.add_edge(g_out(u), T, MaxFlow::kInfCap);
+      continue;
+    }
+    if (!n.is_comb(g)) continue;
+    for (GateId u : n.fanins(g)) {
+      if (!in_network[u]) continue;  // FC members, registers, constants
+      if (fc[g]) {
+        flow.add_edge(g_out(u), T, MaxFlow::kInfCap);
+      } else if (in_network[g]) {
+        flow.add_edge(g_out(u), g_in(g), MaxFlow::kInfCap);
+      }
+    }
+  }
+
+  result.cut_size = static_cast<size_t>(flow.run(S, T));
+
+  // Cut vertices: in-node on the source side, out-node on the sink side.
+  const std::vector<bool> reach = flow.min_cut_source_side(S);
+  for (GateId g = 0; g < n.size(); ++g) {
+    if (!in_network[g]) continue;
+    if (reach[g_in(g)] && !reach[g_out(g)]) result.cut_signals.push_back(g);
+  }
+  RFN_CHECK(result.cut_signals.size() == result.cut_size,
+            "cut reconstruction mismatch: %zu signals for flow %zu",
+            result.cut_signals.size(), result.cut_size);
+
+  // Seed the extraction with the registers themselves as well: a register
+  // whose data input is itself a cut signal would otherwise be dropped.
+  std::vector<GateId> roots = data_roots;
+  for (GateId r : n.regs()) roots.push_back(r);
+  result.mc = extract_with_cut(n, roots, result.cut_signals);
+  return result;
+}
+
+}  // namespace rfn

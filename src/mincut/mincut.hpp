@@ -1,0 +1,45 @@
+#pragma once
+// Min-cut design computation (paper Section 2.2, following Ho et al. [8]).
+//
+// Given an abstract model N, compute:
+//   * the free-cut design FC: the registers of N plus the gates lying in the
+//     intersection of the transitive fanin and the transitive fanout of the
+//     registers;
+//   * the min-cut design MC: the subcircuit of N that contains FC and has
+//     the fewest primary inputs. Its inputs are internal signals of N (the
+//     "cut"), so pre-image computation on MC sees a couple of orders of
+//     magnitude fewer input variables than on N itself.
+//
+// The minimization is a minimum vertex cut between N's primary inputs and
+// FC, solved by node-splitting max-flow.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/subcircuit.hpp"
+
+namespace rfn {
+
+struct MinCutResult {
+  /// MC as a subcircuit of N (old ids are N's ids). Its pseudo_inputs are
+  /// the cut signals plus any of N's own primary inputs that survived.
+  Subcircuit mc;
+  /// Cut signals in N ids (signals of N that became inputs of MC). A cube
+  /// mentioning any of these is a "min-cut cube"; one confined to N's
+  /// registers and primary inputs is a "no-cut cube".
+  std::vector<GateId> cut_signals;
+  /// Number of primary inputs N itself has in the registers' fanin cone —
+  /// what pre-image would face without the cut.
+  size_t cone_inputs = 0;
+  /// Max-flow value == number of MC primary inputs that are true cuts.
+  size_t cut_size = 0;
+};
+
+/// Gates of the free-cut design of `n` (membership mask; registers
+/// included).
+std::vector<bool> free_cut_design(const Netlist& n);
+
+/// Computes the min-cut design of abstract model `n`.
+MinCutResult compute_mincut_design(const Netlist& n);
+
+}  // namespace rfn

@@ -1,0 +1,166 @@
+#include "netlist/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace rfn {
+
+std::vector<GateId> topo_order(const Netlist& n) {
+  std::vector<GateId> order;
+  order.reserve(n.size());
+  std::vector<uint8_t> done(n.size(), 0);
+  // Sources first.
+  for (GateId g = 0; g < n.size(); ++g) {
+    if (!n.is_comb(g)) {
+      order.push_back(g);
+      done[g] = 1;
+    }
+  }
+  // Iterative post-order DFS over combinational gates.
+  std::vector<std::pair<GateId, size_t>> stack;
+  for (GateId root = 0; root < n.size(); ++root) {
+    if (done[root]) continue;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [g, next] = stack.back();
+      if (done[g]) {
+        stack.pop_back();
+        continue;
+      }
+      if (next < n.fanins(g).size()) {
+        const GateId f = n.fanins(g)[next++];
+        if (!done[f]) stack.emplace_back(f, 0);
+      } else {
+        done[g] = 1;
+        order.push_back(g);
+        stack.pop_back();
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<std::vector<GateId>> fanout_lists(const Netlist& n) {
+  std::vector<std::vector<GateId>> fanouts(n.size());
+  for (GateId g = 0; g < n.size(); ++g)
+    for (GateId f : n.fanins(g)) fanouts[f].push_back(g);
+  return fanouts;
+}
+
+std::vector<bool> comb_fanin_cone(const Netlist& n, const std::vector<GateId>& roots) {
+  std::vector<bool> mask(n.size(), false);
+  std::vector<GateId> stack;
+  for (GateId r : roots) {
+    if (!mask[r]) {
+      mask[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    if (!n.is_comb(g)) continue;  // stop at registers / inputs / constants
+    for (GateId f : n.fanins(g)) {
+      if (!mask[f]) {
+        mask[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<bool> coi(const Netlist& n, const std::vector<GateId>& roots) {
+  std::vector<bool> mask(n.size(), false);
+  std::vector<GateId> stack;
+  for (GateId r : roots) {
+    if (!mask[r]) {
+      mask[r] = true;
+      stack.push_back(r);
+    }
+  }
+  while (!stack.empty()) {
+    const GateId g = stack.back();
+    stack.pop_back();
+    for (GateId f : n.fanins(g)) {  // registers traversed through their data input
+      if (f != kNullGate && !mask[f]) {
+        mask[f] = true;
+        stack.push_back(f);
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<GateId> coi_registers(const Netlist& n, const std::vector<GateId>& roots) {
+  const std::vector<bool> mask = coi(n, roots);
+  std::vector<GateId> regs;
+  for (GateId r : n.regs())
+    if (mask[r]) regs.push_back(r);
+  return regs;
+}
+
+std::pair<size_t, size_t> count_regs_gates(const Netlist& n, const std::vector<bool>& mask) {
+  size_t regs = 0, gates = 0;
+  for (GateId g = 0; g < n.size(); ++g) {
+    if (!mask[g]) continue;
+    if (n.is_reg(g))
+      ++regs;
+    else if (n.is_comb(g))
+      ++gates;
+  }
+  return {regs, gates};
+}
+
+std::vector<GateId> support_registers(const Netlist& n, const std::vector<GateId>& roots) {
+  const std::vector<bool> cone = comb_fanin_cone(n, roots);
+  std::vector<GateId> regs;
+  for (GateId r : n.regs())
+    if (cone[r]) regs.push_back(r);
+  return regs;
+}
+
+std::vector<GateId> support_inputs(const Netlist& n, const std::vector<GateId>& roots) {
+  const std::vector<bool> cone = comb_fanin_cone(n, roots);
+  std::vector<GateId> ins;
+  for (GateId i : n.inputs())
+    if (cone[i]) ins.push_back(i);
+  return ins;
+}
+
+std::vector<int> register_bfs_distance(const Netlist& n, const std::vector<GateId>& roots) {
+  std::vector<int> dist(n.size(), -1);
+  std::deque<GateId> frontier;
+  for (GateId r : support_registers(n, roots)) {
+    dist[r] = 1;
+    frontier.push_back(r);
+  }
+  while (!frontier.empty()) {
+    const GateId r = frontier.front();
+    frontier.pop_front();
+    const GateId data = n.reg_data(r);
+    if (data == kNullGate) continue;
+    for (GateId next : support_registers(n, {data})) {
+      if (dist[next] == -1) {
+        dist[next] = dist[r] + 1;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<GateId> closest_registers(const Netlist& n, const std::vector<GateId>& roots,
+                                      size_t k) {
+  const std::vector<int> dist = register_bfs_distance(n, roots);
+  std::vector<GateId> regs;
+  for (GateId r : n.regs())
+    if (dist[r] >= 0) regs.push_back(r);
+  std::sort(regs.begin(), regs.end(), [&](GateId a, GateId b) {
+    return dist[a] != dist[b] ? dist[a] < dist[b] : a < b;
+  });
+  if (regs.size() > k) regs.resize(k);
+  return regs;
+}
+
+}  // namespace rfn

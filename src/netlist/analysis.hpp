@@ -1,0 +1,61 @@
+#pragma once
+// Structural analyses over netlists: topological order, fanout lists,
+// transitive fanin, cone-of-influence, and register BFS distances.
+//
+// These are the graph primitives behind abstract-model generation (Step 1 of
+// RFN), COI reduction for the plain-MC baseline, and the BFS abstraction
+// baseline of Ho et al. [8].
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn {
+
+/// Topological order of all cells: inputs, constants and registers first
+/// (they are sources for combinational evaluation), then combinational gates
+/// in dependency order. Evaluating gates in this order visits every fanin
+/// before its fanout.
+std::vector<GateId> topo_order(const Netlist& n);
+
+/// Fanout adjacency: fanouts[g] lists every cell that has g as a fanin
+/// (register data inputs included).
+std::vector<std::vector<GateId>> fanout_lists(const Netlist& n);
+
+/// Transitive fanin of `roots` *through combinational gates only*: traversal
+/// stops at (and includes) registers, primary inputs, and constants.
+/// Returns a membership mask indexed by GateId. This is the paper's
+/// "transitive fanins up to register outputs".
+std::vector<bool> comb_fanin_cone(const Netlist& n, const std::vector<GateId>& roots);
+
+/// Cone of influence of `roots`: all cells that can affect the roots through
+/// any number of register boundaries. Returns a membership mask.
+std::vector<bool> coi(const Netlist& n, const std::vector<GateId>& roots);
+
+/// Registers contained in the COI of `roots`.
+std::vector<GateId> coi_registers(const Netlist& n, const std::vector<GateId>& roots);
+
+/// Counts (registers, combinational gates) inside a membership mask.
+std::pair<size_t, size_t> count_regs_gates(const Netlist& n, const std::vector<bool>& mask);
+
+/// Registers whose outputs feed the combinational cone of `roots` directly,
+/// i.e. the support registers of the next-cycle functions of the roots.
+std::vector<GateId> support_registers(const Netlist& n, const std::vector<GateId>& roots);
+
+/// Primary inputs in the combinational cone of `roots`.
+std::vector<GateId> support_inputs(const Netlist& n, const std::vector<GateId>& roots);
+
+/// BFS register distance from `roots` (paper [8]'s "closest k registers"):
+/// distance 1 = registers in the combinational cone of the roots; distance
+/// d+1 = registers in the combinational cone of the data inputs of
+/// distance-<=d registers. Returns distances indexed by GateId
+/// (only meaningful for registers; -1 when unreachable).
+std::vector<int> register_bfs_distance(const Netlist& n, const std::vector<GateId>& roots);
+
+/// The `k` registers closest to `roots` per register_bfs_distance, ties
+/// broken by GateId for determinism. May return fewer than k if the COI is
+/// smaller.
+std::vector<GateId> closest_registers(const Netlist& n, const std::vector<GateId>& roots,
+                                      size_t k);
+
+}  // namespace rfn

@@ -1,0 +1,271 @@
+#include "netlist/blif.hpp"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "netlist/analysis.hpp"
+#include "netlist/builder.hpp"
+#include "util/log.hpp"
+
+namespace rfn {
+
+namespace {
+
+std::string blif_name(const Netlist& n, GateId g) {
+  if (n.has_name(g)) {
+    // BLIF tokens are whitespace-delimited; our names never contain spaces.
+    return n.name(g);
+  }
+  return "n" + std::to_string(g);
+}
+
+}  // namespace
+
+std::string write_blif(const Netlist& n, const std::string& model_name) {
+  std::ostringstream out;
+  out << ".model " << model_name << "\n";
+
+  out << ".inputs";
+  for (GateId i : n.inputs()) out << " " << blif_name(n, i);
+  out << "\n";
+
+  // Outputs are exported under their *output* names; when that differs from
+  // the driving gate's own name, a buffer cover aliases the two.
+  std::vector<std::pair<std::string, std::string>> aliases;  // gate -> output
+  out << ".outputs";
+  if (n.outputs().empty()) {
+    // BLIF requires outputs; export every register as an implicit observable
+    // when the design declares none.
+    for (GateId r : n.regs()) out << " " << blif_name(n, r);
+  } else {
+    for (const auto& [name, g] : n.outputs()) {
+      out << " " << name;
+      if (name != blif_name(n, g)) aliases.emplace_back(blif_name(n, g), name);
+    }
+  }
+  out << "\n";
+  for (const auto& [gate, output] : aliases)
+    out << ".names " << gate << " " << output << "\n1 1\n";
+
+  for (GateId r : n.regs()) {
+    // .latch <data-in> <output> [<type> <control>] <init>
+    const char init = n.reg_init(r) == Tri::F ? '0' : (n.reg_init(r) == Tri::T ? '1' : '3');
+    out << ".latch " << blif_name(n, n.reg_data(r)) << " " << blif_name(n, r) << " re clk "
+        << init << "\n";
+  }
+
+  for (GateId g = 0; g < n.size(); ++g) {
+    if (!n.is_comb(g) && !n.is_const(g)) continue;
+    out << ".names";
+    for (GateId f : n.fanins(g)) out << " " << blif_name(n, f);
+    out << " " << blif_name(n, g) << "\n";
+    const size_t k = n.fanins(g).size();
+    switch (n.type(g)) {
+      case GateType::Const0:
+        break;  // empty ON-set
+      case GateType::Const1:
+        out << "1\n";
+        break;
+      case GateType::Buf:
+        out << "1 1\n";
+        break;
+      case GateType::Not:
+        out << "0 1\n";
+        break;
+      case GateType::And:
+        out << std::string(k, '1') << " 1\n";
+        break;
+      case GateType::Nand:
+        for (size_t i = 0; i < k; ++i) {
+          std::string row(k, '-');
+          row[i] = '0';
+          out << row << " 1\n";
+        }
+        break;
+      case GateType::Or:
+        for (size_t i = 0; i < k; ++i) {
+          std::string row(k, '-');
+          row[i] = '1';
+          out << row << " 1\n";
+        }
+        break;
+      case GateType::Nor:
+        out << std::string(k, '0') << " 1\n";
+        break;
+      case GateType::Xor:
+        out << "01 1\n10 1\n";
+        break;
+      case GateType::Xnor:
+        out << "00 1\n11 1\n";
+        break;
+      case GateType::Mux:
+        // fanins: sel d0 d1; ON: sel=0 & d0, sel=1 & d1.
+        out << "01- 1\n1-1 1\n";
+        break;
+      case GateType::Input:
+      case GateType::Reg:
+        break;
+    }
+  }
+  out << ".end\n";
+  return out.str();
+}
+
+namespace {
+
+struct BlifCover {
+  std::vector<std::string> fanins;
+  std::string output;
+  std::vector<std::string> rows;  // "<input pattern> <output bit>"
+  int line = 0;
+};
+
+}  // namespace
+
+Netlist read_blif(const std::string& text) {
+  // Tokenize into logical lines (handling '\' continuations and comments).
+  std::vector<std::pair<int, std::string>> lines;
+  {
+    std::istringstream in(text);
+    std::string raw;
+    int lineno = 0;
+    std::string pending;
+    int pending_line = 0;
+    while (std::getline(in, raw)) {
+      ++lineno;
+      const size_t hash = raw.find('#');
+      if (hash != std::string::npos) raw.resize(hash);
+      // Trim.
+      while (!raw.empty() && (raw.back() == '\r' || raw.back() == ' ' || raw.back() == '\t'))
+        raw.pop_back();
+      size_t start = raw.find_first_not_of(" \t");
+      if (start == std::string::npos) continue;
+      std::string body = raw.substr(start);
+      const bool continued = !body.empty() && body.back() == '\\';
+      if (continued) body.pop_back();
+      if (pending.empty()) pending_line = lineno;
+      pending += body + (continued ? " " : "");
+      if (!continued) {
+        lines.emplace_back(pending_line, pending);
+        pending.clear();
+      }
+    }
+    RFN_CHECK(pending.empty(), "BLIF ends inside a continued line");
+  }
+
+  auto split = [](const std::string& s) {
+    std::vector<std::string> toks;
+    std::istringstream in(s);
+    std::string t;
+    while (in >> t) toks.push_back(t);
+    return toks;
+  };
+
+  std::vector<std::string> inputs, outputs;
+  struct Latch {
+    std::string data, out;
+    Tri init;
+    int line;
+  };
+  std::vector<Latch> latches;
+  std::vector<BlifCover> covers;
+
+  // Pass 1: structure.
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const auto& [lineno, line] = lines[li];
+    const std::vector<std::string> toks = split(line);
+    if (toks.empty()) continue;
+    if (toks[0] == ".model" || toks[0] == ".end") continue;
+    if (toks[0] == ".inputs") {
+      inputs.insert(inputs.end(), toks.begin() + 1, toks.end());
+    } else if (toks[0] == ".outputs") {
+      outputs.insert(outputs.end(), toks.begin() + 1, toks.end());
+    } else if (toks[0] == ".latch") {
+      RFN_CHECK(toks.size() >= 3, "line %d: malformed .latch", lineno);
+      Latch l;
+      l.data = toks[1];
+      l.out = toks[2];
+      l.line = lineno;
+      // Optional "<type> <control>" pair before the init value.
+      const std::string init_tok = toks.size() >= 4 ? toks.back() : "3";
+      l.init = init_tok == "0" ? Tri::F : (init_tok == "1" ? Tri::T : Tri::X);
+      latches.push_back(std::move(l));
+    } else if (toks[0] == ".names") {
+      BlifCover c;
+      c.line = lineno;
+      RFN_CHECK(toks.size() >= 2, "line %d: malformed .names", lineno);
+      c.output = toks.back();
+      c.fanins.assign(toks.begin() + 1, toks.end() - 1);
+      // Consume the cover rows that follow.
+      while (li + 1 < lines.size() && lines[li + 1].second[0] != '.') {
+        c.rows.push_back(lines[++li].second);
+      }
+      covers.push_back(std::move(c));
+    } else {
+      fatal(detail::format("line %d: unsupported BLIF construct '%s'", lineno,
+                           toks[0].c_str()));
+    }
+  }
+
+  // Pass 2: build. Latch outputs and inputs are sources; covers are built
+  // on demand (recursively) so declaration order does not matter.
+  NetBuilder b;
+  std::map<std::string, GateId> sig;
+  std::map<std::string, const BlifCover*> cover_of;
+  for (const BlifCover& c : covers) {
+    RFN_CHECK(cover_of.emplace(c.output, &c).second, "line %d: '%s' multiply defined",
+              c.line, c.output.c_str());
+  }
+  for (const std::string& name : inputs) sig[name] = b.input(name);
+  for (const Latch& l : latches) {
+    RFN_CHECK(sig.find(l.out) == sig.end(), "line %d: latch output redefined", l.line);
+    sig[l.out] = b.reg(l.out, l.init);
+  }
+
+  std::set<std::string> resolving;
+  auto resolve = [&](auto&& self, const std::string& name) -> GateId {
+    const auto it = sig.find(name);
+    if (it != sig.end()) return it->second;
+    const auto cit = cover_of.find(name);
+    RFN_CHECK(cit != cover_of.end(), "signal '%s' has no driver", name.c_str());
+    RFN_CHECK(resolving.insert(name).second, "combinational cycle through '%s'",
+              name.c_str());
+    const BlifCover& c = *cit->second;
+    std::vector<GateId> fin;
+    fin.reserve(c.fanins.size());
+    for (const std::string& f : c.fanins) fin.push_back(self(self, f));
+    // ON-set cover -> OR of AND terms. Empty cover = const0; a row with an
+    // empty input pattern = const1.
+    GateId acc = b.constant(false);
+    for (const std::string& row : c.rows) {
+      const std::vector<std::string> parts = split(row);
+      RFN_CHECK(!parts.empty(), "line %d: empty cover row", c.line);
+      const std::string& out_bit = parts.back();
+      RFN_CHECK(out_bit == "1", "line %d: only ON-set covers supported", c.line);
+      const std::string pattern = parts.size() >= 2 ? parts[0] : "";
+      RFN_CHECK(pattern.size() == fin.size(), "line %d: pattern width mismatch",
+                c.line);
+      GateId term = b.constant(true);
+      for (size_t i = 0; i < pattern.size(); ++i) {
+        if (pattern[i] == '1')
+          term = b.and_(term, fin[i]);
+        else if (pattern[i] == '0')
+          term = b.and_(term, b.not_(fin[i]));
+        else
+          RFN_CHECK(pattern[i] == '-', "line %d: bad cover character '%c'", c.line,
+                    pattern[i]);
+      }
+      acc = b.or_(acc, term);
+    }
+    resolving.erase(name);
+    sig[name] = acc;
+    return acc;
+  };
+
+  for (const Latch& l : latches) b.set_next(sig.at(l.out), resolve(resolve, l.data));
+  for (const std::string& name : outputs) b.output(name, resolve(resolve, name));
+  return b.take();
+}
+
+}  // namespace rfn

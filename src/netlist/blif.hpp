@@ -1,0 +1,25 @@
+#pragma once
+// BLIF (Berkeley Logic Interchange Format) reader/writer.
+//
+// The bridge to the rest of the open-source EDA world: designs can be
+// exported for inspection with ABC/SIS-family tools, and gate-level BLIF
+// produced elsewhere can be verified with RFN. The subset covers what
+// sequential gate-level designs need: one .model with .inputs/.outputs,
+// .latch (with initial values 0/1/2/3 — 2 and 3 map to an unconstrained
+// power-up), and single-output .names with ON-set covers.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn {
+
+/// Serializes the netlist as BLIF. Every cell gets a stable name (its
+/// design name when present, otherwise n<id>).
+std::string write_blif(const Netlist& n, const std::string& model_name = "rfn");
+
+/// Parses a BLIF model into a netlist. Covers become OR-of-AND networks;
+/// latches become registers. Aborts with a diagnostic on malformed input.
+Netlist read_blif(const std::string& text);
+
+}  // namespace rfn

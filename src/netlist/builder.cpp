@@ -1,0 +1,250 @@
+#include "netlist/builder.hpp"
+
+#include <algorithm>
+
+namespace rfn {
+
+Netlist NetBuilder::take() {
+  n_.check();
+  strash_.clear();
+  const0_ = const1_ = kNullGate;
+  return std::move(n_);
+}
+
+GateId NetBuilder::input(const std::string& name) {
+  const GateId g = n_.add(GateType::Input);
+  if (!name.empty()) n_.set_name(g, name);
+  return g;
+}
+
+GateId NetBuilder::constant(bool value) {
+  GateId& cache = value ? const1_ : const0_;
+  if (cache == kNullGate) cache = n_.add(value ? GateType::Const1 : GateType::Const0);
+  return cache;
+}
+
+GateId NetBuilder::reg(const std::string& name, Tri init) {
+  const GateId g = n_.add(GateType::Reg, {}, init);
+  if (!name.empty()) n_.set_name(g, name);
+  return g;
+}
+
+GateId NetBuilder::unary(GateType t, GateId a) {
+  // Constant folding and double-negation elimination.
+  if (t == GateType::Buf) return a;
+  if (t == GateType::Not) {
+    if (a == const0_ && const0_ != kNullGate) return constant(true);
+    if (a == const1_ && const1_ != kNullGate) return constant(false);
+    if (n_.type(a) == GateType::Not) return n_.fanins(a)[0];
+  }
+  const Key key{t, a, kNullGate, kNullGate};
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+  const GateId g = n_.add(t, {a});
+  strash_.emplace(key, g);
+  return g;
+}
+
+GateId NetBuilder::binary(GateType t, GateId a, GateId b) {
+  const bool commutative = t != GateType::Mux;
+  if (commutative && a > b) std::swap(a, b);
+  // Constant and trivial-operand folding for the common connectives.
+  const bool a0 = a == const0_ && const0_ != kNullGate;
+  const bool a1 = a == const1_ && const1_ != kNullGate;
+  const bool b0 = b == const0_ && const0_ != kNullGate;
+  const bool b1 = b == const1_ && const1_ != kNullGate;
+  switch (t) {
+    case GateType::And:
+      if (a0 || b0) return constant(false);
+      if (a1) return b;
+      if (b1) return a;
+      if (a == b) return a;
+      break;
+    case GateType::Or:
+      if (a1 || b1) return constant(true);
+      if (a0) return b;
+      if (b0) return a;
+      if (a == b) return a;
+      break;
+    case GateType::Xor:
+      if (a0) return b;
+      if (b0) return a;
+      if (a1) return unary(GateType::Not, b);
+      if (b1) return unary(GateType::Not, a);
+      if (a == b) return constant(false);
+      break;
+    case GateType::Xnor:
+      if (a0) return unary(GateType::Not, b);
+      if (b0) return unary(GateType::Not, a);
+      if (a1) return b;
+      if (b1) return a;
+      if (a == b) return constant(true);
+      break;
+    case GateType::Nand:
+      return unary(GateType::Not, binary(GateType::And, a, b));
+    case GateType::Nor:
+      return unary(GateType::Not, binary(GateType::Or, a, b));
+    default:
+      break;
+  }
+  const Key key{t, a, b, kNullGate};
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+  const GateId g = n_.add(t, {a, b});
+  strash_.emplace(key, g);
+  return g;
+}
+
+GateId NetBuilder::buf(GateId a) { return unary(GateType::Buf, a); }
+GateId NetBuilder::not_(GateId a) { return unary(GateType::Not, a); }
+GateId NetBuilder::and_(GateId a, GateId b) { return binary(GateType::And, a, b); }
+GateId NetBuilder::or_(GateId a, GateId b) { return binary(GateType::Or, a, b); }
+GateId NetBuilder::nand_(GateId a, GateId b) { return binary(GateType::Nand, a, b); }
+GateId NetBuilder::nor_(GateId a, GateId b) { return binary(GateType::Nor, a, b); }
+GateId NetBuilder::xor_(GateId a, GateId b) { return binary(GateType::Xor, a, b); }
+GateId NetBuilder::xnor_(GateId a, GateId b) { return binary(GateType::Xnor, a, b); }
+
+GateId NetBuilder::mux(GateId sel, GateId d0, GateId d1) {
+  if (d0 == d1) return d0;
+  const bool s0 = sel == const0_ && const0_ != kNullGate;
+  const bool s1 = sel == const1_ && const1_ != kNullGate;
+  if (s0) return d0;
+  if (s1) return d1;
+  const Key key{GateType::Mux, sel, d0, d1};
+  const auto it = strash_.find(key);
+  if (it != strash_.end()) return it->second;
+  const GateId g = n_.add(GateType::Mux, {sel, d0, d1});
+  strash_.emplace(key, g);
+  return g;
+}
+
+GateId NetBuilder::and_n(const std::vector<GateId>& xs) {
+  RFN_CHECK(!xs.empty(), "and_n of empty list");
+  GateId acc = xs[0];
+  for (size_t i = 1; i < xs.size(); ++i) acc = and_(acc, xs[i]);
+  return acc;
+}
+
+GateId NetBuilder::or_n(const std::vector<GateId>& xs) {
+  RFN_CHECK(!xs.empty(), "or_n of empty list");
+  GateId acc = xs[0];
+  for (size_t i = 1; i < xs.size(); ++i) acc = or_(acc, xs[i]);
+  return acc;
+}
+
+Word NetBuilder::input_word(const std::string& name, size_t width) {
+  Word w(width);
+  for (size_t i = 0; i < width; ++i) w[i] = input(name + "[" + std::to_string(i) + "]");
+  return w;
+}
+
+Word NetBuilder::reg_word(const std::string& name, size_t width, uint64_t init) {
+  Word w(width);
+  for (size_t i = 0; i < width; ++i)
+    w[i] = reg(name + "[" + std::to_string(i) + "]", tri_of((init >> i) & 1));
+  return w;
+}
+
+void NetBuilder::set_next_word(const Word& regs, const Word& data) {
+  RFN_CHECK(regs.size() == data.size(), "width mismatch %zu vs %zu", regs.size(),
+            data.size());
+  for (size_t i = 0; i < regs.size(); ++i) set_next(regs[i], data[i]);
+}
+
+Word NetBuilder::constant_word(uint64_t value, size_t width) {
+  Word w(width);
+  for (size_t i = 0; i < width; ++i) w[i] = constant((value >> i) & 1);
+  return w;
+}
+
+Word NetBuilder::not_word(const Word& a) {
+  Word w(a.size());
+  for (size_t i = 0; i < a.size(); ++i) w[i] = not_(a[i]);
+  return w;
+}
+
+Word NetBuilder::and_word(const Word& a, const Word& b) {
+  RFN_CHECK(a.size() == b.size(), "width mismatch");
+  Word w(a.size());
+  for (size_t i = 0; i < a.size(); ++i) w[i] = and_(a[i], b[i]);
+  return w;
+}
+
+Word NetBuilder::or_word(const Word& a, const Word& b) {
+  RFN_CHECK(a.size() == b.size(), "width mismatch");
+  Word w(a.size());
+  for (size_t i = 0; i < a.size(); ++i) w[i] = or_(a[i], b[i]);
+  return w;
+}
+
+Word NetBuilder::xor_word(const Word& a, const Word& b) {
+  RFN_CHECK(a.size() == b.size(), "width mismatch");
+  Word w(a.size());
+  for (size_t i = 0; i < a.size(); ++i) w[i] = xor_(a[i], b[i]);
+  return w;
+}
+
+Word NetBuilder::mux_word(GateId sel, const Word& d0, const Word& d1) {
+  RFN_CHECK(d0.size() == d1.size(), "width mismatch");
+  Word w(d0.size());
+  for (size_t i = 0; i < d0.size(); ++i) w[i] = mux(sel, d0[i], d1[i]);
+  return w;
+}
+
+Word NetBuilder::add_word(const Word& a, const Word& b, GateId carry_in) {
+  RFN_CHECK(a.size() == b.size(), "width mismatch");
+  Word sum(a.size());
+  GateId carry = carry_in == kNullGate ? constant(false) : carry_in;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const GateId axb = xor_(a[i], b[i]);
+    sum[i] = xor_(axb, carry);
+    carry = or_(and_(a[i], b[i]), and_(axb, carry));
+  }
+  return sum;
+}
+
+Word NetBuilder::sub_word(const Word& a, const Word& b) {
+  // a - b == a + ~b + 1
+  return add_word(a, not_word(b), constant(true));
+}
+
+Word NetBuilder::inc_word(const Word& a) {
+  return add_word(a, constant_word(0, a.size()), constant(true));
+}
+
+Word NetBuilder::dec_word(const Word& a) {
+  return sub_word(a, constant_word(1, a.size()));
+}
+
+GateId NetBuilder::eq_word(const Word& a, const Word& b) {
+  RFN_CHECK(a.size() == b.size(), "width mismatch");
+  std::vector<GateId> bits(a.size());
+  for (size_t i = 0; i < a.size(); ++i) bits[i] = xnor_(a[i], b[i]);
+  return and_n(bits);
+}
+
+GateId NetBuilder::eq_const(const Word& a, uint64_t value) {
+  std::vector<GateId> bits(a.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    bits[i] = ((value >> i) & 1) ? a[i] : not_(a[i]);
+  return and_n(bits);
+}
+
+GateId NetBuilder::lt_word(const Word& a, const Word& b) {
+  RFN_CHECK(a.size() == b.size(), "width mismatch");
+  // MSB-first comparison chain: lt_i = (!a_i & b_i) | (a_i==b_i) & lt_{i-1}
+  GateId lt = constant(false);
+  for (size_t i = 0; i < a.size(); ++i) {
+    lt = or_(and_(not_(a[i]), b[i]), and_(xnor_(a[i], b[i]), lt));
+  }
+  return lt;
+}
+
+Word NetBuilder::decode(const Word& a) {
+  RFN_CHECK(a.size() <= 16, "decode of %zu-bit word", a.size());
+  Word out(size_t{1} << a.size());
+  for (size_t v = 0; v < out.size(); ++v) out[v] = eq_const(a, v);
+  return out;
+}
+
+}  // namespace rfn

@@ -1,0 +1,117 @@
+#pragma once
+// Fluent construction API for gate-level designs.
+//
+// The design generators (src/designs/) and tests build netlists through this
+// class. It layers two conveniences over Netlist::add:
+//   * bit-level helpers with constant folding and structural hashing of
+//     2-input gates, so generated designs do not balloon with duplicates;
+//   * word-level helpers (Word = LSB-first vector of signals) implementing
+//     the usual RTL datapath idioms: adders, comparators, muxes, counters.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn {
+
+/// LSB-first bundle of signals.
+using Word = std::vector<GateId>;
+
+class NetBuilder {
+ public:
+  NetBuilder() = default;
+
+  Netlist& netlist() { return n_; }
+  const Netlist& netlist() const { return n_; }
+  /// Finalizes: runs structural checks and moves the netlist out.
+  Netlist take();
+
+  // --- bit level ---
+
+  GateId input(const std::string& name);
+  GateId constant(bool value);
+  /// Creates a register with the given initial value; wire its next-state
+  /// input later with set_next.
+  GateId reg(const std::string& name, Tri init = Tri::F);
+  void set_next(GateId reg, GateId data) { n_.set_reg_data(reg, data); }
+
+  GateId buf(GateId a);
+  GateId not_(GateId a);
+  GateId and_(GateId a, GateId b);
+  GateId or_(GateId a, GateId b);
+  GateId nand_(GateId a, GateId b);
+  GateId nor_(GateId a, GateId b);
+  GateId xor_(GateId a, GateId b);
+  GateId xnor_(GateId a, GateId b);
+  /// sel ? d1 : d0
+  GateId mux(GateId sel, GateId d0, GateId d1);
+  GateId and_n(const std::vector<GateId>& xs);
+  GateId or_n(const std::vector<GateId>& xs);
+  /// a & !b
+  GateId and_not(GateId a, GateId b) { return and_(a, not_(b)); }
+  /// a -> b  ==  !a | b
+  GateId implies(GateId a, GateId b) { return or_(not_(a), b); }
+
+  void name(GateId g, const std::string& s) { n_.set_name(g, s); }
+  void output(const std::string& s, GateId g) { n_.add_output(s, g); }
+
+  // --- word level (LSB first) ---
+
+  Word input_word(const std::string& name, size_t width);
+  Word reg_word(const std::string& name, size_t width, uint64_t init = 0);
+  void set_next_word(const Word& regs, const Word& data);
+  Word constant_word(uint64_t value, size_t width);
+
+  Word not_word(const Word& a);
+  Word and_word(const Word& a, const Word& b);
+  Word or_word(const Word& a, const Word& b);
+  Word xor_word(const Word& a, const Word& b);
+  Word mux_word(GateId sel, const Word& d0, const Word& d1);
+
+  /// Ripple-carry a + b (+ carry_in); result truncated to a.size() bits.
+  Word add_word(const Word& a, const Word& b, GateId carry_in = kNullGate);
+  Word sub_word(const Word& a, const Word& b);
+  Word inc_word(const Word& a);
+  Word dec_word(const Word& a);
+
+  GateId eq_word(const Word& a, const Word& b);
+  GateId eq_const(const Word& a, uint64_t value);
+  /// Unsigned a < b.
+  GateId lt_word(const Word& a, const Word& b);
+  GateId le_word(const Word& a, const Word& b) { return not_(lt_word(b, a)); }
+
+  /// OR-reduction / AND-reduction.
+  GateId any(const Word& a) { return or_n(a); }
+  GateId all(const Word& a) { return and_n(a); }
+
+  /// One-hot decoder: out[i] = (a == i), for i in [0, 1<<a.size()).
+  Word decode(const Word& a);
+
+ private:
+  GateId binary(GateType t, GateId a, GateId b);
+  GateId unary(GateType t, GateId a);
+
+  Netlist n_;
+  GateId const0_ = kNullGate;
+  GateId const1_ = kNullGate;
+  // Structural hashing for 1-3 input gates: (type, fanins) -> gate.
+  struct Key {
+    GateType type;
+    GateId a, b, c;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      size_t h = static_cast<size_t>(k.type);
+      h = h * 1000003u ^ k.a;
+      h = h * 1000003u ^ k.b;
+      h = h * 1000003u ^ k.c;
+      return h;
+    }
+  };
+  std::unordered_map<Key, GateId, KeyHash> strash_;
+};
+
+}  // namespace rfn

@@ -1,0 +1,42 @@
+#include "netlist/writer.hpp"
+
+#include "util/log.hpp"
+
+namespace rfn {
+
+std::string to_dot(const Netlist& n) {
+  std::string out = "digraph netlist {\n  rankdir=LR;\n";
+  for (GateId g = 0; g < n.size(); ++g) {
+    std::string label = gate_type_name(n.type(g));
+    if (n.has_name(g)) label += "\\n" + n.name(g);
+    const char* shape = n.is_reg(g) ? "box" : (n.is_input(g) ? "invtriangle" : "ellipse");
+    out += "  g" + std::to_string(g) + " [label=\"" + label + "\", shape=" + shape + "];\n";
+  }
+  for (GateId g = 0; g < n.size(); ++g) {
+    for (GateId f : n.fanins(g)) {
+      out += "  g" + std::to_string(f) + " -> g" + std::to_string(g);
+      if (n.is_reg(g)) out += " [style=dashed]";
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string stats_line(const Netlist& n) {
+  return detail::format("inputs=%zu regs=%zu gates=%zu outputs=%zu", n.num_inputs(),
+                        n.num_regs(), n.num_gates(), n.outputs().size());
+}
+
+std::string trace_to_string(const Netlist& n, const Trace& t) {
+  std::string out;
+  for (size_t i = 0; i < t.steps.size(); ++i) {
+    out += detail::format("cycle %zu:\n", i + 1);
+    out += "  state  " + cube_to_string(n, t.steps[i].state) + "\n";
+    if (!t.steps[i].inputs.empty())
+      out += "  inputs " + cube_to_string(n, t.steps[i].inputs) + "\n";
+  }
+  return out;
+}
+
+}  // namespace rfn

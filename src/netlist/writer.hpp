@@ -1,0 +1,21 @@
+#pragma once
+// Diagnostics output: DOT export for small netlists and one-line design
+// statistics used in logs and EXPERIMENTS.md.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn {
+
+/// Graphviz DOT rendering. Intended for designs small enough to look at
+/// (tests, documentation); large designs render but are not useful.
+std::string to_dot(const Netlist& n);
+
+/// "inputs=3 regs=5 gates=17 outputs=2" summary string.
+std::string stats_line(const Netlist& n);
+
+/// Human-readable multi-line trace dump (cycle-by-cycle states and inputs).
+std::string trace_to_string(const Netlist& n, const Trace& t);
+
+}  // namespace rfn

@@ -1,0 +1,116 @@
+#pragma once
+// AST for the synthesizable Verilog subset.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rfn::rtlv {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  Const,      // value/width
+  Ident,      // name
+  Index,      // name[index]
+  Range,      // name[msb:lsb]
+  Unary,      // op operand        (~ ! & | ^ -)
+  Binary,     // lhs op rhs
+  Ternary,    // cond ? then : else
+  Concat,     // {a, b, ...} MSB-first
+};
+
+enum class UnOp { Not, LogNot, RedAnd, RedOr, RedXor, Neg };
+enum class BinOp {
+  And, Or, Xor, Xnor, LogAnd, LogOr,
+  Add, Sub, Eq, Ne, Lt, Le, Gt, Ge,
+};
+
+struct Expr {
+  ExprKind kind{};
+  // Const
+  uint64_t value = 0;
+  int width = -1;  // -1: unsized
+  // Ident / Index / Range
+  std::string name;
+  int index = 0;
+  int msb = 0, lsb = 0;
+  // Unary / Binary / Ternary / Concat
+  UnOp un_op{};
+  BinOp bin_op{};
+  ExprPtr a, b, c;
+  std::vector<ExprPtr> parts;
+  int line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind { NonBlockingAssign, If, Block, Case };
+
+struct Stmt {
+  StmtKind kind{};
+  // NonBlockingAssign: lhs (Ident/Index/Range) <= rhs
+  ExprPtr lhs, rhs;
+  // If
+  ExprPtr cond;
+  StmtPtr then_branch, else_branch;  // else may be null
+  // Block
+  std::vector<StmtPtr> stmts;
+  // Case: subject, one arm per case item (possibly several labels each),
+  // optional default arm.
+  ExprPtr subject;
+  struct CaseArm {
+    std::vector<uint64_t> labels;
+    StmtPtr body;
+  };
+  std::vector<CaseArm> arms;
+  StmtPtr default_arm;  // may be null
+  int line = 0;
+};
+
+struct NetDecl {
+  enum class Kind { Input, Output, Wire, Reg } kind{};
+  std::string name;
+  int msb = 0, lsb = 0;    // scalar: msb == lsb == 0 and width == 1
+  int width = 1;
+  bool has_init = false;
+  uint64_t init = 0;       // declaration initializer for regs
+  int line = 0;
+};
+
+struct ContAssign {
+  ExprPtr lhs;  // Ident/Index/Range
+  ExprPtr rhs;
+  int line = 0;
+};
+
+/// Module instantiation: `child_module inst_name (.port(expr), ...);` or
+/// positional `child_module inst_name (expr, ...);`.
+struct Instance {
+  std::string module_name;
+  std::string instance_name;
+  /// Named connections; for positional form, names are empty and order
+  /// follows the child's port list.
+  std::vector<std::pair<std::string, ExprPtr>> connections;
+  bool positional = false;
+  int line = 0;
+};
+
+struct AlwaysBlock {
+  std::string clock;  // @(posedge clock)
+  StmtPtr body;
+  int line = 0;
+};
+
+struct Module {
+  std::string name;
+  std::vector<std::string> ports;
+  std::vector<NetDecl> decls;
+  std::vector<ContAssign> assigns;
+  std::vector<AlwaysBlock> always;
+  std::vector<Instance> instances;
+};
+
+}  // namespace rfn::rtlv

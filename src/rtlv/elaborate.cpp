@@ -1,0 +1,541 @@
+#include "rtlv/elaborate.hpp"
+
+#include <map>
+#include <set>
+
+#include "netlist/builder.hpp"
+#include "rtlv/parser.hpp"
+#include "util/log.hpp"
+
+namespace rfn::rtlv {
+
+namespace {
+
+using ModuleLibrary = std::map<std::string, const Module*>;
+
+/// Input ports of `m` that act as clocks: referenced in its own always
+/// blocks or wired (as plain identifiers) into a clock port of an instance.
+std::set<std::string> clock_ports(const Module& m, const ModuleLibrary& lib) {
+  std::set<std::string> clocks;
+  for (const AlwaysBlock& ab : m.always) clocks.insert(ab.clock);
+  for (const Instance& inst : m.instances) {
+    const auto child_it = lib.find(inst.module_name);
+    if (child_it == lib.end()) continue;  // diagnosed later
+    const std::set<std::string> child_clocks = clock_ports(*child_it->second, lib);
+    for (size_t ci = 0; ci < inst.connections.size(); ++ci) {
+      std::string port = inst.connections[ci].first;
+      if (inst.positional && ci < child_it->second->ports.size())
+        port = child_it->second->ports[ci];
+      if (child_clocks.count(port) > 0 &&
+          inst.connections[ci].second->kind == ExprKind::Ident)
+        clocks.insert(inst.connections[ci].second->name);
+    }
+  }
+  return clocks;
+}
+
+class Elaborator {
+ public:
+  Elaborator(const Module& m, const ModuleLibrary& lib, NetBuilder& b,
+             std::string prefix)
+      : m_(m), lib_(lib), b_(b), prefix_(std::move(prefix)) {}
+
+  /// Elaborates the module body. `port_bindings` supplies pre-elaborated
+  /// words for input ports (instance inputs); unbound non-clock inputs
+  /// become primary inputs of the netlist.
+  void run(const std::map<std::string, Word>& port_bindings) {
+    collect_decls();
+    create_storage(port_bindings);
+    index_assigns();
+    index_instance_outputs();
+    // Force-resolve every wire so undriven nets are diagnosed even when
+    // nothing reads them.
+    for (const auto& [name, d] : decls_)
+      if (d.kind == NetDecl::Kind::Wire || d.kind == NetDecl::Kind::Output)
+        wire_word(name);
+    // Elaborate any instance nothing demanded yet (for its side effects,
+    // e.g. registers and watchdogs inside it).
+    for (size_t i = 0; i < m_.instances.size(); ++i) ensure_instance(i);
+    process_always_blocks();
+  }
+
+  /// The word driving an output port (valid after run()).
+  Word port_word(const std::string& port) {
+    const auto it = decls_.find(port);
+    RFN_CHECK(it != decls_.end(), "unknown port '%s'", port.c_str());
+    RFN_CHECK(it->second.kind != NetDecl::Kind::Input, "'%s' is an input port",
+              port.c_str());
+    return it->second.kind == NetDecl::Kind::Reg ? words_.at(port) : wire_word(port);
+  }
+
+  /// Exports the module's output ports as netlist outputs (top level only).
+  void export_outputs() {
+    for (const std::string& p : m_.ports) {
+      const NetDecl& d = decls_.at(p);
+      if (d.kind == NetDecl::Kind::Input) continue;
+      const Word w = port_word(p);
+      if (d.width == 1) {
+        b_.output(p, w[0]);
+      } else {
+        for (int i = 0; i < d.width; ++i)
+          b_.output(p + "[" + std::to_string(i + d.lsb) + "]",
+                    w[static_cast<size_t>(i)]);
+      }
+    }
+  }
+
+  const std::set<std::string>& clocks() const { return clocks_; }
+
+ private:
+  // ---- declarations ----
+
+  void collect_decls() {
+    clocks_ = clock_ports(m_, lib_);
+    for (const NetDecl& d : m_.decls) {
+      RFN_CHECK(decls_.find(d.name) == decls_.end(), "line %d: duplicate net '%s'",
+                d.line, d.name.c_str());
+      decls_[d.name] = d;
+    }
+    for (const std::string& p : m_.ports)
+      RFN_CHECK(decls_.count(p) > 0, "undeclared port '%s'", p.c_str());
+  }
+
+  void create_storage(const std::map<std::string, Word>& port_bindings) {
+    for (const auto& [name, d] : decls_) {
+      switch (d.kind) {
+        case NetDecl::Kind::Input: {
+          const auto bound = port_bindings.find(name);
+          if (bound != port_bindings.end()) {
+            words_[name] = resize(bound->second, static_cast<size_t>(d.width));
+            break;
+          }
+          if (clocks_.count(name) > 0) break;  // clocks are implicit
+          words_[name] = d.width == 1
+                             ? Word{b_.input(prefix_ + name)}
+                             : b_.input_word(prefix_ + name,
+                                             static_cast<size_t>(d.width));
+          break;
+        }
+        case NetDecl::Kind::Reg: {
+          const uint64_t init = d.has_init ? d.init : 0;
+          words_[name] = d.width == 1
+                             ? Word{b_.reg(prefix_ + name, tri_of(init & 1))}
+                             : b_.reg_word(prefix_ + name,
+                                           static_cast<size_t>(d.width), init);
+          break;
+        }
+        case NetDecl::Kind::Output:
+        case NetDecl::Kind::Wire:
+          break;  // resolved from drivers on demand
+      }
+    }
+  }
+
+  void index_assigns() {
+    for (const ContAssign& ca : m_.assigns) {
+      const std::string& name = ca.lhs->name;
+      const auto it = decls_.find(name);
+      RFN_CHECK(it != decls_.end(), "line %d: assign to undeclared '%s'", ca.line,
+                name.c_str());
+      RFN_CHECK(it->second.kind == NetDecl::Kind::Wire ||
+                    it->second.kind == NetDecl::Kind::Output,
+                "line %d: assign to non-wire '%s'", ca.line, name.c_str());
+      int lo = 0, hi = it->second.width - 1;
+      if (ca.lhs->kind == ExprKind::Index) lo = hi = ca.lhs->index - it->second.lsb;
+      if (ca.lhs->kind == ExprKind::Range) {
+        lo = ca.lhs->lsb - it->second.lsb;
+        hi = ca.lhs->msb - it->second.lsb;
+      }
+      for (int bit = lo; bit <= hi; ++bit) {
+        RFN_CHECK(bit >= 0 && bit < it->second.width, "line %d: bit %d out of range",
+                  ca.line, bit);
+        const auto key = std::make_pair(name, bit);
+        RFN_CHECK(drivers_.find(key) == drivers_.end(),
+                  "line %d: '%s' bit %d multiply driven", ca.line, name.c_str(), bit);
+        drivers_[key] = {&ca, bit - lo};
+      }
+    }
+  }
+
+  void index_instance_outputs() {
+    for (size_t idx = 0; idx < m_.instances.size(); ++idx) {
+      const Instance& inst = m_.instances[idx];
+      const Module* child = find_module(inst.module_name, inst.line);
+      for (size_t ci = 0; ci < inst.connections.size(); ++ci) {
+        const std::string port = connection_port(inst, *child, ci);
+        const NetDecl* pd = find_port_decl(*child, port, inst.line);
+        if (pd->kind == NetDecl::Kind::Input) continue;
+        // Output connection: must be a whole identifier naming a wire.
+        const Expr& target = *inst.connections[ci].second;
+        RFN_CHECK(target.kind == ExprKind::Ident,
+                  "line %d: instance output '%s' must connect to a whole wire",
+                  inst.line, port.c_str());
+        const auto dit = decls_.find(target.name);
+        RFN_CHECK(dit != decls_.end() && (dit->second.kind == NetDecl::Kind::Wire ||
+                                          dit->second.kind == NetDecl::Kind::Output),
+                  "line %d: instance output must drive a declared wire", inst.line);
+        RFN_CHECK(instance_outputs_.emplace(target.name, std::make_pair(idx, port)).second,
+                  "line %d: wire '%s' multiply driven by instances", inst.line,
+                  target.name.c_str());
+      }
+    }
+  }
+
+  const Module* find_module(const std::string& name, int line) const {
+    const auto it = lib_.find(name);
+    RFN_CHECK(it != lib_.end(), "line %d: unknown module '%s'", line, name.c_str());
+    return it->second;
+  }
+
+  static const NetDecl* find_port_decl(const Module& child, const std::string& port,
+                                       int line) {
+    for (const NetDecl& d : child.decls)
+      if (d.name == port) return &d;
+    fatal(detail::format("line %d: module '%s' has no port '%s'", line,
+                         child.name.c_str(), port.c_str()));
+  }
+
+  std::string connection_port(const Instance& inst, const Module& child,
+                              size_t ci) const {
+    if (!inst.positional) return inst.connections[ci].first;
+    RFN_CHECK(ci < child.ports.size(), "line %d: too many positional connections",
+              inst.line);
+    return child.ports[ci];
+  }
+
+  // ---- instances (demand-driven elaboration) ----
+
+  void ensure_instance(size_t idx) {
+    if (instance_done_.count(idx) > 0) return;
+    RFN_CHECK(instance_busy_.insert(idx).second,
+              "combinational cycle through instance '%s'",
+              m_.instances[idx].instance_name.c_str());
+    const Instance& inst = m_.instances[idx];
+    const Module* child = find_module(inst.module_name, inst.line);
+
+    Elaborator sub(*child, lib_, b_, prefix_ + inst.instance_name + ".");
+    // The child's clock ports (including those it merely forwards to its
+    // own instances) are skipped rather than evaluated.
+    const std::set<std::string> child_clocks = clock_ports(*child, lib_);
+
+    std::map<std::string, Word> bindings;
+    for (size_t ci = 0; ci < inst.connections.size(); ++ci) {
+      const std::string port = connection_port(inst, *child, ci);
+      const NetDecl* pd = find_port_decl(*child, port, inst.line);
+      if (pd->kind != NetDecl::Kind::Input || child_clocks.count(port) > 0) continue;
+      bindings[port] = resize(eval(*inst.connections[ci].second),
+                              static_cast<size_t>(pd->width));
+    }
+    sub.run(bindings);
+
+    // Publish the child's outputs into the parent's wire table.
+    for (size_t ci = 0; ci < inst.connections.size(); ++ci) {
+      const std::string port = connection_port(inst, *child, ci);
+      const NetDecl* pd = find_port_decl(*child, port, inst.line);
+      if (pd->kind == NetDecl::Kind::Input) continue;
+      const std::string& wire = inst.connections[ci].second->name;
+      const NetDecl& wd = decls_.at(wire);
+      words_[wire] = resize(sub.port_word(port), static_cast<size_t>(wd.width));
+    }
+    instance_busy_.erase(idx);
+    instance_done_.insert(idx);
+  }
+
+  // ---- wire resolution (demand-driven with cycle detection) ----
+
+  GateId wire_bit(const std::string& name, int bit) {
+    const auto it = words_.find(name);
+    if (it != words_.end() && !it->second.empty() &&
+        it->second[static_cast<size_t>(bit)] != kNullGate)
+      return it->second[static_cast<size_t>(bit)];
+
+    // Instance-driven wire: elaborate the instance, which fills words_.
+    const auto inst_it = instance_outputs_.find(name);
+    if (inst_it != instance_outputs_.end()) {
+      ensure_instance(inst_it->second.first);
+      return words_.at(name)[static_cast<size_t>(bit)];
+    }
+
+    const NetDecl& d = decls_.at(name);
+    if (words_.find(name) == words_.end())
+      words_[name] = Word(static_cast<size_t>(d.width), kNullGate);
+    Word& w = words_[name];
+
+    const auto dit = drivers_.find({name, bit});
+    RFN_CHECK(dit != drivers_.end(), "wire '%s%s' bit %d has no driver",
+              prefix_.c_str(), name.c_str(), bit);
+    const auto key = std::make_pair(name, bit);
+    RFN_CHECK(resolving_.insert(key).second,
+              "combinational cycle through wire '%s' bit %d", name.c_str(), bit);
+    const Word rhs = eval(*dit->second.first->rhs);
+    // All bits covered by this assignment resolve together.
+    int lo = 0, hi = d.width - 1;
+    const Expr& lhs = *dit->second.first->lhs;
+    if (lhs.kind == ExprKind::Index) lo = hi = lhs.index - d.lsb;
+    if (lhs.kind == ExprKind::Range) {
+      lo = lhs.lsb - d.lsb;
+      hi = lhs.msb - d.lsb;
+    }
+    const Word sized = resize(rhs, static_cast<size_t>(hi - lo + 1));
+    for (int i = lo; i <= hi; ++i)
+      w[static_cast<size_t>(i)] = sized[static_cast<size_t>(i - lo)];
+    resolving_.erase(key);
+    return w[static_cast<size_t>(bit)];
+  }
+
+  Word wire_word(const std::string& name) {
+    const NetDecl& d = decls_.at(name);
+    Word w(static_cast<size_t>(d.width));
+    for (int i = 0; i < d.width; ++i) w[static_cast<size_t>(i)] = wire_bit(name, i);
+    return w;
+  }
+
+  // ---- expression evaluation ----
+
+  Word resize(const Word& w, size_t width) {
+    Word out = w;
+    while (out.size() < width) out.push_back(b_.constant(false));
+    out.resize(width);
+    return out;
+  }
+
+  GateId reduce_or(const Word& w) { return b_.or_n(w); }
+
+  Word word_of(const std::string& name, int line) {
+    const auto dit = decls_.find(name);
+    RFN_CHECK(dit != decls_.end(), "line %d: undeclared identifier '%s'", line,
+              name.c_str());
+    RFN_CHECK(clocks_.count(name) == 0, "line %d: clock '%s' used in expression", line,
+              name.c_str());
+    const NetDecl& d = dit->second;
+    if (d.kind == NetDecl::Kind::Wire || d.kind == NetDecl::Kind::Output)
+      return wire_word(name);
+    return words_.at(name);
+  }
+
+  Word eval(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::Const: {
+        const size_t w = e.width > 0 ? static_cast<size_t>(e.width) : 32;
+        return b_.constant_word(e.value, w);
+      }
+      case ExprKind::Ident:
+        return word_of(e.name, e.line);
+      case ExprKind::Index: {
+        const NetDecl& d = decls_.at(e.name);
+        const int bit = e.index - d.lsb;
+        RFN_CHECK(bit >= 0 && bit < d.width, "line %d: index out of range", e.line);
+        return {word_of(e.name, e.line)[static_cast<size_t>(bit)]};
+      }
+      case ExprKind::Range: {
+        const NetDecl& d = decls_.at(e.name);
+        const Word full = word_of(e.name, e.line);
+        Word out;
+        for (int i = e.lsb; i <= e.msb; ++i) {
+          const int bit = i - d.lsb;
+          RFN_CHECK(bit >= 0 && bit < d.width, "line %d: range out of bounds", e.line);
+          out.push_back(full[static_cast<size_t>(bit)]);
+        }
+        return out;
+      }
+      case ExprKind::Unary: {
+        const Word a = eval(*e.a);
+        switch (e.un_op) {
+          case UnOp::Not: return b_.not_word(a);
+          case UnOp::LogNot: return {b_.not_(reduce_or(a))};
+          case UnOp::RedAnd: return {b_.all(a)};
+          case UnOp::RedOr: return {b_.any(a)};
+          case UnOp::RedXor: {
+            GateId acc = a[0];
+            for (size_t i = 1; i < a.size(); ++i) acc = b_.xor_(acc, a[i]);
+            return {acc};
+          }
+          case UnOp::Neg:
+            return b_.sub_word(b_.constant_word(0, a.size()), a);
+        }
+        break;
+      }
+      case ExprKind::Binary: {
+        Word a = eval(*e.a);
+        Word c = eval(*e.b);
+        const size_t w = std::max(a.size(), c.size());
+        switch (e.bin_op) {
+          case BinOp::And: return b_.and_word(resize(a, w), resize(c, w));
+          case BinOp::Or: return b_.or_word(resize(a, w), resize(c, w));
+          case BinOp::Xor: return b_.xor_word(resize(a, w), resize(c, w));
+          case BinOp::Xnor: return b_.not_word(b_.xor_word(resize(a, w), resize(c, w)));
+          case BinOp::LogAnd: return {b_.and_(reduce_or(a), reduce_or(c))};
+          case BinOp::LogOr: return {b_.or_(reduce_or(a), reduce_or(c))};
+          case BinOp::Add: return b_.add_word(resize(a, w), resize(c, w));
+          case BinOp::Sub: return b_.sub_word(resize(a, w), resize(c, w));
+          case BinOp::Eq: return {b_.eq_word(resize(a, w), resize(c, w))};
+          case BinOp::Ne: return {b_.not_(b_.eq_word(resize(a, w), resize(c, w)))};
+          case BinOp::Lt: return {b_.lt_word(resize(a, w), resize(c, w))};
+          case BinOp::Le: return {b_.le_word(resize(a, w), resize(c, w))};
+          case BinOp::Gt: return {b_.lt_word(resize(c, w), resize(a, w))};
+          case BinOp::Ge: return {b_.le_word(resize(c, w), resize(a, w))};
+        }
+        break;
+      }
+      case ExprKind::Ternary: {
+        const GateId cond = reduce_or(eval(*e.a));
+        Word t = eval(*e.b);
+        Word f = eval(*e.c);
+        const size_t w = std::max(t.size(), f.size());
+        return b_.mux_word(cond, resize(f, w), resize(t, w));
+      }
+      case ExprKind::Concat: {
+        // Parts are MSB-first; the word is LSB-first.
+        Word out;
+        for (auto it = e.parts.rbegin(); it != e.parts.rend(); ++it) {
+          const Word part = eval(**it);
+          out.insert(out.end(), part.begin(), part.end());
+        }
+        return out;
+      }
+    }
+    fatal("unreachable expression kind");
+  }
+
+  // ---- always blocks ----
+
+  using Env = std::map<std::string, Word>;  // reg -> next-state word
+
+  void process_stmt(const Stmt& s, Env& env) {
+    switch (s.kind) {
+      case StmtKind::Block:
+        for (const StmtPtr& sub : s.stmts) process_stmt(*sub, env);
+        return;
+      case StmtKind::NonBlockingAssign: {
+        const std::string& name = s.lhs->name;
+        const auto dit = decls_.find(name);
+        RFN_CHECK(dit != decls_.end() && dit->second.kind == NetDecl::Kind::Reg,
+                  "line %d: non-blocking assign to non-reg '%s'", s.line, name.c_str());
+        Word& next = env.at(name);
+        int lo = 0, hi = dit->second.width - 1;
+        if (s.lhs->kind == ExprKind::Index) lo = hi = s.lhs->index - dit->second.lsb;
+        if (s.lhs->kind == ExprKind::Range) {
+          lo = s.lhs->lsb - dit->second.lsb;
+          hi = s.lhs->msb - dit->second.lsb;
+        }
+        RFN_CHECK(lo >= 0 && hi < dit->second.width, "line %d: assign out of range",
+                  s.line);
+        const Word rhs = resize(eval(*s.rhs), static_cast<size_t>(hi - lo + 1));
+        for (int i = lo; i <= hi; ++i)
+          next[static_cast<size_t>(i)] = rhs[static_cast<size_t>(i - lo)];
+        return;
+      }
+      case StmtKind::If: {
+        const GateId cond = reduce_or(eval(*s.cond));
+        Env then_env = env;
+        process_stmt(*s.then_branch, then_env);
+        Env else_env = env;
+        if (s.else_branch) process_stmt(*s.else_branch, else_env);
+        merge_env(env, cond, else_env, then_env);
+        return;
+      }
+      case StmtKind::Case: {
+        // Lower to a priority cascade of label comparisons (labels are
+        // mutually exclusive values, so priority order is irrelevant).
+        const Word subject = eval(*s.subject);
+        Env acc = env;  // semantics when no arm matches
+        if (s.default_arm) process_stmt(*s.default_arm, acc);
+        for (auto arm = s.arms.rbegin(); arm != s.arms.rend(); ++arm) {
+          Env arm_env = env;
+          process_stmt(*arm->body, arm_env);
+          GateId match = b_.constant(false);
+          for (uint64_t label : arm->labels) {
+            RFN_CHECK(subject.size() >= 64 || label < (uint64_t{1} << subject.size()),
+                      "line %d: case label %llu exceeds subject width %zu", s.line,
+                      static_cast<unsigned long long>(label), subject.size());
+            match = b_.or_(match, b_.eq_const(subject, label));
+          }
+          merge_env(acc, match, acc, arm_env);
+        }
+        env = std::move(acc);
+        return;
+      }
+    }
+  }
+
+  /// env := cond ? when_true : when_false (per register bit).
+  void merge_env(Env& env, GateId cond, const Env& when_false, const Env& when_true) {
+    for (auto& [name, word] : env) {
+      const Word& t = when_true.at(name);
+      const Word& f = when_false.at(name);
+      for (size_t i = 0; i < word.size(); ++i) word[i] = b_.mux(cond, f[i], t[i]);
+    }
+  }
+
+  void process_always_blocks() {
+    std::set<std::string> driven;
+    for (const AlwaysBlock& ab : m_.always) {
+      RFN_CHECK(decls_.count(ab.clock) > 0 &&
+                    decls_.at(ab.clock).kind == NetDecl::Kind::Input,
+                "line %d: clock '%s' is not an input", ab.line, ab.clock.c_str());
+      // Hold semantics: a register keeps its value unless assigned.
+      Env env;
+      for (const auto& [name, d] : decls_)
+        if (d.kind == NetDecl::Kind::Reg) env[name] = words_.at(name);
+      process_stmt(*ab.body, env);
+      for (const auto& [name, next] : env) {
+        const Word& regs = words_.at(name);
+        bool changed = false;
+        for (size_t i = 0; i < regs.size(); ++i) changed |= next[i] != regs[i];
+        if (!changed) continue;
+        RFN_CHECK(driven.insert(name).second,
+                  "register '%s' driven by multiple always blocks", name.c_str());
+        b_.set_next_word(regs, next);
+      }
+    }
+    // Registers never assigned anywhere: hold.
+    for (const auto& [name, d] : decls_) {
+      if (d.kind != NetDecl::Kind::Reg || driven.count(name) > 0) continue;
+      b_.set_next_word(words_.at(name), words_.at(name));
+    }
+  }
+
+  const Module& m_;
+  const ModuleLibrary& lib_;
+  NetBuilder& b_;
+  std::string prefix_;
+  std::map<std::string, NetDecl> decls_;
+  std::map<std::string, Word> words_;
+  std::set<std::string> clocks_;
+  std::map<std::pair<std::string, int>, std::pair<const ContAssign*, int>> drivers_;
+  std::map<std::string, std::pair<size_t, std::string>> instance_outputs_;
+  std::set<std::pair<std::string, int>> resolving_;
+  std::set<size_t> instance_busy_, instance_done_;
+};
+
+}  // namespace
+
+ElaboratedDesign elaborate(const Module& top, const std::vector<Module>& library) {
+  ModuleLibrary lib;
+  for (const Module& m : library) lib[m.name] = &m;
+  lib[top.name] = &top;
+
+  NetBuilder builder;
+  Elaborator root(top, lib, builder, "");
+  root.run({});
+  root.export_outputs();
+  ElaboratedDesign out;
+  out.module_name = top.name;
+  out.netlist = builder.take();
+  return out;
+}
+
+ElaboratedDesign elaborate_verilog(const std::string& source, const std::string& top) {
+  std::vector<Module> modules = parse_modules(source);
+  RFN_CHECK(!modules.empty(), "no modules in source");
+  const Module* root = &modules.back();
+  if (!top.empty()) {
+    root = nullptr;
+    for (const Module& m : modules)
+      if (m.name == top) root = &m;
+    RFN_CHECK(root != nullptr, "no module named '%s'", top.c_str());
+  }
+  return elaborate(*root, modules);
+}
+
+}  // namespace rfn::rtlv

@@ -1,0 +1,40 @@
+#pragma once
+// Elaboration: AST -> gate-level netlist (syntax-directed synthesis).
+//
+// Vectors are bit-blasted. Continuous assignments become combinational
+// logic. Each always @(posedge clk) block is interpreted symbolically: a
+// non-blocking assignment under conditions becomes a mux tree selecting
+// between the register's hold value and the assigned expressions, exactly
+// one next-state function per register bit; `case` lowers to a
+// label-comparison mux cascade. The clock itself does not appear in the
+// netlist (it is implicit in the Reg primitive); designs are single-clock.
+//
+// Hierarchy is flattened: instances are elaborated recursively into the
+// same netlist, with cell names prefixed "instance.". Instance inputs bind
+// to parent expressions; instance outputs drive parent wires (the
+// connection must be a whole identifier). Elaboration of an instance is
+// demand-driven, so instances may be declared in any order as long as the
+// combinational logic is acyclic.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "rtlv/ast.hpp"
+
+namespace rfn::rtlv {
+
+struct ElaboratedDesign {
+  Netlist netlist;
+  std::string module_name;
+};
+
+/// Elaborates `top` against a library of modules (for instantiation).
+ElaboratedDesign elaborate(const Module& top, const std::vector<Module>& library = {});
+
+/// Parses + elaborates Verilog source. With multiple modules, `top` names
+/// the root (empty = the last module in the file, the common convention).
+ElaboratedDesign elaborate_verilog(const std::string& source,
+                                   const std::string& top = "");
+
+}  // namespace rfn::rtlv

@@ -1,0 +1,169 @@
+#include "rtlv/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "util/log.hpp"
+
+namespace rfn::rtlv {
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"module", Tok::KwModule},   {"endmodule", Tok::KwEndmodule},
+      {"input", Tok::KwInput},     {"output", Tok::KwOutput},
+      {"wire", Tok::KwWire},       {"reg", Tok::KwReg},
+      {"assign", Tok::KwAssign},   {"always", Tok::KwAlways},
+      {"posedge", Tok::KwPosedge}, {"begin", Tok::KwBegin},
+      {"end", Tok::KwEnd},         {"if", Tok::KwIf},
+      {"else", Tok::KwElse},
+      {"case", Tok::KwCase},   {"endcase", Tok::KwEndcase},
+      {"default", Tok::KwDefault},
+  };
+  return kw;
+}
+
+uint64_t parse_digits(const std::string& digits, int base, int line) {
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c == '_') continue;
+    int d;
+    if (c >= '0' && c <= '9')
+      d = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      d = 10 + c - 'a';
+    else if (c >= 'A' && c <= 'F')
+      d = 10 + c - 'A';
+    else
+      d = 99;
+    RFN_CHECK(d < base, "line %d: bad digit '%c' for base %d", line, c, base);
+    v = v * static_cast<uint64_t>(base) + static_cast<uint64_t>(d);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  auto push = [&](Tok k, std::string text = "") {
+    out.push_back({k, std::move(text), 0, -1, line});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < src.size()) {
+      if (src[i + 1] == '/') {
+        while (i < src.size() && src[i] != '\n') ++i;
+        continue;
+      }
+      if (src[i + 1] == '*') {
+        i += 2;
+        while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+          if (src[i] == '\n') ++line;
+          ++i;
+        }
+        RFN_CHECK(i + 1 < src.size(), "line %d: unterminated comment", line);
+        i += 2;
+        continue;
+      }
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < src.size() &&
+             (std::isalnum(static_cast<unsigned char>(src[j])) || src[j] == '_'))
+        ++j;
+      const std::string word = src.substr(i, j - i);
+      const auto it = keywords().find(word);
+      if (it != keywords().end())
+        push(it->second, word);
+      else
+        push(Tok::Identifier, word);
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '\'') {
+      // [size]'[base]digits  or plain decimal.
+      size_t j = i;
+      std::string size_digits;
+      while (j < src.size() && std::isdigit(static_cast<unsigned char>(src[j])))
+        size_digits += src[j++];
+      Token t{Tok::Number, "", 0, -1, line};
+      if (j < src.size() && src[j] == '\'') {
+        ++j;
+        RFN_CHECK(j < src.size(), "line %d: truncated literal", line);
+        const char base_c = static_cast<char>(std::tolower(src[j++]));
+        const int base = base_c == 'b' ? 2 : (base_c == 'd' ? 10 : (base_c == 'h' ? 16 : 0));
+        RFN_CHECK(base != 0, "line %d: bad literal base '%c'", line, base_c);
+        std::string digits;
+        while (j < src.size() && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                                  src[j] == '_'))
+          digits += src[j++];
+        t.value = parse_digits(digits, base, line);
+        t.width = size_digits.empty() ? -1 : std::stoi(size_digits);
+        t.text = size_digits + "'" + base_c + digits;
+      } else {
+        t.value = parse_digits(size_digits, 10, line);
+        t.text = size_digits;
+      }
+      out.push_back(t);
+      i = j;
+      continue;
+    }
+    auto two = [&](char a, char d) {
+      return c == a && i + 1 < src.size() && src[i + 1] == d;
+    };
+    if (two('<', '=')) { push(Tok::NonBlocking, "<="); i += 2; continue; }
+    if (two('=', '=')) { push(Tok::EqEq, "=="); i += 2; continue; }
+    if (two('!', '=')) { push(Tok::BangEq, "!="); i += 2; continue; }
+    if (two('&', '&')) { push(Tok::AmpAmp, "&&"); i += 2; continue; }
+    if (two('|', '|')) { push(Tok::PipePipe, "||"); i += 2; continue; }
+    if (two('>', '=')) { push(Tok::GtEq, ">="); i += 2; continue; }
+    if (two('~', '^')) { push(Tok::TildeCaret, "~^"); i += 2; continue; }
+    if (two('^', '~')) { push(Tok::TildeCaret, "^~"); i += 2; continue; }
+    switch (c) {
+      case '(': push(Tok::LParen); break;
+      case ')': push(Tok::RParen); break;
+      case '[': push(Tok::LBracket); break;
+      case ']': push(Tok::RBracket); break;
+      case '{': push(Tok::LBrace); break;
+      case '}': push(Tok::RBrace); break;
+      case ';': push(Tok::Semi); break;
+      case ',': push(Tok::Comma); break;
+      case ':': push(Tok::Colon); break;
+      case '@': push(Tok::At); break;
+      case '.': push(Tok::Dot); break;
+      case '?': push(Tok::Question); break;
+      case '=': push(Tok::Assign); break;
+      case '+': push(Tok::Plus); break;
+      case '-': push(Tok::Minus); break;
+      case '~': push(Tok::Tilde); break;
+      case '!': push(Tok::Bang); break;
+      case '&': push(Tok::Amp); break;
+      case '|': push(Tok::Pipe); break;
+      case '^': push(Tok::Caret); break;
+      case '<': push(Tok::Lt); break;
+      case '>': push(Tok::Gt); break;
+      default:
+        fatal(detail::format("line %d: unexpected character '%c'", line, c));
+    }
+    ++i;
+  }
+  push(Tok::Eof);
+  return out;
+}
+
+}  // namespace rfn::rtlv

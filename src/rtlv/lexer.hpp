@@ -1,0 +1,41 @@
+#pragma once
+// Lexer for the Verilog subset accepted by the RTL frontend.
+//
+// The frontend exists because RFN consumes gate-level designs "obtained from
+// RTL designs through logic synthesis" (paper Section 1): design sources are
+// written in a synthesizable Verilog subset and elaborated straight into the
+// netlist. Supported tokens: identifiers, sized/unsized numeric literals
+// (binary/decimal/hex), operators, and the structural keywords.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rfn::rtlv {
+
+enum class Tok : uint8_t {
+  Identifier, Number,
+  KwModule, KwEndmodule, KwInput, KwOutput, KwWire, KwReg, KwAssign,
+  KwAlways, KwPosedge, KwBegin, KwEnd, KwIf, KwElse,
+  KwCase, KwEndcase, KwDefault,
+  LParen, RParen, LBracket, RBracket, LBrace, RBrace,
+  Semi, Comma, Colon, At, Question, Dot,
+  Assign,        // =
+  NonBlocking,   // <=  (in always context; also lexes as LeEq — parser decides)
+  Plus, Minus, Tilde, Bang, Amp, Pipe, Caret, TildeCaret,
+  AmpAmp, PipePipe, EqEq, BangEq, Lt, Gt, GtEq,
+  Eof,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;    // identifier text or raw number
+  uint64_t value = 0;  // numeric value
+  int width = -1;      // declared width of sized literals, -1 if unsized
+  int line = 0;
+};
+
+/// Tokenizes `source`. Aborts with a diagnostic (file:line) on bad input.
+std::vector<Token> lex(const std::string& source);
+
+}  // namespace rfn::rtlv

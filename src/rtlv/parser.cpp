@@ -1,0 +1,349 @@
+#include "rtlv/parser.hpp"
+
+#include "rtlv/lexer.hpp"
+#include "util/log.hpp"
+
+namespace rfn::rtlv {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Module module() {
+    Module m;
+    expect(Tok::KwModule);
+    m.name = expect(Tok::Identifier).text;
+    expect(Tok::LParen);
+    if (!at(Tok::RParen)) {
+      m.ports.push_back(expect(Tok::Identifier).text);
+      while (accept(Tok::Comma)) m.ports.push_back(expect(Tok::Identifier).text);
+    }
+    expect(Tok::RParen);
+    expect(Tok::Semi);
+
+    while (!at(Tok::KwEndmodule)) {
+      if (at(Tok::KwInput) || at(Tok::KwOutput) || at(Tok::KwWire) || at(Tok::KwReg)) {
+        decl(m);
+      } else if (accept(Tok::KwAssign)) {
+        ContAssign ca;
+        ca.line = cur().line;
+        ca.lhs = lvalue();
+        expect(Tok::Assign);
+        ca.rhs = expr();
+        expect(Tok::Semi);
+        m.assigns.push_back(std::move(ca));
+      } else if (accept(Tok::KwAlways)) {
+        AlwaysBlock ab;
+        ab.line = cur().line;
+        expect(Tok::At);
+        expect(Tok::LParen);
+        expect(Tok::KwPosedge);
+        ab.clock = expect(Tok::Identifier).text;
+        expect(Tok::RParen);
+        ab.body = stmt();
+        m.always.push_back(std::move(ab));
+      } else if (at(Tok::Identifier)) {
+        m.instances.push_back(instance());
+      } else {
+        fatal(detail::format("line %d: unexpected token '%s'", cur().line,
+                             cur().text.c_str()));
+      }
+    }
+    expect(Tok::KwEndmodule);
+    return m;
+  }
+
+ public:
+  bool at_eof() const { return toks_[pos_].kind == Tok::Eof; }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    ++pos_;
+    return true;
+  }
+  Token expect(Tok k) {
+    RFN_CHECK(at(k), "line %d: unexpected token '%s'", cur().line, cur().text.c_str());
+    return toks_[pos_++];
+  }
+
+  void decl(Module& m) {
+    NetDecl d;
+    d.line = cur().line;
+    if (accept(Tok::KwInput)) {
+      d.kind = NetDecl::Kind::Input;
+      accept(Tok::KwWire);  // "input wire"
+    } else if (accept(Tok::KwOutput)) {
+      // "output reg x" declares a register that is also a port; the
+      // elaborator exports every output port regardless of kind.
+      d.kind = accept(Tok::KwReg) ? NetDecl::Kind::Reg : NetDecl::Kind::Output;
+      accept(Tok::KwWire);
+    } else if (accept(Tok::KwWire)) {
+      d.kind = NetDecl::Kind::Wire;
+    } else {
+      expect(Tok::KwReg);
+      d.kind = NetDecl::Kind::Reg;
+    }
+    if (accept(Tok::LBracket)) {
+      d.msb = static_cast<int>(expect(Tok::Number).value);
+      expect(Tok::Colon);
+      d.lsb = static_cast<int>(expect(Tok::Number).value);
+      expect(Tok::RBracket);
+      RFN_CHECK(d.msb >= d.lsb, "line %d: reversed range", d.line);
+    }
+    d.width = d.msb - d.lsb + 1;
+    // One or more comma-separated names, each with an optional initializer.
+    for (;;) {
+      NetDecl item = d;
+      item.name = expect(Tok::Identifier).text;
+      if (accept(Tok::Assign)) {
+        RFN_CHECK(item.kind == NetDecl::Kind::Reg,
+                  "line %d: initializer on non-reg '%s'", item.line, item.name.c_str());
+        item.has_init = true;
+        item.init = expect(Tok::Number).value;
+      }
+      m.decls.push_back(std::move(item));
+      if (!accept(Tok::Comma)) break;
+    }
+    expect(Tok::Semi);
+  }
+
+  Instance instance() {
+    Instance inst;
+    inst.line = cur().line;
+    inst.module_name = expect(Tok::Identifier).text;
+    inst.instance_name = expect(Tok::Identifier).text;
+    expect(Tok::LParen);
+    if (at(Tok::Dot)) {
+      while (accept(Tok::Dot)) {
+        const std::string port = expect(Tok::Identifier).text;
+        expect(Tok::LParen);
+        inst.connections.emplace_back(port, expr());
+        expect(Tok::RParen);
+        if (!accept(Tok::Comma)) break;
+      }
+    } else if (!at(Tok::RParen)) {
+      inst.positional = true;
+      inst.connections.emplace_back("", expr());
+      while (accept(Tok::Comma)) inst.connections.emplace_back("", expr());
+    }
+    expect(Tok::RParen);
+    expect(Tok::Semi);
+    return inst;
+  }
+
+  StmtPtr stmt() {
+    auto s = std::make_unique<Stmt>();
+    s->line = cur().line;
+    if (accept(Tok::KwBegin)) {
+      s->kind = StmtKind::Block;
+      while (!accept(Tok::KwEnd)) s->stmts.push_back(stmt());
+      return s;
+    }
+    if (accept(Tok::KwCase)) {
+      s->kind = StmtKind::Case;
+      expect(Tok::LParen);
+      s->subject = expr();
+      expect(Tok::RParen);
+      while (!at(Tok::KwEndcase)) {
+        if (accept(Tok::KwDefault)) {
+          expect(Tok::Colon);
+          RFN_CHECK(s->default_arm == nullptr, "line %d: duplicate default",
+                    cur().line);
+          s->default_arm = stmt();
+          continue;
+        }
+        Stmt::CaseArm arm;
+        arm.labels.push_back(expect(Tok::Number).value);
+        while (accept(Tok::Comma)) arm.labels.push_back(expect(Tok::Number).value);
+        expect(Tok::Colon);
+        arm.body = stmt();
+        s->arms.push_back(std::move(arm));
+      }
+      expect(Tok::KwEndcase);
+      return s;
+    }
+    if (accept(Tok::KwIf)) {
+      s->kind = StmtKind::If;
+      expect(Tok::LParen);
+      s->cond = expr();
+      expect(Tok::RParen);
+      s->then_branch = stmt();
+      if (accept(Tok::KwElse)) s->else_branch = stmt();
+      return s;
+    }
+    s->kind = StmtKind::NonBlockingAssign;
+    s->lhs = lvalue();
+    expect(Tok::NonBlocking);
+    s->rhs = expr();
+    expect(Tok::Semi);
+    return s;
+  }
+
+  ExprPtr lvalue() {
+    auto e = std::make_unique<Expr>();
+    e->line = cur().line;
+    e->name = expect(Tok::Identifier).text;
+    if (accept(Tok::LBracket)) {
+      const int first = static_cast<int>(expect(Tok::Number).value);
+      if (accept(Tok::Colon)) {
+        e->kind = ExprKind::Range;
+        e->msb = first;
+        e->lsb = static_cast<int>(expect(Tok::Number).value);
+      } else {
+        e->kind = ExprKind::Index;
+        e->index = first;
+      }
+      expect(Tok::RBracket);
+    } else {
+      e->kind = ExprKind::Ident;
+    }
+    return e;
+  }
+
+  // Precedence climbing: ?: lowest, then || && | ^ & ==/!= relational +-.
+  ExprPtr expr() { return ternary(); }
+
+  ExprPtr ternary() {
+    ExprPtr cond = logic_or();
+    if (!accept(Tok::Question)) return cond;
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Ternary;
+    e->line = cond->line;
+    e->a = std::move(cond);
+    e->b = expr();
+    expect(Tok::Colon);
+    e->c = expr();
+    return e;
+  }
+
+  ExprPtr binary_chain(ExprPtr (Parser::*next)(),
+                       std::initializer_list<std::pair<Tok, BinOp>> ops) {
+    ExprPtr lhs = (this->*next)();
+    for (;;) {
+      bool matched = false;
+      for (const auto& [tok, op] : ops) {
+        if (at(tok)) {
+          ++pos_;
+          auto e = std::make_unique<Expr>();
+          e->kind = ExprKind::Binary;
+          e->bin_op = op;
+          e->line = lhs->line;
+          e->a = std::move(lhs);
+          e->b = (this->*next)();
+          lhs = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  ExprPtr logic_or() { return binary_chain(&Parser::logic_and, {{Tok::PipePipe, BinOp::LogOr}}); }
+  ExprPtr logic_and() { return binary_chain(&Parser::bit_or, {{Tok::AmpAmp, BinOp::LogAnd}}); }
+  ExprPtr bit_or() { return binary_chain(&Parser::bit_xor, {{Tok::Pipe, BinOp::Or}}); }
+  ExprPtr bit_xor() {
+    return binary_chain(&Parser::bit_and,
+                        {{Tok::Caret, BinOp::Xor}, {Tok::TildeCaret, BinOp::Xnor}});
+  }
+  ExprPtr bit_and() { return binary_chain(&Parser::equality, {{Tok::Amp, BinOp::And}}); }
+  ExprPtr equality() {
+    return binary_chain(&Parser::relational,
+                        {{Tok::EqEq, BinOp::Eq}, {Tok::BangEq, BinOp::Ne}});
+  }
+  ExprPtr relational() {
+    return binary_chain(&Parser::additive, {{Tok::Lt, BinOp::Lt},
+                                            {Tok::NonBlocking, BinOp::Le},
+                                            {Tok::Gt, BinOp::Gt},
+                                            {Tok::GtEq, BinOp::Ge}});
+  }
+  ExprPtr additive() {
+    return binary_chain(&Parser::unary,
+                        {{Tok::Plus, BinOp::Add}, {Tok::Minus, BinOp::Sub}});
+  }
+
+  ExprPtr unary() {
+    auto make_un = [&](UnOp op) {
+      ++pos_;
+      auto e = std::make_unique<Expr>();
+      e->kind = ExprKind::Unary;
+      e->un_op = op;
+      e->line = cur().line;
+      e->a = unary();
+      return e;
+    };
+    if (at(Tok::Tilde)) return make_un(UnOp::Not);
+    if (at(Tok::Bang)) return make_un(UnOp::LogNot);
+    if (at(Tok::Amp)) return make_un(UnOp::RedAnd);
+    if (at(Tok::Pipe)) return make_un(UnOp::RedOr);
+    if (at(Tok::Caret)) return make_un(UnOp::RedXor);
+    if (at(Tok::Minus)) return make_un(UnOp::Neg);
+    return primary();
+  }
+
+  ExprPtr primary() {
+    auto e = std::make_unique<Expr>();
+    e->line = cur().line;
+    if (accept(Tok::LParen)) {
+      ExprPtr inner = expr();
+      expect(Tok::RParen);
+      return inner;
+    }
+    if (at(Tok::Number)) {
+      const Token t = expect(Tok::Number);
+      e->kind = ExprKind::Const;
+      e->value = t.value;
+      e->width = t.width;
+      return e;
+    }
+    if (accept(Tok::LBrace)) {
+      e->kind = ExprKind::Concat;
+      e->parts.push_back(expr());
+      while (accept(Tok::Comma)) e->parts.push_back(expr());
+      expect(Tok::RBrace);
+      return e;
+    }
+    e->name = expect(Tok::Identifier).text;
+    if (accept(Tok::LBracket)) {
+      const int first = static_cast<int>(expect(Tok::Number).value);
+      if (accept(Tok::Colon)) {
+        e->kind = ExprKind::Range;
+        e->msb = first;
+        e->lsb = static_cast<int>(expect(Tok::Number).value);
+      } else {
+        e->kind = ExprKind::Index;
+        e->index = first;
+      }
+      expect(Tok::RBracket);
+    } else {
+      e->kind = ExprKind::Ident;
+    }
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Module parse_module(const std::string& source) {
+  Parser p(lex(source));
+  return p.module();
+}
+
+std::vector<Module> parse_modules(const std::string& source) {
+  std::vector<Module> modules;
+  std::vector<Token> toks = lex(source);
+  // Split at module boundaries by re-lexing? Simpler: one Parser that loops.
+  Parser p(std::move(toks));
+  while (!p.at_eof()) modules.push_back(p.module());
+  return modules;
+}
+
+}  // namespace rfn::rtlv

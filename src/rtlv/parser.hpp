@@ -1,0 +1,18 @@
+#pragma once
+// Recursive-descent parser for the Verilog subset (see lexer.hpp for scope).
+
+#include <string>
+#include <vector>
+
+#include "rtlv/ast.hpp"
+
+namespace rfn::rtlv {
+
+/// Parses a single module. Aborts with line-numbered diagnostics on syntax
+/// errors.
+Module parse_module(const std::string& source);
+
+/// Parses a source file containing one or more modules.
+std::vector<Module> parse_modules(const std::string& source);
+
+}  // namespace rfn::rtlv

@@ -1,0 +1,78 @@
+#include "sim/sim3.hpp"
+
+#include "netlist/analysis.hpp"
+
+namespace rfn {
+
+Sim3::Sim3(const Netlist& n) : n_(&n), vals_(n.size(), Tri::X) {
+  for (GateId g : topo_order(n))
+    if (n.is_comb(g) || n.is_const(g)) order_.push_back(g);
+}
+
+void Sim3::set(GateId g, Tri v) {
+  RFN_CHECK(n_->is_input(g) || n_->is_reg(g), "Sim3::set on gate %u (%s)", g,
+            gate_type_name(n_->type(g)));
+  vals_[g] = v;
+}
+
+void Sim3::set_cube(const Cube& c) {
+  for (const Literal& lit : c) set(lit.signal, tri_of(lit.value));
+}
+
+void Sim3::clear_inputs() {
+  for (GateId i : n_->inputs()) vals_[i] = Tri::X;
+}
+
+void Sim3::load_initial_state() {
+  for (GateId r : n_->regs()) vals_[r] = n_->reg_init(r);
+}
+
+void Sim3::eval() {
+  Tri buf[8];
+  std::vector<Tri> wide;
+  for (GateId g : order_) {
+    const auto& fi = n_->fanins(g);
+    const Tri* vals;
+    if (fi.size() <= 8) {
+      for (size_t i = 0; i < fi.size(); ++i) buf[i] = vals_[fi[i]];
+      vals = buf;
+    } else {
+      wide.clear();
+      for (GateId f : fi) wide.push_back(vals_[f]);
+      vals = wide.data();
+    }
+    vals_[g] = eval_gate3(n_->type(g), vals, fi.size());
+  }
+}
+
+Cube Sim3::state_cube() const {
+  Cube c;
+  for (GateId r : n_->regs())
+    if (vals_[r] != Tri::X) c.push_back({r, vals_[r] == Tri::T});
+  return c;
+}
+
+void Sim3::step() {
+  // Two-phase: read all data inputs first so register-to-register feed
+  // chains latch the pre-edge values.
+  std::vector<Tri> next;
+  next.reserve(n_->regs().size());
+  for (GateId r : n_->regs()) next.push_back(vals_[n_->reg_data(r)]);
+  size_t i = 0;
+  for (GateId r : n_->regs()) vals_[r] = next[i++];
+}
+
+Tri simulate_trace(const Netlist& n, const Trace& trace, GateId signal) {
+  Sim3 sim(n);
+  sim.load_initial_state();
+  for (size_t cycle = 0; cycle < trace.steps.size(); ++cycle) {
+    sim.clear_inputs();
+    sim.set_cube(trace.steps[cycle].state);
+    sim.set_cube(trace.steps[cycle].inputs);
+    sim.eval();
+    if (cycle + 1 < trace.steps.size()) sim.step();
+  }
+  return sim.value(signal);
+}
+
+}  // namespace rfn

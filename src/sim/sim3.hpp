@@ -1,0 +1,54 @@
+#pragma once
+// Three-valued (0/1/X) levelized gate-level simulator.
+//
+// This is the "simulation engine" of the paper's title: Step 4 replays the
+// abstract error trace on the full design with unassigned registers and
+// inputs held at X, and registers whose simulated value conflicts with the
+// trace become crucial-register candidates. X propagation is pessimistic for
+// plain gates and optimistic for muxes (see eval_gate3), so a binary value
+// produced under X inputs is guaranteed for every completion of the Xs.
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn {
+
+class Sim3 {
+ public:
+  explicit Sim3(const Netlist& n);
+
+  const Netlist& netlist() const { return *n_; }
+
+  /// Sets the value of an input or a register output for the current cycle.
+  void set(GateId g, Tri v);
+  /// Applies every literal of the cube (signals must be inputs/registers).
+  void set_cube(const Cube& c);
+  /// Sets all primary inputs to X.
+  void clear_inputs();
+  /// Loads register initial values (X-init registers get X).
+  void load_initial_state();
+
+  /// Evaluates all combinational gates in topological order.
+  void eval();
+
+  Tri value(GateId g) const { return vals_[g]; }
+  /// Reads the register state as a cube (X registers omitted).
+  Cube state_cube() const;
+
+  /// Advances one clock: every register takes the value of its data input
+  /// (call after eval()).
+  void step();
+
+ private:
+  const Netlist* n_;
+  std::vector<GateId> order_;  // combinational gates only, topo order
+  std::vector<Tri> vals_;
+};
+
+/// Replays `trace` (cubes over inputs/registers of `n`) from the initial
+/// state and returns the value of `signal` at the final cycle after
+/// evaluation. Unassigned inputs are X. Convenience for tests.
+Tri simulate_trace(const Netlist& n, const Trace& trace, GateId signal);
+
+}  // namespace rfn

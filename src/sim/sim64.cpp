@@ -1,0 +1,81 @@
+#include "sim/sim64.hpp"
+
+#include "netlist/analysis.hpp"
+
+namespace rfn {
+
+Sim64::Sim64(const Netlist& n) : n_(&n), vals_(n.size(), 0) {
+  for (GateId g : topo_order(n))
+    if (n.is_comb(g) || n.is_const(g)) order_.push_back(g);
+}
+
+void Sim64::set(GateId g, uint64_t word) {
+  RFN_CHECK(n_->is_input(g) || n_->is_reg(g), "Sim64::set on gate %u", g);
+  vals_[g] = word;
+}
+
+void Sim64::randomize_inputs(Rng& rng) {
+  for (GateId i : n_->inputs()) vals_[i] = rng.next();
+}
+
+void Sim64::load_initial_state(Rng& rng) {
+  for (GateId r : n_->regs()) {
+    switch (n_->reg_init(r)) {
+      case Tri::F: vals_[r] = 0; break;
+      case Tri::T: vals_[r] = ~0ULL; break;
+      case Tri::X: vals_[r] = rng.next(); break;
+    }
+  }
+}
+
+void Sim64::eval() {
+  for (GateId g : order_) {
+    const auto& fi = n_->fanins(g);
+    uint64_t v = 0;
+    switch (n_->type(g)) {
+      case GateType::Const0: v = 0; break;
+      case GateType::Const1: v = ~0ULL; break;
+      case GateType::Buf: v = vals_[fi[0]]; break;
+      case GateType::Not: v = ~vals_[fi[0]]; break;
+      case GateType::And:
+        v = ~0ULL;
+        for (GateId f : fi) v &= vals_[f];
+        break;
+      case GateType::Or:
+        v = 0;
+        for (GateId f : fi) v |= vals_[f];
+        break;
+      case GateType::Nand:
+        v = ~0ULL;
+        for (GateId f : fi) v &= vals_[f];
+        v = ~v;
+        break;
+      case GateType::Nor:
+        v = 0;
+        for (GateId f : fi) v |= vals_[f];
+        v = ~v;
+        break;
+      case GateType::Xor: v = vals_[fi[0]] ^ vals_[fi[1]]; break;
+      case GateType::Xnor: v = ~(vals_[fi[0]] ^ vals_[fi[1]]); break;
+      case GateType::Mux: {
+        const uint64_t s = vals_[fi[0]];
+        v = (~s & vals_[fi[1]]) | (s & vals_[fi[2]]);
+        break;
+      }
+      case GateType::Input:
+      case GateType::Reg:
+        continue;
+    }
+    vals_[g] = v;
+  }
+}
+
+void Sim64::step() {
+  std::vector<uint64_t> next;
+  next.reserve(n_->regs().size());
+  for (GateId r : n_->regs()) next.push_back(vals_[n_->reg_data(r)]);
+  size_t i = 0;
+  for (GateId r : n_->regs()) vals_[r] = next[i++];
+}
+
+}  // namespace rfn

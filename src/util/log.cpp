@@ -1,0 +1,47 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdlib>
+#include <vector>
+
+namespace rfn {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+
+void log_line(LogLevel level, const char* tag, const std::string& msg) {
+  if (static_cast<int>(g_level) < static_cast<int>(level)) return;
+  std::fprintf(stderr, "[rfn:%s] %s\n", tag, msg.c_str());
+}
+
+std::string format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  std::string out;
+  if (needed > 0) {
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    out.assign(buf.data(), static_cast<size_t>(needed));
+  }
+  va_end(args);
+  return out;
+}
+
+}  // namespace detail
+
+void fatal(const std::string& msg) {
+  std::fprintf(stderr, "[rfn:fatal] %s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace rfn

@@ -1,0 +1,57 @@
+#pragma once
+// Lightweight leveled logging for the RFN tool suite.
+//
+// Engines in this repo (BDD, ATPG, model checker, CEGAR loop) report
+// progress through this single facility so that verbosity can be tuned
+// globally from benches/examples without threading a logger object through
+// every call site.
+
+#include <cstdio>
+#include <string>
+
+namespace rfn {
+
+enum class LogLevel : int {
+  Silent = 0,
+  Error = 1,
+  Warn = 2,
+  Info = 3,
+  Debug = 4,
+  Trace = 5,
+};
+
+/// Global log level. Defaults to Warn so tests and benches stay quiet.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const char* tag, const std::string& msg);
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+}  // namespace detail
+
+/// printf-style logging macros. The format expansion is skipped entirely
+/// when the level is disabled, so Debug/Trace logging in hot loops is cheap.
+#define RFN_LOG_AT(level, tag, ...)                                      \
+  do {                                                                   \
+    if (static_cast<int>(::rfn::log_level()) >= static_cast<int>(level)) \
+      ::rfn::detail::log_line(level, tag, ::rfn::detail::format(__VA_ARGS__)); \
+  } while (0)
+
+#define RFN_ERROR(...) RFN_LOG_AT(::rfn::LogLevel::Error, "error", __VA_ARGS__)
+#define RFN_WARN(...) RFN_LOG_AT(::rfn::LogLevel::Warn, "warn", __VA_ARGS__)
+#define RFN_INFO(...) RFN_LOG_AT(::rfn::LogLevel::Info, "info", __VA_ARGS__)
+#define RFN_DEBUG(...) RFN_LOG_AT(::rfn::LogLevel::Debug, "debug", __VA_ARGS__)
+#define RFN_TRACE(...) RFN_LOG_AT(::rfn::LogLevel::Trace, "trace", __VA_ARGS__)
+
+/// Fatal invariant violation: log and abort. Used for internal engine
+/// invariants that indicate a bug in this library, never for user errors.
+[[noreturn]] void fatal(const std::string& msg);
+
+#define RFN_CHECK(cond, ...)                                           \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::rfn::fatal(::rfn::detail::format("check failed: %s: ", #cond) + \
+                   ::rfn::detail::format(__VA_ARGS__));                \
+  } while (0)
+
+}  // namespace rfn

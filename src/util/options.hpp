@@ -1,0 +1,33 @@
+#pragma once
+// Minimal command-line option parsing for examples and bench binaries.
+//
+// Supports --key=value, --key value, and boolean --flag forms. Unrecognized
+// arguments are collected as positionals so google-benchmark flags pass
+// through untouched.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace rfn {
+
+class Options {
+ public:
+  Options() = default;
+  Options(int argc, char** argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  int64_t get_int(const std::string& key, int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace rfn

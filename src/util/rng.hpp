@@ -1,0 +1,52 @@
+#pragma once
+// Deterministic xoshiro256** RNG.
+//
+// Benches and tests need run-to-run reproducible randomness; std::mt19937_64
+// would also work but its state is bulky and seeding is awkward. All
+// randomized engines in this repo take an explicit Rng so nothing depends on
+// global state.
+
+#include <cstdint>
+
+namespace rfn {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+    // SplitMix64 seeding, the reference recommendation for xoshiro.
+    uint64_t z = seed;
+    for (auto& s : state_) {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      s = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  bool flip() { return (next() & 1) != 0; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace rfn

@@ -1,0 +1,165 @@
+// Property tests: random expression forests cross-checked against explicit
+// truth tables, canonicity, quantifier semantics, and cube extraction — with
+// and without reordering in the loop.
+
+#include <gtest/gtest.h>
+
+#include "bdd/bdd.hpp"
+#include "util/rng.hpp"
+
+namespace rfn {
+namespace {
+
+constexpr uint32_t kVars = 10;
+
+// A function represented both as a BDD and as an explicit truth table.
+struct Checked {
+  Bdd bdd;
+  std::vector<bool> tt;  // size 2^kVars
+};
+
+std::vector<bool> tt_var(uint32_t v) {
+  std::vector<bool> tt(1u << kVars);
+  for (uint32_t p = 0; p < tt.size(); ++p) tt[p] = (p >> v) & 1;
+  return tt;
+}
+
+class BddRandomTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BddRandomTest, RandomExpressionsMatchTruthTables) {
+  BddMgr mgr(kVars);
+  Rng rng(GetParam());
+
+  std::vector<Checked> pool;
+  for (uint32_t v = 0; v < kVars; ++v) pool.push_back({mgr.var(v), tt_var(v)});
+  pool.push_back({mgr.bdd_true(), std::vector<bool>(1u << kVars, true)});
+  pool.push_back({mgr.bdd_false(), std::vector<bool>(1u << kVars, false)});
+
+  for (int step = 0; step < 120; ++step) {
+    const Checked& a = pool[rng.below(pool.size())];
+    const Checked& b = pool[rng.below(pool.size())];
+    const Checked& c = pool[rng.below(pool.size())];
+    Checked r;
+    switch (rng.below(6)) {
+      case 0: {
+        r.bdd = a.bdd & b.bdd;
+        r.tt.resize(a.tt.size());
+        for (size_t i = 0; i < r.tt.size(); ++i) r.tt[i] = a.tt[i] && b.tt[i];
+        break;
+      }
+      case 1: {
+        r.bdd = a.bdd | b.bdd;
+        r.tt.resize(a.tt.size());
+        for (size_t i = 0; i < r.tt.size(); ++i) r.tt[i] = a.tt[i] || b.tt[i];
+        break;
+      }
+      case 2: {
+        r.bdd = a.bdd ^ b.bdd;
+        r.tt.resize(a.tt.size());
+        for (size_t i = 0; i < r.tt.size(); ++i) r.tt[i] = a.tt[i] != b.tt[i];
+        break;
+      }
+      case 3: {
+        r.bdd = !a.bdd;
+        r.tt.resize(a.tt.size());
+        for (size_t i = 0; i < r.tt.size(); ++i) r.tt[i] = !a.tt[i];
+        break;
+      }
+      case 4: {
+        r.bdd = mgr.ite(a.bdd, b.bdd, c.bdd);
+        r.tt.resize(a.tt.size());
+        for (size_t i = 0; i < r.tt.size(); ++i) r.tt[i] = a.tt[i] ? b.tt[i] : c.tt[i];
+        break;
+      }
+      case 5: {
+        const BddVar v = static_cast<BddVar>(rng.below(kVars));
+        r.bdd = mgr.exists(a.bdd, {v});
+        r.tt.resize(a.tt.size());
+        for (uint32_t i = 0; i < r.tt.size(); ++i)
+          r.tt[i] = a.tt[i & ~(1u << v)] || a.tt[i | (1u << v)];
+        break;
+      }
+    }
+    pool.push_back(std::move(r));
+
+    // Periodically reorder to exercise reordering under live handles.
+    if (step % 40 == 39) {
+      mgr.reorder_sift();
+      mgr.check_integrity();
+    }
+  }
+
+  // Verify every pool entry on 200 random assignments plus canonicity
+  // (equal truth tables <=> same node).
+  std::vector<bool> a(kVars);
+  for (int round = 0; round < 200; ++round) {
+    const uint32_t p = static_cast<uint32_t>(rng.below(1u << kVars));
+    for (uint32_t v = 0; v < kVars; ++v) a[v] = (p >> v) & 1;
+    for (const Checked& e : pool) {
+      ASSERT_EQ(mgr.eval(e.bdd, a), e.tt[p]);
+    }
+  }
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      const bool same_tt = pool[i].tt == pool[j].tt;
+      const bool same_node = pool[i].bdd == pool[j].bdd;
+      ASSERT_EQ(same_tt, same_node) << "canonicity violated between " << i << "," << j;
+    }
+  }
+
+  // sat_count agrees with the truth table popcount.
+  for (const Checked& e : pool) {
+    size_t ones = 0;
+    for (bool bit : e.tt) ones += bit;
+    ASSERT_DOUBLE_EQ(mgr.sat_count(e.bdd, kVars), static_cast<double>(ones));
+  }
+
+  // shortest_cube is an implicant and no longer than any_cube.
+  for (const Checked& e : pool) {
+    if (e.bdd.is_false() || e.bdd.is_true()) continue;
+    const auto sc = mgr.shortest_cube(e.bdd);
+    const auto ac = mgr.any_cube(e.bdd);
+    ASSERT_LE(sc.size(), ac.size());
+    for (uint32_t p = 0; p < (1u << kVars); ++p) {
+      bool in_cube = true;
+      for (const BddLit& l : sc) in_cube &= (((p >> l.var) & 1) != 0) == l.positive;
+      if (in_cube) {
+        ASSERT_TRUE(e.tt[p]) << "shortest_cube not an implicant";
+      }
+    }
+  }
+
+  mgr.check_integrity();
+  mgr.garbage_collect();
+  mgr.check_integrity();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(BddStress, DeepAndExistsChainsWithAutoReorder) {
+  BddMgr mgr(24);
+  mgr.set_auto_reorder(true);
+  Rng rng(7);
+  // Random conjunction of clauses, quantified progressively — a miniature
+  // image-computation workload.
+  Bdd acc = mgr.bdd_true();
+  for (int i = 0; i < 60; ++i) {
+    Bdd clause = mgr.bdd_false();
+    for (int j = 0; j < 3; ++j) {
+      const BddVar v = static_cast<BddVar>(rng.below(24));
+      clause |= rng.flip() ? mgr.var(v) : mgr.nvar(v);
+    }
+    acc &= clause;
+  }
+  const Bdd q = mgr.exists(acc, {0, 1, 2, 3, 4, 5});
+  EXPECT_TRUE(acc.implies(q));
+  for (BddVar v : {0u, 1u, 2u, 3u, 4u, 5u}) {
+    const auto sup = mgr.support(q);
+    EXPECT_TRUE(std::find(sup.begin(), sup.end(), v) == sup.end());
+  }
+  mgr.check_integrity();
+}
+
+}  // namespace
+}  // namespace rfn

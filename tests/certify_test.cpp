@@ -1,0 +1,86 @@
+// Tests for independent verdict certification.
+
+#include "core/certify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+
+namespace rfn {
+namespace {
+
+// Chain design: r0 <- driver, r_i <- r_{i-1}; watchdog = last register.
+Netlist make_chain(size_t len, bool driver_is_input, GateId* bad_out) {
+  NetBuilder b;
+  std::vector<GateId> regs;
+  for (size_t i = 0; i < len; ++i) regs.push_back(b.reg("r" + std::to_string(i)));
+  const GateId driver = driver_is_input ? b.input("in") : b.constant(false);
+  b.set_next(regs[0], driver);
+  for (size_t i = 1; i < len; ++i) b.set_next(regs[i], regs[i - 1]);
+  b.output("bad", regs.back());
+  Netlist n = b.take();
+  *bad_out = n.output("bad");
+  return n;
+}
+
+TEST(Certify, HoldsVerdictIsCertified) {
+  GateId bad;
+  Netlist m = make_chain(4, false, &bad);
+  RfnVerifier rfn(m, bad);
+  const RfnResult res = rfn.run();
+  ASSERT_EQ(res.verdict, Verdict::Holds);
+  const CertifyResult cert = certify(m, bad, res, rfn.abstract_registers());
+  EXPECT_TRUE(cert.ok) << cert.detail;
+}
+
+TEST(Certify, FailsVerdictIsCertified) {
+  GateId bad;
+  Netlist m = make_chain(3, true, &bad);
+  RfnVerifier rfn(m, bad);
+  const RfnResult res = rfn.run();
+  ASSERT_EQ(res.verdict, Verdict::Fails);
+  const CertifyResult cert = certify(m, bad, res, rfn.abstract_registers());
+  EXPECT_TRUE(cert.ok) << cert.detail;
+}
+
+TEST(Certify, RejectsBogusTrace) {
+  GateId bad;
+  Netlist m = make_chain(3, true, &bad);
+  // A trace that never raises the input cannot raise bad.
+  Trace bogus;
+  bogus.steps.resize(4);
+  for (auto& step : bogus.steps) step.inputs = {{m.find("in"), false}};
+  const CertifyResult cert = certify_error_trace(m, bogus, bad);
+  EXPECT_FALSE(cert.ok);
+  EXPECT_FALSE(cert.detail.empty());
+}
+
+TEST(Certify, RejectsTraceStartingOutsideInit) {
+  GateId bad;
+  Netlist m = make_chain(2, true, &bad);
+  Trace bogus;
+  bogus.steps.resize(1);
+  bogus.steps[0].state = {{m.find("r1"), true}};  // r1 inits to 0
+  const CertifyResult cert = certify_error_trace(m, bogus, bad);
+  EXPECT_FALSE(cert.ok);
+}
+
+TEST(Certify, RejectsNonInvariantAbstraction) {
+  // The one-register abstraction of the falsifiable chain cannot certify a
+  // Holds verdict: its "fixpoint" includes bad states.
+  GateId bad;
+  Netlist m = make_chain(3, true, &bad);
+  const CertifyResult cert = certify_holds(m, bad, {m.find("r2")});
+  EXPECT_FALSE(cert.ok);
+}
+
+TEST(Certify, UnknownIsNeverCertified) {
+  GateId bad;
+  Netlist m = make_chain(2, false, &bad);
+  RfnResult unknown;
+  unknown.verdict = Verdict::Unknown;
+  EXPECT_FALSE(certify(m, bad, unknown, {}).ok);
+}
+
+}  // namespace
+}  // namespace rfn

@@ -1,0 +1,152 @@
+// Unit + property tests for the combinational justification ATPG.
+
+#include "atpg/comb_atpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "sim/sim3.hpp"
+#include "util/rng.hpp"
+
+namespace rfn {
+namespace {
+
+// Validates a Sat result: replaying the free assignment through 3-valued
+// simulation must reproduce every target literal.
+void check_model(const Netlist& n, const Cube& targets, const CombAtpgResult& res) {
+  ASSERT_EQ(res.status, AtpgStatus::Sat);
+  Sim3 sim(n);
+  for (GateId g : n.regs()) sim.set(g, Tri::X);
+  for (const Literal& lit : res.free_assignment) sim.set(lit.signal, tri_of(lit.value));
+  sim.eval();
+  for (const Literal& lit : targets) {
+    EXPECT_EQ(sim.value(lit.signal), tri_of(lit.value))
+        << "target " << lit.signal << " not satisfied";
+  }
+}
+
+TEST(CombAtpg, SimpleJustification) {
+  NetBuilder b;
+  const GateId a = b.input("a");
+  const GateId c = b.input("c");
+  const GateId d = b.input("d");
+  const GateId g = b.and_(b.or_(a, c), b.not_(d));
+  Netlist n = b.take();
+  const Cube targets{{g, true}};
+  const CombAtpgResult res = justify(n, targets);
+  check_model(n, targets, res);
+}
+
+TEST(CombAtpg, UnsatConstantConflict) {
+  NetBuilder b;
+  const GateId a = b.input("a");
+  const GateId g = b.and_(a, b.not_(a));  // folds to const0
+  Netlist n = b.take();
+  const CombAtpgResult res = justify(n, {{g, true}});
+  EXPECT_EQ(res.status, AtpgStatus::Unsat);
+}
+
+TEST(CombAtpg, UnsatStructural) {
+  // g = a & c ; h = !a & c ; both true is unsatisfiable, and the gates do
+  // not fold away because the netlist is built without sharing a & !a.
+  NetBuilder b;
+  const GateId a = b.input("a");
+  const GateId c = b.input("c");
+  const GateId g = b.and_(a, c);
+  const GateId h = b.and_(b.not_(a), c);
+  Netlist n = b.take();
+  const CombAtpgResult res = justify(n, {{g, true}, {h, true}});
+  EXPECT_EQ(res.status, AtpgStatus::Unsat);
+}
+
+TEST(CombAtpg, RegistersAreFreeSignals) {
+  NetBuilder b;
+  const GateId r = b.reg("r");
+  const GateId a = b.input("a");
+  b.set_next(r, a);
+  const GateId g = b.xor_(r, a);
+  Netlist n = b.take();
+  const Cube targets{{g, true}};
+  const CombAtpgResult res = justify(n, targets);
+  check_model(n, targets, res);
+  // The model must assign r and a opposite values.
+  EXPECT_EQ(cube_lookup(res.free_assignment, r) != cube_lookup(res.free_assignment, a),
+            true);
+}
+
+TEST(CombAtpg, RespectsBacktrackLimit) {
+  // XOR chain parity target: trivially satisfiable but forces decisions;
+  // with a zero backtrack budget an Abort can only happen on genuinely
+  // conflicting instances, so craft one: parity(x) == 1 and parity(x) == 0.
+  NetBuilder b;
+  std::vector<GateId> xs;
+  for (int i = 0; i < 12; ++i) xs.push_back(b.input("x" + std::to_string(i)));
+  GateId parity = xs[0];
+  for (size_t i = 1; i < xs.size(); ++i) parity = b.xor_(parity, xs[i]);
+  const GateId dup = b.or_(parity, xs[0]);
+  Netlist n = b.take();
+  AtpgOptions opt;
+  opt.max_backtracks = 0;
+  const CombAtpgResult res = justify(n, {{parity, true}, {dup, false}}, opt);
+  // parity=1, dup=0 requires x0=0 and parity=0: conflict. Either the engine
+  // proves Unsat without backtracking (pure implication) or aborts.
+  EXPECT_NE(res.status, AtpgStatus::Sat);
+}
+
+// Property: on random netlists, ATPG Sat answers re-simulate correctly and
+// Unsat answers agree with exhaustive enumeration over the inputs.
+class CombAtpgRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CombAtpgRandom, AgreesWithExhaustiveEnumeration) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 15; ++round) {
+    NetBuilder b;
+    std::vector<GateId> pool;
+    const size_t num_inputs = 2 + rng.below(6);  // <= 7 inputs: enumerable
+    for (size_t i = 0; i < num_inputs; ++i)
+      pool.push_back(b.input("i" + std::to_string(i)));
+    for (int i = 0; i < 25; ++i) {
+      const GateId x = pool[rng.below(pool.size())];
+      const GateId y = pool[rng.below(pool.size())];
+      const GateId z = pool[rng.below(pool.size())];
+      switch (rng.below(6)) {
+        case 0: pool.push_back(b.and_(x, y)); break;
+        case 1: pool.push_back(b.or_(x, y)); break;
+        case 2: pool.push_back(b.xor_(x, y)); break;
+        case 3: pool.push_back(b.not_(x)); break;
+        case 4: pool.push_back(b.mux(x, y, z)); break;
+        case 5: pool.push_back(b.nand_(x, y)); break;
+      }
+    }
+    Netlist n = b.take();
+
+    // Random target cube over 1-3 internal signals.
+    Cube targets;
+    const size_t want = 1 + rng.below(3);
+    for (size_t t = 0; t < want; ++t)
+      cube_add(targets, {pool[num_inputs + rng.below(pool.size() - num_inputs)],
+                         rng.flip()});
+
+    const CombAtpgResult res = justify(n, targets);
+    ASSERT_NE(res.status, AtpgStatus::Abort);
+
+    // Exhaustive ground truth via simulation.
+    Sim3 sim(n);
+    bool sat = false;
+    for (uint32_t p = 0; p < (1u << num_inputs) && !sat; ++p) {
+      size_t idx = 0;
+      for (GateId in : n.inputs()) sim.set(in, tri_of((p >> idx++) & 1));
+      sim.eval();
+      bool all = true;
+      for (const Literal& lit : targets) all &= sim.value(lit.signal) == tri_of(lit.value);
+      sat |= all;
+    }
+    ASSERT_EQ(res.status == AtpgStatus::Sat, sat) << "round " << round;
+    if (res.status == AtpgStatus::Sat) check_model(n, targets, res);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CombAtpgRandom, ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace rfn

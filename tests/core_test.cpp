@@ -1,0 +1,332 @@
+// End-to-end tests for the RFN loop and its engines on small designs with
+// known ground truth, including cross-checks against plain symbolic model
+// checking.
+
+#include <gtest/gtest.h>
+
+#include "core/bfs_baseline.hpp"
+#include "core/concretize.hpp"
+#include "core/coverage.hpp"
+#include "core/plain_mc.hpp"
+#include "core/refine.hpp"
+#include "core/rfn.hpp"
+#include "netlist/builder.hpp"
+#include "sim/sim3.hpp"
+#include "util/rng.hpp"
+
+namespace rfn {
+namespace {
+
+// Replays a concrete error trace on M: inputs driven per trace from M's
+// initial state; returns the final value of `bad`.
+Tri replay(const Netlist& m, const Trace& t, GateId bad) {
+  Sim3 sim(m);
+  sim.load_initial_state();
+  for (GateId r : m.regs())
+    if (sim.value(r) == Tri::X && !t.steps.empty())
+      sim.set(r, cube_lookup(t.steps[0].state, r));
+  for (size_t c = 0; c < t.steps.size(); ++c) {
+    sim.clear_inputs();
+    for (const Literal& lit : t.steps[c].inputs)
+      if (m.is_input(lit.signal)) sim.set(lit.signal, tri_of(lit.value));
+    sim.eval();
+    if (c + 1 < t.steps.size()) sim.step();
+  }
+  return sim.value(bad);
+}
+
+// Register chain: r0 <- driver, r_i <- r_{i-1}; bad = last register.
+Netlist make_chain(size_t len, bool driver_is_input, GateId* bad_out) {
+  NetBuilder b;
+  std::vector<GateId> regs;
+  for (size_t i = 0; i < len; ++i) regs.push_back(b.reg("r" + std::to_string(i)));
+  const GateId driver = driver_is_input ? b.input("in") : b.constant(false);
+  b.set_next(regs[0], driver);
+  for (size_t i = 1; i < len; ++i) b.set_next(regs[i], regs[i - 1]);
+  b.output("bad", regs.back());
+  Netlist n = b.take();
+  *bad_out = n.output("bad");
+  return n;
+}
+
+TEST(Rfn, ProvesChainPropertyByIterativeRefinement) {
+  GateId bad;
+  Netlist m = make_chain(4, /*driver_is_input=*/false, &bad);
+  RfnVerifier rfn(m, bad);
+  const RfnResult res = rfn.run();
+  EXPECT_EQ(res.verdict, Verdict::Holds);
+  // The proof needs the whole chain: one register per refinement iteration.
+  EXPECT_EQ(res.final_abstract_regs, 4u);
+  EXPECT_GE(res.iterations, 2u);
+  // Every intermediate iteration produced a spurious abstract trace.
+  for (size_t i = 0; i + 1 < res.per_iteration.size(); ++i)
+    EXPECT_EQ(res.per_iteration[i].reach_status, ReachStatus::BadReachable);
+  EXPECT_EQ(res.per_iteration.back().reach_status, ReachStatus::Proved);
+}
+
+TEST(Rfn, FalsifiesChainWithConcreteTrace) {
+  GateId bad;
+  Netlist m = make_chain(3, /*driver_is_input=*/true, &bad);
+  RfnVerifier rfn(m, bad);
+  const RfnResult res = rfn.run();
+  ASSERT_EQ(res.verdict, Verdict::Fails);
+  EXPECT_EQ(res.error_trace.cycles(), 4u);  // in@1 -> r0@2 -> r1@3 -> r2@4
+  EXPECT_EQ(replay(m, res.error_trace, bad), Tri::T);
+}
+
+TEST(Rfn, ImmediateProofWhenInitialAbstractionSuffices) {
+  // bad = r & !r at the property level: structurally false once r included.
+  NetBuilder b;
+  const GateId in = b.input("in");
+  const GateId r = b.reg("r");
+  b.set_next(r, in);
+  // Use two registers fed oppositely so folding does not erase the check.
+  const GateId r2 = b.reg("r2", Tri::T);
+  b.set_next(r2, b.not_(in));
+  // bad: both low at the same time... r2 starts 1, r starts 0; next values
+  // are in and !in — always complementary, so bad = !r & !r2 only holds in
+  // no reachable state... wait: initial state r=0, r2=1 -> bad=0; after any
+  // step r=in, r2=!in -> complementary. Property holds.
+  const GateId bad = b.nor_(r, r2);
+  b.output("bad", bad);
+  Netlist m = b.take();
+
+  RfnVerifier rfn(m, m.output("bad"));
+  const RfnResult res = rfn.run();
+  EXPECT_EQ(res.verdict, Verdict::Holds);
+  EXPECT_EQ(res.iterations, 1u);
+}
+
+TEST(Rfn, DeepBugFoundThroughGuidedAtpg) {
+  // Counter-triggered bug: bad rises when an 8-step one-hot token pipeline
+  // delivers a token that the environment injects.
+  NetBuilder b;
+  const GateId go = b.input("go");
+  std::vector<GateId> stage;
+  for (int i = 0; i < 8; ++i) stage.push_back(b.reg("s" + std::to_string(i)));
+  b.set_next(stage[0], go);
+  for (int i = 1; i < 8; ++i) b.set_next(stage[static_cast<size_t>(i)], stage[static_cast<size_t>(i) - 1]);
+  b.output("bad", stage.back());
+  Netlist m = b.take();
+  RfnVerifier rfn(m, m.output("bad"));
+  const RfnResult res = rfn.run();
+  ASSERT_EQ(res.verdict, Verdict::Fails);
+  EXPECT_EQ(res.error_trace.cycles(), 9u);
+  EXPECT_EQ(replay(m, res.error_trace, m.output("bad")), Tri::T);
+}
+
+TEST(Refine, SimulationFindsConflictingRegister) {
+  // r1 <- const0; abstract model {r2} with pseudo-input r1. A trace claiming
+  // r1=1 at cycle 2 conflicts with the simulated 0.
+  NetBuilder b;
+  const GateId r1 = b.reg("r1");
+  const GateId r2 = b.reg("r2");
+  b.set_next(r1, b.constant(false));
+  b.set_next(r2, r1);
+  Netlist m = b.take();
+
+  Trace t;
+  t.steps.resize(3);
+  t.steps[0].state = {{r2, false}};
+  t.steps[0].inputs = {{r1, false}};
+  t.steps[1].inputs = {{r1, true}};  // conflicts: r1 is 0 from cycle 2 on
+  t.steps[2].state = {{r2, true}};
+  const auto candidates = crucial_candidates_by_simulation(m, t, {r2}, 8);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0], r1);
+}
+
+TEST(Refine, GreedyDropsRedundantCandidates) {
+  // Two candidate registers; only r1 matters for invalidating the trace.
+  NetBuilder b;
+  const GateId r1 = b.reg("r1");
+  const GateId junk = b.reg("junk");
+  const GateId r2 = b.reg("r2");
+  b.set_next(r1, b.constant(false));
+  b.set_next(junk, b.constant(true));
+  b.set_next(r2, r1);
+  b.output("bad", r2);
+  Netlist m = b.take();
+
+  Trace t;  // claims r1=1@1 so that r2=1@2 — impossible once r1 is modeled
+  t.steps.resize(2);
+  t.steps[0].state = {{r2, false}};
+  t.steps[0].inputs = {{r1, true}, {junk, false}};
+  t.steps[1].state = {{r2, true}};
+
+  RefineStats st;
+  const auto crucial = identify_crucial_registers(m, {r2}, m.output("bad"), {r2}, t,
+                                                  RefineOptions{}, &st);
+  ASSERT_EQ(crucial.size(), 1u);
+  EXPECT_EQ(crucial[0], r1);
+  EXPECT_TRUE(st.trace_invalidated);
+}
+
+TEST(Concretize, DirectReplayShortCircuitsAtpg) {
+  GateId bad;
+  Netlist m = make_chain(2, /*driver_is_input=*/true, &bad);
+  // Abstract trace that assigns only real inputs: in=1@1.
+  Trace t;
+  t.steps.resize(3);
+  t.steps[0].inputs = {{m.find("in"), true}};
+  const ConcretizeResult res = concretize_trace(m, t, bad);
+  ASSERT_EQ(res.status, AtpgStatus::Sat);
+  EXPECT_TRUE(res.direct_replay);
+  EXPECT_EQ(replay(m, res.trace, bad), Tri::T);
+}
+
+TEST(PlainMc, AgreesOnSmallDesigns) {
+  GateId bad;
+  Netlist t = make_chain(3, false, &bad);
+  EXPECT_EQ(plain_model_check(t, bad, ReachOptions{}).verdict, Verdict::Holds);
+  GateId bad2;
+  Netlist f = make_chain(3, true, &bad2);
+  EXPECT_EQ(plain_model_check(f, bad2, ReachOptions{}).verdict, Verdict::Fails);
+}
+
+// Property: RFN and plain MC agree on random small sequential designs.
+class RfnVsPlainMc : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RfnVsPlainMc, VerdictsAgree) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    NetBuilder b;
+    const size_t nins = 1 + rng.below(3);
+    const size_t nregs = 3 + rng.below(5);
+    std::vector<GateId> ins, regs, pool;
+    for (size_t i = 0; i < nins; ++i) {
+      ins.push_back(b.input("i" + std::to_string(i)));
+      pool.push_back(ins.back());
+    }
+    for (size_t i = 0; i < nregs; ++i) {
+      regs.push_back(b.reg("r" + std::to_string(i)));
+      pool.push_back(regs.back());
+    }
+    for (int i = 0; i < 25; ++i) {
+      const GateId x = pool[rng.below(pool.size())];
+      const GateId y = pool[rng.below(pool.size())];
+      switch (rng.below(4)) {
+        case 0: pool.push_back(b.and_(x, y)); break;
+        case 1: pool.push_back(b.or_(x, y)); break;
+        case 2: pool.push_back(b.xor_(x, y)); break;
+        case 3: pool.push_back(b.not_(x)); break;
+      }
+    }
+    for (GateId r : regs) b.set_next(r, pool[pool.size() - 1 - rng.below(10)]);
+    // Property over registers only so that bad states are honest states.
+    const GateId bad = b.and_(regs[0], b.not_(regs[1 + rng.below(nregs - 1)]));
+    b.output("bad", bad);
+    Netlist m = b.take();
+
+    const PlainMcResult truth = plain_model_check(m, m.output("bad"), ReachOptions{});
+    ASSERT_NE(truth.verdict, Verdict::Unknown);
+
+    RfnOptions opt;
+    opt.time_limit_s = 30.0;
+    RfnVerifier rfn(m, m.output("bad"), opt);
+    const RfnResult res = rfn.run();
+    ASSERT_EQ(res.verdict, truth.verdict) << "round " << round << " note: " << res.note;
+    if (res.verdict == Verdict::Fails) {
+      EXPECT_EQ(replay(m, res.error_trace, m.output("bad")), Tri::T);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RfnVsPlainMc, ::testing::Values(101, 202, 303, 404, 505));
+
+TEST(Coverage, OneHotRingGroundTruth) {
+  // One-hot 3-stage ring: reachable coverage states are exactly the three
+  // one-hot patterns.
+  NetBuilder b;
+  const GateId s0 = b.reg("s0", Tri::T);
+  const GateId s1 = b.reg("s1");
+  const GateId s2 = b.reg("s2");
+  b.set_next(s0, s2);
+  b.set_next(s1, s0);
+  b.set_next(s2, s1);
+  Netlist m = b.take();
+
+  CoverageOptions opt;
+  opt.time_limit_s = 30.0;
+  const CoverageResult res = rfn_coverage_analysis(m, {s0, s1, s2}, opt);
+  EXPECT_EQ(res.total_states, 8u);
+  EXPECT_EQ(res.unreachable, 5u);
+  EXPECT_EQ(res.reachable, 3u);
+  EXPECT_EQ(res.unknown, 0u);
+
+  BfsBaselineOptions bopt;
+  bopt.num_registers = 3;
+  const BfsBaselineResult bfs = bfs_coverage_analysis(m, {s0, s1, s2}, bopt);
+  EXPECT_EQ(bfs.unreachable, 5u);
+}
+
+TEST(Coverage, RefinementTightensClassification) {
+  // Coverage register c mirrors a constrained producer: p cycles 0->1->0...,
+  // c follows p. With only {c} abstracted, all 2 states look reachable;
+  // ground truth: both ARE reachable. Add an unreachable pattern: d = c & !c
+  // ... instead use two coverage regs c0,c1 with c1 = c0 delayed, driven by
+  // a toggler: reachable patterns are (0,0),(1,0),(1,1),(0,1) over time —
+  // all four. Make the driver constant instead: only (0,0) reachable... use
+  // a one-shot latch: l <- l | never... Keep it simple: driver const0.
+  NetBuilder b;
+  const GateId c0 = b.reg("c0");
+  const GateId c1 = b.reg("c1");
+  const GateId src = b.reg("src");
+  b.set_next(src, b.constant(false));
+  b.set_next(c0, src);
+  b.set_next(c1, c0);
+  Netlist m = b.take();
+  CoverageOptions opt;
+  opt.time_limit_s = 30.0;
+  const CoverageResult res = rfn_coverage_analysis(m, {c0, c1}, opt);
+  // Only (0,0) is reachable; the other three require src=1 at some cycle.
+  EXPECT_EQ(res.unreachable, 3u);
+  EXPECT_GE(res.reachable + res.unknown, 1u);
+  EXPECT_EQ(res.state_class[0], 2u);  // (0,0) witnessed reachable
+}
+
+TEST(Rfn, ApproxFallbackProvesWhenExactFixpointIsCut) {
+  // Many independent wrap-at-4 counters; `bad` = counter 0 reaches 6.
+  // The exact fixpoint is artificially cut off by a tiny step budget, so
+  // the overlapping-partition fallback must deliver the proof.
+  NetBuilder b;
+  std::vector<Word> counters;
+  for (int c = 0; c < 8; ++c) {
+    const GateId en = b.input("en" + std::to_string(c));
+    const Word cnt = b.reg_word("c" + std::to_string(c), 3, 0);
+    const GateId wrap = b.eq_const(cnt, 4);
+    const Word next = b.mux_word(wrap, b.inc_word(cnt), b.constant_word(0, 3));
+    b.set_next_word(cnt, b.mux_word(en, cnt, next));
+    counters.push_back(cnt);
+  }
+  const GateId bad_sig = b.eq_const(counters[0], 6);
+  const GateId bad = b.reg("bad");
+  b.set_next(bad, b.or_(bad, bad_sig));
+  b.output("bad", bad);
+  Netlist m = b.take();
+
+  RfnOptions opt;
+  opt.time_limit_s = 30.0;
+  // Cripple the exact engine just enough: refinement traces stay shallow
+  // (any still-free counter violates within ~2 steps), but the final full
+  // model's fixpoint needs 5+ image steps, which only the fallback gets.
+  opt.reach.max_steps = 3;
+  opt.max_iterations = 60;
+  opt.approx_block_size = 6;
+  opt.approx_overlap = 2;
+  RfnVerifier rfn(m, m.output("bad"), opt);
+  const RfnResult res = rfn.run();
+  EXPECT_EQ(res.verdict, Verdict::Holds) << res.note;
+  // The proof must have come from the fallback.
+  ASSERT_FALSE(res.per_iteration.empty());
+  EXPECT_TRUE(res.per_iteration.back().approx_used);
+  EXPECT_TRUE(res.per_iteration.back().approx_proved);
+
+  // Without the fallback the same configuration is Unknown.
+  opt.approx_fallback = false;
+  RfnVerifier rfn2(m, m.output("bad"), opt);
+  EXPECT_EQ(rfn2.run().verdict, Verdict::Unknown);
+}
+
+}  // namespace
+}  // namespace rfn

@@ -1,0 +1,17 @@
+// Committed demo design used by the CLI smoke tests and the README.
+// A bounded counter with a watchdog: cnt wraps at 5, so cnt==7 never
+// happens and bad_q stays low (the property HOLDS).
+module demo(clk, req, bad);
+  input clk; input req;
+  output bad;
+  reg [2:0] cnt = 0;
+  reg bad_q = 0;
+  always @(posedge clk) begin
+    if (req) begin
+      if (cnt == 5) cnt <= 0;
+      else cnt <= cnt + 1;
+    end
+    bad_q <= bad_q | (cnt == 7);
+  end
+  assign bad = bad_q;
+endmodule

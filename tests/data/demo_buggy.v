@@ -1,0 +1,16 @@
+// The same counter with the wrap check off by two: cnt reaches 7 and the
+// watchdog fires (the property is VIOLATED).
+module demo_buggy(clk, req, bad);
+  input clk; input req;
+  output bad;
+  reg [2:0] cnt = 0;
+  reg bad_q = 0;
+  always @(posedge clk) begin
+    if (req) begin
+      if (cnt == 7) cnt <= 0;
+      else cnt <= cnt + 1;
+    end
+    bad_q <= bad_q | (cnt == 7);
+  end
+  assign bad = bad_q;
+endmodule

@@ -1,0 +1,153 @@
+// Tests for max-flow and min-cut design computation.
+
+#include "mincut/mincut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mincut/maxflow.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/builder.hpp"
+#include "sim/sim64.hpp"
+#include "util/rng.hpp"
+
+namespace rfn {
+namespace {
+
+TEST(MaxFlow, TextbookNetwork) {
+  // s -> a (3), s -> b (2), a -> b (1), a -> t (2), b -> t (3): max flow 5.
+  MaxFlow f(4);
+  f.add_edge(0, 1, 3);
+  f.add_edge(0, 2, 2);
+  f.add_edge(1, 2, 1);
+  f.add_edge(1, 3, 2);
+  f.add_edge(2, 3, 3);
+  EXPECT_EQ(f.run(0, 3), 5);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow f(4);
+  f.add_edge(0, 1, 5);
+  f.add_edge(2, 3, 5);
+  EXPECT_EQ(f.run(0, 3), 0);
+  const auto side = f.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_TRUE(side[1]);
+  EXPECT_FALSE(side[3]);
+}
+
+TEST(MaxFlow, MinCutMatchesFlowValue) {
+  // Unit-capacity bipartite-ish graph.
+  MaxFlow f(6);
+  f.add_edge(0, 1, 1);
+  f.add_edge(0, 2, 1);
+  f.add_edge(1, 3, 1);
+  f.add_edge(2, 3, 1);
+  f.add_edge(1, 4, 1);
+  f.add_edge(3, 5, 2);
+  f.add_edge(4, 5, 1);
+  const int64_t flow = f.run(0, 5);
+  const auto side = f.min_cut_source_side(0);
+  EXPECT_TRUE(side[0]);
+  EXPECT_FALSE(side[5]);
+  (void)flow;
+}
+
+// A "wide-then-narrow" design: many inputs funnel through a narrow internal
+// bus into the registers. The min cut must land on the narrow bus.
+TEST(MinCut, FunnelDesignCutsAtNarrowWaist) {
+  NetBuilder b;
+  std::vector<GateId> ins;
+  for (int i = 0; i < 16; ++i) ins.push_back(b.input("i" + std::to_string(i)));
+  // Two waist signals, each a tree over 8 inputs.
+  GateId w0 = ins[0];
+  for (int i = 1; i < 8; ++i) w0 = b.xor_(w0, ins[i]);
+  GateId w1 = ins[8];
+  for (int i = 9; i < 16; ++i) w1 = b.and_(w1, ins[i]);
+  // Registers read combinations of the two waists and each other.
+  const GateId r0 = b.reg("r0");
+  const GateId r1 = b.reg("r1");
+  b.set_next(r0, b.and_(b.or_(w0, r1), b.not_(w1)));
+  b.set_next(r1, b.xor_(b.xor_(w0, w1), r0));
+  Netlist n = b.take();
+
+  const MinCutResult mcr = compute_mincut_design(n);
+  EXPECT_EQ(mcr.cone_inputs, 16u);
+  EXPECT_EQ(mcr.cut_size, 2u);  // the two waist signals
+  EXPECT_EQ(mcr.mc.net.num_inputs(), 2u);
+  EXPECT_EQ(mcr.mc.net.num_regs(), 2u);
+
+  // Functional check: MC with cut signals driven by N's internal values
+  // computes the same next-state functions.
+  Sim64 sim_n(n);
+  Sim64 sim_mc(mcr.mc.net);
+  Rng rng(5);
+  Rng rng_init(9);
+  sim_n.load_initial_state(rng_init);
+  sim_mc.load_initial_state(rng_init);
+  for (int round = 0; round < 10; ++round) {
+    sim_n.randomize_inputs(rng);
+    // Copy register values N -> MC (ids map through the subcircuit).
+    for (GateId r : mcr.mc.net.regs()) sim_mc.set(r, sim_n.value(mcr.mc.to_old(r)));
+    sim_n.eval();
+    // Drive MC inputs with the values N computed for those signals.
+    for (GateId i : mcr.mc.net.inputs()) sim_mc.set(i, sim_n.value(mcr.mc.to_old(i)));
+    sim_mc.eval();
+    for (GateId r : mcr.mc.net.regs()) {
+      EXPECT_EQ(sim_mc.value(mcr.mc.net.reg_data(r)),
+                sim_n.value(n.reg_data(mcr.mc.to_old(r))))
+          << "round " << round;
+    }
+    sim_n.step();
+  }
+}
+
+TEST(MinCut, FreeCutContainsRegisterToRegisterLogic) {
+  // r0 -> g -> r1: g lies in both the fanout of r0 and the fanin of r1.
+  NetBuilder b;
+  const GateId in = b.input("in");
+  const GateId r0 = b.reg("r0");
+  const GateId r1 = b.reg("r1");
+  b.set_next(r0, in);
+  const GateId g = b.not_(r0);
+  b.set_next(r1, g);
+  Netlist n = b.take();
+  const auto fc = free_cut_design(n);
+  EXPECT_TRUE(fc[g]);
+  EXPECT_TRUE(fc[r0]);
+  EXPECT_TRUE(fc[r1]);
+  EXPECT_FALSE(fc[in]);
+}
+
+TEST(MinCut, CutNeverExceedsNaiveInputCount) {
+  Rng rng(77);
+  for (int round = 0; round < 10; ++round) {
+    NetBuilder b;
+    std::vector<GateId> pool;
+    const size_t ni = 4 + rng.below(8);
+    for (size_t i = 0; i < ni; ++i) pool.push_back(b.input("i" + std::to_string(i)));
+    std::vector<GateId> regs;
+    for (int i = 0; i < 4; ++i) regs.push_back(b.reg("r" + std::to_string(i)));
+    for (GateId r : regs) pool.push_back(r);
+    for (int i = 0; i < 30; ++i) {
+      const GateId x = pool[rng.below(pool.size())];
+      const GateId y = pool[rng.below(pool.size())];
+      switch (rng.below(4)) {
+        case 0: pool.push_back(b.and_(x, y)); break;
+        case 1: pool.push_back(b.or_(x, y)); break;
+        case 2: pool.push_back(b.xor_(x, y)); break;
+        case 3: pool.push_back(b.not_(x)); break;
+      }
+    }
+    for (GateId r : regs) b.set_next(r, pool[pool.size() - 1 - rng.below(8)]);
+    Netlist n = b.take();
+
+    const MinCutResult mcr = compute_mincut_design(n);
+    EXPECT_LE(mcr.cut_size, mcr.cone_inputs);
+    EXPECT_EQ(mcr.cut_signals.size(), mcr.cut_size);
+    EXPECT_EQ(mcr.mc.net.num_regs(), n.num_regs());
+    mcr.mc.net.check();
+  }
+}
+
+}  // namespace
+}  // namespace rfn

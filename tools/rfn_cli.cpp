@@ -1,0 +1,170 @@
+// rfn — command-line front door to the verifier.
+//
+//   rfn verify   <design> --bad SIGNAL [options]   property verification
+//   rfn coverage <design> --signals a,b,c [options] unreachable-state analysis
+//   rfn translate <design> [--top MODULE]           Verilog -> BLIF
+//   rfn stats    <design>                           design statistics
+//
+// <design> is a .v (Verilog subset) or .blif file; the format is chosen by
+// extension. Common options:
+//   --time-limit S     wall-clock budget (default 300)
+//   --certify          independently re-check the verdict
+//   --traces N         abstract traces per iteration (default 1)
+//   --no-approx        disable the overlapping-partition fallback
+//   --dump-trace       print the error trace on Fails
+//   --top NAME         top module for multi-module Verilog
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/certify.hpp"
+#include "core/coverage.hpp"
+#include "core/rfn.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/writer.hpp"
+#include "rtlv/elaborate.hpp"
+#include "util/options.hpp"
+
+using namespace rfn;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: rfn <verify|coverage|translate|stats> <design.v|design.blif> "
+               "[options]\n       see the header of tools/rfn_cli.cpp for options\n");
+  return 2;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(),
+                                                suffix.size(), suffix) == 0;
+}
+
+Netlist load_design(const std::string& path, const Options& opts, bool* ok) {
+  *ok = true;
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "rfn: cannot open %s\n", path.c_str());
+    *ok = false;
+    return Netlist{};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (ends_with(path, ".blif")) return read_blif(buf.str());
+  return rtlv::elaborate_verilog(buf.str(), opts.get("top", "")).netlist;
+}
+
+GateId find_signal(const Netlist& n, const std::string& name) {
+  GateId g = n.find(name);
+  if (g == kNullGate) g = n.output(name);
+  return g;
+}
+
+int cmd_verify(const Netlist& design, const Options& opts) {
+  const std::string bad_name = opts.get("bad", "bad");
+  const GateId bad = find_signal(design, bad_name);
+  if (bad == kNullGate) {
+    std::fprintf(stderr, "rfn: no signal named '%s'\n", bad_name.c_str());
+    return 2;
+  }
+
+  RfnOptions rfn_opts;
+  rfn_opts.time_limit_s = opts.get_double("time-limit", 300.0);
+  rfn_opts.traces_per_iteration = static_cast<size_t>(opts.get_int("traces", 1));
+  rfn_opts.approx_fallback = !opts.get_bool("no-approx", false);
+  RfnVerifier verifier(design, bad, rfn_opts);
+  const RfnResult result = verifier.run();
+
+  std::printf("verdict: %s\n",
+              result.verdict == Verdict::Holds   ? "HOLDS"
+              : result.verdict == Verdict::Fails ? "VIOLATED"
+                                                 : "UNKNOWN");
+  std::printf("iterations: %zu, abstract model: %zu / %zu registers, %.2f s\n",
+              result.iterations, result.final_abstract_regs, design.num_regs(),
+              result.seconds);
+  if (!result.note.empty()) std::printf("note: %s\n", result.note.c_str());
+  if (result.verdict == Verdict::Fails) {
+    std::printf("error trace: %zu cycles\n", result.error_trace.cycles());
+    if (opts.get_bool("dump-trace", false))
+      std::fputs(trace_to_string(design, result.error_trace).c_str(), stdout);
+  }
+  if (opts.get_bool("certify", false)) {
+    const CertifyResult cert =
+        certify(design, bad, result, verifier.abstract_registers());
+    std::printf("certificate: %s%s%s\n", cert.ok ? "OK" : "FAILED",
+                cert.ok ? "" : " — ", cert.ok ? "" : cert.detail.c_str());
+    if (!cert.ok && result.verdict != Verdict::Unknown) return 3;
+  }
+  return result.verdict == Verdict::Unknown ? 1 : 0;
+}
+
+int cmd_coverage(const Netlist& design, const Options& opts) {
+  const std::string list = opts.get("signals", "");
+  if (list.empty()) {
+    std::fprintf(stderr, "rfn: coverage needs --signals a,b,c\n");
+    return 2;
+  }
+  std::vector<GateId> cov;
+  std::stringstream ss(list);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    const GateId g = find_signal(design, name);
+    if (g == kNullGate || !design.is_reg(g)) {
+      std::fprintf(stderr, "rfn: coverage signal '%s' is not a register\n",
+                   name.c_str());
+      return 2;
+    }
+    cov.push_back(g);
+  }
+
+  CoverageOptions cov_opts;
+  cov_opts.time_limit_s = opts.get_double("time-limit", 300.0);
+  const CoverageResult r = rfn_coverage_analysis(design, cov, cov_opts);
+  std::printf("coverage states: %zu total\n", r.total_states);
+  std::printf("  unreachable: %zu (proved on the abstraction)\n", r.unreachable);
+  std::printf("  reachable:   %zu (witnessed by concrete traces)\n", r.reachable);
+  std::printf("  unknown:     %zu\n", r.unknown);
+  std::printf("abstract model grew to %zu registers over %zu iterations (%.1f s)\n",
+              r.final_abstract_regs, r.iterations, r.seconds);
+  if (opts.get_bool("list-unreachable", false)) {
+    for (size_t s = 0; s < r.state_class.size(); ++s) {
+      if (r.state_class[s] != 1) continue;
+      std::string bits;
+      for (size_t i = 0; i < cov.size(); ++i) bits += ((s >> i) & 1) ? '1' : '0';
+      std::printf("  unreachable: %s\n", bits.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv);
+  if (opts.positionals().size() < 2) return usage();
+  const std::string& command = opts.positionals()[0];
+  const std::string& path = opts.positionals()[1];
+
+  bool ok = false;
+  const Netlist design = load_design(path, opts, &ok);
+  if (!ok) return 2;
+  std::printf("loaded %s: %s\n", path.c_str(), stats_line(design).c_str());
+
+  if (command == "verify") return cmd_verify(design, opts);
+  if (command == "coverage") return cmd_coverage(design, opts);
+  if (command == "translate") {
+    std::fputs(write_blif(design, "rfn_translated").c_str(), stdout);
+    return 0;
+  }
+  if (command == "stats") {
+    for (const auto& [name, g] : design.outputs()) {
+      const auto regs = coi_registers(design, {g});
+      std::printf("output %-24s COI: %zu registers\n", name.c_str(), regs.size());
+    }
+    return 0;
+  }
+  return usage();
+}
