@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_guided_atpg.dir/ablation_guided_atpg.cpp.o"
+  "CMakeFiles/ablation_guided_atpg.dir/ablation_guided_atpg.cpp.o.d"
+  "ablation_guided_atpg"
+  "ablation_guided_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_guided_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

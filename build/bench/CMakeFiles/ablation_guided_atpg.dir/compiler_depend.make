@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_guided_atpg.
+# This may be replaced when dependencies are built.

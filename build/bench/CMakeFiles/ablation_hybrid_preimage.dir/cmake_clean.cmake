@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hybrid_preimage.dir/ablation_hybrid_preimage.cpp.o"
+  "CMakeFiles/ablation_hybrid_preimage.dir/ablation_hybrid_preimage.cpp.o.d"
+  "ablation_hybrid_preimage"
+  "ablation_hybrid_preimage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hybrid_preimage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mincut_characterization.dir/fig1_mincut_characterization.cpp.o"
+  "CMakeFiles/fig1_mincut_characterization.dir/fig1_mincut_characterization.cpp.o.d"
+  "fig1_mincut_characterization"
+  "fig1_mincut_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mincut_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_property_verification.dir/table1_property_verification.cpp.o"
+  "CMakeFiles/table1_property_verification.dir/table1_property_verification.cpp.o.d"
+  "table1_property_verification"
+  "table1_property_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_property_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

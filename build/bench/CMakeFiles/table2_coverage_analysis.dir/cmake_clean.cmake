@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_coverage_analysis.dir/table2_coverage_analysis.cpp.o"
+  "CMakeFiles/table2_coverage_analysis.dir/table2_coverage_analysis.cpp.o.d"
+  "table2_coverage_analysis"
+  "table2_coverage_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_coverage_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_verification.dir/fifo_verification.cpp.o"
+  "CMakeFiles/fifo_verification.dir/fifo_verification.cpp.o.d"
+  "fifo_verification"
+  "fifo_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verilog_frontend.dir/verilog_frontend.cpp.o"
+  "CMakeFiles/verilog_frontend.dir/verilog_frontend.cpp.o.d"
+  "verilog_frontend"
+  "verilog_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verilog_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_atpg.dir/atpg/comb_atpg.cpp.o"
+  "CMakeFiles/rfn_atpg.dir/atpg/comb_atpg.cpp.o.d"
+  "CMakeFiles/rfn_atpg.dir/atpg/implication.cpp.o"
+  "CMakeFiles/rfn_atpg.dir/atpg/implication.cpp.o.d"
+  "CMakeFiles/rfn_atpg.dir/atpg/seq_atpg.cpp.o"
+  "CMakeFiles/rfn_atpg.dir/atpg/seq_atpg.cpp.o.d"
+  "CMakeFiles/rfn_atpg.dir/atpg/unroll.cpp.o"
+  "CMakeFiles/rfn_atpg.dir/atpg/unroll.cpp.o.d"
+  "librfn_atpg.a"
+  "librfn_atpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_atpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfn_atpg.a"
+)

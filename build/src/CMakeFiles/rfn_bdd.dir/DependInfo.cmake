@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/bdd.cpp" "src/CMakeFiles/rfn_bdd.dir/bdd/bdd.cpp.o" "gcc" "src/CMakeFiles/rfn_bdd.dir/bdd/bdd.cpp.o.d"
+  "/root/repo/src/bdd/bdd_ops.cpp" "src/CMakeFiles/rfn_bdd.dir/bdd/bdd_ops.cpp.o" "gcc" "src/CMakeFiles/rfn_bdd.dir/bdd/bdd_ops.cpp.o.d"
+  "/root/repo/src/bdd/reorder.cpp" "src/CMakeFiles/rfn_bdd.dir/bdd/reorder.cpp.o" "gcc" "src/CMakeFiles/rfn_bdd.dir/bdd/reorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

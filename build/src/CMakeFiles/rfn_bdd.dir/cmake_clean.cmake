@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_bdd.dir/bdd/bdd.cpp.o"
+  "CMakeFiles/rfn_bdd.dir/bdd/bdd.cpp.o.d"
+  "CMakeFiles/rfn_bdd.dir/bdd/bdd_ops.cpp.o"
+  "CMakeFiles/rfn_bdd.dir/bdd/bdd_ops.cpp.o.d"
+  "CMakeFiles/rfn_bdd.dir/bdd/reorder.cpp.o"
+  "CMakeFiles/rfn_bdd.dir/bdd/reorder.cpp.o.d"
+  "librfn_bdd.a"
+  "librfn_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

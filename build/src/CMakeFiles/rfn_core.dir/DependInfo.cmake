@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/abstraction.cpp" "src/CMakeFiles/rfn_core.dir/core/abstraction.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/abstraction.cpp.o.d"
+  "/root/repo/src/core/bfs_baseline.cpp" "src/CMakeFiles/rfn_core.dir/core/bfs_baseline.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/bfs_baseline.cpp.o.d"
+  "/root/repo/src/core/certify.cpp" "src/CMakeFiles/rfn_core.dir/core/certify.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/certify.cpp.o.d"
+  "/root/repo/src/core/concretize.cpp" "src/CMakeFiles/rfn_core.dir/core/concretize.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/concretize.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/CMakeFiles/rfn_core.dir/core/coverage.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/coverage.cpp.o.d"
+  "/root/repo/src/core/hybrid_trace.cpp" "src/CMakeFiles/rfn_core.dir/core/hybrid_trace.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/hybrid_trace.cpp.o.d"
+  "/root/repo/src/core/plain_mc.cpp" "src/CMakeFiles/rfn_core.dir/core/plain_mc.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/plain_mc.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/CMakeFiles/rfn_core.dir/core/refine.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/refine.cpp.o.d"
+  "/root/repo/src/core/rfn.cpp" "src/CMakeFiles/rfn_core.dir/core/rfn.cpp.o" "gcc" "src/CMakeFiles/rfn_core.dir/core/rfn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_mincut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

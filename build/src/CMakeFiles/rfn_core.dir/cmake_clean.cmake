@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_core.dir/core/abstraction.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/abstraction.cpp.o.d"
+  "CMakeFiles/rfn_core.dir/core/bfs_baseline.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/bfs_baseline.cpp.o.d"
+  "CMakeFiles/rfn_core.dir/core/certify.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/certify.cpp.o.d"
+  "CMakeFiles/rfn_core.dir/core/concretize.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/concretize.cpp.o.d"
+  "CMakeFiles/rfn_core.dir/core/coverage.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/coverage.cpp.o.d"
+  "CMakeFiles/rfn_core.dir/core/hybrid_trace.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/hybrid_trace.cpp.o.d"
+  "CMakeFiles/rfn_core.dir/core/plain_mc.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/plain_mc.cpp.o.d"
+  "CMakeFiles/rfn_core.dir/core/refine.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/refine.cpp.o.d"
+  "CMakeFiles/rfn_core.dir/core/rfn.cpp.o"
+  "CMakeFiles/rfn_core.dir/core/rfn.cpp.o.d"
+  "librfn_core.a"
+  "librfn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

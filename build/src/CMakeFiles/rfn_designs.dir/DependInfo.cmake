@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/designs/fifo.cpp" "src/CMakeFiles/rfn_designs.dir/designs/fifo.cpp.o" "gcc" "src/CMakeFiles/rfn_designs.dir/designs/fifo.cpp.o.d"
+  "/root/repo/src/designs/iu.cpp" "src/CMakeFiles/rfn_designs.dir/designs/iu.cpp.o" "gcc" "src/CMakeFiles/rfn_designs.dir/designs/iu.cpp.o.d"
+  "/root/repo/src/designs/processor.cpp" "src/CMakeFiles/rfn_designs.dir/designs/processor.cpp.o" "gcc" "src/CMakeFiles/rfn_designs.dir/designs/processor.cpp.o.d"
+  "/root/repo/src/designs/usb.cpp" "src/CMakeFiles/rfn_designs.dir/designs/usb.cpp.o" "gcc" "src/CMakeFiles/rfn_designs.dir/designs/usb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_rtlv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_designs.dir/designs/fifo.cpp.o"
+  "CMakeFiles/rfn_designs.dir/designs/fifo.cpp.o.d"
+  "CMakeFiles/rfn_designs.dir/designs/iu.cpp.o"
+  "CMakeFiles/rfn_designs.dir/designs/iu.cpp.o.d"
+  "CMakeFiles/rfn_designs.dir/designs/processor.cpp.o"
+  "CMakeFiles/rfn_designs.dir/designs/processor.cpp.o.d"
+  "CMakeFiles/rfn_designs.dir/designs/usb.cpp.o"
+  "CMakeFiles/rfn_designs.dir/designs/usb.cpp.o.d"
+  "librfn_designs.a"
+  "librfn_designs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_designs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/approx_reach.cpp" "src/CMakeFiles/rfn_mc.dir/mc/approx_reach.cpp.o" "gcc" "src/CMakeFiles/rfn_mc.dir/mc/approx_reach.cpp.o.d"
+  "/root/repo/src/mc/encoder.cpp" "src/CMakeFiles/rfn_mc.dir/mc/encoder.cpp.o" "gcc" "src/CMakeFiles/rfn_mc.dir/mc/encoder.cpp.o.d"
+  "/root/repo/src/mc/image.cpp" "src/CMakeFiles/rfn_mc.dir/mc/image.cpp.o" "gcc" "src/CMakeFiles/rfn_mc.dir/mc/image.cpp.o.d"
+  "/root/repo/src/mc/reach.cpp" "src/CMakeFiles/rfn_mc.dir/mc/reach.cpp.o" "gcc" "src/CMakeFiles/rfn_mc.dir/mc/reach.cpp.o.d"
+  "/root/repo/src/mc/trace.cpp" "src/CMakeFiles/rfn_mc.dir/mc/trace.cpp.o" "gcc" "src/CMakeFiles/rfn_mc.dir/mc/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_mc.dir/mc/approx_reach.cpp.o"
+  "CMakeFiles/rfn_mc.dir/mc/approx_reach.cpp.o.d"
+  "CMakeFiles/rfn_mc.dir/mc/encoder.cpp.o"
+  "CMakeFiles/rfn_mc.dir/mc/encoder.cpp.o.d"
+  "CMakeFiles/rfn_mc.dir/mc/image.cpp.o"
+  "CMakeFiles/rfn_mc.dir/mc/image.cpp.o.d"
+  "CMakeFiles/rfn_mc.dir/mc/reach.cpp.o"
+  "CMakeFiles/rfn_mc.dir/mc/reach.cpp.o.d"
+  "CMakeFiles/rfn_mc.dir/mc/trace.cpp.o"
+  "CMakeFiles/rfn_mc.dir/mc/trace.cpp.o.d"
+  "librfn_mc.a"
+  "librfn_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

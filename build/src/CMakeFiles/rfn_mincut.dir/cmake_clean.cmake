@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_mincut.dir/mincut/maxflow.cpp.o"
+  "CMakeFiles/rfn_mincut.dir/mincut/maxflow.cpp.o.d"
+  "CMakeFiles/rfn_mincut.dir/mincut/mincut.cpp.o"
+  "CMakeFiles/rfn_mincut.dir/mincut/mincut.cpp.o.d"
+  "librfn_mincut.a"
+  "librfn_mincut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_mincut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/analysis.cpp" "src/CMakeFiles/rfn_netlist.dir/netlist/analysis.cpp.o" "gcc" "src/CMakeFiles/rfn_netlist.dir/netlist/analysis.cpp.o.d"
+  "/root/repo/src/netlist/blif.cpp" "src/CMakeFiles/rfn_netlist.dir/netlist/blif.cpp.o" "gcc" "src/CMakeFiles/rfn_netlist.dir/netlist/blif.cpp.o.d"
+  "/root/repo/src/netlist/builder.cpp" "src/CMakeFiles/rfn_netlist.dir/netlist/builder.cpp.o" "gcc" "src/CMakeFiles/rfn_netlist.dir/netlist/builder.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/CMakeFiles/rfn_netlist.dir/netlist/netlist.cpp.o" "gcc" "src/CMakeFiles/rfn_netlist.dir/netlist/netlist.cpp.o.d"
+  "/root/repo/src/netlist/subcircuit.cpp" "src/CMakeFiles/rfn_netlist.dir/netlist/subcircuit.cpp.o" "gcc" "src/CMakeFiles/rfn_netlist.dir/netlist/subcircuit.cpp.o.d"
+  "/root/repo/src/netlist/writer.cpp" "src/CMakeFiles/rfn_netlist.dir/netlist/writer.cpp.o" "gcc" "src/CMakeFiles/rfn_netlist.dir/netlist/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

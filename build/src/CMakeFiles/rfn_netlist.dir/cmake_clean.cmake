@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_netlist.dir/netlist/analysis.cpp.o"
+  "CMakeFiles/rfn_netlist.dir/netlist/analysis.cpp.o.d"
+  "CMakeFiles/rfn_netlist.dir/netlist/blif.cpp.o"
+  "CMakeFiles/rfn_netlist.dir/netlist/blif.cpp.o.d"
+  "CMakeFiles/rfn_netlist.dir/netlist/builder.cpp.o"
+  "CMakeFiles/rfn_netlist.dir/netlist/builder.cpp.o.d"
+  "CMakeFiles/rfn_netlist.dir/netlist/netlist.cpp.o"
+  "CMakeFiles/rfn_netlist.dir/netlist/netlist.cpp.o.d"
+  "CMakeFiles/rfn_netlist.dir/netlist/subcircuit.cpp.o"
+  "CMakeFiles/rfn_netlist.dir/netlist/subcircuit.cpp.o.d"
+  "CMakeFiles/rfn_netlist.dir/netlist/writer.cpp.o"
+  "CMakeFiles/rfn_netlist.dir/netlist/writer.cpp.o.d"
+  "librfn_netlist.a"
+  "librfn_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtlv/elaborate.cpp" "src/CMakeFiles/rfn_rtlv.dir/rtlv/elaborate.cpp.o" "gcc" "src/CMakeFiles/rfn_rtlv.dir/rtlv/elaborate.cpp.o.d"
+  "/root/repo/src/rtlv/lexer.cpp" "src/CMakeFiles/rfn_rtlv.dir/rtlv/lexer.cpp.o" "gcc" "src/CMakeFiles/rfn_rtlv.dir/rtlv/lexer.cpp.o.d"
+  "/root/repo/src/rtlv/parser.cpp" "src/CMakeFiles/rfn_rtlv.dir/rtlv/parser.cpp.o" "gcc" "src/CMakeFiles/rfn_rtlv.dir/rtlv/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

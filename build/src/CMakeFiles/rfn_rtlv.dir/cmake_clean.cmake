@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_rtlv.dir/rtlv/elaborate.cpp.o"
+  "CMakeFiles/rfn_rtlv.dir/rtlv/elaborate.cpp.o.d"
+  "CMakeFiles/rfn_rtlv.dir/rtlv/lexer.cpp.o"
+  "CMakeFiles/rfn_rtlv.dir/rtlv/lexer.cpp.o.d"
+  "CMakeFiles/rfn_rtlv.dir/rtlv/parser.cpp.o"
+  "CMakeFiles/rfn_rtlv.dir/rtlv/parser.cpp.o.d"
+  "librfn_rtlv.a"
+  "librfn_rtlv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_rtlv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_sim.dir/sim/sim3.cpp.o"
+  "CMakeFiles/rfn_sim.dir/sim/sim3.cpp.o.d"
+  "CMakeFiles/rfn_sim.dir/sim/sim64.cpp.o"
+  "CMakeFiles/rfn_sim.dir/sim/sim64.cpp.o.d"
+  "librfn_sim.a"
+  "librfn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

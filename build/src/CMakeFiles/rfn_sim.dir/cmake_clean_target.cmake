@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfn_sim.a"
+)

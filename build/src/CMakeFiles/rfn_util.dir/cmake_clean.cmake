@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_util.dir/util/log.cpp.o"
+  "CMakeFiles/rfn_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/rfn_util.dir/util/options.cpp.o"
+  "CMakeFiles/rfn_util.dir/util/options.cpp.o.d"
+  "CMakeFiles/rfn_util.dir/util/stats.cpp.o"
+  "CMakeFiles/rfn_util.dir/util/stats.cpp.o.d"
+  "librfn_util.a"
+  "librfn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_reach_test.dir/approx_reach_test.cpp.o"
+  "CMakeFiles/approx_reach_test.dir/approx_reach_test.cpp.o.d"
+  "approx_reach_test"
+  "approx_reach_test.pdb"
+  "approx_reach_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_reach_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_property_test.dir/bdd_property_test.cpp.o"
+  "CMakeFiles/bdd_property_test.dir/bdd_property_test.cpp.o.d"
+  "bdd_property_test"
+  "bdd_property_test.pdb"
+  "bdd_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

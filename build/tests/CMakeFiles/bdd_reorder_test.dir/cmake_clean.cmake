@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_reorder_test.dir/bdd_reorder_test.cpp.o"
+  "CMakeFiles/bdd_reorder_test.dir/bdd_reorder_test.cpp.o.d"
+  "bdd_reorder_test"
+  "bdd_reorder_test.pdb"
+  "bdd_reorder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

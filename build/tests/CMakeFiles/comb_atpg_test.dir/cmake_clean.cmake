@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comb_atpg_test.dir/comb_atpg_test.cpp.o"
+  "CMakeFiles/comb_atpg_test.dir/comb_atpg_test.cpp.o.d"
+  "comb_atpg_test"
+  "comb_atpg_test.pdb"
+  "comb_atpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comb_atpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_trace_test.dir/hybrid_trace_test.cpp.o"
+  "CMakeFiles/hybrid_trace_test.dir/hybrid_trace_test.cpp.o.d"
+  "hybrid_trace_test"
+  "hybrid_trace_test.pdb"
+  "hybrid_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

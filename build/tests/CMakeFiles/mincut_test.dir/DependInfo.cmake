@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mincut_test.cpp" "tests/CMakeFiles/mincut_test.dir/mincut_test.cpp.o" "gcc" "tests/CMakeFiles/mincut_test.dir/mincut_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rfn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_atpg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_mincut.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_designs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_rtlv.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rfn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

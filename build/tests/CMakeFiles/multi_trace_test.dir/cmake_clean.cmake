@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_trace_test.dir/multi_trace_test.cpp.o"
+  "CMakeFiles/multi_trace_test.dir/multi_trace_test.cpp.o.d"
+  "multi_trace_test"
+  "multi_trace_test.pdb"
+  "multi_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtlv_test.dir/rtlv_test.cpp.o"
+  "CMakeFiles/rtlv_test.dir/rtlv_test.cpp.o.d"
+  "rtlv_test"
+  "rtlv_test.pdb"
+  "rtlv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtlv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/seq_atpg_test.dir/seq_atpg_test.cpp.o"
+  "CMakeFiles/seq_atpg_test.dir/seq_atpg_test.cpp.o.d"
+  "seq_atpg_test"
+  "seq_atpg_test.pdb"
+  "seq_atpg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/seq_atpg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

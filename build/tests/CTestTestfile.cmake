@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/builder_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/subcircuit_test[1]_include.cmake")
+include("/root/repo/build/tests/blif_test[1]_include.cmake")
+include("/root/repo/build/tests/certify_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_reorder_test[1]_include.cmake")
+include("/root/repo/build/tests/bdd_property_test[1]_include.cmake")
+include("/root/repo/build/tests/implication_test[1]_include.cmake")
+include("/root/repo/build/tests/comb_atpg_test[1]_include.cmake")
+include("/root/repo/build/tests/seq_atpg_test[1]_include.cmake")
+include("/root/repo/build/tests/mincut_test[1]_include.cmake")
+include("/root/repo/build/tests/mc_test[1]_include.cmake")
+include("/root/repo/build/tests/approx_reach_test[1]_include.cmake")
+include("/root/repo/build/tests/cross_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/rtlv_test[1]_include.cmake")
+include("/root/repo/build/tests/rtlv_hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/designs_test[1]_include.cmake")
+include("/root/repo/build/tests/hybrid_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/edge_cases_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfn_cli.dir/rfn_cli.cpp.o"
+  "CMakeFiles/rfn_cli.dir/rfn_cli.cpp.o.d"
+  "rfn"
+  "rfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

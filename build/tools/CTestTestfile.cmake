@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_verify_holds "/root/repo/build/tools/rfn" "verify" "/root/repo/tools/../tests/data/demo.v" "--bad" "bad_q" "--certify")
+set_tests_properties(cli_verify_holds PROPERTIES  PASS_REGULAR_EXPRESSION "certificate: OK" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_verify_fails "/root/repo/build/tools/rfn" "verify" "/root/repo/tools/../tests/data/demo_buggy.v" "--bad" "bad_q" "--certify" "--dump-trace")
+set_tests_properties(cli_verify_fails PROPERTIES  PASS_REGULAR_EXPRESSION "certificate: OK" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_coverage "/root/repo/build/tools/rfn" "coverage" "/root/repo/tools/../tests/data/demo.v" "--signals" "cnt[0],cnt[1],cnt[2]")
+set_tests_properties(cli_coverage PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_translate "/root/repo/build/tools/rfn" "translate" "/root/repo/tools/../tests/data/demo.v")
+set_tests_properties(cli_translate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
