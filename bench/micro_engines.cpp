@@ -6,7 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include "atpg/comb_atpg.hpp"
+#include "atpg/seq_atpg.hpp"
 #include "bdd/bdd.hpp"
+#include "core/portfolio.hpp"
+#include "core/rfn.hpp"
+#include "designs/fifo.hpp"
 #include "designs/iu.hpp"
 #include "designs/usb.hpp"
 #include "mc/image.hpp"
@@ -172,6 +176,84 @@ void BM_PostImage(benchmark::State& state) {
   state.counters["live_nodes"] = static_cast<double>(mgr.live_nodes());
 }
 BENCHMARK(BM_PostImage);
+
+void export_portfolio_counters(benchmark::State& state, const PortfolioStats& s) {
+  auto wins = [&s](const char* name) {
+    const auto it = s.wins.find(name);
+    return it == s.wins.end() ? 0.0 : static_cast<double>(it->second);
+  };
+  state.counters["wins_bdd"] = wins("bdd-reach");
+  state.counters["wins_atpg"] = wins("seq-atpg");
+  state.counters["wins_sim"] = wins("rand-sim");
+  state.counters["jobs_cancelled"] = static_cast<double>(s.jobs_cancelled);
+}
+
+// Full RFN runs on the FIFO psh_full property, sequential (workers = 0)
+// vs portfolio: the same verdict either way, the arg only changes who
+// races whom in Steps 2 and 3.
+void BM_RfnPortfolioFifo(benchmark::State& state) {
+  const rfn::designs::FifoDesign fifo =
+      rfn::designs::make_fifo({.addr_bits = 3, .data_bits = 2});
+  PortfolioStats total;
+  for (auto _ : state) {
+    RfnOptions opt;
+    opt.portfolio_workers = static_cast<size_t>(state.range(0));
+    opt.race_probe_time_s = 1.0;
+    RfnVerifier v(fifo.netlist, fifo.bad_push_full, opt);
+    const RfnResult res = v.run();
+    if (res.verdict != Verdict::Holds) state.SkipWithError("psh_full must hold");
+    total.merge(res.portfolio);
+  }
+  export_portfolio_counters(state, total);
+}
+BENCHMARK(BM_RfnPortfolioFifo)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
+
+// The Step-2 race in isolation on the USB packet-engine abstraction:
+// bounded BDD reachability vs iterative-deepening ATPG vs random simulation
+// chasing a coverage register, sequential vs four workers.
+void BM_PortfolioRaceUsb(benchmark::State& state) {
+  const rfn::designs::UsbDesign usb = rfn::designs::make_usb({});
+  const Subcircuit sub = extract_abstract_model(usb.netlist, usb.usb2, usb.usb2);
+  const GateId target = sub.to_new(usb.usb2.front());
+  Portfolio portfolio(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    BddMgr mgr;
+    Encoder enc(mgr, sub.net);
+    mgr.set_auto_reorder(true);
+    ImageComputer img(enc);
+    const Bdd bad_set = mgr.exists(enc.signal_fn(target), enc.input_vars());
+    std::vector<PortfolioJob> jobs;
+    jobs.push_back({"bdd-reach", -1.0, [&](const CancelToken& token) {
+                      ReachOptions ro;
+                      ro.max_steps = 32;
+                      ro.cancel = &token;
+                      const ReachResult r =
+                          forward_reach(img, enc.initial_states(), bad_set, ro);
+                      return r.status != ReachStatus::ResourceOut;
+                    }});
+    jobs.push_back({"seq-atpg", 1.0, [&](const CancelToken& token) {
+                      AtpgOptions ao;
+                      ao.max_backtracks = 1u << 14;
+                      ao.cancel = &token;
+                      for (size_t k = 1; k <= 16; ++k) {
+                        if (token.cancelled()) return false;
+                        if (reach_target(sub.net, k, target, true, {}, ao).status ==
+                            AtpgStatus::Sat)
+                          return true;
+                      }
+                      return false;
+                    }});
+    jobs.push_back({"rand-sim", 1.0, [&](const CancelToken& token) {
+                      return !random_sim_error_trace(sub.net, target, 256, 17,
+                                                     &token)
+                                  .empty();
+                    }});
+    const RaceResult r = portfolio.race(jobs);
+    benchmark::DoNotOptimize(r.conclusive);
+  }
+  export_portfolio_counters(state, portfolio.stats());
+}
+BENCHMARK(BM_PortfolioRaceUsb)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -127,7 +127,8 @@ CombAtpgResult justify(const Netlist& n, const Cube& targets, const AtpgOptions&
   for (;;) {
     if (conflict) {
       ++res.backtracks;
-      if (res.backtracks > opt.max_backtracks || deadline.expired()) {
+      if (res.backtracks > opt.max_backtracks || deadline.expired() ||
+          should_stop(opt.cancel)) {
         res.status = AtpgStatus::Abort;
         return res;
       }
@@ -168,7 +169,8 @@ CombAtpgResult justify(const Netlist& n, const Cube& targets, const AtpgOptions&
     ++res.decisions;
     stack.push_back({signal, value, false, eng.mark()});
     if (!eng.assign(signal, value)) conflict = true;
-    if ((res.decisions & 0x3FF) == 0 && deadline.expired()) {
+    if ((res.decisions & 0x3FF) == 0 &&
+        (deadline.expired() || should_stop(opt.cancel))) {
       res.status = AtpgStatus::Abort;
       return res;
     }

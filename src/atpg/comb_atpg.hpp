@@ -16,6 +16,7 @@
 
 #include "atpg/implication.hpp"
 #include "netlist/netlist.hpp"
+#include "util/cancel.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rfn {
@@ -35,6 +36,11 @@ struct AtpgOptions {
   /// Used to diversify otherwise-deterministic justifications (multi-trace
   /// extraction).
   uint64_t decision_seed = 0;
+  /// Cooperative should-stop hook, polled per backtrack and per decision
+  /// batch; a cancelled search reports Abort. Flows through every engine
+  /// built on this options struct (sequential ATPG, hybrid trace engine,
+  /// concretization), which is how the portfolio scheduler cuts them short.
+  const CancelToken* cancel = nullptr;
 };
 
 struct CombAtpgResult {

@@ -10,6 +10,10 @@ SeqAtpgResult solve_cycle_cubes(const Netlist& m, const std::vector<Cube>& cubes
   const size_t k = cubes.size();
   RFN_CHECK(k >= 1, "solve_cycle_cubes with no cycles");
 
+  // Step-boundary should-stop poll before the (potentially large) time-frame
+  // expansion; the justification search polls the same token per backtrack.
+  if (should_stop(opt.cancel)) return res;  // status stays Abort
+
   std::vector<std::vector<GateId>> needed(k);
   for (size_t f = 0; f < k; ++f)
     for (const Literal& lit : cubes[f]) needed[f].push_back(lit.signal);

@@ -96,6 +96,7 @@ class HybridWalker {
 
     Cube target = trace.steps[k_].state;
     for (size_t i = k_; i-- > 0;) {
+      if (should_stop(opt_.cancel)) return Trace{};
       const Bdd target_bdd = enc_.cube_bdd(target);
       const Bdd pre = img_mc_.pre_image_with_inputs(target_bdd);
       const Bdd step_set = pre & reach_.rings[i];
@@ -212,6 +213,7 @@ std::vector<Trace> hybrid_error_traces(Encoder& enc, const Netlist& n,
   const auto starts = walker.start_cubes(count);
   for (size_t variant = 0; variant < count && traces.size() < count; ++variant) {
     for (const auto& start : starts) {
+      if (should_stop(opt.cancel)) return traces;
       Trace t = walker.walk(start, variant);
       if (t.empty()) continue;
       // Different starts/variants can converge onto the same trace.

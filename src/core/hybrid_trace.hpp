@@ -27,6 +27,10 @@ struct HybridTraceOptions {
   /// How many cubes of each pre-image result to try before giving up.
   size_t cube_limit = 64;
   AtpgOptions atpg;
+  /// Cooperative should-stop hook, polled per backward pre-image step; a
+  /// cancelled walk returns an empty trace. (The embedded AtpgOptions carry
+  /// their own hook for the justification calls.)
+  const CancelToken* cancel = nullptr;
 };
 
 struct HybridTraceStats {

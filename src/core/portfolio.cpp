@@ -1,0 +1,136 @@
+#include "core/portfolio.hpp"
+
+#include <bit>
+#include <memory>
+
+#include "sim/sim64.hpp"
+#include "util/log.hpp"
+
+namespace rfn {
+
+Portfolio::Portfolio(size_t workers) : exec_(workers) {}
+
+RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
+                           const CancelToken* parent) {
+  const Stopwatch watch;
+  RaceResult res;
+  if (jobs.empty()) return res;
+
+  // Heap-allocated and shared with every wrapper so the condvar/mutex stay
+  // alive until the last worker leaves its epilogue, even though race()
+  // returns as soon as it observes remaining == 0.
+  struct Shared {
+    explicit Shared(const CancelToken* parent) : cancel(-1.0, parent) {}
+    std::mutex mu;
+    std::condition_variable done_cv;
+    CancelToken cancel;  // race-wide token: raised by the winner
+    size_t remaining = 0;
+    size_t winner = static_cast<size_t>(-1);
+    size_t launched = 0;
+    size_t cancelled = 0;
+    size_t inconclusive = 0;
+  };
+  auto sh = std::make_shared<Shared>(parent);
+  sh->remaining = jobs.size();
+
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    exec_.submit([sh, &jobs, i] {
+      bool skip;
+      {
+        std::lock_guard<std::mutex> lk(sh->mu);
+        skip = sh->cancel.cancelled();
+        if (skip)
+          ++sh->cancelled;
+        else
+          ++sh->launched;
+      }
+      bool won = false;
+      if (!skip) {
+        // The per-job budget starts now, not at enqueue time.
+        CancelToken token(jobs[i].time_limit_s, &sh->cancel);
+        won = jobs[i].run(token);
+      }
+      std::lock_guard<std::mutex> lk(sh->mu);
+      if (!skip) {
+        if (won && sh->winner == static_cast<size_t>(-1)) {
+          sh->winner = i;
+          sh->cancel.cancel();
+        } else if (sh->cancel.cancelled()) {
+          // Cut short by the winner (or the parent token), or conclusive but
+          // beaten to the verdict: either way the result was discarded.
+          ++sh->cancelled;
+        } else {
+          ++sh->inconclusive;
+        }
+      }
+      if (--sh->remaining == 0) sh->done_cv.notify_all();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(sh->mu);
+    sh->done_cv.wait(lk, [&] { return sh->remaining == 0; });
+    res.winner = sh->winner;
+    res.launched = sh->launched;
+    res.cancelled = sh->cancelled;
+  }
+  res.conclusive = res.winner != static_cast<size_t>(-1);
+  if (res.conclusive) res.winner_name = jobs[res.winner].name;
+  res.seconds = watch.seconds();
+
+  stats_.races += 1;
+  stats_.jobs_launched += res.launched;
+  stats_.jobs_cancelled += res.cancelled;
+  stats_.jobs_inconclusive += sh->inconclusive;
+  stats_.wall_seconds += res.seconds;
+  if (res.conclusive) stats_.wins[res.winner_name] += 1;
+  RFN_DEBUG("portfolio race: winner=%s launched=%zu cancelled=%zu %.3fs",
+            res.conclusive ? res.winner_name.c_str() : "(none)", res.launched,
+            res.cancelled, res.seconds);
+  return res;
+}
+
+Trace random_sim_error_trace(const Netlist& n, GateId bad, size_t max_cycles,
+                             uint64_t seed, const CancelToken* cancel) {
+  // Pass 1: cheap detection across 64 lanes at once.
+  size_t hit_cycle = 0;
+  int hit_lane = -1;
+  {
+    Rng rng(seed);
+    Sim64 sim(n);
+    sim.load_initial_state(rng);
+    for (size_t c = 0; c < max_cycles; ++c) {
+      if (should_stop(cancel)) return Trace{};
+      sim.randomize_inputs(rng);
+      sim.eval();
+      if (const uint64_t word = sim.value(bad); word != 0) {
+        hit_cycle = c;
+        hit_lane = std::countr_zero(word);
+        break;
+      }
+      sim.step();
+    }
+  }
+  if (hit_lane < 0) return Trace{};
+
+  // Pass 2: re-simulate the identical stimulus and transcribe the hit lane
+  // into a fully-assigned binary trace.
+  Trace trace;
+  trace.steps.resize(hit_cycle + 1);
+  Rng rng(seed);
+  Sim64 sim(n);
+  sim.load_initial_state(rng);
+  for (size_t c = 0; c <= hit_cycle; ++c) {
+    TraceStep& step = trace.steps[c];
+    for (GateId r : n.regs()) step.state.push_back({r, sim.value_bit(r, hit_lane)});
+    sim.randomize_inputs(rng);
+    for (GateId in : n.inputs())
+      step.inputs.push_back({in, sim.value_bit(in, hit_lane)});
+    sim.eval();
+    if (c < hit_cycle) sim.step();
+  }
+  RFN_CHECK(sim.value_bit(bad, hit_lane), "replay lost the simulation hit");
+  return trace;
+}
+
+}  // namespace rfn

@@ -1,0 +1,91 @@
+#pragma once
+// Engine-portfolio scheduler: race heterogeneous engines against one proof
+// obligation and keep the first conclusive verdict.
+//
+// The paper's power comes from combining formal, simulation and hybrid
+// engines; this scheduler lets them run concurrently instead of
+// back-to-back. Each engine is wrapped as a closure that polls a CancelToken
+// at its step boundaries and returns true when it reached a conclusive
+// verdict (storing its payload wherever the closure captured it — each job
+// writes only its own slot, so slots need no locking). race() returns after
+// every *started* job has finished, which is what makes reading the slots
+// afterwards data-race-free; losers are expected to notice the cancelled
+// token within one engine step, and the portfolio tests pin that latency.
+//
+// Ownership rule the tests lock in: BDD managers are single-owner. A job
+// that needs BDDs creates (or exclusively borrows) its own BddMgr; no two
+// concurrent jobs may ever touch the same manager. Netlists are immutable
+// after construction and safe to share read-only.
+//
+// With a zero- or one-worker executor the race degrades to sequential
+// in-order execution: the first conclusive job cancels the ones behind it in
+// the queue, which then never run. Sequential order is therefore also the
+// engine priority order.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/executor.hpp"
+#include "util/rng.hpp"
+
+namespace rfn {
+
+struct PortfolioJob {
+  /// Engine name for the winner histogram and logs.
+  std::string name;
+  /// Per-job wall-clock budget (seconds); negative = unlimited. The budget
+  /// starts when the job starts running, not when it is enqueued.
+  double time_limit_s = -1.0;
+  /// The engine closure. Must poll `cancel` at step boundaries and return
+  /// true iff it reached a conclusive verdict.
+  std::function<bool(const CancelToken&)> run;
+};
+
+struct RaceResult {
+  /// True when some job reported a conclusive verdict.
+  bool conclusive = false;
+  /// Index of the winning job in the vector passed to race().
+  size_t winner = static_cast<size_t>(-1);
+  std::string winner_name;
+  double seconds = 0.0;
+  size_t launched = 0;
+  size_t cancelled = 0;
+};
+
+class Portfolio {
+ public:
+  /// `workers` = 0 runs jobs sequentially inline; otherwise a fixed pool of
+  /// that many threads is shared by all races of this portfolio.
+  explicit Portfolio(size_t workers);
+
+  /// Races `jobs` and returns once every started job has finished. The
+  /// first job to report a conclusive verdict wins and cancels the rest
+  /// (running jobs see their token flip; queued jobs are skipped). An
+  /// optional `parent` token cancels the whole race from outside.
+  /// Not itself thread-safe: one race at a time per Portfolio.
+  RaceResult race(const std::vector<PortfolioJob>& jobs,
+                  const CancelToken* parent = nullptr);
+
+  size_t workers() const { return exec_.workers(); }
+  const PortfolioStats& stats() const { return stats_; }
+
+ private:
+  Executor exec_;
+  PortfolioStats stats_;
+};
+
+// --- Engine adapters ---
+
+/// Random-simulation engine: drives `n` with 64 random patterns per cycle
+/// from the initial states and watches `bad`. When some lane raises `bad`
+/// within `max_cycles`, deterministically re-simulates that lane and returns
+/// its full binary trace (every register and input assigned at every cycle,
+/// `bad` raised at the last); otherwise returns an empty trace. Polls
+/// `cancel` once per simulated cycle.
+Trace random_sim_error_trace(const Netlist& n, GateId bad, size_t max_cycles,
+                             uint64_t seed, const CancelToken* cancel = nullptr);
+
+}  // namespace rfn

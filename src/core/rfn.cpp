@@ -3,10 +3,11 @@
 #include <algorithm>
 
 #include "core/abstraction.hpp"
-#include "netlist/analysis.hpp"
 #include "core/concretize.hpp"
+#include "core/portfolio.hpp"
 #include "mc/approx_reach.hpp"
 #include "mc/image.hpp"
+#include "netlist/analysis.hpp"
 #include "util/log.hpp"
 
 namespace rfn {
@@ -31,10 +32,17 @@ RfnResult RfnVerifier::run() {
   const Deadline deadline(opt_.time_limit_s);
   SavedOrder saved_order;
   const std::vector<GateId> roots{bad_};
+  // One scheduler (and thread pool) for the whole run; with zero workers the
+  // races run their jobs sequentially inline, in priority order.
+  Portfolio portfolio(opt_.portfolio_workers);
 
   for (size_t iter = 0; iter < opt_.max_iterations; ++iter) {
     if (deadline.expired()) {
       result.note = "time limit exceeded";
+      break;
+    }
+    if (should_stop(opt_.cancel)) {
+      result.note = "cancelled";
       break;
     }
     RfnIteration it;
@@ -49,7 +57,7 @@ RfnResult RfnVerifier::run() {
     RFN_INFO("iter %zu: abstract model regs=%zu inputs=%zu gates=%zu", iter,
              it.abstract_regs, it.abstract_inputs, sub.net.num_gates());
 
-    // --- Step 2: prove or find an abstract error trace ---
+    // --- Step 2: prove or find an abstract error trace (engine race) ---
     BddMgr mgr;
     Encoder enc(mgr, sub.net);
     if (opt_.save_var_order) apply_saved_order(mgr, enc, sub, saved_order);
@@ -76,22 +84,92 @@ RfnResult RfnVerifier::run() {
                                    ? rem
                                    : std::min(reach_opt.time_limit_s, rem);
     }
-    const ReachResult reach = forward_reach(img, enc.initial_states(), bad_set, reach_opt);
+    const double probe_budget =
+        opt_.time_limit_s >= 0.0
+            ? std::min(opt_.race_probe_time_s, deadline.remaining_seconds())
+            : opt_.race_probe_time_s;
+
+    // Three engines race the abstract obligation. BDD reachability is the
+    // only one that can *prove*; the sequential-ATPG and random-simulation
+    // probes can only *find* an abstract error trace — but when they do, the
+    // trace is exact and the (cancelled) fixpoint is not needed at all. The
+    // BddMgr above is owned by the bdd-reach job for the duration of the
+    // race (single-owner rule); the probes touch only the immutable netlist.
+    ReachResult reach;
+    SeqAtpgResult atpg_probe;
+    Trace sim_probe;
+    std::vector<PortfolioJob> jobs;
+    jobs.push_back({"bdd-reach", -1.0, [&](const CancelToken& token) {
+                      ReachOptions ro = reach_opt;
+                      ro.cancel = &token;
+                      reach = forward_reach(img, enc.initial_states(), bad_set, ro);
+                      return reach.status != ReachStatus::ResourceOut;
+                    }});
+    jobs.push_back({"seq-atpg", probe_budget, [&](const CancelToken& token) {
+                      AtpgOptions ao;
+                      ao.max_backtracks = opt_.race_atpg_backtracks;
+                      ao.cancel = &token;
+                      for (size_t k = 1; k <= opt_.race_atpg_max_depth; ++k) {
+                        if (token.cancelled()) return false;
+                        SeqAtpgResult r = reach_target(sub.net, k, bad_new, true, {}, ao);
+                        if (r.status == AtpgStatus::Sat) {
+                          atpg_probe = std::move(r);
+                          return true;
+                        }
+                        // Unsat/Abort at depth k only bounds the shortest
+                        // trace; keep deepening until cancelled.
+                      }
+                      return false;
+                    }});
+    jobs.push_back({"rand-sim", probe_budget, [&, iter](const CancelToken& token) {
+                      sim_probe = random_sim_error_trace(
+                          sub.net, bad_new, opt_.race_sim_cycles,
+                          0x51D5EEDull + iter, &token);
+                      return !sim_probe.empty();
+                    }});
+    const RaceResult abs_race = portfolio.race(jobs, opt_.cancel);
+    it.abstract_engine = abs_race.winner_name;
     it.reach_status = reach.status;
     it.reach_steps = reach.steps;
 
-    if (reach.status == ReachStatus::Proved) {
+    std::vector<Trace> traces_n;  // abstract error traces in sub.net ids
+    if (abs_race.conclusive && abs_race.winner == 0) {
+      if (reach.status == ReachStatus::Proved) {
+        if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
+        it.seconds = iter_watch.seconds();
+        result.per_iteration.push_back(it);
+        result.verdict = Verdict::Holds;
+        break;
+      }
+      // BadReachable: abstract error trace(s) via the hybrid engine.
+      HybridTraceOptions hybrid_opt = opt_.hybrid;
+      if (hybrid_opt.cancel == nullptr) hybrid_opt.cancel = opt_.cancel;
+      traces_n = hybrid_error_traces(enc, sub.net, reach, bad_set,
+                                     std::max<size_t>(1, opt_.traces_per_iteration),
+                                     hybrid_opt, &it.hybrid);
       if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
-      it.seconds = iter_watch.seconds();
-      result.per_iteration.push_back(it);
-      result.verdict = Verdict::Holds;
-      break;
-    }
-    if (reach.status == ReachStatus::ResourceOut) {
-      // Future-work fallback: the overlapping-partition approximate
-      // traversal may still prove the property when the exact fixpoint
-      // cannot complete on a large abstract model.
+      if (traces_n.empty()) {
+        it.seconds = iter_watch.seconds();
+        result.per_iteration.push_back(it);
+        result.note = "hybrid trace engine exhausted candidates";
+        break;
+      }
+    } else if (abs_race.conclusive) {
+      // A probe engine found an abstract error trace while the fixpoint was
+      // still running: the trace is a real trace of the abstract model, so
+      // the obligation is BadReachable without any rings.
+      it.reach_status = ReachStatus::BadReachable;
+      traces_n.push_back(abs_race.winner == 1 ? atpg_probe.trace : sim_probe);
+      if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
+      RFN_INFO("iter %zu: %s won the abstract race (%zu cycles)", iter,
+               abs_race.winner_name.c_str(), traces_n.front().cycles());
+    } else {
+      // No engine was conclusive: the exact fixpoint ran out of resources
+      // and the probes found nothing within their budgets.
       if (opt_.approx_fallback && !deadline.expired()) {
+        // Future-work fallback: the overlapping-partition approximate
+        // traversal may still prove the property when the exact fixpoint
+        // cannot complete on a large abstract model.
         it.approx_used = true;
         ApproxReachOptions aopt;
         aopt.block_size = opt_.approx_block_size;
@@ -136,18 +214,6 @@ RfnResult RfnVerifier::run() {
       break;
     }
 
-    // Abstract error trace(s) via the hybrid engine.
-    const std::vector<Trace> traces_n =
-        hybrid_error_traces(enc, sub.net, reach, bad_set,
-                            std::max<size_t>(1, opt_.traces_per_iteration), opt_.hybrid,
-                            &it.hybrid);
-    if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
-    if (traces_n.empty()) {
-      it.seconds = iter_watch.seconds();
-      result.per_iteration.push_back(it);
-      result.note = "hybrid trace engine exhausted candidates";
-      break;
-    }
     std::vector<Trace> traces;
     traces.reserve(traces_n.size());
     for (const Trace& t : traces_n) traces.push_back(sub.trace_to_old(t));
@@ -156,11 +222,37 @@ RfnResult RfnVerifier::run() {
     RFN_INFO("iter %zu: %zu abstract error trace(s), first %zu cycles", iter,
              traces.size(), abs_trace.cycles());
 
-    // --- Step 3: concretize on the original design ---
-    const ConcretizeResult conc =
-        traces.size() == 1
-            ? concretize_trace(*m_, abs_trace, bad_, opt_.concretize_atpg)
-            : concretize_with_traces(*m_, traces, bad_, opt_.concretize_atpg);
+    // --- Step 3: concretize on the original design (engine race) ---
+    // Guided sequential ATPG is conclusive both ways (Sat = real trace,
+    // Unsat = spurious); random simulation of the original design can only
+    // conclude Sat, but a hit is a real error trace found without search.
+    ConcretizeResult conc;
+    Trace sim_cex;
+    std::vector<PortfolioJob> cjobs;
+    cjobs.push_back({"guided-atpg", -1.0, [&](const CancelToken& token) {
+                       AtpgOptions ao = opt_.concretize_atpg;
+                       ao.cancel = &token;
+                       conc = traces.size() == 1
+                                  ? concretize_trace(*m_, abs_trace, bad_, ao)
+                                  : concretize_with_traces(*m_, traces, bad_, ao);
+                       return conc.status != AtpgStatus::Abort;
+                     }});
+    cjobs.push_back({"rand-sim", probe_budget, [&, iter](const CancelToken& token) {
+                       sim_cex = random_sim_error_trace(
+                           *m_, bad_, opt_.race_sim_cycles,
+                           0xC0FFEEULL + iter, &token);
+                       return !sim_cex.empty();
+                     }});
+    const RaceResult conc_race = portfolio.race(cjobs, opt_.cancel);
+    it.concretize_engine = conc_race.winner_name;
+    if (conc_race.conclusive && conc_race.winner == 1) {
+      it.concretize_status = AtpgStatus::Sat;
+      it.seconds = iter_watch.seconds();
+      result.per_iteration.push_back(it);
+      result.verdict = Verdict::Fails;
+      result.error_trace = sim_cex;
+      break;
+    }
     it.concretize_status = conc.status;
     if (conc.status == AtpgStatus::Sat) {
       it.seconds = iter_watch.seconds();
@@ -184,6 +276,7 @@ RfnResult RfnVerifier::run() {
   }
 
   result.final_abstract_regs = included_.size();
+  result.portfolio = portfolio.stats();
   result.seconds = deadline.elapsed_seconds();
   return result;
 }

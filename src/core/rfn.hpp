@@ -20,6 +20,7 @@
 #include "core/refine.hpp"
 #include "mc/reach.hpp"
 #include "netlist/netlist.hpp"
+#include "util/executor.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rfn {
@@ -51,6 +52,26 @@ struct RfnOptions {
   /// paper's second future-work direction), falling back to consensus
   /// guidance when each individual trace is spurious.
   size_t traces_per_iteration = 1;
+  /// Worker threads for the Step-2 / Step-3 engine races. 0 runs the race
+  /// jobs sequentially inline in priority order (BDD reachability before the
+  /// ATPG/simulation probes; guided ATPG before random simulation), which
+  /// keeps the pre-portfolio behavior: the probe engines only run when the
+  /// primary engine is inconclusive. Verdicts are identical either way —
+  /// every engine is sound — only the winner (and wall time) changes.
+  size_t portfolio_workers = 0;
+  /// Cycle budget per race for the random-simulation engines (64 random
+  /// patterns per cycle).
+  size_t race_sim_cycles = 512;
+  /// Iterative-deepening bound and per-depth backtrack budget for the
+  /// sequential-ATPG engine racing the abstract check.
+  size_t race_atpg_max_depth = 48;
+  uint64_t race_atpg_backtracks = 1u << 14;
+  /// Wall budget (seconds) for each probe engine per race; the primary
+  /// engines (BDD fixpoint, guided ATPG) keep their own limits.
+  double race_probe_time_s = 2.0;
+  /// External cancellation of the whole run: polled at iteration boundaries
+  /// and chained into every engine race.
+  const CancelToken* cancel = nullptr;
 };
 
 enum class Verdict { Holds, Fails, Unknown };
@@ -68,6 +89,9 @@ struct RfnIteration {
   AtpgStatus concretize_status{};   // meaningful when a trace was found
   RefineStats refine;
   HybridTraceStats hybrid;
+  /// Which engine won each race (empty = race had no conclusive winner).
+  std::string abstract_engine;
+  std::string concretize_engine;
   double seconds = 0.0;
 };
 
@@ -79,6 +103,8 @@ struct RfnResult {
   size_t final_abstract_regs = 0;
   double seconds = 0.0;
   std::vector<RfnIteration> per_iteration;
+  /// Engine-race counters accumulated over the whole run.
+  PortfolioStats portfolio;
   std::string note;  // diagnostic for Unknown verdicts
 };
 

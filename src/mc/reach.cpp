@@ -33,7 +33,8 @@ ReachResult forward_reach(ImageComputer& img, const Bdd& init, const Bdd& bad,
 
   Bdd frontier = init;
   while (res.steps < opt.max_steps) {
-    if (deadline.expired() || mgr.live_nodes() > opt.max_live_nodes) {
+    if (deadline.expired() || should_stop(opt.cancel) ||
+        mgr.live_nodes() > opt.max_live_nodes) {
       res.status = ReachStatus::ResourceOut;
       res.seconds = deadline.elapsed_seconds();
       return res;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mc/image.hpp"
+#include "util/cancel.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rfn {
@@ -16,6 +17,9 @@ struct ReachOptions {
   size_t max_live_nodes = 4u << 20;
   /// Abort after this many image steps.
   size_t max_steps = 1u << 20;
+  /// Cooperative should-stop hook, polled once per image step; a cancelled
+  /// fixpoint reports ResourceOut. Used by the portfolio scheduler.
+  const CancelToken* cancel = nullptr;
 };
 
 enum class ReachStatus {

@@ -30,7 +30,15 @@ void Sim3::load_initial_state() {
 void Sim3::eval() {
   Tri buf[8];
   std::vector<Tri> wide;
+  stopped_ = false;
+  size_t batch = 0;
   for (GateId g : order_) {
+    // Step-boundary poll every 1024 gates; cheap enough to leave in the
+    // non-cancellable path (cancel_ is almost always null).
+    if ((batch++ & 0x3FF) == 0 && should_stop(cancel_)) {
+      stopped_ = true;
+      return;
+    }
     const auto& fi = n_->fanins(g);
     const Tri* vals;
     if (fi.size() <= 8) {
@@ -62,14 +70,17 @@ void Sim3::step() {
   for (GateId r : n_->regs()) vals_[r] = next[i++];
 }
 
-Tri simulate_trace(const Netlist& n, const Trace& trace, GateId signal) {
+Tri simulate_trace(const Netlist& n, const Trace& trace, GateId signal,
+                   const CancelToken* cancel) {
   Sim3 sim(n);
+  sim.set_should_stop(cancel);
   sim.load_initial_state();
   for (size_t cycle = 0; cycle < trace.steps.size(); ++cycle) {
     sim.clear_inputs();
     sim.set_cube(trace.steps[cycle].state);
     sim.set_cube(trace.steps[cycle].inputs);
     sim.eval();
+    if (sim.stopped()) return Tri::X;
     if (cycle + 1 < trace.steps.size()) sim.step();
   }
   return sim.value(signal);

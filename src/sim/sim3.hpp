@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/cancel.hpp"
 
 namespace rfn {
 
@@ -19,6 +20,14 @@ class Sim3 {
   explicit Sim3(const Netlist& n);
 
   const Netlist& netlist() const { return *n_; }
+
+  /// Installs a cooperative should-stop hook (nullptr to clear). eval()
+  /// polls it at gate-batch boundaries and returns early when cancelled;
+  /// callers that install a token must check stopped() before trusting
+  /// values. Used by the portfolio scheduler to cut long replays short.
+  void set_should_stop(const CancelToken* token) { cancel_ = token; }
+  /// True when the last eval() was cut short by the hook.
+  bool stopped() const { return stopped_; }
 
   /// Sets the value of an input or a register output for the current cycle.
   void set(GateId g, Tri v);
@@ -44,11 +53,15 @@ class Sim3 {
   const Netlist* n_;
   std::vector<GateId> order_;  // combinational gates only, topo order
   std::vector<Tri> vals_;
+  const CancelToken* cancel_ = nullptr;
+  bool stopped_ = false;
 };
 
 /// Replays `trace` (cubes over inputs/registers of `n`) from the initial
 /// state and returns the value of `signal` at the final cycle after
-/// evaluation. Unassigned inputs are X. Convenience for tests.
-Tri simulate_trace(const Netlist& n, const Trace& trace, GateId signal);
+/// evaluation. Unassigned inputs are X. Convenience for tests. A cancelled
+/// replay (polled per cycle through `cancel`) returns Tri::X.
+Tri simulate_trace(const Netlist& n, const Trace& trace, GateId signal,
+                   const CancelToken* cancel = nullptr);
 
 }  // namespace rfn

@@ -1,0 +1,55 @@
+#include "util/executor.hpp"
+
+namespace rfn {
+
+Executor::Executor(size_t workers) {
+  threads_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void Executor::submit(std::function<void()> fn) {
+  if (threads_.empty()) {
+    fn();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void Executor::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void PortfolioStats::merge(const PortfolioStats& o) {
+  races += o.races;
+  jobs_launched += o.jobs_launched;
+  jobs_cancelled += o.jobs_cancelled;
+  jobs_inconclusive += o.jobs_inconclusive;
+  wall_seconds += o.wall_seconds;
+  for (const auto& [name, count] : o.wins) wins[name] += count;
+}
+
+}  // namespace rfn

@@ -1,0 +1,63 @@
+#pragma once
+// Fixed-size worker pool for the engine-portfolio scheduler.
+//
+// A deliberately small executor: N std::threads draining one FIFO work
+// queue. Submitted jobs are fire-and-forget; completion signalling is the
+// caller's business (Portfolio::race layers a countdown latch on top). With
+// zero workers the executor runs every job inline inside submit(), which is
+// what lets a portfolio degrade to plain sequential execution — same code
+// path, no threads, deterministic order.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/cancel.hpp"
+
+namespace rfn {
+
+class Executor {
+ public:
+  /// Spawns `workers` threads; 0 means inline execution inside submit().
+  explicit Executor(size_t workers);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  size_t workers() const { return threads_.size(); }
+
+  /// Enqueues `fn` (runs it before returning when the pool has no workers).
+  void submit(std::function<void()> fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+/// Counters accumulated across the races of one portfolio (jobs launched /
+/// cancelled, per-engine winner histogram, wall time). Formatted for bench
+/// output by format_portfolio_stats() in util/stats.hpp.
+struct PortfolioStats {
+  size_t races = 0;
+  size_t jobs_launched = 0;      // closures that actually started running
+  size_t jobs_cancelled = 0;     // cut short by a winner, or never started
+  size_t jobs_inconclusive = 0;  // ran to completion without a verdict
+  double wall_seconds = 0.0;     // summed race wall time
+  std::map<std::string, size_t> wins;  // engine name -> conclusive verdicts
+
+  void merge(const PortfolioStats& o);
+};
+
+}  // namespace rfn

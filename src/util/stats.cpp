@@ -55,4 +55,21 @@ std::string fmt_double(double v, int precision) {
   return buf;
 }
 
+std::string format_portfolio_stats(const PortfolioStats& s) {
+  Table summary({"races", "launched", "cancelled", "inconclusive", "wall (s)"});
+  summary.add_row({fmt_int(static_cast<int64_t>(s.races)),
+                   fmt_int(static_cast<int64_t>(s.jobs_launched)),
+                   fmt_int(static_cast<int64_t>(s.jobs_cancelled)),
+                   fmt_int(static_cast<int64_t>(s.jobs_inconclusive)),
+                   fmt_double(s.wall_seconds, 3)});
+  std::string out = summary.to_string();
+  if (!s.wins.empty()) {
+    Table winners({"engine", "wins"});
+    for (const auto& [name, count] : s.wins)
+      winners.add_row({name, fmt_int(static_cast<int64_t>(count))});
+    out += winners.to_string();
+  }
+  return out;
+}
+
 }  // namespace rfn

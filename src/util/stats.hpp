@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "util/executor.hpp"
+
 namespace rfn {
 
 class Table {
@@ -33,5 +35,11 @@ class Table {
 /// Helpers for formatting table cells.
 std::string fmt_int(int64_t v);
 std::string fmt_double(double v, int precision = 1);
+
+/// Renders portfolio-scheduler counters as a table: one summary row (races,
+/// jobs launched/cancelled/inconclusive, wall time) plus one row per engine
+/// in the winner histogram. Bench binaries print this to report portfolio
+/// efficiency next to their timing rows.
+std::string format_portfolio_stats(const PortfolioStats& s);
 
 }  // namespace rfn

@@ -1,0 +1,237 @@
+// Deterministic cross-engine fuzzing: ~200 seeded random netlists, each
+// checked for agreement between every engine of the portfolio —
+//
+//   * BDD forward reachability (ground truth, onion rings);
+//   * sequential ATPG by iterative deepening: first Sat depth must equal
+//     the first bad ring index + 1, and Proved designs are Unsat at every
+//     depth within the diameter;
+//   * 64-way random simulation: every visited state lies in the BDD
+//     fixpoint, hits imply BadReachable at a consistent depth;
+//   * the portfolio's random-simulation trace adapter: returned traces
+//     replay to bad = 1, safe designs yield no trace;
+//   * the BFS coverage baseline: with the full register set its
+//     unreachable-state count matches exhaustive enumeration of the BDD
+//     fixpoint;
+//   * the full RFN loop, sequential vs portfolio: same verdict.
+//
+// Disagreements dump the failing netlist (BLIF + generator seed) into
+// RFN_FUZZ_DUMP_DIR for offline triage.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "atpg/seq_atpg.hpp"
+#include "core/bfs_baseline.hpp"
+#include "core/portfolio.hpp"
+#include "core/rfn.hpp"
+#include "mc/image.hpp"
+#include "mc/reach.hpp"
+#include "netlist/blif.hpp"
+#include "netlist/builder.hpp"
+#include "sim/sim3.hpp"
+#include "sim/sim64.hpp"
+#include "util/rng.hpp"
+
+#ifndef RFN_FUZZ_DUMP_DIR
+#define RFN_FUZZ_DUMP_DIR "."
+#endif
+
+namespace rfn {
+namespace {
+
+constexpr size_t kRoundsPerSeed = 25;  // x 8 seed instances = 200 netlists
+
+/// Random sequential netlist whose last gate is exported as the property
+/// signal `bad`. All registers are binary-initialized so every engine agrees
+/// on the (single) initial state.
+Netlist random_netlist(Rng& rng, size_t nins, size_t nregs, int gates) {
+  NetBuilder b;
+  std::vector<GateId> regs, pool;
+  for (size_t i = 0; i < nins; ++i) pool.push_back(b.input("i" + std::to_string(i)));
+  for (size_t i = 0; i < nregs; ++i) {
+    regs.push_back(b.reg("r" + std::to_string(i), rng.flip() ? Tri::F : Tri::T));
+    pool.push_back(regs.back());
+  }
+  for (int i = 0; i < gates; ++i) {
+    const GateId x = pool[rng.below(pool.size())];
+    const GateId y = pool[rng.below(pool.size())];
+    const GateId z = pool[rng.below(pool.size())];
+    switch (rng.below(5)) {
+      case 0: pool.push_back(b.and_(x, y)); break;
+      case 1: pool.push_back(b.or_(x, y)); break;
+      case 2: pool.push_back(b.xor_(x, y)); break;
+      case 3: pool.push_back(b.not_(x)); break;
+      case 4: pool.push_back(b.mux(x, y, z)); break;
+    }
+  }
+  for (GateId r : regs) b.set_next(r, pool[pool.size() - 1 - rng.below(8)]);
+  b.output("bad", pool.back());
+  return b.take();
+}
+
+void dump_failure(const Netlist& m, uint64_t seed, size_t round) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(RFN_FUZZ_DUMP_DIR, ec);
+  const std::string path = std::string(RFN_FUZZ_DUMP_DIR) + "/fuzz_seed_" +
+                           std::to_string(seed) + "_round_" +
+                           std::to_string(round) + ".blif";
+  std::ofstream out(path);
+  out << "# netlist_fuzz_test seed=" << seed << " round=" << round << "\n"
+      << write_blif(m, "fuzz");
+  ADD_FAILURE() << "cross-engine disagreement; netlist dumped to " << path;
+}
+
+void check_engines_agree(const Netlist& m, uint64_t seed, size_t round) {
+  const GateId bad = m.output("bad");
+  ASSERT_NE(bad, kNullGate);
+
+  // Ground truth: exact forward reachability with onion rings, stopping at
+  // the first bad ring, plus the complete fixpoint for containment checks.
+  BddMgr mgr;
+  Encoder enc(mgr, m);
+  ImageComputer img(enc);
+  const Bdd bad_set = mgr.exists(enc.signal_fn(bad), enc.input_vars());
+  ASSERT_FALSE(bad_set.is_null());
+  const ReachResult reach = forward_reach(img, enc.initial_states(), bad_set);
+  ASSERT_NE(reach.status, ReachStatus::ResourceOut);
+  const ReachResult full =
+      forward_reach(img, enc.initial_states(), mgr.bdd_false());
+  ASSERT_EQ(full.status, ReachStatus::Proved);
+  EXPECT_TRUE(reach.reached.diff(full.reached).is_false())
+      << "early-stopped fixpoint escaped the full one";
+
+  // Sequential ATPG by iterative deepening: the shortest trace raising bad
+  // at cycle k exists iff the ring first hit has index k-1, so the first
+  // Sat depth is pinned exactly; Proved designs are Unsat at every depth
+  // within the diameter + 1.
+  size_t atpg_first_sat = 0;  // 0 = no Sat found
+  for (size_t k = 1; k <= full.rings.size() + 1; ++k) {
+    const SeqAtpgResult r = reach_target(m, k, bad, true);
+    ASSERT_NE(r.status, AtpgStatus::Abort) << "depth " << k;
+    if (r.status == AtpgStatus::Sat) {
+      atpg_first_sat = k;
+      EXPECT_EQ(r.trace.cycles(), k);
+      EXPECT_EQ(simulate_trace(m, r.trace, bad), Tri::T)
+          << "ATPG trace at depth " << k << " does not replay";
+      break;
+    }
+  }
+  if (reach.status == ReachStatus::BadReachable)
+    EXPECT_EQ(atpg_first_sat, reach.steps + 1)
+        << "ATPG minimal depth disagrees with the first bad ring";
+  else
+    EXPECT_EQ(atpg_first_sat, 0u)
+        << "ATPG found a trace on a design the BDD engine proved safe";
+
+  // Random simulation: every visited state must lie inside the fixpoint,
+  // and a bad hit at cycle c implies a trace of c+1 cycles, which the BDD
+  // side caps from below by its first bad ring.
+  {
+    Sim64 sim(m);
+    Rng srng(seed * 0x9E3779B97F4A7C15ull + round);
+    sim.load_initial_state(srng);
+    std::vector<bool> assign(mgr.num_vars(), false);
+    bool hit = false;
+    for (size_t c = 0; c < 24 && !hit; ++c) {
+      for (const int lane : {0, 63}) {
+        for (GateId r : m.regs())
+          assign[enc.state_var(r)] = sim.value_bit(r, lane);
+        EXPECT_TRUE(mgr.eval(full.reached, assign))
+            << "simulation visited a state outside the BDD fixpoint (cycle "
+            << c << " lane " << lane << ")";
+      }
+      sim.randomize_inputs(srng);
+      sim.eval();
+      if (sim.value(bad) != 0) {
+        hit = true;
+        EXPECT_EQ(reach.status, ReachStatus::BadReachable)
+            << "simulation raised bad on a design the BDD engine proved safe";
+        EXPECT_GE(c, reach.steps)
+            << "simulation hit bad before the first bad ring";
+      }
+      sim.step();
+    }
+  }
+
+  // The portfolio's simulation adapter: traces replay, safe designs stay
+  // clean, and trace length respects the BDD shortest-trace bound.
+  {
+    const Trace cex = random_sim_error_trace(m, bad, 24, seed ^ round);
+    if (reach.status == ReachStatus::Proved) {
+      EXPECT_TRUE(cex.empty())
+          << "sim adapter found a trace on a proved-safe design";
+    }
+    if (!cex.empty()) {
+      EXPECT_EQ(simulate_trace(m, cex, bad), Tri::T);
+      EXPECT_GE(cex.cycles(), reach.steps + 1);
+    }
+  }
+
+  // BFS coverage baseline with the full register set degenerates to exact
+  // reachable-state counting; cross-check against exhaustive enumeration of
+  // the fixpoint (the state spaces here are tiny).
+  {
+    BfsBaselineOptions bopt;
+    bopt.num_registers = m.regs().size();
+    const BfsBaselineResult bfs = bfs_coverage_analysis(m, m.regs(), bopt);
+    ASSERT_EQ(bfs.reach_status, ReachStatus::Proved);
+    const size_t total = size_t{1} << m.regs().size();
+    size_t reachable = 0;
+    std::vector<bool> assign(mgr.num_vars(), false);
+    for (size_t s = 0; s < total; ++s) {
+      for (size_t i = 0; i < m.regs().size(); ++i)
+        assign[enc.state_var(m.regs()[i])] = (s >> i) & 1;
+      if (mgr.eval(full.reached, assign)) ++reachable;
+    }
+    EXPECT_EQ(bfs.total_states, total);
+    EXPECT_EQ(bfs.unreachable, total - reachable)
+        << "BFS baseline unreachable count disagrees with BDD enumeration";
+  }
+
+  // Full RFN loop, sequential vs portfolio: the acceptance criterion.
+  // Expensive relative to the checks above, so sample every 8th netlist.
+  if (round % 8 == 0) {
+    const Verdict expect = reach.status == ReachStatus::BadReachable
+                               ? Verdict::Fails
+                               : Verdict::Holds;
+    for (const size_t workers : {size_t{0}, size_t{2}}) {
+      RfnOptions opt;
+      opt.portfolio_workers = workers;
+      opt.race_probe_time_s = 0.25;
+      RfnVerifier v(m, bad, opt);
+      const RfnResult res = v.run();
+      EXPECT_EQ(res.verdict, expect)
+          << "RFN (workers=" << workers << ") disagrees with the BDD ground "
+          << "truth; note: " << res.note;
+      if (res.verdict == Verdict::Fails)
+        EXPECT_EQ(simulate_trace(m, res.error_trace, bad), Tri::T)
+            << "RFN error trace (workers=" << workers << ") does not replay";
+    }
+  }
+}
+
+class CrossEngineFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrossEngineFuzz, EnginesAgreeOnRandomNetlists) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  for (size_t round = 0; round < kRoundsPerSeed; ++round) {
+    const size_t nins = 1 + rng.below(3);
+    const size_t nregs = 3 + rng.below(3);
+    const int gates = 10 + static_cast<int>(rng.below(11));
+    const Netlist m = random_netlist(rng, nins, nregs, gates);
+    const bool failed_before = ::testing::Test::HasFailure();
+    check_engines_agree(m, seed, round);
+    if (!failed_before && ::testing::Test::HasFailure())
+      dump_failure(m, seed, round);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossEngineFuzz,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 17, 19));
+
+}  // namespace
+}  // namespace rfn

@@ -1,0 +1,345 @@
+// Portfolio scheduler tests: racing semantics, cancellation latency,
+// sequential degradation, per-engine cancellation hooks, and the
+// one-BddMgr-per-worker ownership rule (exercised under TSan via
+// -DRFN_SANITIZE=thread).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "atpg/seq_atpg.hpp"
+#include "core/hybrid_trace.hpp"
+#include "core/portfolio.hpp"
+#include "core/rfn.hpp"
+#include "designs/fifo.hpp"
+#include "mc/image.hpp"
+#include "mc/reach.hpp"
+#include "netlist/builder.hpp"
+#include "sim/sim3.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rfn {
+namespace {
+
+void sleep_ms(int ms) { std::this_thread::sleep_for(std::chrono::milliseconds(ms)); }
+
+/// Mod-8 counter with no inputs: state runs 000 -> 111 in 7 steps, and
+/// `bad` = r0 & r1 & r2 first rises at cycle 8. The property fails.
+Netlist make_counter_fail() {
+  NetBuilder b;
+  const GateId r0 = b.reg("r0", Tri::F);
+  const GateId r1 = b.reg("r1", Tri::F);
+  const GateId r2 = b.reg("r2", Tri::F);
+  b.set_next(r0, b.not_(r0));
+  b.set_next(r1, b.xor_(r1, r0));
+  b.set_next(r2, b.xor_(r2, b.and_(r1, r0)));
+  b.output("bad", b.and_(r2, b.and_(r1, r0)));
+  return b.take();
+}
+
+/// Mod-3 counter: states cycle 00 -> 10 -> 01; state 11 is unreachable, so
+/// `bad` = r0 & r1 never rises. The property holds.
+Netlist make_counter_safe() {
+  NetBuilder b;
+  const GateId r0 = b.reg("r0", Tri::F);
+  const GateId r1 = b.reg("r1", Tri::F);
+  b.set_next(r0, b.and_(b.not_(r0), b.not_(r1)));
+  b.set_next(r1, r0);
+  b.output("bad", b.and_(r0, r1));
+  return b.take();
+}
+
+TEST(Portfolio, FastConclusiveJobCancelsSlowJob) {
+  Portfolio p(2);
+  std::atomic<bool> slow_saw_cancel{false};
+  std::vector<PortfolioJob> jobs;
+  jobs.push_back({"slow", -1.0, [&](const CancelToken& token) {
+                    // Would run ~5 s; must be cut short by the winner well
+                    // within its 1 ms polling granularity.
+                    for (int i = 0; i < 5000; ++i) {
+                      if (token.cancelled()) {
+                        slow_saw_cancel = true;
+                        return false;
+                      }
+                      sleep_ms(1);
+                    }
+                    return false;
+                  }});
+  jobs.push_back({"fast", -1.0, [&](const CancelToken&) {
+                    sleep_ms(10);
+                    return true;
+                  }});
+  const RaceResult r = p.race(jobs);
+  EXPECT_TRUE(r.conclusive);
+  EXPECT_EQ(r.winner, 1u);
+  EXPECT_EQ(r.winner_name, "fast");
+  EXPECT_TRUE(slow_saw_cancel.load());
+  // Cancellation latency: the race ends when the loser notices the token,
+  // which is bounded by its poll period, not by its 5 s natural runtime.
+  EXPECT_LT(r.seconds, 1.0);
+  EXPECT_EQ(r.launched, 2u);
+  EXPECT_EQ(r.cancelled, 1u);
+}
+
+TEST(Portfolio, SequentialDegradationRunsInPriorityOrder) {
+  for (const size_t workers : {size_t{0}, size_t{1}}) {
+    Portfolio p(workers);
+    std::vector<int> order;
+    auto recording_job = [&](int id, bool conclusive) {
+      return PortfolioJob{"job" + std::to_string(id), -1.0,
+                          [&order, id, conclusive](const CancelToken&) {
+                            order.push_back(id);
+                            return conclusive;
+                          }};
+    };
+    std::vector<PortfolioJob> jobs;
+    jobs.push_back(recording_job(0, false));  // inconclusive, runs first
+    jobs.push_back(recording_job(1, true));   // wins
+    jobs.push_back(recording_job(2, true));   // behind the winner: skipped
+    const RaceResult r = p.race(jobs);
+    EXPECT_TRUE(r.conclusive) << "workers=" << workers;
+    EXPECT_EQ(r.winner, 1u) << "workers=" << workers;
+    EXPECT_EQ(order, (std::vector<int>{0, 1})) << "workers=" << workers;
+    EXPECT_EQ(r.launched, 2u) << "workers=" << workers;
+    EXPECT_EQ(r.cancelled, 1u) << "workers=" << workers;
+  }
+}
+
+TEST(Portfolio, JobBudgetExpiresWithoutWinner) {
+  Portfolio p(2);
+  std::vector<PortfolioJob> jobs;
+  jobs.push_back({"budgeted", 0.05, [&](const CancelToken& token) {
+                    for (int i = 0; i < 5000; ++i) {
+                      if (token.cancelled()) return false;  // budget expired
+                      sleep_ms(1);
+                    }
+                    ADD_FAILURE() << "budget never expired";
+                    return false;
+                  }});
+  const Stopwatch watch;
+  const RaceResult r = p.race(jobs);
+  EXPECT_FALSE(r.conclusive);
+  EXPECT_LT(watch.seconds(), 2.0);
+  EXPECT_EQ(p.stats().jobs_inconclusive, 1u);
+}
+
+TEST(Portfolio, CancelledParentTokenSkipsAllJobs) {
+  Portfolio p(2);
+  CancelToken parent;
+  parent.cancel();
+  std::atomic<int> ran{0};
+  std::vector<PortfolioJob> jobs;
+  for (int i = 0; i < 3; ++i)
+    jobs.push_back({"j" + std::to_string(i), -1.0, [&](const CancelToken&) {
+                      ++ran;
+                      return true;
+                    }});
+  const RaceResult r = p.race(jobs, &parent);
+  EXPECT_FALSE(r.conclusive);
+  EXPECT_EQ(ran.load(), 0);
+  EXPECT_EQ(r.launched, 0u);
+  EXPECT_EQ(r.cancelled, 3u);
+}
+
+TEST(Portfolio, StatsAccumulateAcrossRaces) {
+  Portfolio p(0);
+  std::vector<PortfolioJob> jobs;
+  jobs.push_back({"alpha", -1.0, [](const CancelToken&) { return true; }});
+  jobs.push_back({"beta", -1.0, [](const CancelToken&) { return true; }});
+  p.race(jobs);
+  p.race(jobs);
+  const PortfolioStats& s = p.stats();
+  EXPECT_EQ(s.races, 2u);
+  EXPECT_EQ(s.jobs_launched, 2u);   // alpha wins inline; beta never starts
+  EXPECT_EQ(s.jobs_cancelled, 2u);
+  EXPECT_EQ(s.wins.at("alpha"), 2u);
+  EXPECT_EQ(s.wins.count("beta"), 0u);
+  EXPECT_GE(s.wall_seconds, 0.0);
+}
+
+// The ownership rule from DESIGN.md: every concurrent job owns its BddMgr
+// outright. Eight reachability jobs over one shared (immutable) netlist on
+// four workers; under -DRFN_SANITIZE=thread this test is the lock-in that
+// per-worker managers plus read-only netlist sharing are race-free.
+TEST(Portfolio, PerWorkerBddMgrOwnership) {
+  const Netlist m = make_counter_fail();
+  Portfolio p(4);
+  std::vector<ReachStatus> status(8, ReachStatus::ResourceOut);
+  std::vector<PortfolioJob> jobs;
+  for (size_t i = 0; i < status.size(); ++i)
+    jobs.push_back({"bdd" + std::to_string(i), -1.0,
+                    [&m, &status, i](const CancelToken&) {
+                      BddMgr mgr;  // owned by this job alone
+                      Encoder enc(mgr, m);
+                      ImageComputer img(enc);
+                      const Bdd bad =
+                          mgr.exists(enc.signal_fn(m.output("bad")), enc.input_vars());
+                      status[i] =
+                          forward_reach(img, enc.initial_states(), bad).status;
+                      return false;  // inconclusive: every job runs fully
+                    }});
+  const RaceResult r = p.race(jobs);
+  EXPECT_FALSE(r.conclusive);
+  EXPECT_EQ(r.launched, jobs.size());
+  for (size_t i = 0; i < status.size(); ++i)
+    EXPECT_EQ(status[i], ReachStatus::BadReachable) << "job " << i;
+}
+
+TEST(Portfolio, EngineCancellationHooks) {
+  const Netlist m = make_counter_fail();
+  const GateId bad = m.output("bad");
+  CancelToken tok;
+  tok.cancel();
+
+  BddMgr mgr;
+  Encoder enc(mgr, m);
+  ImageComputer img(enc);
+  const Bdd bad_set = mgr.exists(enc.signal_fn(bad), enc.input_vars());
+
+  // BDD reachability: a cancelled fixpoint reports ResourceOut.
+  ReachOptions ro;
+  ro.cancel = &tok;
+  EXPECT_EQ(forward_reach(img, enc.initial_states(), bad_set, ro).status,
+            ReachStatus::ResourceOut);
+
+  // Sequential ATPG: a cancelled search reports Abort.
+  AtpgOptions ao;
+  ao.cancel = &tok;
+  EXPECT_EQ(reach_target(m, 8, bad, true, {}, ao).status, AtpgStatus::Abort);
+
+  // Hybrid trace engine: a cancelled walk yields no traces.
+  const ReachResult reach = forward_reach(img, enc.initial_states(), bad_set);
+  ASSERT_EQ(reach.status, ReachStatus::BadReachable);
+  HybridTraceOptions ho;
+  ho.cancel = &tok;
+  EXPECT_TRUE(hybrid_error_traces(enc, m, reach, bad_set, 1, ho).empty());
+
+  // 3-valued simulation: a cancelled eval() reports stopped(), and a
+  // cancelled trace replay answers X.
+  Sim3 sim(m);
+  sim.set_should_stop(&tok);
+  sim.load_initial_state();
+  sim.eval();
+  EXPECT_TRUE(sim.stopped());
+  const Trace cex = random_sim_error_trace(m, bad, 16, 1);
+  ASSERT_FALSE(cex.empty());
+  EXPECT_EQ(simulate_trace(m, cex, bad, &tok), Tri::X);
+}
+
+TEST(Portfolio, RandomSimErrorTraceReplaysToBad) {
+  const Netlist fail = make_counter_fail();
+  const Trace cex = random_sim_error_trace(fail, fail.output("bad"), 16, 99);
+  ASSERT_FALSE(cex.empty());
+  EXPECT_EQ(cex.cycles(), 8u);  // counter needs exactly 7 steps + 1 eval
+  EXPECT_EQ(simulate_trace(fail, cex, fail.output("bad")), Tri::T);
+
+  const Netlist safe = make_counter_safe();
+  EXPECT_TRUE(random_sim_error_trace(safe, safe.output("bad"), 64, 99).empty());
+}
+
+// Race real engines against each other: every engine is sound, so whichever
+// wins must report a verdict consistent with the design's ground truth.
+TEST(Portfolio, EngineRaceVerdictsAgree) {
+  for (const bool fails : {true, false}) {
+    const Netlist m = fails ? make_counter_fail() : make_counter_safe();
+    const GateId bad = m.output("bad");
+    for (const size_t workers : {size_t{0}, size_t{2}}) {
+      Portfolio p(workers);
+      BddMgr mgr;
+      Encoder enc(mgr, m);
+      ImageComputer img(enc);
+      const Bdd bad_set = mgr.exists(enc.signal_fn(bad), enc.input_vars());
+      ReachResult reach;
+      SeqAtpgResult atpg;
+      Trace sim_cex;
+      std::vector<PortfolioJob> jobs;
+      jobs.push_back({"bdd-reach", -1.0, [&](const CancelToken& token) {
+                        ReachOptions ro;
+                        ro.cancel = &token;
+                        reach = forward_reach(img, enc.initial_states(), bad_set, ro);
+                        return reach.status != ReachStatus::ResourceOut;
+                      }});
+      jobs.push_back({"seq-atpg", -1.0, [&](const CancelToken& token) {
+                        AtpgOptions ao;
+                        ao.cancel = &token;
+                        for (size_t k = 1; k <= 10; ++k) {
+                          if (token.cancelled()) return false;
+                          SeqAtpgResult r = reach_target(m, k, bad, true, {}, ao);
+                          if (r.status == AtpgStatus::Sat) {
+                            atpg = std::move(r);
+                            return true;
+                          }
+                        }
+                        return false;
+                      }});
+      jobs.push_back({"rand-sim", -1.0, [&](const CancelToken& token) {
+                        sim_cex = random_sim_error_trace(m, bad, 32, 7, &token);
+                        return !sim_cex.empty();
+                      }});
+      const RaceResult r = p.race(jobs);
+      ASSERT_TRUE(r.conclusive) << "fails=" << fails << " workers=" << workers;
+      if (r.winner == 0) {
+        EXPECT_EQ(reach.status, fails ? ReachStatus::BadReachable
+                                      : ReachStatus::Proved);
+      } else if (r.winner == 1) {
+        EXPECT_TRUE(fails);
+        EXPECT_EQ(simulate_trace(m, atpg.trace, bad), Tri::T);
+      } else {
+        EXPECT_TRUE(fails);
+        EXPECT_EQ(simulate_trace(m, sim_cex, bad), Tri::T);
+      }
+      // Only the formal engine can conclude on a safe design.
+      if (!fails) EXPECT_EQ(r.winner_name, "bdd-reach");
+      // Sequentially, priority order makes the formal engine the winner.
+      if (workers == 0) EXPECT_EQ(r.winner_name, "bdd-reach");
+    }
+  }
+}
+
+TEST(Portfolio, RfnPortfolioAgreesWithSequential) {
+  struct Case {
+    Netlist netlist;
+    GateId bad;
+    Verdict expect;
+  };
+  std::vector<Case> cases;
+  {
+    Netlist m = make_counter_fail();
+    const GateId bad = m.output("bad");
+    cases.push_back({std::move(m), bad, Verdict::Fails});
+  }
+  {
+    Netlist m = make_counter_safe();
+    const GateId bad = m.output("bad");
+    cases.push_back({std::move(m), bad, Verdict::Holds});
+  }
+  {
+    designs::FifoDesign fifo = designs::make_fifo({.addr_bits = 2, .data_bits = 2});
+    const GateId bad = fifo.bad_push_full;
+    cases.push_back({std::move(fifo.netlist), bad, Verdict::Holds});
+  }
+  for (size_t ci = 0; ci < cases.size(); ++ci) {
+    const Case& c = cases[ci];
+    std::vector<RfnResult> results;
+    for (const size_t workers : {size_t{0}, size_t{2}}) {
+      RfnOptions opt;
+      opt.portfolio_workers = workers;
+      opt.race_probe_time_s = 0.5;
+      RfnVerifier v(c.netlist, c.bad, opt);
+      results.push_back(v.run());
+    }
+    for (const RfnResult& r : results) {
+      EXPECT_EQ(r.verdict, c.expect) << "case " << ci << " note: " << r.note;
+      EXPECT_GE(r.portfolio.races, 1u) << "case " << ci;
+      if (r.verdict == Verdict::Fails)
+        EXPECT_EQ(simulate_trace(c.netlist, r.error_trace, c.bad), Tri::T)
+            << "case " << ci;
+    }
+    EXPECT_EQ(results[0].verdict, results[1].verdict) << "case " << ci;
+  }
+}
+
+}  // namespace
+}  // namespace rfn

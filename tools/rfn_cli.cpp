@@ -8,6 +8,7 @@
 // <design> is a .v (Verilog subset) or .blif file; the format is chosen by
 // extension. Common options:
 //   --time-limit S     wall-clock budget (default 300)
+//   --workers N        engine-portfolio worker threads (default 0: sequential)
 //   --certify          independently re-check the verdict
 //   --traces N         abstract traces per iteration (default 1)
 //   --no-approx        disable the overlapping-partition fallback
@@ -26,6 +27,7 @@
 #include "netlist/writer.hpp"
 #include "rtlv/elaborate.hpp"
 #include "util/options.hpp"
+#include "util/stats.hpp"
 
 using namespace rfn;
 
@@ -75,6 +77,7 @@ int cmd_verify(const Netlist& design, const Options& opts) {
   rfn_opts.time_limit_s = opts.get_double("time-limit", 300.0);
   rfn_opts.traces_per_iteration = static_cast<size_t>(opts.get_int("traces", 1));
   rfn_opts.approx_fallback = !opts.get_bool("no-approx", false);
+  rfn_opts.portfolio_workers = static_cast<size_t>(opts.get_int("workers", 0));
   RfnVerifier verifier(design, bad, rfn_opts);
   const RfnResult result = verifier.run();
 
@@ -86,6 +89,10 @@ int cmd_verify(const Netlist& design, const Options& opts) {
               result.iterations, result.final_abstract_regs, design.num_regs(),
               result.seconds);
   if (!result.note.empty()) std::printf("note: %s\n", result.note.c_str());
+  if (rfn_opts.portfolio_workers > 0) {
+    std::printf("portfolio (%zu workers):\n", rfn_opts.portfolio_workers);
+    std::fputs(format_portfolio_stats(result.portfolio).c_str(), stdout);
+  }
   if (result.verdict == Verdict::Fails) {
     std::printf("error trace: %zu cycles\n", result.error_trace.cycles());
     if (opts.get_bool("dump-trace", false))
