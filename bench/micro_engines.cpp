@@ -2,8 +2,19 @@
 // simulators, ATPG justification, min-cut computation, and image steps.
 // These are not paper artifacts; they track the performance of the
 // substrates everything else is built on.
+//
+// In addition to the normal google-benchmark flags, `--json FILE` writes an
+// "rfn-bench-v1" document: one record per benchmark (wall/cpu seconds per
+// iteration plus the user counters) and the final metrics-registry dump.
+// tools/bench_gate.py diffs that file against the checked-in
+// BENCH_portfolio.json baseline in CI.
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string_view>
 
 #include "atpg/comb_atpg.hpp"
 #include "atpg/seq_atpg.hpp"
@@ -19,6 +30,8 @@
 #include "netlist/builder.hpp"
 #include "sim/sim3.hpp"
 #include "sim/sim64.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -177,15 +190,16 @@ void BM_PostImage(benchmark::State& state) {
 }
 BENCHMARK(BM_PostImage);
 
-void export_portfolio_counters(benchmark::State& state, const PortfolioStats& s) {
-  auto wins = [&s](const char* name) {
-    const auto it = s.wins.find(name);
-    return it == s.wins.end() ? 0.0 : static_cast<double>(it->second);
-  };
-  state.counters["wins_bdd"] = wins("bdd-reach");
-  state.counters["wins_atpg"] = wins("seq-atpg");
-  state.counters["wins_sim"] = wins("rand-sim");
-  state.counters["jobs_cancelled"] = static_cast<double>(s.jobs_cancelled);
+// The portfolio benches reset the global registry up front, so the raw
+// snapshot at the end is this benchmark's own tally. bdd_peak_nodes is the
+// deterministic capacity counter the CI regression gate keys on.
+void export_portfolio_counters(benchmark::State& state) {
+  const MetricsSnapshot s = MetricsRegistry::global().snapshot();
+  state.counters["wins_bdd"] = s.value("portfolio.wins.bdd-reach");
+  state.counters["wins_atpg"] = s.value("portfolio.wins.seq-atpg");
+  state.counters["wins_sim"] = s.value("portfolio.wins.rand-sim");
+  state.counters["jobs_cancelled"] = s.value("portfolio.jobs_cancelled");
+  state.counters["bdd_peak_nodes"] = s.value("bdd.peak_live_nodes.max");
 }
 
 // Full RFN runs on the FIFO psh_full property, sequential (workers = 0)
@@ -194,7 +208,7 @@ void export_portfolio_counters(benchmark::State& state, const PortfolioStats& s)
 void BM_RfnPortfolioFifo(benchmark::State& state) {
   const rfn::designs::FifoDesign fifo =
       rfn::designs::make_fifo({.addr_bits = 3, .data_bits = 2});
-  PortfolioStats total;
+  MetricsRegistry::global().reset();
   for (auto _ : state) {
     RfnOptions opt;
     opt.portfolio_workers = static_cast<size_t>(state.range(0));
@@ -202,9 +216,8 @@ void BM_RfnPortfolioFifo(benchmark::State& state) {
     RfnVerifier v(fifo.netlist, fifo.bad_push_full, opt);
     const RfnResult res = v.run();
     if (res.verdict != Verdict::Holds) state.SkipWithError("psh_full must hold");
-    total.merge(res.portfolio);
   }
-  export_portfolio_counters(state, total);
+  export_portfolio_counters(state);
 }
 BENCHMARK(BM_RfnPortfolioFifo)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 
@@ -216,6 +229,7 @@ void BM_PortfolioRaceUsb(benchmark::State& state) {
   const Subcircuit sub = extract_abstract_model(usb.netlist, usb.usb2, usb.usb2);
   const GateId target = sub.to_new(usb.usb2.front());
   Portfolio portfolio(static_cast<size_t>(state.range(0)));
+  MetricsRegistry::global().reset();
   for (auto _ : state) {
     BddMgr mgr;
     Encoder enc(mgr, sub.net);
@@ -250,11 +264,96 @@ void BM_PortfolioRaceUsb(benchmark::State& state) {
                     }});
     const RaceResult r = portfolio.race(jobs);
     benchmark::DoNotOptimize(r.conclusive);
+    // This bench owns the iteration's manager, so it flushes the BDD stats
+    // (once per manager, same as the CEGAR loop does for its own managers).
+    publish_bdd_metrics(mgr.stats());
   }
-  export_portfolio_counters(state, portfolio.stats());
+  export_portfolio_counters(state);
 }
 BENCHMARK(BM_PortfolioRaceUsb)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally captures every run for the
+/// rfn-bench-v1 JSON document.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double real_seconds_per_iter = 0.0;  // wall seconds per iteration
+    double cpu_seconds_per_iter = 0.0;
+    int64_t iterations = 0;
+    std::map<std::string, double> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& report) override {
+    for (const Run& r : report) {
+      if (r.error_occurred) continue;
+      Captured c;
+      c.name = r.benchmark_name();
+      c.iterations = r.iterations;
+      if (r.iterations > 0) {
+        c.real_seconds_per_iter =
+            r.real_accumulated_time / static_cast<double>(r.iterations);
+        c.cpu_seconds_per_iter =
+            r.cpu_accumulated_time / static_cast<double>(r.iterations);
+      }
+      for (const auto& [name, counter] : r.counters) c.counters[name] = counter;
+      runs_.push_back(std::move(c));
+    }
+    ConsoleReporter::ReportRuns(report);
+  }
+
+  const std::vector<Captured>& runs() const { return runs_; }
+
+ private:
+  std::vector<Captured> runs_;
+};
+
+bool write_bench_json(const std::string& path,
+                      const std::vector<CapturingReporter::Captured>& runs) {
+  json::Value doc = json::Value::object();
+  doc.set("schema", "rfn-bench-v1");
+  json::Value benches = json::Value::array();
+  for (const auto& r : runs) {
+    json::Value b = json::Value::object();
+    b.set("name", r.name);
+    b.set("real_seconds_per_iter", r.real_seconds_per_iter);
+    b.set("cpu_seconds_per_iter", r.cpu_seconds_per_iter);
+    b.set("iterations", r.iterations);
+    json::Value counters = json::Value::object();
+    for (const auto& [name, v] : r.counters) counters.set(name, v);
+    b.set("counters", std::move(counters));
+    benches.push(std::move(b));
+  }
+  doc.set("benchmarks", std::move(benches));
+  doc.set("metrics", MetricsRegistry::global().to_json());
+  std::ofstream out(path);
+  if (!out) return false;
+  out << doc.dump(2) << "\n";
+  return out.good();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Pull our own `--json FILE` out of argv before google-benchmark sees it.
+  std::string json_path;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() && !write_bench_json(json_path, reporter.runs())) {
+    std::fprintf(stderr, "micro_engines: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Two-phase traffic-light interlock: the crossing directions must never
+// both show green. The watchdog register 'bad' latches any violation.
+//
+// The same design ships built into examples/verilog_frontend; this file is
+// the standalone copy for driving the CLI directly, e.g.
+//
+//   rfn verify examples/traffic.v --bad bad --trace-json trace.jsonl
+//
+// which is also what the metrics golden-schema test and CI exercise.
+module traffic(clk, go_ns, go_ew);
+  input clk;
+  input go_ns;
+  input go_ew;
+
+  reg [1:0] ns = 0;   // 0 red, 1 yellow, 2 green
+  reg [1:0] ew = 0;
+  reg bad = 0;
+
+  wire ns_green;
+  wire ew_green;
+  assign ns_green = ns == 2;
+  assign ew_green = ew == 2;
+
+  always @(posedge clk) begin
+    if (ns == 0) begin
+      if (go_ns & !ew_green & (ew == 0)) ns <= 2;
+    end else if (ns == 2) ns <= 1;
+    else ns <= 0;
+
+    if (ew == 0) begin
+      if (go_ew & !ns_green & (ns == 0) & !go_ns) ew <= 2;
+    end else if (ew == 2) ew <= 1;
+    else ew <= 0;
+
+    bad <= bad | (ns_green & ew_green);
+  end
+endmodule

@@ -1,6 +1,7 @@
 #include "atpg/comb_atpg.hpp"
 
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 
 namespace rfn {
 
@@ -100,9 +101,8 @@ std::pair<GateId, bool> backtrace(const ImplicationEngine& eng, GateId g, bool v
   return {g, v};
 }
 
-}  // namespace
-
-CombAtpgResult justify(const Netlist& n, const Cube& targets, const AtpgOptions& opt) {
+CombAtpgResult justify_impl(const Netlist& n, const Cube& targets,
+                            const AtpgOptions& opt) {
   CombAtpgResult res;
   ImplicationEngine eng(n);
   const Deadline deadline(opt.time_limit_s);
@@ -175,6 +175,19 @@ CombAtpgResult justify(const Netlist& n, const Cube& targets, const AtpgOptions&
       return res;
     }
   }
+}
+
+}  // namespace
+
+CombAtpgResult justify(const Netlist& n, const Cube& targets, const AtpgOptions& opt) {
+  CombAtpgResult res = justify_impl(n, targets, opt);
+  // One flush per call: the search itself stays registry-free.
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("atpg.comb.calls").add(1);
+  m.counter("atpg.comb.backtracks").add(res.backtracks);
+  m.counter("atpg.comb.decisions").add(res.decisions);
+  if (res.status == AtpgStatus::Abort) m.counter("atpg.comb.aborts").add(1);
+  return res;
 }
 
 }  // namespace rfn

@@ -1,11 +1,30 @@
 #include "atpg/seq_atpg.hpp"
 
 #include "atpg/unroll.hpp"
+#include "util/metrics.hpp"
 
 namespace rfn {
 
-SeqAtpgResult solve_cycle_cubes(const Netlist& m, const std::vector<Cube>& cubes,
-                                const AtpgOptions& opt) {
+namespace {
+
+/// One flush per sequential solve ("atpg.seq.*"). The embedded
+/// justification call reports its own search effort under "atpg.comb.*";
+/// the sequential tier counts solves, solved depths and outcomes.
+void record_seq_metrics(const SeqAtpgResult& res, size_t cycles) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("atpg.seq.calls").add(1);
+  m.counter("atpg.seq.backtracks").add(res.backtracks);
+  m.counter("atpg.seq.decisions").add(res.decisions);
+  m.counter("atpg.seq.cycles_searched").add(cycles);
+  switch (res.status) {
+    case AtpgStatus::Sat: m.counter("atpg.seq.sat").add(1); break;
+    case AtpgStatus::Unsat: m.counter("atpg.seq.unsat").add(1); break;
+    case AtpgStatus::Abort: m.counter("atpg.seq.aborts").add(1); break;
+  }
+}
+
+SeqAtpgResult solve_cycle_cubes_impl(const Netlist& m, const std::vector<Cube>& cubes,
+                                     const AtpgOptions& opt) {
   SeqAtpgResult res;
   const size_t k = cubes.size();
   RFN_CHECK(k >= 1, "solve_cycle_cubes with no cycles");
@@ -73,6 +92,15 @@ SeqAtpgResult solve_cycle_cubes(const Netlist& m, const std::vector<Cube>& cubes
       if (v != Tri::X) cube_add(step.inputs, {in, v == Tri::T});
     }
   }
+  return res;
+}
+
+}  // namespace
+
+SeqAtpgResult solve_cycle_cubes(const Netlist& m, const std::vector<Cube>& cubes,
+                                const AtpgOptions& opt) {
+  SeqAtpgResult res = solve_cycle_cubes_impl(m, cubes, opt);
+  record_seq_metrics(res, cubes.size());
   return res;
 }
 

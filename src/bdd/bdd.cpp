@@ -2,7 +2,19 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+
 namespace rfn {
+
+void publish_bdd_metrics(const BddStats& s) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("bdd.managers").add(1);
+  m.counter("bdd.gc_runs").add(s.gc_runs);
+  m.counter("bdd.reorderings").add(s.reorderings);
+  m.counter("bdd.cache_lookups").add(s.cache_lookups);
+  m.counter("bdd.cache_hits").add(s.cache_hits);
+  m.gauge("bdd.peak_live_nodes").record_max(static_cast<int64_t>(s.peak_live_nodes));
+}
 
 // ---------------------------------------------------------------------------
 // Bdd handle
@@ -183,6 +195,8 @@ uint32_t BddMgr::find_or_add(BddVar v, uint32_t lo, uint32_t hi) {
   inc_rc(hi);
   ++dead_estimate_;  // born dead until someone references it
   ++stats_.live_nodes;
+  if (stats_.live_nodes > stats_.peak_live_nodes)
+    stats_.peak_live_nodes = stats_.live_nodes;
   subtable_insert(st, id);
   maybe_grow(st);
   return id;

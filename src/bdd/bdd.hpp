@@ -98,13 +98,33 @@ class Bdd {
 /// Statistics snapshot for logs and benches.
 struct BddStats {
   size_t live_nodes = 0;
+  /// High-water mark of live_nodes over the manager's lifetime — the
+  /// capacity metric the CEGAR loop reports per iteration and the bench
+  /// regression gate tracks.
+  size_t peak_live_nodes = 0;
   size_t allocated_nodes = 0;
   size_t num_vars = 0;
   size_t gc_runs = 0;
   size_t reorderings = 0;
   size_t cache_lookups = 0;
   size_t cache_hits = 0;
+
+  /// Computed-cache hit rate in [0, 1]; 0 when no lookups happened.
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) / static_cast<double>(cache_lookups);
+  }
 };
+
+/// Merges one manager's lifetime statistics into the global metrics
+/// registry ("bdd.*": counters for gc/reorder/cache totals, gauge maxima
+/// for the node high-water marks). BddMgr itself never touches the global
+/// registry — its counters are plain fields on the hot path — so owners
+/// flush exactly once per manager, at a natural boundary (RFN flushes the
+/// per-iteration Step-2 manager after the race; benches flush before
+/// exporting counters).
+void publish_bdd_metrics(const BddStats& s);
 
 class BddMgr {
  public:

@@ -2,8 +2,28 @@
 
 #include "mc/image.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 
 namespace rfn {
+
+namespace {
+
+/// One flush per public trace-extraction call ("hybrid.*"). The
+/// no-cut vs min-cut split is the paper's Figure-1 quantity: how often the
+/// pre-image cube was usable directly vs routed through combinational ATPG.
+void record_hybrid_metrics(const HybridTraceStats& st, size_t traces) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("hybrid.walks").add(1);
+  m.counter("hybrid.traces").add(traces);
+  m.counter("hybrid.nocut_cubes").add(st.nocut_cubes);
+  m.counter("hybrid.mincut_cubes").add(st.mincut_cubes);
+  m.counter("hybrid.atpg_calls").add(st.atpg_calls);
+  m.counter("hybrid.atpg_rejects").add(st.atpg_rejects);
+  m.gauge("hybrid.mc_inputs").set(static_cast<int64_t>(st.mc_inputs));
+  m.gauge("hybrid.model_inputs").set(static_cast<int64_t>(st.model_inputs));
+}
+
+}  // namespace
 
 namespace {
 
@@ -196,7 +216,9 @@ Trace hybrid_error_trace(Encoder& enc, const Netlist& n, const ReachResult& reac
   HybridTraceStats& st = stats ? *stats : local_stats;
   RFN_CHECK(reach.status == ReachStatus::BadReachable, "no abstract error trace");
   HybridWalker walker(enc, n, reach, bad, opt, st);
-  return walker.walk(walker.start_cubes(1).front(), 0);
+  Trace t = walker.walk(walker.start_cubes(1).front(), 0);
+  record_hybrid_metrics(st, t.empty() ? 0 : 1);
+  return t;
 }
 
 std::vector<Trace> hybrid_error_traces(Encoder& enc, const Netlist& n,
@@ -213,7 +235,10 @@ std::vector<Trace> hybrid_error_traces(Encoder& enc, const Netlist& n,
   const auto starts = walker.start_cubes(count);
   for (size_t variant = 0; variant < count && traces.size() < count; ++variant) {
     for (const auto& start : starts) {
-      if (should_stop(opt.cancel)) return traces;
+      if (should_stop(opt.cancel)) {
+        record_hybrid_metrics(st, traces.size());
+        return traces;
+      }
       Trace t = walker.walk(start, variant);
       if (t.empty()) continue;
       // Different starts/variants can converge onto the same trace.
@@ -227,6 +252,7 @@ std::vector<Trace> hybrid_error_traces(Encoder& enc, const Netlist& n,
       if (traces.size() >= count) break;
     }
   }
+  record_hybrid_metrics(st, traces.size());
   return traces;
 }
 

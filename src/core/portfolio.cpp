@@ -5,6 +5,7 @@
 
 #include "sim/sim64.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 
 namespace rfn {
 
@@ -78,12 +79,15 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
   if (res.conclusive) res.winner_name = jobs[res.winner].name;
   res.seconds = watch.seconds();
 
-  stats_.races += 1;
-  stats_.jobs_launched += res.launched;
-  stats_.jobs_cancelled += res.cancelled;
-  stats_.jobs_inconclusive += sh->inconclusive;
-  stats_.wall_seconds += res.seconds;
-  if (res.conclusive) stats_.wins[res.winner_name] += 1;
+  // One flush per race ("portfolio.*"): the race's hot path (job wrappers)
+  // touches only the Shared block, never the registry.
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("portfolio.races").add(1);
+  m.counter("portfolio.jobs_launched").add(res.launched);
+  m.counter("portfolio.jobs_cancelled").add(res.cancelled);
+  m.counter("portfolio.jobs_inconclusive").add(sh->inconclusive);
+  m.timer("portfolio.race").record(res.seconds);
+  if (res.conclusive) m.counter("portfolio.wins." + res.winner_name).add(1);
   RFN_DEBUG("portfolio race: winner=%s launched=%zu cancelled=%zu %.3fs",
             res.conclusive ? res.winner_name.c_str() : "(none)", res.launched,
             res.cancelled, res.seconds);

@@ -70,11 +70,9 @@ class Portfolio {
                   const CancelToken* parent = nullptr);
 
   size_t workers() const { return exec_.workers(); }
-  const PortfolioStats& stats() const { return stats_; }
 
  private:
   Executor exec_;
-  PortfolioStats stats_;
 };
 
 // --- Engine adapters ---

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bdd/bdd.hpp"
 #include "core/abstraction.hpp"
 #include "core/concretize.hpp"
 #include "core/portfolio.hpp"
@@ -9,6 +10,7 @@
 #include "mc/image.hpp"
 #include "netlist/analysis.hpp"
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 
 namespace rfn {
 
@@ -54,6 +56,7 @@ RfnResult RfnVerifier::run() {
     const Subcircuit sub = extract_abstract_model(*m_, roots, included_);
     it.abstract_regs = sub.net.num_regs();
     it.abstract_inputs = sub.net.num_inputs();
+    it.abstract_gates = sub.net.num_gates();
     RFN_INFO("iter %zu: abstract model regs=%zu inputs=%zu gates=%zu", iter,
              it.abstract_regs, it.abstract_inputs, sub.net.num_gates());
 
@@ -65,14 +68,34 @@ RfnResult RfnVerifier::run() {
     mgr.set_node_budget(opt_.reach.max_live_nodes);
     ImageComputer img(enc);
 
+    // Every exit path of this iteration funnels through here: harvest the
+    // per-iteration BDD-manager internals, flush them into the registry
+    // (exactly once per manager — it dies with the iteration) and stamp the
+    // iteration wall time. "rfn.*" is the loop's own namespace.
+    auto finish_iteration = [&](RfnIteration& done) {
+      const BddStats& bs = mgr.stats();
+      done.bdd_peak_nodes = bs.peak_live_nodes;
+      done.bdd_cache_lookups = bs.cache_lookups;
+      done.bdd_cache_hits = bs.cache_hits;
+      done.bdd_reorderings = bs.reorderings;
+      publish_bdd_metrics(bs);
+      done.seconds = iter_watch.seconds();
+      MetricsRegistry& reg = MetricsRegistry::global();
+      reg.counter("rfn.iterations").add(1);
+      reg.timer("rfn.iteration").record(done.seconds);
+      reg.gauge("rfn.abstract_regs").set(static_cast<int64_t>(done.abstract_regs));
+      reg.counter("rfn.refined_registers").add(done.refine.final_count);
+      reg.counter("rfn.abstract_trace_cycles").add(done.trace_cycles);
+      result.per_iteration.push_back(done);
+    };
+
     const GateId bad_new = sub.to_new(bad_);
     RFN_CHECK(bad_new != kNullGate, "property signal missing from abstraction");
     // Bad states: states from which some input valuation raises the signal.
     const Bdd bad_set = mgr.exists(enc.signal_fn(bad_new), enc.input_vars());
     if (img.aborted() || bad_set.is_null()) {
       it.reach_status = ReachStatus::ResourceOut;
-      it.seconds = iter_watch.seconds();
-      result.per_iteration.push_back(it);
+      finish_iteration(it);
       result.note = "abstract model exceeded the BDD node budget";
       break;
     }
@@ -129,6 +152,7 @@ RfnResult RfnVerifier::run() {
                     }});
     const RaceResult abs_race = portfolio.race(jobs, opt_.cancel);
     it.abstract_engine = abs_race.winner_name;
+    it.abstract_race_seconds = abs_race.seconds;
     it.reach_status = reach.status;
     it.reach_steps = reach.steps;
 
@@ -136,8 +160,7 @@ RfnResult RfnVerifier::run() {
     if (abs_race.conclusive && abs_race.winner == 0) {
       if (reach.status == ReachStatus::Proved) {
         if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
-        it.seconds = iter_watch.seconds();
-        result.per_iteration.push_back(it);
+        finish_iteration(it);
         result.verdict = Verdict::Holds;
         break;
       }
@@ -149,8 +172,7 @@ RfnResult RfnVerifier::run() {
                                      hybrid_opt, &it.hybrid);
       if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
       if (traces_n.empty()) {
-        it.seconds = iter_watch.seconds();
-        result.per_iteration.push_back(it);
+        finish_iteration(it);
         result.note = "hybrid trace engine exhausted candidates";
         break;
       }
@@ -181,8 +203,7 @@ RfnResult RfnVerifier::run() {
             approx_forward_reach(enc, enc.initial_states(), bad_set, aopt);
         if (approx.status == ApproxStatus::Proved) {
           it.approx_proved = true;
-          it.seconds = iter_watch.seconds();
-          result.per_iteration.push_back(it);
+          finish_iteration(it);
           result.verdict = Verdict::Holds;
           result.note = "proved by overlapping-partition approximation";
           break;
@@ -203,13 +224,11 @@ RfnResult RfnVerifier::run() {
         if (added > 0) {
           RFN_INFO("iter %zu: approx inconclusive; blind-refining with %zu registers",
                    iter, added);
-          it.seconds = iter_watch.seconds();
-          result.per_iteration.push_back(it);
+          finish_iteration(it);
           continue;
         }
       }
-      it.seconds = iter_watch.seconds();
-      result.per_iteration.push_back(it);
+      finish_iteration(it);
       result.note = "abstract fixpoint exceeded resources";
       break;
     }
@@ -245,18 +264,17 @@ RfnResult RfnVerifier::run() {
                      }});
     const RaceResult conc_race = portfolio.race(cjobs, opt_.cancel);
     it.concretize_engine = conc_race.winner_name;
+    it.concretize_race_seconds = conc_race.seconds;
     if (conc_race.conclusive && conc_race.winner == 1) {
       it.concretize_status = AtpgStatus::Sat;
-      it.seconds = iter_watch.seconds();
-      result.per_iteration.push_back(it);
+      finish_iteration(it);
       result.verdict = Verdict::Fails;
       result.error_trace = sim_cex;
       break;
     }
     it.concretize_status = conc.status;
     if (conc.status == AtpgStatus::Sat) {
-      it.seconds = iter_watch.seconds();
-      result.per_iteration.push_back(it);
+      finish_iteration(it);
       result.verdict = Verdict::Fails;
       result.error_trace = conc.trace;
       break;
@@ -265,8 +283,7 @@ RfnResult RfnVerifier::run() {
     // --- Step 4: refine ---
     const std::vector<GateId> crucial = identify_crucial_registers(
         *m_, roots, bad_, included_, abs_trace, opt_.refine, &it.refine);
-    it.seconds = iter_watch.seconds();
-    result.per_iteration.push_back(it);
+    finish_iteration(it);
     if (crucial.empty()) {
       result.note = "refinement produced no crucial registers";
       break;
@@ -276,8 +293,15 @@ RfnResult RfnVerifier::run() {
   }
 
   result.final_abstract_regs = included_.size();
-  result.portfolio = portfolio.stats();
   result.seconds = deadline.elapsed_seconds();
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("rfn.runs").add(1);
+  reg.timer("rfn.run").record(result.seconds);
+  switch (result.verdict) {
+    case Verdict::Holds: reg.counter("rfn.verdict.holds").add(1); break;
+    case Verdict::Fails: reg.counter("rfn.verdict.fails").add(1); break;
+    case Verdict::Unknown: reg.counter("rfn.verdict.unknown").add(1); break;
+  }
   return result;
 }
 

@@ -80,8 +80,15 @@ const char* verdict_name(Verdict v);
 struct RfnIteration {
   size_t abstract_regs = 0;
   size_t abstract_inputs = 0;
+  size_t abstract_gates = 0;
   ReachStatus reach_status{};
   size_t reach_steps = 0;
+  /// BDD-manager internals for this iteration's abstract model (each
+  /// iteration owns a fresh manager, so these are per-iteration exact).
+  size_t bdd_peak_nodes = 0;
+  size_t bdd_cache_lookups = 0;
+  size_t bdd_cache_hits = 0;
+  size_t bdd_reorderings = 0;
   /// Whether the approximate-traversal fallback ran and what it returned.
   bool approx_used = false;
   bool approx_proved = false;
@@ -92,6 +99,9 @@ struct RfnIteration {
   /// Which engine won each race (empty = race had no conclusive winner).
   std::string abstract_engine;
   std::string concretize_engine;
+  /// Wall time of the Step-2 / Step-3 engine races.
+  double abstract_race_seconds = 0.0;
+  double concretize_race_seconds = 0.0;
   double seconds = 0.0;
 };
 
@@ -103,8 +113,6 @@ struct RfnResult {
   size_t final_abstract_regs = 0;
   double seconds = 0.0;
   std::vector<RfnIteration> per_iteration;
-  /// Engine-race counters accumulated over the whole run.
-  PortfolioStats portfolio;
   std::string note;  // diagnostic for Unknown verdicts
 };
 

@@ -1,0 +1,99 @@
+#include "core/trace_json.hpp"
+
+#include "util/metrics.hpp"
+
+namespace rfn {
+
+json::Value iteration_json(size_t index, const RfnIteration& it) {
+  using json::Value;
+  Value o = Value::object();
+  o.set("type", "iteration");
+  o.set("iter", index);
+
+  Value abstraction = Value::object();
+  abstraction.set("regs", it.abstract_regs);
+  abstraction.set("inputs", it.abstract_inputs);
+  abstraction.set("gates", it.abstract_gates);
+  o.set("abstraction", std::move(abstraction));
+
+  Value reach = Value::object();
+  reach.set("status", reach_status_name(it.reach_status));
+  reach.set("steps", it.reach_steps);
+  reach.set("approx_used", it.approx_used);
+  reach.set("approx_proved", it.approx_proved);
+  o.set("reach", std::move(reach));
+
+  Value bdd = Value::object();
+  bdd.set("peak_nodes", it.bdd_peak_nodes);
+  bdd.set("cache_lookups", it.bdd_cache_lookups);
+  bdd.set("cache_hits", it.bdd_cache_hits);
+  bdd.set("cache_hit_rate",
+          it.bdd_cache_lookups == 0
+              ? 0.0
+              : static_cast<double>(it.bdd_cache_hits) /
+                    static_cast<double>(it.bdd_cache_lookups));
+  bdd.set("reorderings", it.bdd_reorderings);
+  o.set("bdd", std::move(bdd));
+
+  Value hybrid = Value::object();
+  hybrid.set("nocut_cubes", it.hybrid.nocut_cubes);
+  hybrid.set("mincut_cubes", it.hybrid.mincut_cubes);
+  hybrid.set("atpg_calls", it.hybrid.atpg_calls);
+  hybrid.set("atpg_rejects", it.hybrid.atpg_rejects);
+  o.set("hybrid", std::move(hybrid));
+
+  o.set("trace_cycles", it.trace_cycles);
+
+  Value conc = Value::object();
+  conc.set("status", atpg_status_name(it.concretize_status));
+  o.set("concretize", std::move(conc));
+
+  Value refine = Value::object();
+  refine.set("conflict_candidates", it.refine.conflict_candidates);
+  refine.set("fallback_candidates", it.refine.fallback_candidates);
+  refine.set("added_until_unsat", it.refine.added_until_unsat);
+  refine.set("removed_by_greedy", it.refine.removed_by_greedy);
+  refine.set("final_count", it.refine.final_count);
+  refine.set("atpg_calls", it.refine.atpg_calls);
+  refine.set("trace_invalidated", it.refine.trace_invalidated);
+  o.set("refine", std::move(refine));
+
+  // Portfolio outcome per race: the winning engine ("" = inconclusive) and
+  // the race's wall time.
+  Value engines = Value::object();
+  Value abs_race = Value::object();
+  abs_race.set("winner", it.abstract_engine);
+  abs_race.set("seconds", it.abstract_race_seconds);
+  engines.set("abstract", std::move(abs_race));
+  Value conc_race = Value::object();
+  conc_race.set("winner", it.concretize_engine);
+  conc_race.set("seconds", it.concretize_race_seconds);
+  engines.set("concretize", std::move(conc_race));
+  o.set("engines", std::move(engines));
+
+  o.set("seconds", it.seconds);
+  return o;
+}
+
+json::Value summary_json(const RfnResult& res) {
+  using json::Value;
+  Value o = Value::object();
+  o.set("type", "summary");
+  o.set("trace_version", "rfn-trace-v1");
+  o.set("verdict", verdict_name(res.verdict));
+  o.set("iterations", res.iterations);
+  o.set("final_abstract_regs", res.final_abstract_regs);
+  o.set("error_trace_cycles", res.error_trace.cycles());
+  o.set("seconds", res.seconds);
+  o.set("note", res.note);
+  o.set("metrics", MetricsRegistry::global().to_json());
+  return o;
+}
+
+void write_trace_json(std::ostream& os, const RfnResult& res) {
+  for (size_t i = 0; i < res.per_iteration.size(); ++i)
+    os << iteration_json(i, res.per_iteration[i]).dump() << "\n";
+  os << summary_json(res).dump() << "\n";
+}
+
+}  // namespace rfn

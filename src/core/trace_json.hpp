@@ -1,0 +1,49 @@
+#pragma once
+// JSON event trace for the CEGAR loop.
+//
+// The sink renders one self-contained JSON object per CEGAR iteration plus
+// one final summary object, written as JSON Lines (one object per line) so
+// a consumer can stream a long run without a closing bracket ever arriving.
+// rfn_cli exposes it as `--trace-json FILE`; the benches emit the same
+// iteration schema inside their run records, which is what lets the CI
+// regression gate read both with one parser.
+//
+// Schema (trace version "rfn-trace-v1"):
+//   {"type":"iteration","iter":k,
+//    "abstraction":{"regs":..,"inputs":..,"gates":..},
+//    "reach":{"status":"proved|bad-reachable|resource-out","steps":..,
+//             "approx_used":..,"approx_proved":..},
+//    "bdd":{"peak_nodes":..,"cache_lookups":..,"cache_hits":..,
+//           "cache_hit_rate":..,"reorderings":..},
+//    "hybrid":{"nocut_cubes":..,"mincut_cubes":..,"atpg_calls":..,
+//              "atpg_rejects":..},
+//    "trace_cycles":..,
+//    "concretize":{"status":"sat|unsat|abort"},
+//    "refine":{"conflict_candidates":..,"fallback_candidates":..,
+//              "added_until_unsat":..,"removed_by_greedy":..,
+//              "final_count":..,"atpg_calls":..,"trace_invalidated":..},
+//    "engines":{"abstract":{"winner":"..","seconds":..},
+//               "concretize":{"winner":"..","seconds":..}},
+//    "seconds":..}
+//   {"type":"summary","trace_version":"rfn-trace-v1","verdict":"T|F|?",
+//    "iterations":..,"final_abstract_regs":..,"seconds":..,"note":"..",
+//    "metrics":{<MetricsRegistry::to_json()>}}
+
+#include <ostream>
+
+#include "core/rfn.hpp"
+#include "util/json.hpp"
+
+namespace rfn {
+
+/// One CEGAR iteration as a JSON object (`"type":"iteration"`).
+json::Value iteration_json(size_t index, const RfnIteration& it);
+
+/// The run summary object (`"type":"summary"`), embedding the current
+/// global metrics registry dump under "metrics".
+json::Value summary_json(const RfnResult& res);
+
+/// Writes the whole run as JSON Lines: every iteration, then the summary.
+void write_trace_json(std::ostream& os, const RfnResult& res);
+
+}  // namespace rfn

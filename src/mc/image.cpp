@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/metrics.hpp"
+
 namespace rfn {
 
 ImageComputer::ImageComputer(Encoder& enc, const ImageOptions& opt) : enc_(&enc) {
@@ -51,6 +53,9 @@ ImageComputer::ImageComputer(Encoder& enc, const ImageOptions& opt) : enc_(&enc)
 
 Bdd ImageComputer::post_image(const Bdd& states) {
   if (aborted_ || states.is_null()) return Bdd();
+  // Registry reference cached once: image steps run in tight fixpoint loops.
+  static Counter& post_images = MetricsRegistry::global().counter("mc.post_images");
+  post_images.add(1);
   BddMgr& mgr = enc_->mgr();
   // Early-quantification schedule: each state/input variable is eliminated
   // at the last partition whose support mentions it.
@@ -80,6 +85,8 @@ Bdd ImageComputer::post_image(const Bdd& states) {
 
 Bdd ImageComputer::pre_image_with_inputs(const Bdd& target) {
   if (aborted_ || target.is_null()) return Bdd();
+  static Counter& pre_images = MetricsRegistry::global().counter("mc.pre_images");
+  pre_images.add(1);
   BddMgr& mgr = enc_->mgr();
   Bdd acc = mgr.rename(target, rename_state_to_next_);
   // Each partition's next vars occur only in that partition (and in acc),

@@ -1,8 +1,26 @@
 #include "mc/reach.hpp"
 
 #include "util/log.hpp"
+#include "util/metrics.hpp"
 
 namespace rfn {
+
+namespace {
+
+/// Flushes one fixpoint's outcome into the registry ("mc.reach.*").
+void record_reach_metrics(const ReachResult& res) {
+  MetricsRegistry& m = MetricsRegistry::global();
+  m.counter("mc.reach.calls").add(1);
+  m.counter("mc.reach.image_steps").add(res.steps);
+  m.timer("mc.reach").record(res.seconds);
+  switch (res.status) {
+    case ReachStatus::Proved: m.counter("mc.reach.proved").add(1); break;
+    case ReachStatus::BadReachable: m.counter("mc.reach.bad_reachable").add(1); break;
+    case ReachStatus::ResourceOut: m.counter("mc.reach.resource_out").add(1); break;
+  }
+}
+
+}  // namespace
 
 const char* reach_status_name(ReachStatus s) {
   switch (s) {
@@ -13,8 +31,10 @@ const char* reach_status_name(ReachStatus s) {
   return "?";
 }
 
-ReachResult forward_reach(ImageComputer& img, const Bdd& init, const Bdd& bad,
-                          const ReachOptions& opt) {
+namespace {
+
+ReachResult forward_reach_impl(ImageComputer& img, const Bdd& init, const Bdd& bad,
+                               const ReachOptions& opt) {
   BddMgr& mgr = img.encoder().mgr();
   const Deadline deadline(opt.time_limit_s);
   ReachResult res;
@@ -65,6 +85,15 @@ ReachResult forward_reach(ImageComputer& img, const Bdd& init, const Bdd& bad,
   }
   res.status = ReachStatus::ResourceOut;
   res.seconds = deadline.elapsed_seconds();
+  return res;
+}
+
+}  // namespace
+
+ReachResult forward_reach(ImageComputer& img, const Bdd& init, const Bdd& bad,
+                          const ReachOptions& opt) {
+  ReachResult res = forward_reach_impl(img, init, bad, opt);
+  record_reach_metrics(res);
   return res;
 }
 

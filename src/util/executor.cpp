@@ -43,13 +43,4 @@ void Executor::worker_loop() {
   }
 }
 
-void PortfolioStats::merge(const PortfolioStats& o) {
-  races += o.races;
-  jobs_launched += o.jobs_launched;
-  jobs_cancelled += o.jobs_cancelled;
-  jobs_inconclusive += o.jobs_inconclusive;
-  wall_seconds += o.wall_seconds;
-  for (const auto& [name, count] : o.wins) wins[name] += count;
-}
-
 }  // namespace rfn

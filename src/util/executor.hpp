@@ -12,9 +12,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <map>
 #include <mutex>
-#include <string>
 #include <thread>
 #include <vector>
 
@@ -44,20 +42,6 @@ class Executor {
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> threads_;
-};
-
-/// Counters accumulated across the races of one portfolio (jobs launched /
-/// cancelled, per-engine winner histogram, wall time). Formatted for bench
-/// output by format_portfolio_stats() in util/stats.hpp.
-struct PortfolioStats {
-  size_t races = 0;
-  size_t jobs_launched = 0;      // closures that actually started running
-  size_t jobs_cancelled = 0;     // cut short by a winner, or never started
-  size_t jobs_inconclusive = 0;  // ran to completion without a verdict
-  double wall_seconds = 0.0;     // summed race wall time
-  std::map<std::string, size_t> wins;  // engine name -> conclusive verdicts
-
-  void merge(const PortfolioStats& o);
 };
 
 }  // namespace rfn

@@ -1,0 +1,106 @@
+#pragma once
+// Minimal JSON document model with a writer and a strict parser.
+//
+// The observability layer (util/metrics, core/trace_json, the bench JSON
+// emitters) speaks one schema family, and the tests round-trip it; this is
+// the shared value type all of them build and consume. Objects preserve
+// insertion order so emitted documents are stable across runs — the golden
+// schema checks and the bench regression gate diff them textually.
+//
+// Deliberately small: no exceptions (parse errors come back through an
+// out-parameter), no SAX interface, doubles for every number (uint64
+// counters survive to 2^53, far beyond any metric this repo produces).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace rfn::json {
+
+class Value;
+
+/// Insertion-ordered key/value list. Lookup is linear; observability
+/// objects have tens of keys, not thousands.
+using Member = std::pair<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() = default;  // null
+  Value(std::nullptr_t) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(double d) : kind_(Kind::Number), num_(d) {}
+  Value(int i) : kind_(Kind::Number), num_(i) {}
+  Value(int64_t i) : kind_(Kind::Number), num_(static_cast<double>(i)) {}
+  Value(uint64_t u) : kind_(Kind::Number), num_(static_cast<double>(u)) {}
+  Value(const char* s) : kind_(Kind::String), str_(s) {}
+  Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  Value(std::string_view s) : kind_(Kind::String), str_(s) {}
+
+  static Value array() {
+    Value v;
+    v.kind_ = Kind::Array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.kind_ = Kind::Object;
+    return v;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  bool as_bool() const { return bool_; }
+  double as_double() const { return num_; }
+  uint64_t as_uint() const { return num_ < 0 ? 0 : static_cast<uint64_t>(num_); }
+  const std::string& as_string() const { return str_; }
+  const std::vector<Value>& items() const { return items_; }
+  const std::vector<Member>& members() const { return members_; }
+
+  /// Array append. Converts a null value into an array on first push.
+  Value& push(Value v);
+
+  /// Object insert-or-overwrite, preserving first-insertion order. Converts
+  /// a null value into an object on first set. Returns *this for chaining.
+  Value& set(std::string_view key, Value v);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+  /// Dotted-path lookup ("reach.status"); nullptr when any hop is missing.
+  const Value* find_path(std::string_view dotted) const;
+
+  /// Serializes. indent < 0 emits the compact single-line form; indent >= 0
+  /// pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> items_;
+  std::vector<Member> members_;
+};
+
+/// Escapes and quotes a string per RFC 8259.
+std::string escape(std::string_view s);
+
+/// Strict parser for one JSON document (trailing whitespace allowed,
+/// trailing garbage is an error). On failure returns null and, when `error`
+/// is non-null, stores a one-line diagnostic with the byte offset.
+Value parse(std::string_view text, std::string* error = nullptr);
+
+}  // namespace rfn::json

@@ -1,0 +1,90 @@
+#include "util/metrics.hpp"
+
+namespace rfn {
+
+MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& before) const {
+  MetricsSnapshot out;
+  for (const auto& [name, v] : values) {
+    const auto it = before.values.find(name);
+    out.values[name] = v - (it == before.values.end() ? 0.0 : it->second);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked intentionally: engines may record from detached executor threads
+  // during process teardown, so the registry must outlive static dtors.
+  static MetricsRegistry* g = new MetricsRegistry();
+  return *g;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Timer& MetricsRegistry::timer(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = timers_.find(name);
+  if (it != timers_.end()) return *it->second;
+  return *timers_.emplace(std::string(name), std::make_unique<Timer>())
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  MetricsSnapshot s;
+  for (const auto& [name, c] : counters_)
+    s.values[name] = static_cast<double>(c->value());
+  for (const auto& [name, g] : gauges_) {
+    s.values[name] = static_cast<double>(g->value());
+    s.values[name + ".max"] = static_cast<double>(g->max());
+  }
+  for (const auto& [name, t] : timers_) {
+    s.values[name + ".count"] = static_cast<double>(t->count());
+    s.values[name + ".seconds"] = t->total_seconds();
+    s.values[name + ".max_seconds"] = t->max_seconds();
+  }
+  return s;
+}
+
+json::Value MetricsRegistry::to_json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  json::Value counters = json::Value::object();
+  for (const auto& [name, c] : counters_) counters.set(name, c->value());
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, g] : gauges_)
+    gauges.set(name, json::Value::object()
+                         .set("value", g->value())
+                         .set("max", g->max()));
+  json::Value timers = json::Value::object();
+  for (const auto& [name, t] : timers_)
+    timers.set(name, json::Value::object()
+                         .set("count", t->count())
+                         .set("seconds", t->total_seconds())
+                         .set("max_seconds", t->max_seconds()));
+  return json::Value::object()
+      .set("counters", std::move(counters))
+      .set("gauges", std::move(gauges))
+      .set("timers", std::move(timers));
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, t] : timers_) t->reset();
+}
+
+}  // namespace rfn

@@ -1,0 +1,184 @@
+#pragma once
+// Structured observability for the CEGAR loop: a thread-safe registry of
+// named counters, gauges and histogram timers.
+//
+// Every engine layer (BDD manager flushes, image/reach steps, ATPG
+// backtracks, hybrid cut-cube classification, portfolio races, the RFN loop
+// itself) records into one process-global registry. The design splits the
+// cost into two tiers:
+//   * the hot path — Counter::add / Gauge::record_max / Timer::record — is
+//     a single relaxed atomic RMW, safe from any executor thread;
+//   * registration — MetricsRegistry::counter("name") — takes a mutex, so
+//     call sites either run at step boundaries (once per race / per ATPG
+//     call) or cache the returned reference in a function-local static.
+// Metric objects are never deallocated while the registry lives, and
+// reset() zeroes values without invalidating references, so cached
+// references stay valid across test cases and bench repetitions.
+//
+// Snapshots flatten the registry into name -> double for delta arithmetic
+// (per-race win counts in benches, per-test assertions) and to_json()
+// serializes the whole registry for `rfn --metrics`, the per-run summary
+// object of the JSON event trace, and the bench regression gate.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+
+namespace rfn {
+
+/// Monotonically increasing event count. Lock-free.
+class Counter {
+ public:
+  void add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-written level plus a high-water mark. Lock-free.
+class Gauge {
+ public:
+  void set(int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    record_max(v);
+  }
+  /// Raises the high-water mark without touching the level. This is the
+  /// call engines use for peak trackers (BDD live nodes, abstraction size).
+  void record_max(int64_t v) {
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+  void reset() {
+    v_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> v_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Accumulated duration histogram: count, total and max, in nanoseconds
+/// internally so accumulation is a single atomic add. Lock-free.
+class Timer {
+ public:
+  void record(double seconds) {
+    const auto ns = static_cast<uint64_t>(seconds < 0.0 ? 0.0 : seconds * 1e9);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    total_ns_.fetch_add(ns, std::memory_order_relaxed);
+    uint64_t cur = max_ns_.load(std::memory_order_relaxed);
+    while (ns > cur &&
+           !max_ns_.compare_exchange_weak(cur, ns, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double total_seconds() const {
+    return static_cast<double>(total_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  double max_seconds() const {
+    return static_cast<double>(max_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    total_ns_.store(0, std::memory_order_relaxed);
+    max_ns_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_ns_{0};
+  std::atomic<uint64_t> max_ns_{0};
+};
+
+/// Flat name -> value view of a registry at one instant. Counters appear
+/// under their name; gauges add ".max"; timers add ".count", ".seconds" and
+/// ".max_seconds".
+struct MetricsSnapshot {
+  std::map<std::string, double> values;
+
+  double value(const std::string& name, double fallback = 0.0) const {
+    const auto it = values.find(name);
+    return it == values.end() ? fallback : it->second;
+  }
+  /// Pointwise this - before (names missing from `before` count as 0).
+  /// Meaningful for counters and timer totals; gauge levels and maxima are
+  /// not differences — read those off the raw snapshot.
+  MetricsSnapshot delta(const MetricsSnapshot& before) const;
+};
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every engine records into.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create. The returned reference is stable for the registry's
+  /// lifetime (entries are never erased, reset() only zeroes them).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Timer& timer(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Full registry as one JSON object: {"counters": {...}, "gauges":
+  /// {name: {"value": v, "max": m}}, "timers": {name: {"count": c,
+  /// "seconds": s, "max_seconds": m}}}. Keys are sorted (std::map), so the
+  /// document is stable for golden tests and the bench gate.
+  json::Value to_json() const;
+
+  /// Zeroes every registered metric without invalidating references.
+  /// For per-run isolation in tests and benches.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// RAII scoped timer: records the elapsed wall time into a Timer when it
+/// leaves scope (or at an explicit stop()). Nesting is just independent
+/// objects — each scope records its own duration.
+class MetricTimer {
+ public:
+  explicit MetricTimer(Timer& timer) : timer_(&timer) {}
+  /// Convenience: resolves `name` in the global registry.
+  explicit MetricTimer(std::string_view name)
+      : timer_(&MetricsRegistry::global().timer(name)) {}
+  MetricTimer(const MetricTimer&) = delete;
+  MetricTimer& operator=(const MetricTimer&) = delete;
+  ~MetricTimer() { stop(); }
+
+  /// Records now instead of at scope exit; idempotent. Returns the elapsed
+  /// seconds that were recorded.
+  double stop() {
+    if (timer_ == nullptr) return 0.0;
+    const double s = watch_.seconds();
+    timer_->record(s);
+    timer_ = nullptr;
+    return s;
+  }
+
+ private:
+  Timer* timer_;
+  Stopwatch watch_;
+};
+
+}  // namespace rfn

@@ -55,21 +55,44 @@ std::string fmt_double(double v, int precision) {
   return buf;
 }
 
-std::string format_portfolio_stats(const PortfolioStats& s) {
+std::string format_portfolio_stats(const MetricsSnapshot& s) {
+  auto count = [&s](const char* name) {
+    return fmt_int(static_cast<int64_t>(s.value(name)));
+  };
   Table summary({"races", "launched", "cancelled", "inconclusive", "wall (s)"});
-  summary.add_row({fmt_int(static_cast<int64_t>(s.races)),
-                   fmt_int(static_cast<int64_t>(s.jobs_launched)),
-                   fmt_int(static_cast<int64_t>(s.jobs_cancelled)),
-                   fmt_int(static_cast<int64_t>(s.jobs_inconclusive)),
-                   fmt_double(s.wall_seconds, 3)});
+  summary.add_row({count("portfolio.races"), count("portfolio.jobs_launched"),
+                   count("portfolio.jobs_cancelled"),
+                   count("portfolio.jobs_inconclusive"),
+                   fmt_double(s.value("portfolio.race.seconds"), 3)});
   std::string out = summary.to_string();
-  if (!s.wins.empty()) {
-    Table winners({"engine", "wins"});
-    for (const auto& [name, count] : s.wins)
-      winners.add_row({name, fmt_int(static_cast<int64_t>(count))});
-    out += winners.to_string();
+  Table winners({"engine", "wins"});
+  bool any = false;
+  static constexpr std::string_view kPrefix = "portfolio.wins.";
+  for (const auto& [name, value] : s.values) {
+    if (name.rfind(kPrefix, 0) != 0 || value <= 0.0) continue;
+    winners.add_row({name.substr(kPrefix.size()),
+                     fmt_int(static_cast<int64_t>(value))});
+    any = true;
   }
+  if (any) out += winners.to_string();
   return out;
+}
+
+std::string format_engine_stats(const MetricsSnapshot& s) {
+  auto count = [&s](const char* name) {
+    return fmt_int(static_cast<int64_t>(s.value(name)));
+  };
+  Table t({"engine", "calls", "effort", "wall (s)"});
+  t.add_row({"bdd-reach", count("mc.reach.calls"),
+             count("mc.reach.image_steps") + " image steps",
+             fmt_double(s.value("mc.reach.seconds"), 3)});
+  t.add_row({"comb-atpg", count("atpg.comb.calls"),
+             count("atpg.comb.backtracks") + " backtracks", "-"});
+  t.add_row({"seq-atpg", count("atpg.seq.calls"),
+             count("atpg.seq.backtracks") + " backtracks", "-"});
+  t.add_row({"hybrid", count("hybrid.walks"),
+             count("hybrid.atpg_calls") + " atpg calls", "-"});
+  return t.to_string();
 }
 
 }  // namespace rfn

@@ -1,0 +1,211 @@
+// Metrics registry tests: concurrent counter increments from executor
+// threads, scoped-timer nesting, JSON serialization round-trips, and a
+// golden-schema check of the CLI's --trace-json event trace on a committed
+// design (the CLI binary path is injected as RFN_CLI_PATH at compile time).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/executor.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace rfn {
+namespace {
+
+TEST(Metrics, ConcurrentCounterIncrements) {
+  Counter& c = MetricsRegistry::global().counter("test.concurrent");
+  c.reset();
+  constexpr uint64_t kJobs = 64;
+  constexpr uint64_t kAddsPerJob = 1000;
+  {
+    Executor exec(4);
+    for (uint64_t j = 0; j < kJobs; ++j)
+      exec.submit([&c] {
+        for (uint64_t i = 0; i < kAddsPerJob; ++i) c.add(1);
+      });
+    // ~Executor drains the queue and joins the workers.
+  }
+  EXPECT_EQ(c.value(), kJobs * kAddsPerJob);
+}
+
+TEST(Metrics, RegistryReferencesSurviveReset) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("alpha");
+  c.add(41);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);  // the cached reference still points at the live counter
+  EXPECT_EQ(reg.counter("alpha").value(), 1u);
+}
+
+TEST(Metrics, GaugeLevelAndHighWaterMark) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("nodes");
+  g.set(10);
+  g.set(3);
+  g.record_max(7);  // below the mark: no effect on either
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 10);
+}
+
+TEST(Metrics, TimerNesting) {
+  MetricsRegistry reg;
+  Timer& outer = reg.timer("outer");
+  Timer& inner = reg.timer("inner");
+  {
+    MetricTimer to(outer);
+    {
+      MetricTimer ti(inner);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(outer.count(), 1u);
+  EXPECT_EQ(inner.count(), 1u);
+  // The outer scope strictly contains the inner one.
+  EXPECT_GT(outer.total_seconds(), inner.total_seconds());
+  EXPECT_GT(inner.total_seconds(), 0.0);
+}
+
+TEST(Metrics, MetricTimerStopIsIdempotent) {
+  MetricsRegistry reg;
+  Timer& t = reg.timer("t");
+  MetricTimer mt(t);
+  mt.stop();
+  mt.stop();  // second stop records nothing
+  EXPECT_EQ(t.count(), 1u);
+}
+
+TEST(Metrics, SnapshotFlattensAndDeltas) {
+  MetricsRegistry reg;
+  reg.counter("c").add(5);
+  reg.gauge("g").set(7);
+  reg.timer("t").record(0.25);
+  const MetricsSnapshot before = reg.snapshot();
+  EXPECT_EQ(before.value("c"), 5.0);
+  EXPECT_EQ(before.value("g"), 7.0);
+  EXPECT_EQ(before.value("g.max"), 7.0);
+  EXPECT_EQ(before.value("t.count"), 1.0);
+  EXPECT_NEAR(before.value("t.seconds"), 0.25, 1e-9);
+  EXPECT_EQ(before.value("missing", -1.0), -1.0);
+
+  reg.counter("c").add(3);
+  reg.timer("t").record(0.25);
+  const MetricsSnapshot d = reg.snapshot().delta(before);
+  EXPECT_EQ(d.value("c"), 3.0);
+  EXPECT_EQ(d.value("t.count"), 1.0);
+  EXPECT_NEAR(d.value("t.seconds"), 0.25, 1e-9);
+}
+
+TEST(Metrics, JsonRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("engine.calls").add(1234567);
+  reg.gauge("engine.peak").set(42);
+  reg.gauge("engine.peak").record_max(99);
+  reg.timer("engine.race").record(1.5);
+  const json::Value doc = reg.to_json();
+
+  // Compact and pretty forms parse back to the identical document.
+  for (const int indent : {-1, 2}) {
+    std::string err;
+    const json::Value parsed = json::parse(doc.dump(indent), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(parsed == doc) << "indent=" << indent;
+  }
+
+  // Dotted metric names collide with dotted-path hops, so look the flat
+  // keys up through the nested objects rather than via find_path.
+  ASSERT_NE(doc.find("counters"), nullptr);
+  const json::Value* calls = doc.find("counters")->find("engine.calls");
+  ASSERT_NE(calls, nullptr);
+  EXPECT_EQ(calls->as_uint(), 1234567u);
+  const json::Value* peak = doc.find("gauges")->find("engine.peak");
+  ASSERT_NE(peak, nullptr);
+  EXPECT_EQ(peak->find("value")->as_uint(), 42u);
+  EXPECT_EQ(peak->find("max")->as_uint(), 99u);
+  const json::Value* race = doc.find("timers")->find("engine.race");
+  ASSERT_NE(race, nullptr);
+  EXPECT_EQ(race->find("count")->as_uint(), 1u);
+  EXPECT_NEAR(race->find("seconds")->as_double(), 1.5, 1e-9);
+}
+
+TEST(Json, LargeCountersKeepExactIntegerForm) {
+  // Counters are doubles in the document model; integers below 2^53 must
+  // print without exponent or fraction so golden diffs stay byte-stable.
+  json::Value v = json::Value::object();
+  v.set("n", uint64_t{9007199254740992ull >> 1});
+  EXPECT_EQ(v.dump(), "{\"n\":4503599627370496}");
+}
+
+TEST(Json, ParserRejectsTrailingGarbage) {
+  std::string err;
+  const json::Value v = json::parse("{\"a\":1} x", &err);
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(err.empty());
+}
+
+#ifdef RFN_CLI_PATH
+// Golden-schema check: run the real CLI on the committed demo design and
+// validate the --trace-json document shape (one iteration object per CEGAR
+// iteration plus a final summary carrying the registry dump).
+TEST(TraceJson, CliGoldenSchema) {
+  const std::string design = std::string(RFN_TEST_DATA_DIR) + "/demo.v";
+  const std::string out = ::testing::TempDir() + "/trace.jsonl";
+  const std::string cmd = std::string(RFN_CLI_PATH) + " verify " + design +
+                          " --bad bad_q --trace-json " + out + " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  std::ifstream in(out);
+  ASSERT_TRUE(in.is_open()) << out;
+  std::vector<json::Value> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string err;
+    lines.push_back(json::parse(line, &err));
+    ASSERT_TRUE(err.empty()) << err << " in: " << line;
+  }
+  ASSERT_GE(lines.size(), 2u);  // at least one iteration + the summary
+
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    const json::Value& it = lines[i];
+    ASSERT_EQ(it.find("type")->as_string(), "iteration") << "line " << i;
+    EXPECT_EQ(it.find("iter")->as_uint(), i);
+    for (const char* key : {"abstraction", "reach", "bdd", "hybrid",
+                            "concretize", "refine", "engines"})
+      ASSERT_NE(it.find(key), nullptr) << key << " missing at line " << i;
+    EXPECT_GE(it.find_path("abstraction.regs")->as_uint(), 1u);
+    EXPECT_GT(it.find_path("bdd.peak_nodes")->as_uint(), 0u);
+    ASSERT_NE(it.find_path("engines.abstract.winner"), nullptr);
+    ASSERT_NE(it.find_path("engines.abstract.seconds"), nullptr);
+    EXPECT_FALSE(it.find_path("reach.status")->as_string().empty());
+  }
+
+  const json::Value& summary = lines.back();
+  ASSERT_EQ(summary.find("type")->as_string(), "summary");
+  EXPECT_EQ(summary.find("trace_version")->as_string(), "rfn-trace-v1");
+  EXPECT_EQ(summary.find("verdict")->as_string(), "T");  // demo.v holds
+  EXPECT_EQ(summary.find("iterations")->as_uint(), lines.size() - 1);
+  const json::Value* metrics = summary.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  for (const char* key : {"counters", "gauges", "timers"})
+    ASSERT_NE(metrics->find(key), nullptr) << key;
+  // The run must have recorded CEGAR iterations and at least one race.
+  EXPECT_EQ(metrics->find("counters")->find("rfn.iterations")->as_uint(),
+            lines.size() - 1);
+  EXPECT_GE(metrics->find("counters")->find("portfolio.races")->as_uint(), 1u);
+  std::remove(out.c_str());
+}
+#endif  // RFN_CLI_PATH
+
+}  // namespace
+}  // namespace rfn

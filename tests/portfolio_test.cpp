@@ -18,6 +18,7 @@
 #include "mc/reach.hpp"
 #include "netlist/builder.hpp"
 #include "sim/sim3.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rfn {
@@ -119,10 +120,12 @@ TEST(Portfolio, JobBudgetExpiresWithoutWinner) {
                     return false;
                   }});
   const Stopwatch watch;
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
   const RaceResult r = p.race(jobs);
   EXPECT_FALSE(r.conclusive);
   EXPECT_LT(watch.seconds(), 2.0);
-  EXPECT_EQ(p.stats().jobs_inconclusive, 1u);
+  const MetricsSnapshot d = MetricsRegistry::global().snapshot().delta(before);
+  EXPECT_EQ(d.value("portfolio.jobs_inconclusive"), 1.0);
 }
 
 TEST(Portfolio, CancelledParentTokenSkipsAllJobs) {
@@ -148,15 +151,16 @@ TEST(Portfolio, StatsAccumulateAcrossRaces) {
   std::vector<PortfolioJob> jobs;
   jobs.push_back({"alpha", -1.0, [](const CancelToken&) { return true; }});
   jobs.push_back({"beta", -1.0, [](const CancelToken&) { return true; }});
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
   p.race(jobs);
   p.race(jobs);
-  const PortfolioStats& s = p.stats();
-  EXPECT_EQ(s.races, 2u);
-  EXPECT_EQ(s.jobs_launched, 2u);   // alpha wins inline; beta never starts
-  EXPECT_EQ(s.jobs_cancelled, 2u);
-  EXPECT_EQ(s.wins.at("alpha"), 2u);
-  EXPECT_EQ(s.wins.count("beta"), 0u);
-  EXPECT_GE(s.wall_seconds, 0.0);
+  const MetricsSnapshot d = MetricsRegistry::global().snapshot().delta(before);
+  EXPECT_EQ(d.value("portfolio.races"), 2.0);
+  EXPECT_EQ(d.value("portfolio.jobs_launched"), 2.0);  // alpha wins inline;
+  EXPECT_EQ(d.value("portfolio.jobs_cancelled"), 2.0);  // beta never starts
+  EXPECT_EQ(d.value("portfolio.wins.alpha"), 2.0);
+  EXPECT_EQ(d.value("portfolio.wins.beta"), 0.0);
+  EXPECT_GE(d.value("portfolio.race.seconds"), 0.0);
 }
 
 // The ownership rule from DESIGN.md: every concurrent job owns its BddMgr
@@ -327,12 +331,14 @@ TEST(Portfolio, RfnPortfolioAgreesWithSequential) {
       RfnOptions opt;
       opt.portfolio_workers = workers;
       opt.race_probe_time_s = 0.5;
+      const MetricsSnapshot before = MetricsRegistry::global().snapshot();
       RfnVerifier v(c.netlist, c.bad, opt);
       results.push_back(v.run());
+      const MetricsSnapshot d = MetricsRegistry::global().snapshot().delta(before);
+      EXPECT_GE(d.value("portfolio.races"), 1.0) << "case " << ci;
     }
     for (const RfnResult& r : results) {
       EXPECT_EQ(r.verdict, c.expect) << "case " << ci << " note: " << r.note;
-      EXPECT_GE(r.portfolio.races, 1u) << "case " << ci;
       if (r.verdict == Verdict::Fails)
         EXPECT_EQ(simulate_trace(c.netlist, r.error_trace, c.bad), Tri::T)
             << "case " << ci;

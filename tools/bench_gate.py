@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Bench regression gate for rfn-bench-v1 JSON documents.
+
+Compares a fresh `bench/micro_engines --json` run against the checked-in
+baseline (BENCH_portfolio.json) and exits nonzero when a benchmark regressed:
+
+  * wall time per iteration grew by more than --time-tolerance (default 20%),
+  * the deterministic bdd_peak_nodes counter grew by more than
+    --node-tolerance (default 10%),
+  * or a baseline benchmark is missing from the current run.
+
+Wall time is noisy on shared CI runners, hence the generous default
+tolerance; the BDD peak-node counter is deterministic for a fixed workload
+and is the gate's sharp edge.
+
+Usage:
+  bench/micro_engines --benchmark_filter=Portfolio --json current.json
+  tools/bench_gate.py --baseline BENCH_portfolio.json --current current.json
+
+Re-baselining (after an intentional perf change): regenerate the baseline
+from a Release build and commit it together with the change that moved it:
+
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
+  ./build/bench/micro_engines --benchmark_filter=Portfolio \
+      --json BENCH_portfolio.json
+
+and say why in the commit message.
+"""
+
+import argparse
+import json
+import sys
+
+GATED_COUNTERS = ("bdd_peak_nodes",)
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rfn-bench-v1":
+        sys.exit(f"bench_gate: {path}: not an rfn-bench-v1 document "
+                 f"(schema={doc.get('schema')!r})")
+    return {b["name"]: b for b in doc.get("benchmarks", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", required=True, help="checked-in rfn-bench-v1 JSON")
+    ap.add_argument("--current", required=True, help="freshly generated rfn-bench-v1 JSON")
+    ap.add_argument("--time-tolerance", type=float, default=0.20,
+                    help="allowed relative wall-time growth (default 0.20)")
+    ap.add_argument("--node-tolerance", type=float, default=0.10,
+                    help="allowed relative bdd_peak_nodes growth (default 0.10)")
+    args = ap.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        cur = current.get(name)
+        if cur is None:
+            failures.append(f"{name}: missing from current run")
+            continue
+
+        base_t = base.get("real_seconds_per_iter", 0.0)
+        cur_t = cur.get("real_seconds_per_iter", 0.0)
+        if base_t > 0 and cur_t > base_t * (1.0 + args.time_tolerance):
+            failures.append(
+                f"{name}: wall time {cur_t * 1e3:.3f} ms/iter vs baseline "
+                f"{base_t * 1e3:.3f} ms/iter "
+                f"(+{(cur_t / base_t - 1.0) * 100.0:.1f}% > "
+                f"{args.time_tolerance * 100.0:.0f}%)")
+        else:
+            print(f"bench_gate: {name}: wall time ok "
+                  f"({cur_t * 1e3:.3f} vs {base_t * 1e3:.3f} ms/iter)")
+
+        for counter in GATED_COUNTERS:
+            base_c = base.get("counters", {}).get(counter)
+            cur_c = cur.get("counters", {}).get(counter)
+            if base_c is None or base_c <= 0:
+                continue
+            if cur_c is None:
+                failures.append(f"{name}: counter {counter} missing from current run")
+            elif cur_c > base_c * (1.0 + args.node_tolerance):
+                failures.append(
+                    f"{name}: {counter} {cur_c:.0f} vs baseline {base_c:.0f} "
+                    f"(+{(cur_c / base_c - 1.0) * 100.0:.1f}% > "
+                    f"{args.node_tolerance * 100.0:.0f}%)")
+            else:
+                print(f"bench_gate: {name}: {counter} ok "
+                      f"({cur_c:.0f} vs {base_c:.0f})")
+
+    if failures:
+        print("bench_gate: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"bench_gate:   {f}", file=sys.stderr)
+        print("bench_gate: if the regression is intentional, re-baseline "
+              "(see the module docstring)", file=sys.stderr)
+        return 1
+    print(f"bench_gate: PASSED ({len(baseline)} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

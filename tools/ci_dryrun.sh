@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Local dry-run of .github/workflows/ci.yml — same jobs, same commands —
+# for machines without act or network access.
+#
+#   tools/ci_dryrun.sh            one matrix cell (gcc Release) + TSan +
+#                                 bench gate + bench_gate self-check
+#   tools/ci_dryrun.sh --full     the whole matrix and both sanitizers
+#
+# Cells whose toolchain is absent locally (clang, ccache) are skipped with a
+# notice instead of failing: the hosted workflow installs them itself.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=0
+[[ "${1:-}" == "--full" ]] && FULL=1
+
+LAUNCHER_ARGS=()
+if command -v ccache >/dev/null 2>&1; then
+  LAUNCHER_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
+fi
+
+note() { printf '\n=== %s ===\n' "$*"; }
+
+build_and_test() { # <dir> <extra cmake args...>
+  local dir=$1; shift
+  cmake -B "$dir" -S . "$@" "${LAUNCHER_ARGS[@]}" >/dev/null
+  cmake --build "$dir" -j "$(nproc)"
+  ctest --test-dir "$dir" --output-on-failure -j "$(nproc)"
+}
+
+# --- job: build-test matrix -------------------------------------------------
+matrix_cells=("gcc Release")
+if [[ $FULL == 1 ]]; then
+  matrix_cells=("gcc Debug" "gcc Release" "clang Debug" "clang Release")
+fi
+for cell in "${matrix_cells[@]}"; do
+  read -r compiler build_type <<<"$cell"
+  cxx=$([[ $compiler == gcc ]] && echo g++ || echo clang++)
+  if ! command -v "$cxx" >/dev/null 2>&1; then
+    note "build-test ($cell): SKIPPED ($cxx not installed locally)"
+    continue
+  fi
+  note "build-test ($cell)"
+  build_and_test "build-ci-$compiler-$build_type" \
+    -DCMAKE_BUILD_TYPE="$build_type" \
+    -DCMAKE_C_COMPILER="$compiler" -DCMAKE_CXX_COMPILER="$cxx"
+done
+
+# --- job: sanitize ----------------------------------------------------------
+sanitizers=(thread)
+[[ $FULL == 1 ]] && sanitizers=(thread "address,undefined")
+for san in "${sanitizers[@]}"; do
+  note "sanitize ($san)"
+  dir="build-ci-sanitize-${san//,/-}"
+  build_and_test "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRFN_SANITIZE="$san"
+  if [[ $san == thread ]]; then
+    note "sanitize (thread): concurrency suites"
+    "./$dir/tests/portfolio_test"
+    "./$dir/tests/netlist_fuzz_test"
+  fi
+done
+
+# --- job: bench-gate --------------------------------------------------------
+note "bench-gate"
+cmake -B build-ci-bench -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER_ARGS[@]}" >/dev/null
+cmake --build build-ci-bench -j "$(nproc)" --target micro_engines
+./build-ci-bench/bench/micro_engines --benchmark_filter=Portfolio \
+  --json build-ci-bench/bench-current.json
+python3 tools/bench_gate.py --baseline BENCH_portfolio.json \
+  --current build-ci-bench/bench-current.json
+
+# --- bench_gate self-check: a synthetic 25% regression must fail the gate ---
+note "bench-gate self-check (synthetic +25% regression must exit nonzero)"
+python3 - <<'EOF'
+import json
+doc = json.load(open("build-ci-bench/bench-current.json"))
+for b in doc["benchmarks"]:
+    b["real_seconds_per_iter"] *= 1.25
+json.dump(doc, open("build-ci-bench/bench-regressed.json", "w"))
+EOF
+if python3 tools/bench_gate.py --baseline build-ci-bench/bench-current.json \
+    --current build-ci-bench/bench-regressed.json; then
+  echo "ci_dryrun: bench_gate accepted a 25% regression" >&2
+  exit 1
+fi
+echo
+echo "ci_dryrun: all jobs green"

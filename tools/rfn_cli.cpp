@@ -14,6 +14,10 @@
 //   --no-approx        disable the overlapping-partition fallback
 //   --dump-trace       print the error trace on Fails
 //   --top NAME         top module for multi-module Verilog
+//   --trace-json FILE  write the CEGAR event trace as JSON Lines (one object
+//                      per iteration plus a final summary; see
+//                      src/core/trace_json.hpp for the schema)
+//   --metrics          dump the full metrics registry as JSON on stdout
 
 #include <cstdio>
 #include <fstream>
@@ -22,6 +26,7 @@
 #include "core/certify.hpp"
 #include "core/coverage.hpp"
 #include "core/rfn.hpp"
+#include "core/trace_json.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/writer.hpp"
@@ -81,6 +86,16 @@ int cmd_verify(const Netlist& design, const Options& opts) {
   RfnVerifier verifier(design, bad, rfn_opts);
   const RfnResult result = verifier.run();
 
+  const std::string trace_path = opts.get("trace-json", "");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "rfn: cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    write_trace_json(out, result);
+  }
+
   std::printf("verdict: %s\n",
               result.verdict == Verdict::Holds   ? "HOLDS"
               : result.verdict == Verdict::Fails ? "VIOLATED"
@@ -89,10 +104,17 @@ int cmd_verify(const Netlist& design, const Options& opts) {
               result.iterations, result.final_abstract_regs, design.num_regs(),
               result.seconds);
   if (!result.note.empty()) std::printf("note: %s\n", result.note.c_str());
-  if (rfn_opts.portfolio_workers > 0) {
-    std::printf("portfolio (%zu workers):\n", rfn_opts.portfolio_workers);
-    std::fputs(format_portfolio_stats(result.portfolio).c_str(), stdout);
-  }
+  // Engine effort and race outcomes come from the metrics registry, so they
+  // are reported for sequential (--workers 0) runs too — the races still
+  // happen, just inline in priority order.
+  const MetricsSnapshot metrics = MetricsRegistry::global().snapshot();
+  std::printf("engines:\n");
+  std::fputs(format_engine_stats(metrics).c_str(), stdout);
+  std::printf("portfolio (%zu workers):\n", rfn_opts.portfolio_workers);
+  std::fputs(format_portfolio_stats(metrics).c_str(), stdout);
+  if (opts.get_bool("metrics", false))
+    std::printf("metrics: %s\n",
+                MetricsRegistry::global().to_json().dump(2).c_str());
   if (result.verdict == Verdict::Fails) {
     std::printf("error trace: %zu cycles\n", result.error_trace.cycles());
     if (opts.get_bool("dump-trace", false))
