@@ -2,6 +2,7 @@
 
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfn {
 
@@ -180,7 +181,9 @@ CombAtpgResult justify_impl(const Netlist& n, const Cube& targets,
 }  // namespace
 
 CombAtpgResult justify(const Netlist& n, const Cube& targets, const AtpgOptions& opt) {
+  Span span("atpg.comb");
   CombAtpgResult res = justify_impl(n, targets, opt);
+  span.annotate("status", atpg_status_name(res.status));
   // One flush per call: the search itself stays registry-free.
   MetricsRegistry& m = MetricsRegistry::global();
   m.counter("atpg.comb.calls").add(1);

@@ -2,6 +2,7 @@
 
 #include "atpg/unroll.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfn {
 
@@ -99,7 +100,9 @@ SeqAtpgResult solve_cycle_cubes_impl(const Netlist& m, const std::vector<Cube>& 
 
 SeqAtpgResult solve_cycle_cubes(const Netlist& m, const std::vector<Cube>& cubes,
                                 const AtpgOptions& opt) {
+  Span span("atpg.seq");
   SeqAtpgResult res = solve_cycle_cubes_impl(m, cubes, opt);
+  span.annotate("status", atpg_status_name(res.status));
   record_seq_metrics(res, cubes.size());
   return res;
 }

@@ -197,6 +197,7 @@ uint32_t BddMgr::find_or_add(BddVar v, uint32_t lo, uint32_t hi) {
   ++stats_.live_nodes;
   if (stats_.live_nodes > stats_.peak_live_nodes)
     stats_.peak_live_nodes = stats_.live_nodes;
+  publish_live_nodes();
   subtable_insert(st, id);
   maybe_grow(st);
   return id;
@@ -241,6 +242,7 @@ void BddMgr::garbage_collect() {
   }
   dead_estimate_ = 0;
   ++stats_.gc_runs;
+  publish_live_nodes();
 }
 
 void BddMgr::housekeeping() {

@@ -25,6 +25,7 @@
 // collection and reordering run only between public operations, never
 // inside a recursion.
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -228,6 +229,16 @@ class BddMgr {
   const BddStats& stats() const { return stats_; }
   size_t live_nodes() const { return stats_.live_nodes; }
 
+  /// Telemetry probe for watchers on other threads (the resource watchdog).
+  /// The manager relaxed-stores the current live-node count into `probe`
+  /// whenever it changes; stats() itself is single-threaded state and must
+  /// never be read off-thread. Pass nullptr to detach. The atomic must
+  /// outlive the manager or be detached before it dies.
+  void set_live_node_probe(std::atomic<int64_t>* probe) {
+    live_node_probe_ = probe;
+    publish_live_nodes();
+  }
+
   /// Validates internal invariants (canonicity, refcount consistency,
   /// subtable membership). O(nodes); used by tests.
   void check_integrity() const;
@@ -321,6 +332,13 @@ class BddMgr {
   size_t node_budget_ = 0;
   const Deadline* deadline_ = nullptr;
   uint64_t deadline_tick_ = 0;
+  std::atomic<int64_t>* live_node_probe_ = nullptr;
+
+  void publish_live_nodes() {
+    if (live_node_probe_ != nullptr)
+      live_node_probe_->store(static_cast<int64_t>(stats_.live_nodes),
+                              std::memory_order_relaxed);
+  }
 
   /// Thrown by find_or_add when the node budget is exceeded; caught at the
   /// public operation boundary.

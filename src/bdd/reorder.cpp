@@ -2,6 +2,7 @@
 #include <numeric>
 
 #include "bdd/bdd.hpp"
+#include "util/trace.hpp"
 
 // Dynamic variable reordering by sifting (Rudell's algorithm).
 //
@@ -104,6 +105,7 @@ void BddMgr::sift_var(BddVar v, size_t& best_live) {
 
 void BddMgr::reorder_sift() {
   if (num_vars() < 2 || in_reorder_) return;
+  Span span("bdd.reorder");
   in_reorder_ = true;
   garbage_collect();  // also clears the computed table
   const size_t before = stats_.live_nodes;
@@ -126,6 +128,8 @@ void BddMgr::reorder_sift() {
   }
   ++stats_.reorderings;
   in_reorder_ = false;
+  publish_live_nodes();
+  span.annotate("live_nodes", static_cast<double>(stats_.live_nodes));
   RFN_DEBUG("reorder: %zu -> %zu live nodes", before, stats_.live_nodes);
 }
 

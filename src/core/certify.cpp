@@ -101,9 +101,10 @@ CertifyResult certify(const Netlist& m, GateId bad, const RfnResult& result,
       return certify_error_trace(m, result.error_trace, bad);
     case Verdict::Holds:
       return certify_holds(m, bad, included_regs);
-    case Verdict::Unknown: {
+    case Verdict::Unknown:
+    case Verdict::ResourceOut: {
       CertifyResult res;
-      res.detail = "Unknown verdicts carry no certificate";
+      res.detail = "inconclusive verdicts carry no certificate";
       return res;
     }
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/sim3.hpp"
+#include "util/trace.hpp"
 
 namespace rfn {
 
@@ -20,6 +21,7 @@ std::vector<Cube> guidance_cubes(const Netlist& m, const Trace& abs_trace) {
 
 ConcretizeResult concretize_trace(const Netlist& m, const Trace& abs_trace, GateId bad,
                                   const AtpgOptions& opt) {
+  Span span("concretize");
   ConcretizeResult res;
   RFN_CHECK(!abs_trace.empty(), "concretize of empty trace");
   const size_t k = abs_trace.steps.size();

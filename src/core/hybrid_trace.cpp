@@ -3,6 +3,7 @@
 #include "mc/image.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfn {
 
@@ -212,6 +213,7 @@ bool same_trace(const Trace& a, const Trace& b) {
 Trace hybrid_error_trace(Encoder& enc, const Netlist& n, const ReachResult& reach,
                          const Bdd& bad, const HybridTraceOptions& opt,
                          HybridTraceStats* stats) {
+  Span span("hybrid.walk");
   HybridTraceStats local_stats;
   HybridTraceStats& st = stats ? *stats : local_stats;
   RFN_CHECK(reach.status == ReachStatus::BadReachable, "no abstract error trace");
@@ -225,6 +227,7 @@ std::vector<Trace> hybrid_error_traces(Encoder& enc, const Netlist& n,
                                        const ReachResult& reach, const Bdd& bad,
                                        size_t count, const HybridTraceOptions& opt,
                                        HybridTraceStats* stats) {
+  Span span("hybrid.walk");
   HybridTraceStats local_stats;
   HybridTraceStats& st = stats ? *stats : local_stats;
   RFN_CHECK(reach.status == ReachStatus::BadReachable, "no abstract error trace");

@@ -6,6 +6,7 @@
 #include "sim/sim64.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfn {
 
@@ -16,6 +17,7 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
   const Stopwatch watch;
   RaceResult res;
   if (jobs.empty()) return res;
+  Span race_span("portfolio.race");
 
   // Heap-allocated and shared with every wrapper so the condvar/mutex stay
   // alive until the last worker leaves its epilogue, even though race()
@@ -34,8 +36,18 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
   auto sh = std::make_shared<Shared>(parent);
   sh->remaining = jobs.size();
 
+  SpanTracer& tracer = SpanTracer::global();
   for (size_t i = 0; i < jobs.size(); ++i) {
-    exec_.submit([sh, &jobs, i] {
+    // Causality across the executor boundary: the race thread emits the
+    // flow origin, the worker binds its job span to the same id. The name
+    // is interned because the worker's span outlives the race call frame.
+    const char* span_name =
+        tracer.enabled() ? tracer.intern(jobs[i].name) : "job";
+    const uint64_t flow = tracer.flow_out(span_name);
+    exec_.submit([sh, &jobs, i, span_name, flow] {
+      SpanTracer::global().set_thread_name("portfolio-worker");
+      Span job_span(span_name);
+      SpanTracer::global().flow_in(span_name, flow);
       bool skip;
       {
         std::lock_guard<std::mutex> lk(sh->mu);
@@ -51,19 +63,25 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
         CancelToken token(jobs[i].time_limit_s, &sh->cancel);
         won = jobs[i].run(token);
       }
+      const char* outcome = "skipped";
       std::lock_guard<std::mutex> lk(sh->mu);
       if (!skip) {
         if (won && sh->winner == static_cast<size_t>(-1)) {
           sh->winner = i;
           sh->cancel.cancel();
+          outcome = "won";
         } else if (sh->cancel.cancelled()) {
           // Cut short by the winner (or the parent token), or conclusive but
           // beaten to the verdict: either way the result was discarded.
           ++sh->cancelled;
+          outcome = "cancelled";
         } else {
           ++sh->inconclusive;
+          outcome = "inconclusive";
         }
       }
+      job_span.annotate("outcome", outcome);
+      job_span.end();
       if (--sh->remaining == 0) sh->done_cv.notify_all();
     });
   }
@@ -78,6 +96,10 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
   res.conclusive = res.winner != static_cast<size_t>(-1);
   if (res.conclusive) res.winner_name = jobs[res.winner].name;
   res.seconds = watch.seconds();
+  if (tracer.enabled())
+    race_span.annotate("winner", res.conclusive
+                                     ? tracer.intern(res.winner_name)
+                                     : "(none)");
 
   // One flush per race ("portfolio.*"): the race's hot path (job wrappers)
   // touches only the Shared block, never the registry.

@@ -5,6 +5,7 @@
 
 #include "sim/sim3.hpp"
 #include "util/log.hpp"
+#include "util/trace.hpp"
 
 namespace rfn {
 
@@ -117,6 +118,7 @@ std::vector<GateId> identify_crucial_registers(const Netlist& m,
                                                const Trace& abs_trace,
                                                const RefineOptions& opt,
                                                RefineStats* stats) {
+  Span span("refine");
   RefineStats local;
   RefineStats& st = stats ? *stats : local;
 

@@ -11,6 +11,8 @@
 #include "netlist/analysis.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
+#include "util/watchdog.hpp"
 
 namespace rfn {
 
@@ -19,6 +21,7 @@ const char* verdict_name(Verdict v) {
     case Verdict::Holds: return "T";
     case Verdict::Fails: return "F";
     case Verdict::Unknown: return "?";
+    case Verdict::ResourceOut: return "resource-out";
   }
   return "?";
 }
@@ -31,9 +34,29 @@ RfnVerifier::RfnVerifier(const Netlist& m, GateId bad, RfnOptions opt)
 
 RfnResult RfnVerifier::run() {
   RfnResult result;
+  // Per-run metrics isolation: everything this run records is reported
+  // relative to this baseline (trace_json serializes against it).
+  const MetricsEpoch epoch;
+  result.metrics_epoch = epoch.id();
+  result.metrics_baseline = epoch.baseline();
+  Span run_span("rfn.run");
   const Deadline deadline(opt_.time_limit_s);
   SavedOrder saved_order;
   const std::vector<GateId> roots{bad_};
+
+  // Resource watchdog: when a budget is set, the run is cancelled through
+  // run_token (chaining any external token), and every cancellation point
+  // below polls `cancel` instead of opt_.cancel directly.
+  CancelToken run_token(-1.0, opt_.cancel);
+  WatchdogOptions wd_opt;
+  wd_opt.wall_budget_s = opt_.budget_ms > 0.0 ? opt_.budget_ms * 1e-3 : -1.0;
+  wd_opt.bdd_node_budget = opt_.budget_bdd_nodes;
+  Watchdog watchdog(wd_opt, &run_token);
+  const bool budgeted =
+      wd_opt.wall_budget_s > 0.0 || wd_opt.bdd_node_budget > 0;
+  const CancelToken* cancel = budgeted ? &run_token : opt_.cancel;
+  if (budgeted) watchdog.start();
+
   // One scheduler (and thread pool) for the whole run; with zero workers the
   // races run their jobs sequentially inline, in priority order.
   Portfolio portfolio(opt_.portfolio_workers);
@@ -43,11 +66,13 @@ RfnResult RfnVerifier::run() {
       result.note = "time limit exceeded";
       break;
     }
-    if (should_stop(opt_.cancel)) {
+    if (should_stop(cancel)) {
       result.note = "cancelled";
       break;
     }
     RfnIteration it;
+    Span iter_span("rfn.iteration");
+    iter_span.annotate("iter", static_cast<double>(iter));
     const Stopwatch iter_watch;
     ++result.iterations;
 
@@ -62,6 +87,7 @@ RfnResult RfnVerifier::run() {
 
     // --- Step 2: prove or find an abstract error trace (engine race) ---
     BddMgr mgr;
+    if (budgeted) mgr.set_live_node_probe(watchdog.node_probe());
     Encoder enc(mgr, sub.net);
     if (opt_.save_var_order) apply_saved_order(mgr, enc, sub, saved_order);
     mgr.set_auto_reorder(opt_.dynamic_reordering);
@@ -150,7 +176,7 @@ RfnResult RfnVerifier::run() {
                           0x51D5EEDull + iter, &token);
                       return !sim_probe.empty();
                     }});
-    const RaceResult abs_race = portfolio.race(jobs, opt_.cancel);
+    const RaceResult abs_race = portfolio.race(jobs, cancel);
     it.abstract_engine = abs_race.winner_name;
     it.abstract_race_seconds = abs_race.seconds;
     it.reach_status = reach.status;
@@ -166,7 +192,7 @@ RfnResult RfnVerifier::run() {
       }
       // BadReachable: abstract error trace(s) via the hybrid engine.
       HybridTraceOptions hybrid_opt = opt_.hybrid;
-      if (hybrid_opt.cancel == nullptr) hybrid_opt.cancel = opt_.cancel;
+      if (hybrid_opt.cancel == nullptr) hybrid_opt.cancel = cancel;
       traces_n = hybrid_error_traces(enc, sub.net, reach, bad_set,
                                      std::max<size_t>(1, opt_.traces_per_iteration),
                                      hybrid_opt, &it.hybrid);
@@ -188,7 +214,7 @@ RfnResult RfnVerifier::run() {
     } else {
       // No engine was conclusive: the exact fixpoint ran out of resources
       // and the probes found nothing within their budgets.
-      if (opt_.approx_fallback && !deadline.expired()) {
+      if (opt_.approx_fallback && !deadline.expired() && !should_stop(cancel)) {
         // Future-work fallback: the overlapping-partition approximate
         // traversal may still prove the property when the exact fixpoint
         // cannot complete on a large abstract model.
@@ -262,7 +288,7 @@ RfnResult RfnVerifier::run() {
                            0xC0FFEEULL + iter, &token);
                        return !sim_cex.empty();
                      }});
-    const RaceResult conc_race = portfolio.race(cjobs, opt_.cancel);
+    const RaceResult conc_race = portfolio.race(cjobs, cancel);
     it.concretize_engine = conc_race.winner_name;
     it.concretize_race_seconds = conc_race.seconds;
     if (conc_race.conclusive && conc_race.winner == 1) {
@@ -281,6 +307,11 @@ RfnResult RfnVerifier::run() {
     }
 
     // --- Step 4: refine ---
+    if (should_stop(cancel)) {
+      finish_iteration(it);
+      result.note = "cancelled";
+      break;
+    }
     const std::vector<GateId> crucial = identify_crucial_registers(
         *m_, roots, bad_, included_, abs_trace, opt_.refine, &it.refine);
     finish_iteration(it);
@@ -294,6 +325,23 @@ RfnResult RfnVerifier::run() {
 
   result.final_abstract_regs = included_.size();
   result.seconds = deadline.elapsed_seconds();
+
+  // Joining the monitor thread is the happens-before edge for reading the
+  // trip state (and, in the CLI, for exporting the span trace).
+  watchdog.stop();
+  if (watchdog.tripped()) {
+    result.budget_trip.tripped = true;
+    result.budget_trip.reason = watchdog.trip_reason();
+    result.budget_trip.at_seconds = watchdog.trip_seconds();
+    result.budget_trip.bdd_nodes = watchdog.trip_bdd_nodes();
+    // A verdict reached before the trip landed is still sound; only an
+    // undecided run degrades to resource-out.
+    if (result.verdict == Verdict::Unknown) {
+      result.verdict = Verdict::ResourceOut;
+      result.note = "budget exceeded: " + result.budget_trip.reason;
+    }
+  }
+
   MetricsRegistry& reg = MetricsRegistry::global();
   reg.counter("rfn.runs").add(1);
   reg.timer("rfn.run").record(result.seconds);
@@ -301,7 +349,11 @@ RfnResult RfnVerifier::run() {
     case Verdict::Holds: reg.counter("rfn.verdict.holds").add(1); break;
     case Verdict::Fails: reg.counter("rfn.verdict.fails").add(1); break;
     case Verdict::Unknown: reg.counter("rfn.verdict.unknown").add(1); break;
+    case Verdict::ResourceOut:
+      reg.counter("rfn.verdict.resource_out").add(1);
+      break;
   }
+  run_span.annotate("verdict", verdict_name(result.verdict));
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include "mc/reach.hpp"
 #include "netlist/netlist.hpp"
 #include "util/executor.hpp"
+#include "util/metrics.hpp"
 #include "util/stopwatch.hpp"
 
 namespace rfn {
@@ -72,9 +73,16 @@ struct RfnOptions {
   /// External cancellation of the whole run: polled at iteration boundaries
   /// and chained into every engine race.
   const CancelToken* cancel = nullptr;
+  /// Resource-watchdog budgets. When either is positive a monitor thread
+  /// polls the run and cancels it on overrun; the run then degrades to the
+  /// ResourceOut verdict with the trip recorded in RfnResult::budget_trip.
+  /// budget_ms bounds wall time (<= 0: off); budget_bdd_nodes bounds the
+  /// live-node count of the current iteration's BDD manager (<= 0: off).
+  double budget_ms = -1.0;
+  int64_t budget_bdd_nodes = 0;
 };
 
-enum class Verdict { Holds, Fails, Unknown };
+enum class Verdict { Holds, Fails, Unknown, ResourceOut };
 const char* verdict_name(Verdict v);
 
 struct RfnIteration {
@@ -105,6 +113,14 @@ struct RfnIteration {
   double seconds = 0.0;
 };
 
+/// What the resource watchdog observed when it fired (RfnResult::budget_trip).
+struct BudgetTrip {
+  bool tripped = false;
+  std::string reason;      // "wall-budget" | "bdd-node-budget"
+  double at_seconds = 0.0;
+  int64_t bdd_nodes = 0;   // live nodes at the trip (node-budget trips)
+};
+
 struct RfnResult {
   Verdict verdict = Verdict::Unknown;
   /// Error trace on the original design (Fails only).
@@ -113,7 +129,14 @@ struct RfnResult {
   size_t final_abstract_regs = 0;
   double seconds = 0.0;
   std::vector<RfnIteration> per_iteration;
-  std::string note;  // diagnostic for Unknown verdicts
+  std::string note;  // diagnostic for Unknown/ResourceOut verdicts
+  BudgetTrip budget_trip;
+  /// Metrics isolation for this run: the registry snapshot taken at run()
+  /// entry and the epoch id. Serializing the registry against the baseline
+  /// (to_json(&metrics_baseline)) yields only this run's work even when
+  /// several runs share the process.
+  MetricsSnapshot metrics_baseline;
+  uint64_t metrics_epoch = 0;
 };
 
 class RfnVerifier {

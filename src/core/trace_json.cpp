@@ -86,7 +86,18 @@ json::Value summary_json(const RfnResult& res) {
   o.set("error_trace_cycles", res.error_trace.cycles());
   o.set("seconds", res.seconds);
   o.set("note", res.note);
-  o.set("metrics", MetricsRegistry::global().to_json());
+  if (res.budget_trip.tripped) {
+    Value trip = Value::object();
+    trip.set("reason", res.budget_trip.reason);
+    trip.set("at_seconds", res.budget_trip.at_seconds);
+    trip.set("bdd_nodes", res.budget_trip.bdd_nodes);
+    o.set("budget_trip", std::move(trip));
+  }
+  // The registry is process-global; serializing against the run's baseline
+  // keeps the summary scoped to this run even with several runs per process.
+  o.set("metrics_epoch", res.metrics_epoch);
+  o.set("metrics",
+        MetricsRegistry::global().to_json(&res.metrics_baseline));
   return o;
 }
 

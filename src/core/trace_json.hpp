@@ -25,9 +25,17 @@
 //    "engines":{"abstract":{"winner":"..","seconds":..},
 //               "concretize":{"winner":"..","seconds":..}},
 //    "seconds":..}
-//   {"type":"summary","trace_version":"rfn-trace-v1","verdict":"T|F|?",
+//   {"type":"summary","trace_version":"rfn-trace-v1",
+//    "verdict":"T|F|?|resource-out",
 //    "iterations":..,"final_abstract_regs":..,"seconds":..,"note":"..",
-//    "metrics":{<MetricsRegistry::to_json()>}}
+//    ["budget_trip":{"reason":"wall-budget|bdd-node-budget",
+//                    "at_seconds":..,"bdd_nodes":..},]   // watchdog trips only
+//    "metrics_epoch":..,
+//    "metrics":{<MetricsRegistry::to_json(run baseline)>}}
+//
+// "metrics" is serialized relative to the snapshot taken when the run
+// started (RfnResult::metrics_baseline): counters and timer count/seconds
+// cover only this run, so two runs in one process do not conflate.
 
 #include <ostream>
 
@@ -39,8 +47,9 @@ namespace rfn {
 /// One CEGAR iteration as a JSON object (`"type":"iteration"`).
 json::Value iteration_json(size_t index, const RfnIteration& it);
 
-/// The run summary object (`"type":"summary"`), embedding the current
-/// global metrics registry dump under "metrics".
+/// The run summary object (`"type":"summary"`), embedding the global
+/// metrics registry dump — relative to the run's baseline — under
+/// "metrics".
 json::Value summary_json(const RfnResult& res);
 
 /// Writes the whole run as JSON Lines: every iteration, then the summary.

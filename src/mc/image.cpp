@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfn {
 
@@ -53,6 +54,7 @@ ImageComputer::ImageComputer(Encoder& enc, const ImageOptions& opt) : enc_(&enc)
 
 Bdd ImageComputer::post_image(const Bdd& states) {
   if (aborted_ || states.is_null()) return Bdd();
+  Span span("bdd.image");
   // Registry reference cached once: image steps run in tight fixpoint loops.
   static Counter& post_images = MetricsRegistry::global().counter("mc.post_images");
   post_images.add(1);
@@ -85,6 +87,7 @@ Bdd ImageComputer::post_image(const Bdd& states) {
 
 Bdd ImageComputer::pre_image_with_inputs(const Bdd& target) {
   if (aborted_ || target.is_null()) return Bdd();
+  Span span("bdd.preimage");
   static Counter& pre_images = MetricsRegistry::global().counter("mc.pre_images");
   pre_images.add(1);
   BddMgr& mgr = enc_->mgr();

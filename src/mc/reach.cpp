@@ -2,6 +2,7 @@
 
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace rfn {
 
@@ -92,7 +93,9 @@ ReachResult forward_reach_impl(ImageComputer& img, const Bdd& init, const Bdd& b
 
 ReachResult forward_reach(ImageComputer& img, const Bdd& init, const Bdd& bad,
                           const ReachOptions& opt) {
+  Span span("mc.reach");
   ReachResult res = forward_reach_impl(img, init, bad, opt);
+  span.annotate("status", reach_status_name(res.status));
   record_reach_metrics(res);
   return res;
 }

@@ -59,21 +59,31 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
   return s;
 }
 
-json::Value MetricsRegistry::to_json() const {
+json::Value MetricsRegistry::to_json(const MetricsSnapshot* baseline) const {
+  const auto base = [baseline](const std::string& name) {
+    return baseline == nullptr ? 0.0 : baseline->value(name);
+  };
   std::lock_guard<std::mutex> lk(mu_);
   json::Value counters = json::Value::object();
-  for (const auto& [name, c] : counters_) counters.set(name, c->value());
+  for (const auto& [name, c] : counters_) {
+    const double v = static_cast<double>(c->value()) - base(name);
+    counters.set(name, v < 0.0 ? 0.0 : v);
+  }
   json::Value gauges = json::Value::object();
   for (const auto& [name, g] : gauges_)
     gauges.set(name, json::Value::object()
                          .set("value", g->value())
                          .set("max", g->max()));
   json::Value timers = json::Value::object();
-  for (const auto& [name, t] : timers_)
+  for (const auto& [name, t] : timers_) {
+    const double count =
+        static_cast<double>(t->count()) - base(name + ".count");
+    const double seconds = t->total_seconds() - base(name + ".seconds");
     timers.set(name, json::Value::object()
-                         .set("count", t->count())
-                         .set("seconds", t->total_seconds())
+                         .set("count", count < 0.0 ? 0.0 : count)
+                         .set("seconds", seconds < 0.0 ? 0.0 : seconds)
                          .set("max_seconds", t->max_seconds()));
+  }
   return json::Value::object()
       .set("counters", std::move(counters))
       .set("gauges", std::move(gauges))

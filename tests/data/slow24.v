@@ -1,0 +1,17 @@
+// Deterministically slow design for the resource-watchdog tests: a 24-bit
+// free-running counter whose property signal fires only at the terminal
+// count. Every engine needs ~2^24 steps of work (BDD fixpoint: that many
+// image steps; ATPG/simulation: traces of that depth), so a run under a
+// small wall or BDD-node budget reliably outlives the watchdog's poll and
+// trips it, while the BDDs themselves stay small enough that nothing else
+// fails first.
+module slow24(clk, tick);
+  input clk;
+  input tick;
+  reg [23:0] cnt = 0;
+  reg bad = 0;
+  always @(posedge clk) begin
+    cnt <= cnt + 1;
+    bad <= bad | (cnt == 16777215);
+  end
+endmodule

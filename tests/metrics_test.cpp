@@ -138,6 +138,46 @@ TEST(Metrics, JsonRoundTrip) {
   EXPECT_NEAR(race->find("seconds")->as_double(), 1.5, 1e-9);
 }
 
+TEST(Metrics, BaselineRelativeJson) {
+  MetricsRegistry reg;
+  reg.counter("runs").add(1);
+  reg.gauge("level").set(10);
+  reg.timer("race").record(2.0);
+  const MetricsSnapshot baseline = reg.snapshot();
+
+  reg.counter("runs").add(1);
+  reg.gauge("level").set(4);
+  reg.timer("race").record(0.5);
+  const json::Value doc = reg.to_json(&baseline);
+
+  // Counters and timer totals are baseline-subtracted; gauges report the
+  // current level (a level is not a difference).
+  EXPECT_EQ(doc.find("counters")->find("runs")->as_uint(), 1u);
+  EXPECT_EQ(doc.find("gauges")->find("level")->find("value")->as_uint(), 4u);
+  const json::Value* race = doc.find("timers")->find("race");
+  EXPECT_EQ(race->find("count")->as_uint(), 1u);
+  EXPECT_NEAR(race->find("seconds")->as_double(), 0.5, 1e-9);
+
+  // A baseline above the current value (registry reset between snapshot and
+  // serialization) clamps to zero instead of going negative.
+  reg.counter("runs").reset();
+  EXPECT_EQ(reg.to_json(&baseline).find("counters")->find("runs")->as_uint(),
+            0u);
+}
+
+TEST(Metrics, EpochGuardSnapshotsAndIncrements) {
+  MetricsRegistry reg;
+  reg.counter("work").add(7);
+  const uint64_t before = reg.epoch();
+  const MetricsEpoch epoch(reg);
+  EXPECT_EQ(epoch.id(), before + 1);
+  EXPECT_EQ(reg.epoch(), before + 1);
+  EXPECT_EQ(epoch.baseline().value("work"), 7.0);
+  // Distinct guards get distinct ids — two runs can never share an epoch.
+  const MetricsEpoch other(reg);
+  EXPECT_NE(other.id(), epoch.id());
+}
+
 TEST(Json, LargeCountersKeepExactIntegerForm) {
   // Counters are doubles in the document model; integers below 2^53 must
   // print without exponent or fraction so golden diffs stay byte-stable.

@@ -1,0 +1,587 @@
+// Span tracer + resource watchdog tests: ring-buffer balance under
+// overflow, cross-thread flow causality, watchdog budget trips (wall and
+// BDD-node), end-to-end resource-out degradation of the verifier, the
+// write_trace_json edge cases, metrics-epoch run isolation, and a
+// golden-schema check of the CLI's --trace-spans Chrome trace export
+// (cross-validated with tools/trace_report.py when python3 is available).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/rfn.hpp"
+#include "core/trace_json.hpp"
+#include "netlist/builder.hpp"
+#include "util/cancel.hpp"
+#include "util/executor.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
+#include "util/watchdog.hpp"
+
+namespace rfn {
+namespace {
+
+// The tracer is process-global; every test starts its own trace epoch and
+// disables on exit so tests stay independent.
+struct TracerGuard {
+  explicit TracerGuard(size_t capacity = 1u << 12) {
+    SpanTracer::global().enable(capacity);
+  }
+  ~TracerGuard() { SpanTracer::global().disable(); }
+};
+
+struct EventCounts {
+  int begins = 0, ends = 0, flows_out = 0, flows_in = 0, instants = 0;
+};
+
+EventCounts count_events(const json::Value& doc,
+                         const std::string& name = std::string()) {
+  EventCounts c;
+  for (const json::Value& e : doc.find("traceEvents")->items()) {
+    if (!name.empty() && e.find("name")->as_string() != name) continue;
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "B") ++c.begins;
+    if (ph == "E") ++c.ends;
+    if (ph == "s") ++c.flows_out;
+    if (ph == "f") ++c.flows_in;
+    if (ph == "i") ++c.instants;
+  }
+  return c;
+}
+
+/// Per-tid B/E balance and monotonic timestamps — the exporter's contract.
+void expect_well_formed(const json::Value& doc) {
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  ASSERT_EQ(doc.find_path("otherData.trace_version")->as_string(),
+            "rfn-spans-v1");
+  std::map<uint64_t, int> depth;
+  std::map<uint64_t, double> last_ts;
+  for (const json::Value& e : doc.find("traceEvents")->items()) {
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph == "M") continue;
+    const uint64_t tid = e.find("tid")->as_uint();
+    const double ts = e.find("ts")->as_double();
+    if (last_ts.count(tid)) {
+      EXPECT_GE(ts, last_ts[tid]) << "tid " << tid;
+    }
+    last_ts[tid] = ts;
+    if (ph == "B") ++depth[tid];
+    if (ph == "E") {
+      ASSERT_GT(depth[tid], 0) << "orphan end on tid " << tid;
+      --depth[tid];
+    }
+  }
+  for (const auto& [tid, d] : depth) EXPECT_EQ(d, 0) << "tid " << tid;
+}
+
+TEST(SpanTracer, DisabledRecordsNothing) {
+  SpanTracer::global().disable();
+  {
+    Span s("never");
+    s.annotate("k", 1.0);
+  }
+  SpanTracer::global().instant("never");
+  TracerGuard guard;  // enable() drops all previous buffers
+  const json::Value doc = SpanTracer::global().to_chrome_json();
+  EXPECT_EQ(count_events(doc, "never").begins, 0);
+  EXPECT_EQ(count_events(doc, "never").instants, 0);
+}
+
+TEST(SpanTracer, NestedSpansExportBalanced) {
+  TracerGuard guard;
+  {
+    Span outer("outer");
+    {
+      Span inner("inner");
+      inner.annotate("n", 42.0);
+    }
+  }
+  SpanTracer::global().disable();
+  const json::Value doc = SpanTracer::global().to_chrome_json();
+  expect_well_formed(doc);
+  EXPECT_EQ(count_events(doc, "outer").begins, 1);
+  EXPECT_EQ(count_events(doc, "inner").begins, 1);
+  // The annotation rides on the inner span's end event.
+  bool found = false;
+  for (const json::Value& e : doc.find("traceEvents")->items()) {
+    if (e.find("name")->as_string() != "inner") continue;
+    if (e.find("ph")->as_string() != "E") continue;
+    ASSERT_NE(e.find_path("args.n"), nullptr);
+    EXPECT_EQ(e.find_path("args.n")->as_double(), 42.0);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(doc.find_path("otherData.dropped_events")->as_uint(), 0u);
+}
+
+TEST(SpanTracer, RingOverflowStaysBalancedAndCountsDropped) {
+  TracerGuard guard(16);  // tiny ring: most of the stream is overwritten
+  for (int i = 0; i < 200; ++i) Span s("churn");
+  SpanTracer::global().disable();
+  const json::Value doc = SpanTracer::global().to_chrome_json();
+  expect_well_formed(doc);
+  EXPECT_GT(doc.find_path("otherData.dropped_events")->as_uint(), 0u);
+  const EventCounts c = count_events(doc, "churn");
+  EXPECT_EQ(c.begins, c.ends);
+  EXPECT_GT(c.begins, 0);
+}
+
+TEST(SpanTracer, UnclosedSpanGetsSynthesizedEnd) {
+  TracerGuard guard;
+  SpanTracer::global().begin("open");  // deliberately never ended
+  SpanTracer::global().disable();
+  const json::Value doc = SpanTracer::global().to_chrome_json();
+  expect_well_formed(doc);  // balance restored by the synthesized end
+  EXPECT_EQ(count_events(doc, "open").begins, 1);
+  EXPECT_EQ(count_events(doc, "(unclosed)").ends, 1);
+}
+
+TEST(SpanTracer, FlowsLinkAcrossExecutorThreads) {
+  TracerGuard guard;
+  SpanTracer::global().set_thread_name("test-main");
+  {
+    Executor exec(2);
+    for (int i = 0; i < 8; ++i) {
+      const uint64_t id = SpanTracer::global().flow_out("handoff");
+      exec.submit([id] {
+        Span s("task");
+        SpanTracer::global().flow_in("handoff", id);
+      });
+    }
+    // ~Executor joins the workers: the quiescent point for export.
+  }
+  SpanTracer::global().disable();
+  const json::Value doc = SpanTracer::global().to_chrome_json();
+  expect_well_formed(doc);
+  // Every flow id must appear exactly once as origin and once as target.
+  std::map<uint64_t, std::set<std::string>> by_id;
+  std::map<uint64_t, std::set<uint64_t>> tids_by_id;
+  for (const json::Value& e : doc.find("traceEvents")->items()) {
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph != "s" && ph != "f") continue;
+    const uint64_t id = e.find("id")->as_uint();
+    by_id[id].insert(ph);
+    tids_by_id[id].insert(e.find("tid")->as_uint());
+  }
+  ASSERT_EQ(by_id.size(), 8u);
+  size_t cross_thread = 0;
+  for (const auto& [id, phases] : by_id) {
+    EXPECT_EQ(phases.size(), 2u) << "flow " << id << " unpaired";
+    if (tids_by_id[id].size() == 2) ++cross_thread;
+  }
+  // The submitting thread is not a worker, so every flow crosses threads.
+  EXPECT_EQ(cross_thread, 8u);
+}
+
+TEST(SpanTracer, InternDeduplicates) {
+  SpanTracer& t = SpanTracer::global();
+  const char* a = t.intern("engine-x");
+  const char* b = t.intern("engine-x");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "engine-x");
+  EXPECT_NE(t.intern("engine-y"), a);
+}
+
+TEST(Watchdog, WallBudgetTripsAndCancels) {
+  CancelToken token;
+  WatchdogOptions opt;
+  opt.wall_budget_s = 0.02;
+  opt.poll_interval_s = 0.005;
+  Watchdog dog(opt, &token);
+  dog.start();
+  for (int i = 0; i < 400 && !token.cancelled(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  dog.stop();
+  ASSERT_TRUE(dog.tripped());
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_STREQ(dog.trip_reason(), "wall-budget");
+  EXPECT_GE(dog.trip_seconds(), 0.02);
+}
+
+TEST(Watchdog, NodeBudgetTripsOnProbe) {
+  CancelToken token;
+  WatchdogOptions opt;
+  opt.bdd_node_budget = 10;
+  opt.poll_interval_s = 0.005;
+  Watchdog dog(opt, &token);
+  dog.node_probe()->store(1000, std::memory_order_relaxed);
+  dog.start();
+  for (int i = 0; i < 400 && !token.cancelled(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  dog.stop();
+  ASSERT_TRUE(dog.tripped());
+  EXPECT_STREQ(dog.trip_reason(), "bdd-node-budget");
+  EXPECT_EQ(dog.trip_bdd_nodes(), 1000);
+}
+
+TEST(Watchdog, NoBudgetNeverStartsOrTrips) {
+  CancelToken token;
+  Watchdog dog(WatchdogOptions{}, &token);
+  dog.start();  // no budget: no monitor thread
+  dog.stop();
+  dog.stop();  // idempotent
+  EXPECT_FALSE(dog.tripped());
+  EXPECT_FALSE(token.cancelled());
+}
+
+/// 24-bit free-running counter: bad fires only at the terminal count, so
+/// every engine needs ~2^24 steps of work and the run reliably outlives a
+/// small budget (the committed tests/data/slow24.v is the same design).
+Netlist slow_counter_netlist() {
+  NetBuilder b;
+  const Word cnt = b.reg_word("cnt", 24);
+  b.set_next_word(cnt, b.inc_word(cnt));
+  const GateId bad = b.reg("bad");
+  b.set_next(bad, b.or_(bad, b.eq_const(cnt, (1u << 24) - 1)));
+  b.output("bad", bad);
+  return b.take();
+}
+
+/// Small bounded counter whose property holds: cnt wraps at 5, bad is
+/// cnt == 7 (mirrors tests/data/demo.v at the library level).
+Netlist holds_netlist() {
+  NetBuilder b;
+  const GateId req = b.input("req");
+  const Word cnt = b.reg_word("cnt", 3);
+  const Word next = b.mux_word(b.eq_const(cnt, 5), b.inc_word(cnt),
+                               b.constant_word(0, 3));
+  b.set_next_word(cnt, b.mux_word(req, cnt, next));
+  const GateId bad = b.reg("bad");
+  b.set_next(bad, b.or_(bad, b.eq_const(cnt, 7)));
+  b.output("bad", bad);
+  return b.take();
+}
+
+TEST(ResourceOut, WallBudgetDegradesRun) {
+  const Netlist n = slow_counter_netlist();
+  RfnOptions opt;
+  opt.portfolio_workers = 3;
+  opt.budget_ms = 120;
+  RfnVerifier verifier(n, n.output("bad"), opt);
+  const RfnResult res = verifier.run();
+  EXPECT_EQ(res.verdict, Verdict::ResourceOut);
+  ASSERT_TRUE(res.budget_trip.tripped);
+  EXPECT_EQ(res.budget_trip.reason, "wall-budget");
+  EXPECT_GE(res.budget_trip.at_seconds, 0.120);
+  // Degradation must be prompt: cancellation is cooperative, but every
+  // engine polls at step boundaries.
+  EXPECT_LT(res.seconds, 30.0);
+
+  // The summary carries the trip in the JSONL trace format.
+  const json::Value summary = summary_json(res);
+  EXPECT_EQ(summary.find("verdict")->as_string(), "resource-out");
+  ASSERT_NE(summary.find("budget_trip"), nullptr);
+  EXPECT_EQ(summary.find_path("budget_trip.reason")->as_string(),
+            "wall-budget");
+}
+
+TEST(ResourceOut, NodeBudgetDegradesRunAndAnnotatesSpans) {
+  TracerGuard guard;
+  const Netlist n = slow_counter_netlist();
+  RfnOptions opt;
+  opt.portfolio_workers = 3;
+  opt.budget_bdd_nodes = 2000;  // well below the run's natural peak
+  RfnVerifier verifier(n, n.output("bad"), opt);
+  const RfnResult res = verifier.run();
+  SpanTracer::global().disable();
+  EXPECT_EQ(res.verdict, Verdict::ResourceOut);
+  ASSERT_TRUE(res.budget_trip.tripped);
+  EXPECT_EQ(res.budget_trip.reason, "bdd-node-budget");
+  EXPECT_GE(res.budget_trip.bdd_nodes, 2000);
+
+  // The span trace carries the budget-trip instant with the same reason.
+  const json::Value doc = SpanTracer::global().to_chrome_json();
+  expect_well_formed(doc);
+  bool trip_seen = false;
+  for (const json::Value& e : doc.find("traceEvents")->items()) {
+    if (e.find("name")->as_string() != "budget-trip") continue;
+    EXPECT_EQ(e.find("ph")->as_string(), "i");
+    EXPECT_EQ(e.find_path("args.reason")->as_string(), "bdd-node-budget");
+    trip_seen = true;
+  }
+  EXPECT_TRUE(trip_seen);
+}
+
+TEST(ResourceOut, VerdictBeforeTripIsKept) {
+  // A run that finishes without tripping keeps its verdict even with
+  // budgets armed.
+  const Netlist n = holds_netlist();
+  RfnOptions opt;
+  opt.budget_ms = 60000;
+  opt.budget_bdd_nodes = 1 << 24;
+  RfnVerifier verifier(n, n.output("bad"), opt);
+  const RfnResult res = verifier.run();
+  EXPECT_EQ(res.verdict, Verdict::Holds);
+  EXPECT_FALSE(res.budget_trip.tripped);
+}
+
+TEST(TraceJsonEdge, ZeroIterationRunWritesSummaryOnly) {
+  RfnResult res;  // default: Unknown, no iterations
+  res.note = "never ran";
+  std::ostringstream os;
+  write_trace_json(os, res);
+  std::istringstream in(os.str());
+  std::vector<json::Value> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string err;
+    lines.push_back(json::parse(line, &err));
+    ASSERT_TRUE(err.empty()) << err;
+  }
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].find("type")->as_string(), "summary");
+  EXPECT_EQ(lines[0].find("verdict")->as_string(), "?");
+  EXPECT_EQ(lines[0].find("iterations")->as_uint(), 0u);
+  EXPECT_EQ(lines[0].find("budget_trip"), nullptr);
+  ASSERT_NE(lines[0].find("metrics"), nullptr);
+}
+
+TEST(TraceJsonEdge, ResourceOutSummarySchema) {
+  RfnResult res;
+  res.verdict = Verdict::ResourceOut;
+  res.note = "budget exceeded: bdd-node-budget";
+  res.budget_trip.tripped = true;
+  res.budget_trip.reason = "bdd-node-budget";
+  res.budget_trip.at_seconds = 1.25;
+  res.budget_trip.bdd_nodes = 123456;
+  const json::Value summary = summary_json(res);
+  EXPECT_EQ(summary.find("verdict")->as_string(), "resource-out");
+  EXPECT_EQ(summary.find_path("budget_trip.reason")->as_string(),
+            "bdd-node-budget");
+  EXPECT_EQ(summary.find_path("budget_trip.bdd_nodes")->as_uint(), 123456u);
+  EXPECT_NEAR(summary.find_path("budget_trip.at_seconds")->as_double(), 1.25,
+              1e-9);
+  // Round-trips through the parser.
+  std::string err;
+  const json::Value parsed = json::parse(summary.dump(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(parsed == summary);
+}
+
+TEST(TraceJsonEdge, CacheHitRateZeroLookupsIsZero) {
+  RfnIteration it;  // all-zero BDD stats: a run that died before any lookup
+  const json::Value o = iteration_json(0, it);
+  ASSERT_NE(o.find_path("bdd.cache_hit_rate"), nullptr);
+  const double rate = o.find_path("bdd.cache_hit_rate")->as_double();
+  EXPECT_FALSE(std::isnan(rate));
+  EXPECT_EQ(rate, 0.0);
+  // And the document survives a parse (NaN would not serialize as JSON).
+  std::string err;
+  json::parse(o.dump(), &err);
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(MetricsEpoch, TwoRunsDoNotConflateSummaries) {
+  const Netlist n = holds_netlist();
+  const auto run_once = [&] {
+    RfnVerifier verifier(n, n.output("bad"), RfnOptions{});
+    return verifier.run();
+  };
+  // Summaries are serialized at run end, like the CLI's --trace-json path:
+  // the baseline subtraction scopes out *earlier* runs in the process.
+  const RfnResult first = run_once();
+  const json::Value first_summary = summary_json(first);
+  const RfnResult second = run_once();
+  const json::Value second_summary = summary_json(second);
+  EXPECT_NE(first.metrics_epoch, second.metrics_epoch);
+
+  // Each summary reports exactly one run's work even though the registry
+  // accumulated both: rfn.runs is 1 in both, and each run's iteration
+  // counter matches its own per_iteration size, not the sum.
+  const struct {
+    const json::Value* summary;
+    const RfnResult* res;
+  } runs[] = {{&first_summary, &first}, {&second_summary, &second}};
+  for (const auto& [summary, res] : runs) {
+    const json::Value* counters = summary->find_path("metrics.counters");
+    ASSERT_NE(counters, nullptr);
+    EXPECT_EQ(counters->find("rfn.runs")->as_uint(), 1u)
+        << summary->find("metrics_epoch")->as_uint();
+    EXPECT_EQ(counters->find("rfn.iterations")->as_uint(),
+              res->per_iteration.size());
+  }
+
+  // Without the baseline the registry conflates the runs — this is exactly
+  // what the epoch guard exists to prevent in the summary.
+  const json::Value raw = MetricsRegistry::global().to_json();
+  EXPECT_GE(raw.find_path("counters")->find("rfn.runs")->as_uint(), 2u);
+}
+
+TEST(MetricsEpoch, SpanCountsCrossCheckRegistry) {
+  // The tentpole's consistency requirement: spans and the metrics registry
+  // must agree on engine activity. Every post_image call emits exactly one
+  // "bdd.image" span begin and one mc.post_images increment.
+  TracerGuard guard;
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+  const Netlist n = holds_netlist();
+  RfnVerifier verifier(n, n.output("bad"), RfnOptions{});
+  const RfnResult res = verifier.run();
+  SpanTracer::global().disable();
+  ASSERT_EQ(res.verdict, Verdict::Holds);
+  const MetricsSnapshot delta =
+      MetricsRegistry::global().snapshot().delta(before);
+
+  const json::Value doc = SpanTracer::global().to_chrome_json();
+  expect_well_formed(doc);
+  EXPECT_EQ(count_events(doc, "bdd.image").begins,
+            static_cast<int>(delta.value("mc.post_images")));
+  EXPECT_EQ(count_events(doc, "mc.reach").begins,
+            static_cast<int>(delta.value("mc.reach.calls")));
+  EXPECT_EQ(count_events(doc, "rfn.iteration").begins,
+            static_cast<int>(delta.value("rfn.iterations")));
+  EXPECT_EQ(count_events(doc, "portfolio.race").begins,
+            static_cast<int>(delta.value("portfolio.races")));
+}
+
+#ifdef RFN_CLI_PATH
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+json::Value parse_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string err;
+  json::Value doc = json::parse(buf.str(), &err);
+  EXPECT_TRUE(err.empty()) << path << ": " << err;
+  return doc;
+}
+
+// Golden-schema check of the CLI's span export on the committed demo
+// design: Chrome-trace-format validity, >= 3 engine threads, flow linkage,
+// and wall-time agreement between the rfn.run span, the run summary, and
+// tools/trace_report.py.
+TEST(TraceSpansCli, GoldenSchemaAndWallTimeAgreement) {
+  const std::string design = std::string(RFN_TEST_DATA_DIR) + "/demo.v";
+  const std::string spans = ::testing::TempDir() + "/spans.json";
+  const std::string trace = ::testing::TempDir() + "/trace.jsonl";
+  const std::string cmd = std::string(RFN_CLI_PATH) + " verify " + design +
+                          " --bad bad_q --workers 3 --trace-spans " + spans +
+                          " --trace-json " + trace + " > /dev/null";
+  ASSERT_EQ(std::system(cmd.c_str()), 0) << cmd;
+
+  const json::Value doc = parse_file(spans);
+  expect_well_formed(doc);
+
+  // Spans from >= 3 distinct threads actually doing engine work.
+  std::set<uint64_t> tids_with_spans;
+  for (const json::Value& e : doc.find("traceEvents")->items())
+    if (e.find("ph")->as_string() == "B")
+      tids_with_spans.insert(e.find("tid")->as_uint());
+  EXPECT_GE(tids_with_spans.size(), 3u);
+
+  // Flow linkage: every flow id pairs s with f, and at least one crosses
+  // threads (race thread -> executor worker).
+  std::map<uint64_t, std::set<std::string>> flow_phases;
+  std::map<uint64_t, std::set<uint64_t>> flow_tids;
+  for (const json::Value& e : doc.find("traceEvents")->items()) {
+    const std::string& ph = e.find("ph")->as_string();
+    if (ph != "s" && ph != "f") continue;
+    const uint64_t id = e.find("id")->as_uint();
+    flow_phases[id].insert(ph);
+    flow_tids[id].insert(e.find("tid")->as_uint());
+  }
+  ASSERT_FALSE(flow_phases.empty());
+  size_t cross = 0;
+  for (const auto& [id, phases] : flow_phases) {
+    EXPECT_EQ(phases.size(), 2u) << "flow " << id;
+    if (flow_tids[id].size() == 2) ++cross;
+  }
+  EXPECT_GE(cross, 1u);
+
+  // The rfn.run span must reproduce the summary's wall time within 5%.
+  double run_begin = -1.0, run_end = -1.0;
+  for (const json::Value& e : doc.find("traceEvents")->items()) {
+    if (e.find("name")->as_string() != "rfn.run") continue;
+    if (e.find("ph")->as_string() == "B") run_begin = e.find("ts")->as_double();
+    if (e.find("ph")->as_string() == "E") run_end = e.find("ts")->as_double();
+  }
+  ASSERT_GE(run_begin, 0.0);
+  ASSERT_GT(run_end, run_begin);
+  const double span_s = (run_end - run_begin) * 1e-6;
+
+  const std::vector<std::string> trace_lines = read_lines(trace);
+  ASSERT_FALSE(trace_lines.empty());
+  std::string err;
+  const json::Value summary = json::parse(trace_lines.back(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  const double summary_s = summary.find("seconds")->as_double();
+  ASSERT_GT(summary_s, 0.0);
+  // 5% relative plus a 2 ms absolute floor: demo.v runs in ~10 ms, where a
+  // single scheduler hiccup between the span end and the Stopwatch read
+  // would otherwise dominate the relative error.
+  EXPECT_NEAR(span_s, summary_s, summary_s * 0.05 + 0.002);
+
+#ifdef RFN_TOOLS_DIR
+  // trace_report.py must accept the file and reproduce the same total.
+  const std::string report = ::testing::TempDir() + "/report.txt";
+  const std::string py_cmd = std::string("python3 ") + RFN_TOOLS_DIR +
+                             "/trace_report.py " + spans + " > " + report;
+  const int py_rc = std::system(py_cmd.c_str());
+  if (py_rc != 0) {
+    GTEST_SKIP() << "python3 unavailable or trace_report failed (rc="
+                 << py_rc << ")";
+  }
+  double reported_s = -1.0;
+  for (const std::string& line : read_lines(report)) {
+    if (line.rfind("total_wall_s=", 0) == 0)
+      reported_s = std::atof(line.c_str() + std::string("total_wall_s=").size());
+  }
+  ASSERT_GT(reported_s, 0.0) << "total_wall_s line missing from report";
+  EXPECT_NEAR(reported_s, summary_s, summary_s * 0.05 + 0.002);
+  std::remove(report.c_str());
+#endif  // RFN_TOOLS_DIR
+  std::remove(spans.c_str());
+  std::remove(trace.c_str());
+}
+
+// End-to-end resource-out through the CLI on the committed slow design:
+// exit code 1, RESOURCE-OUT verdict, budget-trip annotation in both files.
+TEST(TraceSpansCli, BudgetTripInBothTraceFormats) {
+  const std::string design = std::string(RFN_TEST_DATA_DIR) + "/slow24.v";
+  const std::string spans = ::testing::TempDir() + "/spans_ro.json";
+  const std::string trace = ::testing::TempDir() + "/trace_ro.jsonl";
+  const std::string cmd = std::string(RFN_CLI_PATH) + " verify " + design +
+                          " --bad bad --workers 3 --budget-ms 150" +
+                          " --trace-spans " + spans + " --trace-json " +
+                          trace + " > /dev/null";
+  const int rc = std::system(cmd.c_str());
+  ASSERT_TRUE(WIFEXITED(rc));
+  EXPECT_EQ(WEXITSTATUS(rc), 1) << cmd;  // inconclusive verdicts exit 1
+
+  const json::Value doc = parse_file(spans);
+  expect_well_formed(doc);
+  EXPECT_EQ(count_events(doc, "budget-trip").instants, 1);
+
+  const std::vector<std::string> trace_lines = read_lines(trace);
+  ASSERT_FALSE(trace_lines.empty());
+  std::string err;
+  const json::Value summary = json::parse(trace_lines.back(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(summary.find("verdict")->as_string(), "resource-out");
+  EXPECT_EQ(summary.find_path("budget_trip.reason")->as_string(),
+            "wall-budget");
+  std::remove(spans.c_str());
+  std::remove(trace.c_str());
+}
+#endif  // RFN_CLI_PATH
+
+}  // namespace
+}  // namespace rfn

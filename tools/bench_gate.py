@@ -40,7 +40,14 @@ def load(path):
     if doc.get("schema") != "rfn-bench-v1":
         sys.exit(f"bench_gate: {path}: not an rfn-bench-v1 document "
                  f"(schema={doc.get('schema')!r})")
-    return {b["name"]: b for b in doc.get("benchmarks", [])}
+    benchmarks = {}
+    for i, b in enumerate(doc.get("benchmarks", [])):
+        name = b.get("name")
+        if not name:
+            sys.exit(f"bench_gate: {path}: benchmark record {i} has no "
+                     f"\"name\" — malformed artifact, not a regression")
+        benchmarks[name] = b
+    return benchmarks
 
 
 def main():
@@ -64,7 +71,14 @@ def main():
             continue
 
         base_t = base.get("real_seconds_per_iter", 0.0)
-        cur_t = cur.get("real_seconds_per_iter", 0.0)
+        cur_t = cur.get("real_seconds_per_iter")
+        if cur_t is None:
+            # A silent 0.0 here would make a broken artifact look like a
+            # speedup; a baseline metric absent from the new artifact is a
+            # schema break and must fail loudly.
+            failures.append(f"{name}: real_seconds_per_iter missing from "
+                            f"current run (malformed artifact?)")
+            continue
         if base_t > 0 and cur_t > base_t * (1.0 + args.time_tolerance):
             failures.append(
                 f"{name}: wall time {cur_t * 1e3:.3f} ms/iter vs baseline "

@@ -57,13 +57,37 @@ for san in "${sanitizers[@]}"; do
     note "sanitize (thread): concurrency suites"
     "./$dir/tests/portfolio_test"
     "./$dir/tests/netlist_fuzz_test"
+    "./$dir/tests/trace_span_test"
+    note "sanitize (thread): budgeted resource-out run"
+    # Must degrade cleanly (exit exactly 1: inconclusive verdict, not a
+    # TSan abort) with a budget-trip span.
+    rc=0
+    "./$dir/tools/rfn" verify tests/data/slow24.v --bad bad --workers 3 \
+      --budget-ms 300 --trace-spans "$dir/tsan-spans.json" || rc=$?
+    if [[ $rc != 1 ]]; then
+      echo "ci_dryrun: budgeted run exited $rc (expected 1: resource-out)" >&2
+      exit 1
+    fi
+    python3 tools/trace_report.py "$dir/tsan-spans.json" | grep budget_trip
   fi
 done
 
 # --- job: bench-gate --------------------------------------------------------
 note "bench-gate"
 cmake -B build-ci-bench -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER_ARGS[@]}" >/dev/null
-cmake --build build-ci-bench -j "$(nproc)" --target micro_engines
+cmake --build build-ci-bench -j "$(nproc)" --target micro_engines rfn_cli
+
+note "bench-gate: trace tooling self-check"
+python3 tools/trace_report.py --self-check
+
+# Traces are recorded before the gate, like the hosted job, so a failing
+# gate still leaves a profile behind (CI uploads it as an artifact).
+note "bench-gate: record run traces"
+./build-ci-bench/tools/rfn verify tests/data/demo.v --bad bad_q --workers 3 \
+  --trace-spans build-ci-bench/run-spans.json \
+  --trace-json build-ci-bench/run-trace.jsonl
+python3 tools/trace_report.py build-ci-bench/run-spans.json
+
 ./build-ci-bench/bench/micro_engines --benchmark_filter=Portfolio \
   --json build-ci-bench/bench-current.json
 python3 tools/bench_gate.py --baseline BENCH_portfolio.json \

@@ -17,6 +17,12 @@
 //   --trace-json FILE  write the CEGAR event trace as JSON Lines (one object
 //                      per iteration plus a final summary; see
 //                      src/core/trace_json.hpp for the schema)
+//   --trace-spans FILE write a causal span trace in Chrome trace-event JSON
+//                      (open in Perfetto / chrome://tracing, or analyze with
+//                      tools/trace_report.py)
+//   --budget-ms N      resource-watchdog wall budget; on overrun the run
+//                      degrades to the resource-out verdict
+//   --budget-bdd-nodes N  watchdog budget on BDD live nodes (memory proxy)
 //   --metrics          dump the full metrics registry as JSON on stdout
 
 #include <cstdio>
@@ -33,6 +39,7 @@
 #include "rtlv/elaborate.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
+#include "util/trace.hpp"
 
 using namespace rfn;
 
@@ -83,8 +90,29 @@ int cmd_verify(const Netlist& design, const Options& opts) {
   rfn_opts.traces_per_iteration = static_cast<size_t>(opts.get_int("traces", 1));
   rfn_opts.approx_fallback = !opts.get_bool("no-approx", false);
   rfn_opts.portfolio_workers = static_cast<size_t>(opts.get_int("workers", 0));
+  rfn_opts.budget_ms = opts.get_double("budget-ms", -1.0);
+  rfn_opts.budget_bdd_nodes = opts.get_int("budget-bdd-nodes", 0);
+
+  const std::string span_path = opts.get("trace-spans", "");
+  if (!span_path.empty()) {
+    SpanTracer::global().enable();
+    SpanTracer::global().set_thread_name("main");
+  }
+
   RfnVerifier verifier(design, bad, rfn_opts);
   const RfnResult result = verifier.run();
+
+  if (!span_path.empty()) {
+    // run() has joined every thread it started (races and watchdog), so the
+    // buffers are quiescent here.
+    SpanTracer::global().disable();
+    std::ofstream out(span_path);
+    if (!out) {
+      std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
+      return 2;
+    }
+    SpanTracer::global().write_chrome_json(out);
+  }
 
   const std::string trace_path = opts.get("trace-json", "");
   if (!trace_path.empty()) {
@@ -97,9 +125,14 @@ int cmd_verify(const Netlist& design, const Options& opts) {
   }
 
   std::printf("verdict: %s\n",
-              result.verdict == Verdict::Holds   ? "HOLDS"
-              : result.verdict == Verdict::Fails ? "VIOLATED"
-                                                 : "UNKNOWN");
+              result.verdict == Verdict::Holds         ? "HOLDS"
+              : result.verdict == Verdict::Fails       ? "VIOLATED"
+              : result.verdict == Verdict::ResourceOut ? "RESOURCE-OUT"
+                                                       : "UNKNOWN");
+  if (result.budget_trip.tripped)
+    std::printf("budget trip: %s at %.3f s (bdd nodes %lld)\n",
+                result.budget_trip.reason.c_str(), result.budget_trip.at_seconds,
+                static_cast<long long>(result.budget_trip.bdd_nodes));
   std::printf("iterations: %zu, abstract model: %zu / %zu registers, %.2f s\n",
               result.iterations, result.final_abstract_regs, design.num_regs(),
               result.seconds);
@@ -125,9 +158,13 @@ int cmd_verify(const Netlist& design, const Options& opts) {
         certify(design, bad, result, verifier.abstract_registers());
     std::printf("certificate: %s%s%s\n", cert.ok ? "OK" : "FAILED",
                 cert.ok ? "" : " — ", cert.ok ? "" : cert.detail.c_str());
-    if (!cert.ok && result.verdict != Verdict::Unknown) return 3;
+    if (!cert.ok && result.verdict != Verdict::Unknown &&
+        result.verdict != Verdict::ResourceOut)
+      return 3;
   }
-  return result.verdict == Verdict::Unknown ? 1 : 0;
+  return result.verdict == Verdict::Holds || result.verdict == Verdict::Fails
+             ? 0
+             : 1;
 }
 
 int cmd_coverage(const Netlist& design, const Options& opts) {

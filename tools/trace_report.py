@@ -1,0 +1,286 @@
+#!/usr/bin/env python3
+"""Offline analyzer for rfn span traces (Chrome trace-event JSON).
+
+Folds a file produced by `rfn verify ... --trace-spans FILE` into a
+per-engine / per-iteration wall-time breakdown:
+
+    tools/trace_report.py spans.json [--top N]
+
+Validates the file first (schema "rfn-spans-v1": version tag, per-thread
+monotonic timestamps, balanced begin/end pairs, flow pairing) and exits
+nonzero with a diagnostic on a malformed trace, so it doubles as the format
+checker in tests and CI. `--self-check` runs the validator against built-in
+good and bad synthetic traces and needs no input file.
+
+Report sections:
+  * run summary — total wall time reconstructed from the rfn.run span
+    (machine-readable as `total_wall_s=...`), dropped-event count, any
+    budget-trip annotation;
+  * top-N hottest spans by self time (time in the span minus time in its
+    children on the same thread);
+  * per-iteration timeline (rfn.iteration spans);
+  * race outcomes — wins per engine and % of job wall time that was
+    cancelled or inconclusive (work the race discarded).
+"""
+
+import argparse
+import collections
+import json
+import signal
+import sys
+
+# Die quietly when the consumer closes the pipe (trace_report ... | head).
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+TRACE_VERSION = "rfn-spans-v1"
+
+
+class TraceError(Exception):
+    pass
+
+
+def fail(msg):
+    raise TraceError(msg)
+
+
+def validate(doc):
+    """Checks the document shape; returns the duration-event list."""
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents missing or not a list")
+    other = doc.get("otherData", {})
+    version = other.get("trace_version")
+    if version != TRACE_VERSION:
+        fail(f"trace_version is {version!r}, expected {TRACE_VERSION!r}")
+
+    last_ts = {}
+    depth = collections.defaultdict(int)
+    flows = collections.defaultdict(dict)
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph is None:
+            fail(f"event {i} has no ph")
+        if ph == "M":
+            continue
+        tid = e.get("tid")
+        ts = e.get("ts")
+        if tid is None or ts is None:
+            fail(f"event {i} ({e.get('name')!r}) lacks tid/ts")
+        if ts < last_ts.get(tid, 0.0):
+            fail(f"event {i} ({e.get('name')!r}): timestamp {ts} goes "
+                 f"backwards on tid {tid}")
+        last_ts[tid] = ts
+        if ph == "B":
+            depth[tid] += 1
+        elif ph == "E":
+            if depth[tid] == 0:
+                fail(f"event {i} ({e.get('name')!r}): end without begin on "
+                     f"tid {tid}")
+            depth[tid] -= 1
+        elif ph in ("s", "f"):
+            fid = e.get("id")
+            if fid is None:
+                fail(f"event {i}: flow event without id")
+            flows[fid][ph] = tid
+        elif ph != "i":
+            fail(f"event {i}: unknown phase {ph!r}")
+    for tid, d in depth.items():
+        if d != 0:
+            fail(f"tid {tid} has {d} unclosed span(s)")
+    for fid, ends in flows.items():
+        if set(ends) != {"s", "f"}:
+            fail(f"flow {fid} is unpaired (has {sorted(ends)})")
+    return events
+
+
+def fold_spans(events):
+    """Reconstructs spans from B/E pairs. Returns a list of dicts with
+    name, tid, start, dur, self (all in microseconds), args, depth."""
+    spans = []
+    stacks = collections.defaultdict(list)
+    for e in events:
+        ph = e.get("ph")
+        tid = e.get("tid")
+        if ph == "B":
+            stacks[tid].append({
+                "name": e["name"], "tid": tid, "start": e["ts"],
+                "dur": 0.0, "child": 0.0, "args": {},
+                "depth": len(stacks[tid]),
+            })
+        elif ph == "E":
+            s = stacks[tid].pop()
+            s["dur"] = e["ts"] - s["start"]
+            s["args"] = e.get("args", {})
+            s["self"] = s["dur"] - s.pop("child")
+            if stacks[tid]:
+                stacks[tid][-1]["child"] += s["dur"]
+            spans.append(s)
+    return spans
+
+
+def report(doc, top_n):
+    events = validate(doc)
+    spans = fold_spans(events)
+    instants = [e for e in events if e.get("ph") == "i"]
+    dropped = doc.get("otherData", {}).get("dropped_events", 0)
+
+    runs = [s for s in spans if s["name"] == "rfn.run"]
+    total_us = runs[0]["dur"] if runs else max(
+        (s["start"] + s["dur"] for s in spans), default=0.0)
+
+    print("== run summary ==")
+    # Machine-readable: tests cross-check this against the run's seconds.
+    print(f"total_wall_s={total_us / 1e6:.6f}")
+    print(f"spans={len(spans)} events={len(events)} dropped={dropped}")
+    if runs and "verdict" in runs[0]["args"]:
+        print(f"verdict={runs[0]['args']['verdict']}")
+    for e in instants:
+        if e.get("name") == "budget-trip":
+            reason = e.get("args", {}).get("reason", "?")
+            print(f"budget_trip reason={reason} at_s={e['ts'] / 1e6:.3f}")
+
+    agg = collections.defaultdict(lambda: [0, 0.0, 0.0])  # count, dur, self
+    for s in spans:
+        a = agg[s["name"]]
+        a[0] += 1
+        a[1] += s["dur"]
+        a[2] += s["self"]
+    print(f"\n== top {top_n} spans by self time ==")
+    print(f"{'span':<18} {'count':>6} {'total_ms':>10} {'self_ms':>10}")
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1][2])[:top_n]
+    for name, (count, dur, self_us) in ranked:
+        print(f"{name:<18} {count:>6} {dur / 1e3:>10.3f} {self_us / 1e3:>10.3f}")
+
+    iters = sorted((s for s in spans if s["name"] == "rfn.iteration"),
+                   key=lambda s: s["start"])
+    if iters:
+        print("\n== iterations ==")
+        print(f"{'iter':>4} {'start_ms':>10} {'dur_ms':>10}")
+        for s in iters:
+            idx = s["args"].get("iter", "?")
+            print(f"{idx!s:>4} {s['start'] / 1e3:>10.3f} {s['dur'] / 1e3:>10.3f}")
+
+    # Race arms carry an "outcome" annotation; everything the race discarded
+    # (cancelled losers, inconclusive probes) is wall time the portfolio
+    # spent buying latency. High %cancelled with the right winner is the
+    # design working; high %inconclusive is budget misallocation.
+    jobs = [s for s in spans if "outcome" in s["args"]]
+    if jobs:
+        outcomes = collections.defaultdict(lambda: [0, 0.0])
+        wins = collections.Counter()
+        for s in jobs:
+            o = s["args"]["outcome"]
+            outcomes[o][0] += 1
+            outcomes[o][1] += s["dur"]
+            if o == "won":
+                wins[s["name"]] += 1
+        job_total = sum(s["dur"] for s in jobs)
+        print("\n== race outcomes ==")
+        print(f"{'outcome':<14} {'jobs':>5} {'wall_ms':>10} {'%job_time':>10}")
+        for o, (count, dur) in sorted(outcomes.items()):
+            pct = 100.0 * dur / job_total if job_total else 0.0
+            print(f"{o:<14} {count:>5} {dur / 1e3:>10.3f} {pct:>9.1f}%")
+        for name, count in wins.most_common():
+            print(f"  wins: {name} x{count}")
+        discarded = sum(outcomes[o][1] for o in ("cancelled", "inconclusive")
+                        if o in outcomes)
+        pct = 100.0 * discarded / job_total if job_total else 0.0
+        print(f"cancelled_or_inconclusive_pct={pct:.1f}")
+    return 0
+
+
+def synthetic_trace():
+    """A minimal well-formed trace for --self-check."""
+    ev = [
+        {"name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+         "args": {"name": "main"}},
+        {"name": "rfn.run", "ph": "B", "cat": "rfn", "pid": 1, "tid": 1,
+         "ts": 0.0},
+        {"name": "rfn.iteration", "ph": "B", "cat": "rfn", "pid": 1,
+         "tid": 1, "ts": 1.0},
+        {"name": "job", "ph": "s", "cat": "flow", "id": 1, "pid": 1,
+         "tid": 1, "ts": 2.0},
+        {"name": "job", "ph": "B", "cat": "rfn", "pid": 1, "tid": 2,
+         "ts": 3.0},
+        {"name": "job", "ph": "f", "cat": "flow", "id": 1, "bp": "e",
+         "pid": 1, "tid": 2, "ts": 3.5},
+        {"name": "budget-trip", "ph": "i", "cat": "rfn", "s": "g", "pid": 1,
+         "tid": 3, "ts": 4.0, "args": {"reason": "wall-budget"}},
+        {"name": "job", "ph": "E", "cat": "rfn", "pid": 1, "tid": 2,
+         "ts": 5.0, "args": {"outcome": "won"}},
+        {"name": "rfn.iteration", "ph": "E", "cat": "rfn", "pid": 1,
+         "tid": 1, "ts": 6.0, "args": {"iter": 0}},
+        {"name": "rfn.run", "ph": "E", "cat": "rfn", "pid": 1, "tid": 1,
+         "ts": 7.0, "args": {"verdict": "resource-out"}},
+    ]
+    return {"traceEvents": ev, "displayTimeUnit": "ms",
+            "otherData": {"trace_version": TRACE_VERSION,
+                          "dropped_events": 0}}
+
+
+def self_check():
+    """The validator must accept a good trace and reject each corruption."""
+    good = synthetic_trace()
+    try:
+        validate(good)
+    except TraceError as err:
+        print(f"self-check: valid trace rejected: {err}", file=sys.stderr)
+        return 1
+
+    def corrupt(mutate, expect):
+        doc = json.loads(json.dumps(good))  # deep copy
+        mutate(doc)
+        try:
+            validate(doc)
+        except TraceError:
+            return None
+        return f"self-check: {expect} not detected"
+
+    failures = [f for f in (
+        corrupt(lambda d: d["otherData"].pop("trace_version"),
+                "missing trace_version"),
+        corrupt(lambda d: d["traceEvents"].pop(),  # drop rfn.run's E
+                "unbalanced begin/end"),
+        corrupt(lambda d: d["traceEvents"][2].update(ts=100.0),
+                "non-monotonic timestamps"),
+        corrupt(lambda d: d["traceEvents"].__delitem__(5),  # drop flow-end
+                "unpaired flow"),
+    ) if f]
+    for f in failures:
+        print(f, file=sys.stderr)
+    if not failures:
+        print("trace_report self-check: ok")
+    return 1 if failures else 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", nargs="?", help="span file from --trace-spans")
+    ap.add_argument("--top", type=int, default=10,
+                    help="hottest-span rows to print (default 10)")
+    ap.add_argument("--self-check", action="store_true",
+                    help="validate built-in good/bad traces and exit")
+    args = ap.parse_args()
+
+    if args.self_check:
+        return self_check()
+    if not args.trace:
+        ap.error("a trace file is required (or --self-check)")
+    try:
+        with open(args.trace) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace_report: cannot read {args.trace}: {err}",
+              file=sys.stderr)
+        return 1
+    try:
+        return report(doc, args.top)
+    except TraceError as err:
+        print(f"trace_report: invalid trace: {err}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
