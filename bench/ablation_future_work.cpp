@@ -116,7 +116,7 @@ int main(int argc, char** argv) {
     const double approx_time = wa.seconds();
 
     t1.add_row({fmt_int(static_cast<int64_t>(n.num_regs())),
-                reach_status_name(exact.status), fmt_double(exact_time, 2),
+                to_string(exact.status), fmt_double(exact_time, 2),
                 approx_status_name(approx.status), fmt_double(approx_time, 2),
                 fmt_int(static_cast<int64_t>(approx.rounds))});
   }
@@ -137,7 +137,7 @@ int main(int argc, char** argv) {
       RfnVerifier v(n, bad, ropt);
       const RfnResult r = v.run();
       t2.add_row({fmt_int(static_cast<int64_t>(decoys)),
-                  fmt_int(static_cast<int64_t>(traces)), verdict_name(r.verdict),
+                  fmt_int(static_cast<int64_t>(traces)), to_string(r.verdict),
                   fmt_int(static_cast<int64_t>(r.iterations)),
                   fmt_int(static_cast<int64_t>(r.final_abstract_regs)),
                   fmt_double(w.seconds(), 2)});

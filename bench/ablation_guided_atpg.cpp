@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "atpg/seq_atpg.hpp"
+#include "core/status.hpp"
 #include "netlist/builder.hpp"
 #include "util/options.hpp"
 #include "util/stats.hpp"
@@ -88,9 +89,9 @@ int main(int argc, char** argv) {
     if (unguided.status == AtpgStatus::Sat) deepest_unguided = depth;
     if (guided.status == AtpgStatus::Sat) deepest_guided = depth;
 
-    table.add_row({fmt_int(static_cast<int64_t>(depth)), atpg_status_name(unguided.status),
+    table.add_row({fmt_int(static_cast<int64_t>(depth)), to_string(unguided.status),
                    fmt_int(static_cast<int64_t>(unguided.backtracks)), fmt_double(ut, 2),
-                   atpg_status_name(guided.status),
+                   to_string(guided.status),
                    fmt_int(static_cast<int64_t>(guided.backtracks)), fmt_double(gt, 2)});
   }
   table.print();

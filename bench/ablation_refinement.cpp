@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
                                           time_limit);
     const LoopTotals n = run_instrumented(job.name, *job.m, job.bad, table, false,
                                           time_limit);
-    summary.add_row({job.name, verdict_name(g.verdict),
+    summary.add_row({job.name, to_string(g.verdict),
                      fmt_int(static_cast<int64_t>(g.final_regs_greedy)),
                      fmt_int(static_cast<int64_t>(n.final_regs_naive))});
   }

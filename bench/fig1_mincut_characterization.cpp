@@ -72,7 +72,7 @@ void characterize(const char* design_name, const Netlist& m, GateId bad, Table& 
                    fmt_int(static_cast<int64_t>(st.mc_inputs)),
                    fmt_int(static_cast<int64_t>(st.nocut_cubes)),
                    fmt_int(static_cast<int64_t>(st.mincut_cubes)),
-                   reach_status_name(reach.status)});
+                   to_string(reach.status)});
 
     if (reach.status != ReachStatus::BadReachable || abs_trace_n.empty()) break;
     const Trace abs_trace = sub.trace_to_old(abs_trace_n);

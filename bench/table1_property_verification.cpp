@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
         certify(*row.design, row.bad, r, verifier.abstract_registers());
     table.add_row({row.name, fmt_int(static_cast<int64_t>(coi_regs)),
                    fmt_int(static_cast<int64_t>(coi_gates)), fmt_double(r.seconds, 1),
-                   verdict_name(r.verdict),
+                   to_string(r.verdict),
                    fmt_int(static_cast<int64_t>(r.final_abstract_regs)),
                    cert.ok ? "yes" : ("NO: " + cert.detail)});
     if (r.verdict == Verdict::Fails)
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
     if (mc.verdict == Verdict::Unknown) ++mc_failures;
     mc_table.add_row({row.name,
                       mc.verdict == Verdict::Unknown ? "fails (resources)"
-                                                     : verdict_name(mc.verdict),
+                                                     : to_string(mc.verdict),
                       fmt_double(mc.seconds, 1), fmt_int(static_cast<int64_t>(mc.steps))});
   }
   mc_table.print();

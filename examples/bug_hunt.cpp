@@ -12,6 +12,7 @@
 
 #include "atpg/seq_atpg.hpp"
 #include "core/rfn.hpp"
+#include "core/status.hpp"
 #include "designs/processor.hpp"
 #include "netlist/writer.hpp"
 #include "util/options.hpp"
@@ -40,7 +41,7 @@ int main(int argc, char** argv) {
   RfnVerifier verifier(proc.netlist, proc.error_flag, rfn_opts);
   const RfnResult r = verifier.run();
   std::printf("\nRFN verdict: %s in %.2f s (%zu iterations, abstract model %zu regs)\n",
-              verdict_name(r.verdict), rfn_watch.seconds(), r.iterations,
+              to_string(r.verdict), rfn_watch.seconds(), r.iterations,
               r.final_abstract_regs);
   if (r.verdict == Verdict::Fails) {
     std::printf("error trace: %zu cycles\n", r.error_trace.cycles());
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
       reach_target(proc.netlist, depth, proc.error_flag, true, {}, unguided);
   std::printf(
       "\nunguided sequential ATPG at depth %zu: %s after %llu backtracks, %.2f s\n",
-      depth, atpg_status_name(direct.status),
+      depth, to_string(direct.status),
       static_cast<unsigned long long>(direct.backtracks), atpg_watch.seconds());
   std::printf("(the paper: \"sequential ATPG with guidance can search for an order of "
               "magnitude more cycles\")\n");

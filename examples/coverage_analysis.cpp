@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/bfs_baseline.hpp"
+#include "core/status.hpp"
 #include "core/coverage.hpp"
 #include "designs/usb.hpp"
 #include "netlist/analysis.hpp"
@@ -46,7 +47,7 @@ int main(int argc, char** argv) {
   bfs_opts.reach.time_limit_s = cov_opts.time_limit_s;
   const BfsBaselineResult bfs = bfs_coverage_analysis(usb.netlist, cov, bfs_opts);
   std::printf("BFS:  %zu unreachable (abstract model %zu registers, fixpoint %s, %.1f s)\n",
-              bfs.unreachable, bfs.abstract_regs, reach_status_name(bfs.reach_status),
+              bfs.unreachable, bfs.abstract_regs, to_string(bfs.reach_status),
               bfs.seconds);
 
   if (rfn_res.unreachable >= bfs.unreachable)

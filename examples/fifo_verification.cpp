@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     rfn_opts.time_limit_s = opts.get_double("time-limit", 300.0);
     RfnVerifier verifier(fifo.netlist, bad, rfn_opts);
     const RfnResult r = verifier.run();
-    table.add_row({name, fmt_int(static_cast<int64_t>(coi)), verdict_name(r.verdict),
+    table.add_row({name, fmt_int(static_cast<int64_t>(coi)), to_string(r.verdict),
                    fmt_int(static_cast<int64_t>(r.final_abstract_regs)),
                    fmt_int(static_cast<int64_t>(r.iterations)), fmt_double(r.seconds, 2)});
   }
@@ -58,6 +58,6 @@ int main(int argc, char** argv) {
   mc_opts.time_limit_s = opts.get_double("mc-time-limit", 10.0);
   const PlainMcResult mc = plain_model_check(fifo.netlist, fifo.bad_push_full, mc_opts);
   std::printf("psh_full via plain MC: %s after %.2f s (%zu COI registers)\n",
-              verdict_name(mc.verdict), mc.seconds, mc.coi_regs);
+              to_string(mc.verdict), mc.seconds, mc.coi_regs);
   return 0;
 }

@@ -1,19 +1,11 @@
 #include "atpg/comb_atpg.hpp"
 
+#include "core/status.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
 namespace rfn {
-
-const char* atpg_status_name(AtpgStatus s) {
-  switch (s) {
-    case AtpgStatus::Sat: return "sat";
-    case AtpgStatus::Unsat: return "unsat";
-    case AtpgStatus::Abort: return "abort";
-  }
-  return "?";
-}
 
 namespace {
 
@@ -183,7 +175,7 @@ CombAtpgResult justify_impl(const Netlist& n, const Cube& targets,
 CombAtpgResult justify(const Netlist& n, const Cube& targets, const AtpgOptions& opt) {
   Span span("atpg.comb");
   CombAtpgResult res = justify_impl(n, targets, opt);
-  span.annotate("status", atpg_status_name(res.status));
+  span.annotate("status", to_string(res.status));
   // One flush per call: the search itself stays registry-free.
   MetricsRegistry& m = MetricsRegistry::global();
   m.counter("atpg.comb.calls").add(1);

@@ -22,8 +22,7 @@
 namespace rfn {
 
 enum class AtpgStatus { Sat, Unsat, Abort };
-
-const char* atpg_status_name(AtpgStatus s);
+// The canonical spelling lives in core/status.hpp: to_string(AtpgStatus).
 
 struct AtpgOptions {
   /// Backtrack budget; the engine aborts beyond it (paper: "some resource

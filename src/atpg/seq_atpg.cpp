@@ -1,6 +1,7 @@
 #include "atpg/seq_atpg.hpp"
 
 #include "atpg/unroll.hpp"
+#include "core/status.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
 
@@ -102,7 +103,7 @@ SeqAtpgResult solve_cycle_cubes(const Netlist& m, const std::vector<Cube>& cubes
                                 const AtpgOptions& opt) {
   Span span("atpg.seq");
   SeqAtpgResult res = solve_cycle_cubes_impl(m, cubes, opt);
-  span.annotate("status", atpg_status_name(res.status));
+  span.annotate("status", to_string(res.status));
   record_seq_metrics(res, cubes.size());
   return res;
 }

@@ -2,28 +2,34 @@
 
 #include <algorithm>
 
-#include "bdd/bdd.hpp"
 #include "core/abstraction.hpp"
-#include "core/concretize.hpp"
-#include "core/portfolio.hpp"
-#include "mc/approx_reach.hpp"
-#include "mc/image.hpp"
-#include "netlist/analysis.hpp"
-#include "util/log.hpp"
-#include "util/metrics.hpp"
-#include "util/trace.hpp"
-#include "util/watchdog.hpp"
+#include "core/session.hpp"
 
 namespace rfn {
 
-const char* verdict_name(Verdict v) {
-  switch (v) {
-    case Verdict::Holds: return "T";
-    case Verdict::Fails: return "F";
-    case Verdict::Unknown: return "?";
-    case Verdict::ResourceOut: return "resource-out";
-  }
-  return "?";
+std::vector<std::string> RfnOptions::validate() const {
+  std::vector<std::string> errors;
+  if (max_iterations == 0)
+    errors.push_back("max_iterations must be >= 1");
+  if (traces_per_iteration == 0)
+    errors.push_back("traces_per_iteration must be >= 1");
+  if (approx_fallback && approx_block_size == 0)
+    errors.push_back("approx_block_size must be >= 1");
+  if (approx_fallback && approx_overlap >= approx_block_size)
+    errors.push_back(
+        "approx_overlap must be smaller than approx_block_size (blocks must "
+        "make forward progress)");
+  if (budget_bdd_nodes < 0)
+    errors.push_back("budget_bdd_nodes must be >= 0 (0 disables the budget)");
+  if (race_probe_time_s < 0.0)
+    errors.push_back("race_probe_time_s must be >= 0");
+  if (race_sim_cycles == 0)
+    errors.push_back("race_sim_cycles must be >= 1");
+  if (reach.max_live_nodes == 0)
+    errors.push_back("reach.max_live_nodes must be >= 1");
+  if (reach.max_steps == 0)
+    errors.push_back("reach.max_steps must be >= 1");
+  return errors;
 }
 
 RfnVerifier::RfnVerifier(const Netlist& m, GateId bad, RfnOptions opt)
@@ -33,327 +39,18 @@ RfnVerifier::RfnVerifier(const Netlist& m, GateId bad, RfnOptions opt)
 }
 
 RfnResult RfnVerifier::run() {
-  RfnResult result;
-  // Per-run metrics isolation: everything this run records is reported
-  // relative to this baseline (trace_json serializes against it).
-  const MetricsEpoch epoch;
-  result.metrics_epoch = epoch.id();
-  result.metrics_baseline = epoch.baseline();
-  Span run_span("rfn.run");
-  const Deadline deadline(opt_.time_limit_s);
-  SavedOrder saved_order;
-  const std::vector<GateId> roots{bad_};
-
-  // Resource watchdog: when a budget is set, the run is cancelled through
-  // run_token (chaining any external token), and every cancellation point
-  // below polls `cancel` instead of opt_.cancel directly.
-  CancelToken run_token(-1.0, opt_.cancel);
-  WatchdogOptions wd_opt;
-  wd_opt.wall_budget_s = opt_.budget_ms > 0.0 ? opt_.budget_ms * 1e-3 : -1.0;
-  wd_opt.bdd_node_budget = opt_.budget_bdd_nodes;
-  Watchdog watchdog(wd_opt, &run_token);
-  const bool budgeted =
-      wd_opt.wall_budget_s > 0.0 || wd_opt.bdd_node_budget > 0;
-  const CancelToken* cancel = budgeted ? &run_token : opt_.cancel;
-  if (budgeted) watchdog.start();
-
-  // One scheduler (and thread pool) for the whole run; with zero workers the
-  // races run their jobs sequentially inline, in priority order.
-  Portfolio portfolio(opt_.portfolio_workers);
-
-  for (size_t iter = 0; iter < opt_.max_iterations; ++iter) {
-    if (deadline.expired()) {
-      result.note = "time limit exceeded";
-      break;
-    }
-    if (should_stop(cancel)) {
-      result.note = "cancelled";
-      break;
-    }
-    RfnIteration it;
-    Span iter_span("rfn.iteration");
-    iter_span.annotate("iter", static_cast<double>(iter));
-    const Stopwatch iter_watch;
-    ++result.iterations;
-
-    // --- Step 1: abstract model ---
-    std::sort(included_.begin(), included_.end());
-    const Subcircuit sub = extract_abstract_model(*m_, roots, included_);
-    it.abstract_regs = sub.net.num_regs();
-    it.abstract_inputs = sub.net.num_inputs();
-    it.abstract_gates = sub.net.num_gates();
-    RFN_INFO("iter %zu: abstract model regs=%zu inputs=%zu gates=%zu", iter,
-             it.abstract_regs, it.abstract_inputs, sub.net.num_gates());
-
-    // --- Step 2: prove or find an abstract error trace (engine race) ---
-    BddMgr mgr;
-    if (budgeted) mgr.set_live_node_probe(watchdog.node_probe());
-    Encoder enc(mgr, sub.net);
-    if (opt_.save_var_order) apply_saved_order(mgr, enc, sub, saved_order);
-    mgr.set_auto_reorder(opt_.dynamic_reordering);
-    mgr.set_node_budget(opt_.reach.max_live_nodes);
-    ImageComputer img(enc);
-
-    // Every exit path of this iteration funnels through here: harvest the
-    // per-iteration BDD-manager internals, flush them into the registry
-    // (exactly once per manager — it dies with the iteration) and stamp the
-    // iteration wall time. "rfn.*" is the loop's own namespace.
-    auto finish_iteration = [&](RfnIteration& done) {
-      const BddStats& bs = mgr.stats();
-      done.bdd_peak_nodes = bs.peak_live_nodes;
-      done.bdd_cache_lookups = bs.cache_lookups;
-      done.bdd_cache_hits = bs.cache_hits;
-      done.bdd_reorderings = bs.reorderings;
-      publish_bdd_metrics(bs);
-      done.seconds = iter_watch.seconds();
-      MetricsRegistry& reg = MetricsRegistry::global();
-      reg.counter("rfn.iterations").add(1);
-      reg.timer("rfn.iteration").record(done.seconds);
-      reg.gauge("rfn.abstract_regs").set(static_cast<int64_t>(done.abstract_regs));
-      reg.counter("rfn.refined_registers").add(done.refine.final_count);
-      reg.counter("rfn.abstract_trace_cycles").add(done.trace_cycles);
-      result.per_iteration.push_back(done);
-    };
-
-    const GateId bad_new = sub.to_new(bad_);
-    RFN_CHECK(bad_new != kNullGate, "property signal missing from abstraction");
-    // Bad states: states from which some input valuation raises the signal.
-    const Bdd bad_set = mgr.exists(enc.signal_fn(bad_new), enc.input_vars());
-    if (img.aborted() || bad_set.is_null()) {
-      it.reach_status = ReachStatus::ResourceOut;
-      finish_iteration(it);
-      result.note = "abstract model exceeded the BDD node budget";
-      break;
-    }
-
-    ReachOptions reach_opt = opt_.reach;
-    if (opt_.time_limit_s >= 0.0) {
-      const double rem = deadline.remaining_seconds();
-      reach_opt.time_limit_s = reach_opt.time_limit_s < 0.0
-                                   ? rem
-                                   : std::min(reach_opt.time_limit_s, rem);
-    }
-    const double probe_budget =
-        opt_.time_limit_s >= 0.0
-            ? std::min(opt_.race_probe_time_s, deadline.remaining_seconds())
-            : opt_.race_probe_time_s;
-
-    // Three engines race the abstract obligation. BDD reachability is the
-    // only one that can *prove*; the sequential-ATPG and random-simulation
-    // probes can only *find* an abstract error trace — but when they do, the
-    // trace is exact and the (cancelled) fixpoint is not needed at all. The
-    // BddMgr above is owned by the bdd-reach job for the duration of the
-    // race (single-owner rule); the probes touch only the immutable netlist.
-    ReachResult reach;
-    SeqAtpgResult atpg_probe;
-    Trace sim_probe;
-    std::vector<PortfolioJob> jobs;
-    jobs.push_back({"bdd-reach", -1.0, [&](const CancelToken& token) {
-                      ReachOptions ro = reach_opt;
-                      ro.cancel = &token;
-                      reach = forward_reach(img, enc.initial_states(), bad_set, ro);
-                      return reach.status != ReachStatus::ResourceOut;
-                    }});
-    jobs.push_back({"seq-atpg", probe_budget, [&](const CancelToken& token) {
-                      AtpgOptions ao;
-                      ao.max_backtracks = opt_.race_atpg_backtracks;
-                      ao.cancel = &token;
-                      for (size_t k = 1; k <= opt_.race_atpg_max_depth; ++k) {
-                        if (token.cancelled()) return false;
-                        SeqAtpgResult r = reach_target(sub.net, k, bad_new, true, {}, ao);
-                        if (r.status == AtpgStatus::Sat) {
-                          atpg_probe = std::move(r);
-                          return true;
-                        }
-                        // Unsat/Abort at depth k only bounds the shortest
-                        // trace; keep deepening until cancelled.
-                      }
-                      return false;
-                    }});
-    jobs.push_back({"rand-sim", probe_budget, [&, iter](const CancelToken& token) {
-                      sim_probe = random_sim_error_trace(
-                          sub.net, bad_new, opt_.race_sim_cycles,
-                          0x51D5EEDull + iter, &token);
-                      return !sim_probe.empty();
-                    }});
-    const RaceResult abs_race = portfolio.race(jobs, cancel);
-    it.abstract_engine = abs_race.winner_name;
-    it.abstract_race_seconds = abs_race.seconds;
-    it.reach_status = reach.status;
-    it.reach_steps = reach.steps;
-
-    std::vector<Trace> traces_n;  // abstract error traces in sub.net ids
-    if (abs_race.conclusive && abs_race.winner == 0) {
-      if (reach.status == ReachStatus::Proved) {
-        if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
-        finish_iteration(it);
-        result.verdict = Verdict::Holds;
-        break;
-      }
-      // BadReachable: abstract error trace(s) via the hybrid engine.
-      HybridTraceOptions hybrid_opt = opt_.hybrid;
-      if (hybrid_opt.cancel == nullptr) hybrid_opt.cancel = cancel;
-      traces_n = hybrid_error_traces(enc, sub.net, reach, bad_set,
-                                     std::max<size_t>(1, opt_.traces_per_iteration),
-                                     hybrid_opt, &it.hybrid);
-      if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
-      if (traces_n.empty()) {
-        finish_iteration(it);
-        result.note = "hybrid trace engine exhausted candidates";
-        break;
-      }
-    } else if (abs_race.conclusive) {
-      // A probe engine found an abstract error trace while the fixpoint was
-      // still running: the trace is a real trace of the abstract model, so
-      // the obligation is BadReachable without any rings.
-      it.reach_status = ReachStatus::BadReachable;
-      traces_n.push_back(abs_race.winner == 1 ? atpg_probe.trace : sim_probe);
-      if (opt_.save_var_order) saved_order = save_order(mgr, enc, sub);
-      RFN_INFO("iter %zu: %s won the abstract race (%zu cycles)", iter,
-               abs_race.winner_name.c_str(), traces_n.front().cycles());
-    } else {
-      // No engine was conclusive: the exact fixpoint ran out of resources
-      // and the probes found nothing within their budgets.
-      if (opt_.approx_fallback && !deadline.expired() && !should_stop(cancel)) {
-        // Future-work fallback: the overlapping-partition approximate
-        // traversal may still prove the property when the exact fixpoint
-        // cannot complete on a large abstract model.
-        it.approx_used = true;
-        ApproxReachOptions aopt;
-        aopt.block_size = opt_.approx_block_size;
-        aopt.overlap = opt_.approx_overlap;
-        aopt.time_limit_s = opt_.time_limit_s >= 0.0 ? deadline.remaining_seconds()
-                                                     : reach_opt.time_limit_s;
-        aopt.max_live_nodes = reach_opt.max_live_nodes;
-        const ApproxReachResult approx =
-            approx_forward_reach(enc, enc.initial_states(), bad_set, aopt);
-        if (approx.status == ApproxStatus::Proved) {
-          it.approx_proved = true;
-          finish_iteration(it);
-          result.verdict = Verdict::Holds;
-          result.note = "proved by overlapping-partition approximation";
-          break;
-        }
-        // Inconclusive: there is no error trace to drive Step 4, but the
-        // loop can still make progress topologically — pull in the next
-        // batch of registers closest to the property and retry. This
-        // bottoms out at the full-COI abstraction, where the approximate
-        // traversal is as strong as it gets.
-        std::vector<bool> have(m_->size(), false);
-        for (GateId r : included_) have[r] = true;
-        size_t added = 0;
-        for (GateId r : closest_registers(*m_, roots, included_.size() + 8)) {
-          if (have[r]) continue;
-          included_.push_back(r);
-          ++added;
-        }
-        if (added > 0) {
-          RFN_INFO("iter %zu: approx inconclusive; blind-refining with %zu registers",
-                   iter, added);
-          finish_iteration(it);
-          continue;
-        }
-      }
-      finish_iteration(it);
-      result.note = "abstract fixpoint exceeded resources";
-      break;
-    }
-
-    std::vector<Trace> traces;
-    traces.reserve(traces_n.size());
-    for (const Trace& t : traces_n) traces.push_back(sub.trace_to_old(t));
-    const Trace& abs_trace = traces.front();
-    it.trace_cycles = abs_trace.cycles();
-    RFN_INFO("iter %zu: %zu abstract error trace(s), first %zu cycles", iter,
-             traces.size(), abs_trace.cycles());
-
-    // --- Step 3: concretize on the original design (engine race) ---
-    // Guided sequential ATPG is conclusive both ways (Sat = real trace,
-    // Unsat = spurious); random simulation of the original design can only
-    // conclude Sat, but a hit is a real error trace found without search.
-    ConcretizeResult conc;
-    Trace sim_cex;
-    std::vector<PortfolioJob> cjobs;
-    cjobs.push_back({"guided-atpg", -1.0, [&](const CancelToken& token) {
-                       AtpgOptions ao = opt_.concretize_atpg;
-                       ao.cancel = &token;
-                       conc = traces.size() == 1
-                                  ? concretize_trace(*m_, abs_trace, bad_, ao)
-                                  : concretize_with_traces(*m_, traces, bad_, ao);
-                       return conc.status != AtpgStatus::Abort;
-                     }});
-    cjobs.push_back({"rand-sim", probe_budget, [&, iter](const CancelToken& token) {
-                       sim_cex = random_sim_error_trace(
-                           *m_, bad_, opt_.race_sim_cycles,
-                           0xC0FFEEULL + iter, &token);
-                       return !sim_cex.empty();
-                     }});
-    const RaceResult conc_race = portfolio.race(cjobs, cancel);
-    it.concretize_engine = conc_race.winner_name;
-    it.concretize_race_seconds = conc_race.seconds;
-    if (conc_race.conclusive && conc_race.winner == 1) {
-      it.concretize_status = AtpgStatus::Sat;
-      finish_iteration(it);
-      result.verdict = Verdict::Fails;
-      result.error_trace = sim_cex;
-      break;
-    }
-    it.concretize_status = conc.status;
-    if (conc.status == AtpgStatus::Sat) {
-      finish_iteration(it);
-      result.verdict = Verdict::Fails;
-      result.error_trace = conc.trace;
-      break;
-    }
-
-    // --- Step 4: refine ---
-    if (should_stop(cancel)) {
-      finish_iteration(it);
-      result.note = "cancelled";
-      break;
-    }
-    const std::vector<GateId> crucial = identify_crucial_registers(
-        *m_, roots, bad_, included_, abs_trace, opt_.refine, &it.refine);
-    finish_iteration(it);
-    if (crucial.empty()) {
-      result.note = "refinement produced no crucial registers";
-      break;
-    }
-    RFN_INFO("iter %zu: refining with %zu crucial registers", iter, crucial.size());
-    for (GateId r : crucial) included_.push_back(r);
-  }
-
-  result.final_abstract_regs = included_.size();
-  result.seconds = deadline.elapsed_seconds();
-
-  // Joining the monitor thread is the happens-before edge for reading the
-  // trip state (and, in the CLI, for exporting the span trace).
-  watchdog.stop();
-  if (watchdog.tripped()) {
-    result.budget_trip.tripped = true;
-    result.budget_trip.reason = watchdog.trip_reason();
-    result.budget_trip.at_seconds = watchdog.trip_seconds();
-    result.budget_trip.bdd_nodes = watchdog.trip_bdd_nodes();
-    // A verdict reached before the trip landed is still sound; only an
-    // undecided run degrades to resource-out.
-    if (result.verdict == Verdict::Unknown) {
-      result.verdict = Verdict::ResourceOut;
-      result.note = "budget exceeded: " + result.budget_trip.reason;
-    }
-  }
-
-  MetricsRegistry& reg = MetricsRegistry::global();
-  reg.counter("rfn.runs").add(1);
-  reg.timer("rfn.run").record(result.seconds);
-  switch (result.verdict) {
-    case Verdict::Holds: reg.counter("rfn.verdict.holds").add(1); break;
-    case Verdict::Fails: reg.counter("rfn.verdict.fails").add(1); break;
-    case Verdict::Unknown: reg.counter("rfn.verdict.unknown").add(1); break;
-    case Verdict::ResourceOut:
-      reg.counter("rfn.verdict.resource_out").add(1);
-      break;
-  }
-  run_span.annotate("verdict", verdict_name(result.verdict));
+  // One-request path through the session engine (core/session.hpp). Two
+  // compatibility details of the historical interface are preserved here:
+  // traces_per_iteration == 0 behaves as 1 (the session and CLI entry points
+  // reject it via validate() instead of clamping), and the current included
+  // set seeds the run, so calling run() again resumes from the previous
+  // run's refined abstraction rather than starting over.
+  RfnOptions opt = opt_;
+  opt.traces_per_iteration = std::max<size_t>(1, opt.traces_per_iteration);
+  RunHooks hooks;
+  hooks.seed_registers = &included_;
+  RfnResult result = run_property(*m_, bad_, opt, hooks);
+  included_ = result.final_registers;
   return result;
 }
 

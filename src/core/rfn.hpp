@@ -17,6 +17,7 @@
 
 #include "atpg/comb_atpg.hpp"
 #include "core/hybrid_trace.hpp"
+#include "core/status.hpp"
 #include "core/refine.hpp"
 #include "mc/reach.hpp"
 #include "netlist/netlist.hpp"
@@ -80,10 +81,14 @@ struct RfnOptions {
   /// live-node count of the current iteration's BDD manager (<= 0: off).
   double budget_ms = -1.0;
   int64_t budget_bdd_nodes = 0;
-};
 
-enum class Verdict { Holds, Fails, Unknown, ResourceOut };
-const char* verdict_name(Verdict v);
+  /// Checks the options for consistency and returns human-readable errors
+  /// (empty = valid) instead of clamping silently at run time. The CLI and
+  /// VerifySession reject invalid options up front with these messages;
+  /// RfnVerifier::run() keeps its historical clamping (see run()) so the
+  /// compatibility path behaves exactly as before.
+  std::vector<std::string> validate() const;
+};
 
 struct RfnIteration {
   size_t abstract_regs = 0;
@@ -127,6 +132,9 @@ struct RfnResult {
   Trace error_trace;
   size_t iterations = 0;
   size_t final_abstract_regs = 0;
+  /// The included register set when the run ended (sorted): the final
+  /// abstract model. Lets callers resume refinement or seed a later run.
+  std::vector<GateId> final_registers;
   double seconds = 0.0;
   std::vector<RfnIteration> per_iteration;
   std::string note;  // diagnostic for Unknown/ResourceOut verdicts
@@ -139,6 +147,11 @@ struct RfnResult {
   uint64_t metrics_epoch = 0;
 };
 
+/// Single-property compatibility wrapper over the session engine
+/// (run_property in core/session.hpp). Kept as the stable entry point for
+/// one-off verification; batches of properties on one design should go
+/// through VerifySession, which adds cone clustering and cross-property
+/// reuse on top of the same engine.
 class RfnVerifier {
  public:
   /// `bad` is a signal of `m`; the property is "bad never becomes 1 in any

@@ -1,0 +1,211 @@
+#pragma once
+// Batch verification sessions: many unreachability properties of one design
+// answered by one stateful run (the paper's industrial workload — Table 1
+// verifies whole property suites on a single gate-level netlist).
+//
+// A VerifySession accepts a design plus a list of PropertyRequests and
+// returns per-property PropertyResults. Internally it:
+//
+//   1. computes each property's register cone (coi_registers) and greedily
+//      clusters properties whose cones overlap above a Jaccard threshold;
+//   2. answers each cluster through ONE abstraction-refinement run on the
+//      design extended with a disjunction root "any member fails"
+//      (append_disjunction): a Holds there proves every member; a Fails is
+//      attributed to the members whose bad signal the concrete error trace
+//      raises (3-valued replay) and the cluster re-runs on the rest; an
+//      inconclusive run falls back to independent per-property runs;
+//   3. carries a cross-property ReuseCache inside each cluster — memoized
+//      subcircuit extraction keyed by (roots, register set), the final BDD
+//      variable order of property k seeding property k+1's first manager,
+//      and the crucial registers that mattered for property k seeding
+//      property k+1's initial abstraction. The cache carries *hints* only
+//      (orders, refinement seeds), never verdicts, so disabling it can only
+//      change wall time, not results;
+//   4. schedules cluster jobs across util/executor with fair-share wall/BDD
+//      budgets per property (enforced by the per-run resource watchdog), so
+//      one hard property cannot starve the batch.
+//
+// RfnVerifier (core/rfn.hpp) is the single-request compatibility wrapper
+// over run_property(), the one-property engine that also powers every
+// cluster job here.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/abstraction.hpp"
+#include "core/rfn.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/subcircuit.hpp"
+
+namespace rfn {
+
+/// One unreachability obligation handed to a VerifySession: "`bad` never
+/// rises on any trace of the session's design".
+struct PropertyRequest {
+  /// Label used in results, the batch trace, and logs. Empty: the signal's
+  /// design name, or "p<index>" when the signal is unnamed.
+  std::string name;
+  /// Property signal of the session's design.
+  GateId bad = kNullGate;
+  /// Per-property overrides on top of SessionOptions::defaults; unset
+  /// fields inherit. A property with any override set is never clustered
+  /// (it runs solo), so the override applies to exactly this property.
+  struct Overrides {
+    std::optional<double> time_limit_s;
+    std::optional<size_t> max_iterations;
+    std::optional<size_t> traces_per_iteration;
+    std::optional<double> budget_ms;
+    std::optional<int64_t> budget_bdd_nodes;
+
+    bool any() const {
+      return time_limit_s || max_iterations || traces_per_iteration ||
+             budget_ms || budget_bdd_nodes;
+    }
+  } overrides;
+};
+
+/// Per-property outcome of a session run.
+struct PropertyResult {
+  std::string name;
+  GateId bad = kNullGate;
+  Verdict verdict = Verdict::Unknown;
+  /// Error trace on the session's design (Fails only).
+  Trace trace;
+  /// The full run record behind the verdict. For a property answered by a
+  /// cluster's shared run this describes that shared run (its iterations,
+  /// budget trip, metrics baseline); wall time of the run, not of the
+  /// property alone.
+  RfnResult stats;
+  /// Index of the cone cluster the property was grouped into.
+  size_t cluster = 0;
+  /// True when the verdict came from the cluster's shared disjunction run;
+  /// false for solo and fallback runs.
+  bool clustered = false;
+  /// Reuse-cache effects: whether this run's first BDD manager was seeded
+  /// with an earlier property's variable order, and how many crucial-
+  /// register hints from earlier properties seeded the initial abstraction.
+  bool order_seeded = false;
+  size_t seeded_registers = 0;
+};
+
+struct SessionOptions {
+  /// Baseline RfnOptions each property run starts from.
+  RfnOptions defaults;
+  /// Cluster two properties when the Jaccard overlap of their register
+  /// cones reaches this threshold; <= 0 disables clustering (every property
+  /// runs solo), > 1 can never trigger.
+  double cluster_overlap = 0.5;
+  /// Upper bound on properties answered by one disjunction run.
+  size_t max_cluster_size = 4;
+  /// Worker threads running cluster jobs concurrently (0 = inline,
+  /// deterministic cluster order). Independent of the per-run
+  /// RfnOptions::portfolio_workers engine races.
+  size_t workers = 0;
+  /// Whole-batch wall budget, split fair-share across properties: each
+  /// cluster run gets (budget / #properties) * #members, enforced through
+  /// the per-run resource watchdog, so one hard property cannot starve the
+  /// batch. <= 0: no batch budget (defaults.budget_ms still applies per
+  /// run).
+  double batch_budget_ms = -1.0;
+  /// Enables the cross-property reuse cache (subcircuit memo, variable-
+  /// order seeding, crucial-register hints). Hints only — never verdicts —
+  /// so this is a performance switch, not a soundness one.
+  bool reuse = true;
+};
+
+/// Memoized subcircuit extraction keyed by (property roots, included
+/// register set). Single-threaded by design: each cluster job owns one
+/// cache; caches are never shared across executor threads.
+class SubcircuitMemo {
+ public:
+  /// Returns the memoized extraction for (roots, included) or runs
+  /// extract_abstract_model and stores it. `included` must be sorted.
+  std::shared_ptr<const Subcircuit> get(const Netlist& m,
+                                        const std::vector<GateId>& roots,
+                                        const std::vector<GateId>& included);
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<const Subcircuit>> map_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+/// Cross-property reuse state carried along one cluster's runs.
+struct ReuseCache {
+  SubcircuitMemo subcircuits;
+  /// Final variable order of the previous run (original-design ids —
+  /// portable across the augmented and original netlists, whose ids
+  /// coincide).
+  SavedOrder order;
+  /// Union of crucial registers identified by refinement so far, in
+  /// discovery order.
+  std::vector<GateId> crucial_hints;
+};
+
+/// Optional hooks run_property() threads through one CEGAR run; all fields
+/// may be null. This is how the session injects its reuse cache without the
+/// engine knowing about sessions.
+struct RunHooks {
+  /// Memoized Step-1 subcircuit extraction.
+  SubcircuitMemo* subcircuits = nullptr;
+  /// In: initial variable-order seed (may be empty). Out: the final saved
+  /// order of the run. Requires opt.save_var_order.
+  SavedOrder* order_io = nullptr;
+  /// Out: set true when a non-empty seed order was applied to the first
+  /// iteration's manager.
+  bool* order_seeded = nullptr;
+  /// Registers unioned into the initial abstraction (refinement seeds from
+  /// earlier properties). Sound: a larger register set only tightens the
+  /// over-approximation.
+  const std::vector<GateId>* seed_registers = nullptr;
+  /// Out: every crucial register chosen by Step 4, appended in discovery
+  /// order (duplicates possible across iterations are not re-added).
+  std::vector<GateId>* crucial_out = nullptr;
+};
+
+/// The single-property abstraction-refinement engine (the loop that used to
+/// live in RfnVerifier::run). Verifies "`bad` never rises" on `m` under
+/// `opt`, with optional session hooks.
+RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
+                       const RunHooks& hooks = {});
+
+/// Greedy cone clustering (exposed for tests): walks properties in index
+/// order, joining property i to the first cluster whose representative
+/// (first member) cone has Jaccard overlap >= threshold, subject to
+/// max_cluster_size; otherwise i starts a new cluster. `cones[i]` must be
+/// sorted. `solo[i]` (optional) forces property i into its own cluster.
+std::vector<std::vector<size_t>> cluster_by_cone_overlap(
+    const std::vector<std::vector<GateId>>& cones, double threshold,
+    size_t max_cluster_size, const std::vector<bool>& solo = {});
+
+class VerifySession {
+ public:
+  /// `m` must outlive the session.
+  explicit VerifySession(const Netlist& m, SessionOptions opt = {});
+
+  /// Verifies the batch and returns one result per request, in request
+  /// order. Validates SessionOptions::defaults up front (RfnOptions::
+  /// validate) and aborts with the collected messages on invalid options.
+  std::vector<PropertyResult> run(const std::vector<PropertyRequest>& props);
+
+  /// Clusters computed by the last run(): request indices per cluster.
+  const std::vector<std::vector<size_t>>& clusters() const { return clusters_; }
+
+ private:
+  void run_cluster(const std::vector<PropertyRequest>& props,
+                   const std::vector<std::vector<GateId>>& cones,
+                   const std::vector<size_t>& members, size_t cluster_id,
+                   double share_ms, std::vector<PropertyResult>& results) const;
+
+  const Netlist* m_;
+  SessionOptions opt_;
+  std::vector<std::vector<size_t>> clusters_;
+};
+
+}  // namespace rfn

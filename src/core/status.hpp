@@ -1,0 +1,50 @@
+#pragma once
+// One home for the tool's verdict/status vocabulary.
+//
+// Three engine layers each report a small closed outcome enum — the CEGAR
+// loop's Verdict, BDD reachability's ReachStatus, and ATPG's AtpgStatus —
+// and every consumer (trace_json, the CLI engine table, log lines, the
+// bench tables) needs the same canonical spelling. The names used to be
+// hand-rolled in three .cpp files; they live here as `to_string` overloads
+// so a renamed state cannot drift between the JSON schema and the console.
+//
+// The strings are part of the rfn-trace-v1/v2 schemas and of the bench
+// tables quoted in EXPERIMENTS.md; changing one is a schema change.
+
+#include "atpg/comb_atpg.hpp"
+#include "mc/reach.hpp"
+
+namespace rfn {
+
+/// Final outcome of a property run (the CEGAR loop / a session property).
+enum class Verdict { Holds, Fails, Unknown, ResourceOut };
+
+constexpr const char* to_string(Verdict v) {
+  switch (v) {
+    case Verdict::Holds: return "T";
+    case Verdict::Fails: return "F";
+    case Verdict::Unknown: return "?";
+    case Verdict::ResourceOut: return "resource-out";
+  }
+  return "?";
+}
+
+constexpr const char* to_string(ReachStatus s) {
+  switch (s) {
+    case ReachStatus::Proved: return "proved";
+    case ReachStatus::BadReachable: return "bad-reachable";
+    case ReachStatus::ResourceOut: return "resource-out";
+  }
+  return "?";
+}
+
+constexpr const char* to_string(AtpgStatus s) {
+  switch (s) {
+    case AtpgStatus::Sat: return "sat";
+    case AtpgStatus::Unsat: return "unsat";
+    case AtpgStatus::Abort: return "abort";
+  }
+  return "?";
+}
+
+}  // namespace rfn

@@ -17,7 +17,7 @@ json::Value iteration_json(size_t index, const RfnIteration& it) {
   o.set("abstraction", std::move(abstraction));
 
   Value reach = Value::object();
-  reach.set("status", reach_status_name(it.reach_status));
+  reach.set("status", to_string(it.reach_status));
   reach.set("steps", it.reach_steps);
   reach.set("approx_used", it.approx_used);
   reach.set("approx_proved", it.approx_proved);
@@ -45,7 +45,7 @@ json::Value iteration_json(size_t index, const RfnIteration& it) {
   o.set("trace_cycles", it.trace_cycles);
 
   Value conc = Value::object();
-  conc.set("status", atpg_status_name(it.concretize_status));
+  conc.set("status", to_string(it.concretize_status));
   o.set("concretize", std::move(conc));
 
   Value refine = Value::object();
@@ -80,7 +80,7 @@ json::Value summary_json(const RfnResult& res) {
   Value o = Value::object();
   o.set("type", "summary");
   o.set("trace_version", "rfn-trace-v1");
-  o.set("verdict", verdict_name(res.verdict));
+  o.set("verdict", to_string(res.verdict));
   o.set("iterations", res.iterations);
   o.set("final_abstract_regs", res.final_abstract_regs);
   o.set("error_trace_cycles", res.error_trace.cycles());
@@ -105,6 +105,63 @@ void write_trace_json(std::ostream& os, const RfnResult& res) {
   for (size_t i = 0; i < res.per_iteration.size(); ++i)
     os << iteration_json(i, res.per_iteration[i]).dump() << "\n";
   os << summary_json(res).dump() << "\n";
+}
+
+json::Value property_json(const PropertyResult& r) {
+  using json::Value;
+  Value o = Value::object();
+  o.set("type", "property");
+  o.set("name", r.name);
+  o.set("bad", static_cast<size_t>(r.bad));
+  o.set("verdict", to_string(r.verdict));
+  o.set("cluster", r.cluster);
+  o.set("clustered", r.clustered);
+  o.set("order_seeded", r.order_seeded);
+  o.set("seeded_registers", r.seeded_registers);
+  o.set("iterations", r.stats.iterations);
+  o.set("final_abstract_regs", r.stats.final_abstract_regs);
+  o.set("error_trace_cycles", r.trace.cycles());
+  o.set("seconds", r.stats.seconds);
+  o.set("note", r.stats.note);
+  if (r.stats.budget_trip.tripped) {
+    Value trip = Value::object();
+    trip.set("reason", r.stats.budget_trip.reason);
+    trip.set("at_seconds", r.stats.budget_trip.at_seconds);
+    trip.set("bdd_nodes", r.stats.budget_trip.bdd_nodes);
+    o.set("budget_trip", std::move(trip));
+  }
+  return o;
+}
+
+void write_batch_trace_json(std::ostream& os,
+                            const std::vector<PropertyResult>& results,
+                            size_t num_clusters, double seconds,
+                            const MetricsSnapshot* baseline) {
+  using json::Value;
+  size_t holds = 0, fails = 0, unknown = 0, resource_out = 0;
+  for (const PropertyResult& r : results) {
+    os << property_json(r).dump() << "\n";
+    switch (r.verdict) {
+      case Verdict::Holds: ++holds; break;
+      case Verdict::Fails: ++fails; break;
+      case Verdict::Unknown: ++unknown; break;
+      case Verdict::ResourceOut: ++resource_out; break;
+    }
+  }
+  Value o = Value::object();
+  o.set("type", "batch-summary");
+  o.set("trace_version", "rfn-trace-v2");
+  o.set("properties", results.size());
+  o.set("clusters", num_clusters);
+  Value verdicts = Value::object();
+  verdicts.set(to_string(Verdict::Holds), holds);
+  verdicts.set(to_string(Verdict::Fails), fails);
+  verdicts.set(to_string(Verdict::Unknown), unknown);
+  verdicts.set(to_string(Verdict::ResourceOut), resource_out);
+  o.set("verdicts", std::move(verdicts));
+  o.set("seconds", seconds);
+  o.set("metrics", MetricsRegistry::global().to_json(baseline));
+  os << o.dump() << "\n";
 }
 
 }  // namespace rfn

@@ -36,10 +36,30 @@
 // "metrics" is serialized relative to the snapshot taken when the run
 // started (RfnResult::metrics_baseline): counters and timer count/seconds
 // cover only this run, so two runs in one process do not conflate.
+//
+// Batch schema (trace version "rfn-trace-v2", written by the session path):
+//   {"type":"property","name":"..","bad":..,
+//    "verdict":"T|F|?|resource-out",
+//    "cluster":..,"clustered":..,"order_seeded":..,"seeded_registers":..,
+//    "iterations":..,"final_abstract_regs":..,"error_trace_cycles":..,
+//    "seconds":..,"note":"..",
+//    ["budget_trip":{...}]}                                // one per property
+//   {"type":"batch-summary","trace_version":"rfn-trace-v2",
+//    "properties":..,"clusters":..,
+//    "verdicts":{"T":..,"F":..,"?":..,"resource-out":..},
+//    "seconds":..,
+//    "metrics":{<MetricsRegistry::to_json(batch baseline)>}}
+//
+// v2 deliberately keeps per-iteration detail out of the property records: a
+// clustered property's verdict comes from a shared run whose iterations are
+// not per-property quantities. A property's "seconds" is the wall time of
+// the run that answered it (shared for clustered members).
 
 #include <ostream>
+#include <vector>
 
 #include "core/rfn.hpp"
+#include "core/session.hpp"
 #include "util/json.hpp"
 
 namespace rfn {
@@ -54,5 +74,16 @@ json::Value summary_json(const RfnResult& res);
 
 /// Writes the whole run as JSON Lines: every iteration, then the summary.
 void write_trace_json(std::ostream& os, const RfnResult& res);
+
+/// One session property outcome as a JSON object (`"type":"property"`).
+json::Value property_json(const PropertyResult& r);
+
+/// Writes a session batch as JSON Lines (rfn-trace-v2): one property record
+/// per result, then the batch summary. `seconds` is the batch wall time;
+/// `baseline` (optional) scopes the embedded metrics dump to the batch.
+void write_batch_trace_json(std::ostream& os,
+                            const std::vector<PropertyResult>& results,
+                            size_t num_clusters, double seconds,
+                            const MetricsSnapshot* baseline = nullptr);
 
 }  // namespace rfn

@@ -1,5 +1,6 @@
 #include "mc/reach.hpp"
 
+#include "core/status.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/trace.hpp"
@@ -22,15 +23,6 @@ void record_reach_metrics(const ReachResult& res) {
 }
 
 }  // namespace
-
-const char* reach_status_name(ReachStatus s) {
-  switch (s) {
-    case ReachStatus::Proved: return "proved";
-    case ReachStatus::BadReachable: return "bad-reachable";
-    case ReachStatus::ResourceOut: return "resource-out";
-  }
-  return "?";
-}
 
 namespace {
 
@@ -95,7 +87,7 @@ ReachResult forward_reach(ImageComputer& img, const Bdd& init, const Bdd& bad,
                           const ReachOptions& opt) {
   Span span("mc.reach");
   ReachResult res = forward_reach_impl(img, init, bad, opt);
-  span.annotate("status", reach_status_name(res.status));
+  span.annotate("status", to_string(res.status));
   record_reach_metrics(res);
   return res;
 }

@@ -27,8 +27,7 @@ enum class ReachStatus {
   BadReachable,  // some target state reached at step `steps`
   ResourceOut,   // time / node / step budget exhausted
 };
-
-const char* reach_status_name(ReachStatus s);
+// The canonical spelling lives in core/status.hpp: to_string(ReachStatus).
 
 struct ReachResult {
   ReachStatus status = ReachStatus::ResourceOut;

@@ -14,13 +14,25 @@ Options::Options(int argc, char** argv) {
     arg = arg.substr(2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      put(arg.substr(0, eq), arg.substr(eq + 1));
     } else if (i + 1 < argc && argv[i + 1][0] != '-') {
-      values_[arg] = argv[++i];
+      put(arg, argv[++i]);
     } else {
-      values_[arg] = "1";
+      put(arg, "1");
     }
   }
+}
+
+void Options::put(const std::string& key, std::string value) {
+  values_[key] = value;
+  ordered_.emplace_back(key, std::move(value));
+}
+
+std::vector<std::string> Options::get_all(const std::string& key) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : ordered_)
+    if (k == key) out.push_back(v);
+  return out;
 }
 
 bool Options::has(const std::string& key) const { return values_.count(key) > 0; }

@@ -23,10 +23,17 @@ class Options {
   double get_double(const std::string& key, double fallback) const;
   bool get_bool(const std::string& key, bool fallback) const;
 
+  /// Every value given for `key`, in command-line order. A repeated option
+  /// (`--bad a --bad b`) accumulates here; get() returns the last value.
+  std::vector<std::string> get_all(const std::string& key) const;
+
   const std::vector<std::string>& positionals() const { return positionals_; }
 
  private:
+  void put(const std::string& key, std::string value);
+
   std::map<std::string, std::string> values_;
+  std::vector<std::pair<std::string, std::string>> ordered_;
   std::vector<std::string> positionals_;
 };
 

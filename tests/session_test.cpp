@@ -1,0 +1,340 @@
+// Batch-session tests: options validation, the consolidated status strings,
+// cone clustering, the subcircuit memo, and — the acceptance check — batch
+// verdicts identical to independent single-property RfnVerifier runs on
+// designs with identical / nested / overlapping / disjoint property cones.
+
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/status.hpp"
+#include "core/trace_json.hpp"
+#include "designs/fifo.hpp"
+#include "designs/iu.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/builder.hpp"
+
+namespace rfn {
+namespace {
+
+bool any_error_contains(const std::vector<std::string>& errors,
+                        const std::string& needle) {
+  return std::any_of(errors.begin(), errors.end(), [&](const std::string& e) {
+    return e.find(needle) != std::string::npos;
+  });
+}
+
+TEST(RfnOptionsValidate, DefaultsAreValid) {
+  EXPECT_TRUE(RfnOptions{}.validate().empty());
+}
+
+TEST(RfnOptionsValidate, ReportsEveryProblemAtOnce) {
+  RfnOptions opt;
+  opt.max_iterations = 0;
+  opt.traces_per_iteration = 0;
+  opt.budget_bdd_nodes = -1;
+  const auto errors = opt.validate();
+  EXPECT_EQ(errors.size(), 3u);
+  EXPECT_TRUE(any_error_contains(errors, "max_iterations"));
+  EXPECT_TRUE(any_error_contains(errors, "traces_per_iteration"));
+  EXPECT_TRUE(any_error_contains(errors, "budget_bdd_nodes"));
+}
+
+TEST(RfnOptionsValidate, ApproxOverlapMustLeaveProgress) {
+  RfnOptions opt;
+  opt.approx_block_size = 4;
+  opt.approx_overlap = 4;  // no forward progress per block
+  EXPECT_TRUE(any_error_contains(opt.validate(), "approx_overlap"));
+  // With the fallback disabled the pair is never used: not an error.
+  opt.approx_fallback = false;
+  EXPECT_TRUE(opt.validate().empty());
+}
+
+TEST(RfnOptionsValidate, NegativeProbeTimeAndZeroBudgets) {
+  RfnOptions opt;
+  opt.race_probe_time_s = -1.0;
+  opt.race_sim_cycles = 0;
+  opt.reach.max_live_nodes = 0;
+  opt.reach.max_steps = 0;
+  const auto errors = opt.validate();
+  EXPECT_EQ(errors.size(), 4u);
+  EXPECT_TRUE(any_error_contains(errors, "race_probe_time_s"));
+  EXPECT_TRUE(any_error_contains(errors, "max_live_nodes"));
+}
+
+TEST(StatusStrings, CanonicalSpellings) {
+  // These strings are part of the rfn-trace-v1/v2 schemas — changing them
+  // breaks every consumer (trace_report.py, bench_gate.py, the CI gate).
+  EXPECT_STREQ(to_string(Verdict::Holds), "T");
+  EXPECT_STREQ(to_string(Verdict::Fails), "F");
+  EXPECT_STREQ(to_string(Verdict::Unknown), "?");
+  EXPECT_STREQ(to_string(Verdict::ResourceOut), "resource-out");
+  EXPECT_STREQ(to_string(ReachStatus::Proved), "proved");
+  EXPECT_STREQ(to_string(ReachStatus::BadReachable), "bad-reachable");
+  EXPECT_STREQ(to_string(ReachStatus::ResourceOut), "resource-out");
+  EXPECT_STREQ(to_string(AtpgStatus::Sat), "sat");
+  EXPECT_STREQ(to_string(AtpgStatus::Unsat), "unsat");
+  EXPECT_STREQ(to_string(AtpgStatus::Abort), "abort");
+}
+
+TEST(ConeClustering, JaccardOverlap) {
+  EXPECT_DOUBLE_EQ(jaccard_overlap({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_overlap({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(jaccard_overlap({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(jaccard_overlap({1, 2, 3, 4}, {3, 4, 5, 6}), 2.0 / 6.0);
+  EXPECT_DOUBLE_EQ(jaccard_overlap({1, 2, 3, 4}, {1, 2}), 0.5);  // nested
+}
+
+TEST(ConeClustering, IdenticalNestedOverlappingDisjoint) {
+  const std::vector<std::vector<GateId>> cones = {
+      {1, 2, 3, 4},  // 0
+      {1, 2, 3, 4},  // 1: identical to 0 -> same cluster
+      {1, 2},        // 2: nested in 0, jaccard 0.5 -> joins at threshold
+      {3, 4, 5, 6},  // 3: overlap 2/6 with 0 -> below 0.5, new cluster
+      {7, 8},        // 4: disjoint -> own cluster
+  };
+  const auto clusters = cluster_by_cone_overlap(cones, 0.5, 8);
+  ASSERT_EQ(clusters.size(), 3u);
+  EXPECT_EQ(clusters[0], (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(clusters[1], (std::vector<size_t>{3}));
+  EXPECT_EQ(clusters[2], (std::vector<size_t>{4}));
+}
+
+TEST(ConeClustering, RespectsMaxClusterSizeAndSolo) {
+  const std::vector<std::vector<GateId>> cones = {{1}, {1}, {1}, {1}};
+  const auto capped = cluster_by_cone_overlap(cones, 0.5, 2);
+  ASSERT_EQ(capped.size(), 2u);
+  EXPECT_EQ(capped[0].size(), 2u);
+
+  // A solo-pinned property never joins (or anchors) a shared cluster.
+  const auto pinned =
+      cluster_by_cone_overlap(cones, 0.5, 8, {false, true, false, false});
+  ASSERT_EQ(pinned.size(), 2u);
+  EXPECT_EQ(pinned[0], (std::vector<size_t>{0, 2, 3}));
+  EXPECT_EQ(pinned[1], (std::vector<size_t>{1}));
+}
+
+TEST(ConeClustering, ThresholdZeroDisablesClustering) {
+  const std::vector<std::vector<GateId>> cones = {{1}, {1}, {1}};
+  EXPECT_EQ(cluster_by_cone_overlap(cones, 0.0, 8).size(), 3u);
+}
+
+TEST(SubcircuitMemoTest, HitsOnRepeatedExtraction) {
+  NetBuilder b;
+  const GateId in = b.input("in");
+  const GateId r1 = b.reg("r1");
+  const GateId r2 = b.reg("r2");
+  b.set_next(r1, in);
+  b.set_next(r2, b.not_(r1));
+  b.output("p", r2);
+  const Netlist m = b.take();
+
+  SubcircuitMemo memo;
+  const auto a = memo.get(m, {r2}, {r2});
+  const auto b2 = memo.get(m, {r2}, {r2});
+  EXPECT_EQ(a.get(), b2.get());
+  EXPECT_EQ(memo.hits(), 1u);
+  EXPECT_EQ(memo.misses(), 1u);
+  // A different register set is a different model.
+  const auto c = memo.get(m, {r2}, {r1, r2});
+  EXPECT_NE(c.get(), a.get());
+  EXPECT_EQ(memo.misses(), 2u);
+}
+
+// A 3-bit counter that counts 0..5 under an enable and wraps, with one
+// reachable property (cnt == 3) and one unreachable one (cnt == 7). Both
+// cones are the whole counter, so the two properties land in one cluster
+// and exercise the Fails-attribution path: the shared disjunction run finds
+// the cnt == 3 trace, attributes it to bad_a alone, and the re-run on the
+// remainder proves bad_b.
+struct Counter {
+  Netlist n;
+  GateId bad_a, bad_b;
+};
+
+Counter make_counter() {
+  NetBuilder b;
+  const GateId en = b.input("en");
+  const Word cnt = b.reg_word("cnt", 3, 0);
+  const Word wrapped =
+      b.mux_word(b.eq_const(cnt, 5), b.inc_word(cnt), b.constant_word(0, 3));
+  b.set_next_word(cnt, b.mux_word(en, cnt, wrapped));
+  Counter c;
+  c.bad_a = b.eq_const(cnt, 3);
+  c.bad_b = b.eq_const(cnt, 7);
+  b.name(c.bad_a, "bad_a");
+  b.name(c.bad_b, "bad_b");
+  b.output("bad_a", c.bad_a);
+  b.output("bad_b", c.bad_b);
+  c.n = b.take();
+  return c;
+}
+
+TEST(VerifySessionTest, AttributesFailureWithinCluster) {
+  const Counter c = make_counter();
+  VerifySession session(c.n, {});
+  const auto results =
+      session.run({{"", c.bad_a, {}}, {"", c.bad_b, {}}});
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(session.clusters().size(), 1u);  // identical cones
+  EXPECT_EQ(results[0].verdict, Verdict::Fails);
+  EXPECT_EQ(results[1].verdict, Verdict::Holds);
+  EXPECT_TRUE(results[0].clustered);
+  EXPECT_TRUE(results[1].clustered);
+  EXPECT_EQ(results[0].name, "bad_a");
+  EXPECT_EQ(results[1].name, "bad_b");
+  EXPECT_GT(results[0].trace.cycles(), 0u);
+  EXPECT_EQ(results[1].trace.cycles(), 0u);
+  // The second round's first BDD manager starts from the first round's
+  // saved variable order.
+  EXPECT_TRUE(results[1].order_seeded);
+}
+
+TEST(VerifySessionTest, DisjointConesRunIndependently) {
+  NetBuilder b;
+  const GateId r1 = b.reg("toggler");
+  b.set_next(r1, b.not_(r1));  // 0,1,0,1,... -> reachable
+  const GateId r2 = b.reg("stuck");
+  b.set_next(r2, r2);  // stays 0 -> unreachable
+  b.output("bad1", r1);
+  b.output("bad2", r2);
+  const Netlist m = b.take();
+
+  VerifySession session(m, {});
+  const auto results = session.run({{"", r1, {}}, {"", r2, {}}});
+  EXPECT_EQ(session.clusters().size(), 2u);
+  EXPECT_EQ(results[0].verdict, Verdict::Fails);
+  EXPECT_EQ(results[1].verdict, Verdict::Holds);
+  EXPECT_FALSE(results[0].clustered);
+  EXPECT_FALSE(results[1].clustered);
+}
+
+TEST(VerifySessionTest, OverridesForceSoloRuns) {
+  const Counter c = make_counter();
+  PropertyRequest pa{"a", c.bad_a, {}};
+  PropertyRequest pb{"b", c.bad_b, {}};
+  pb.overrides.max_iterations = 30;
+  VerifySession session(c.n, {});
+  const auto results = session.run({pa, pb});
+  // Identical cones, but the override pins b into its own cluster.
+  EXPECT_EQ(session.clusters().size(), 2u);
+  EXPECT_FALSE(results[0].clustered);
+  EXPECT_FALSE(results[1].clustered);
+  EXPECT_EQ(results[0].verdict, Verdict::Fails);
+  EXPECT_EQ(results[1].verdict, Verdict::Holds);
+}
+
+TEST(VerifySessionTest, EmptyBatch) {
+  const Counter c = make_counter();
+  VerifySession session(c.n, {});
+  EXPECT_TRUE(session.run({}).empty());
+  EXPECT_TRUE(session.clusters().empty());
+}
+
+TEST(VerifySessionTest, MatchesSingleRunsOnFifo) {
+  // The acceptance cross-check, cross_engine_test style: the batch path and
+  // the single-property compatibility path must report identical verdicts
+  // for a four-property overlapping-cone suite — the FIFO's three occupancy
+  // flags plus their disjunction ("some flag errs"), the composite any-error
+  // line testbenches expose.
+  designs::FifoDesign fifo = designs::make_fifo({.addr_bits = 2, .data_bits = 2});
+  const GateId any = append_disjunction(
+      fifo.netlist, {fifo.bad_push_full, fifo.bad_push_af, fifo.bad_push_hf},
+      "bad_any");
+  const std::vector<GateId> bads = {fifo.bad_push_full, fifo.bad_push_af,
+                                    fifo.bad_push_hf, any};
+
+  RfnOptions opt;
+  opt.time_limit_s = 60.0;
+  SessionOptions sopt;
+  sopt.defaults = opt;
+  VerifySession session(fifo.netlist, sopt);
+  std::vector<PropertyRequest> props;
+  for (GateId bad : bads) props.push_back({"", bad, {}});
+  const auto batch = session.run(props);
+
+  // The session's clustering must be exactly what the exposed heuristic
+  // computes from the cones.
+  std::vector<std::vector<GateId>> cones;
+  for (GateId bad : bads) {
+    cones.push_back(coi_registers(fifo.netlist, {bad}));
+    std::sort(cones.back().begin(), cones.back().end());
+  }
+  EXPECT_EQ(session.clusters(),
+            cluster_by_cone_overlap(cones, sopt.cluster_overlap,
+                                    sopt.max_cluster_size,
+                                    std::vector<bool>(bads.size(), false)));
+
+  for (size_t i = 0; i < bads.size(); ++i) {
+    RfnVerifier single(fifo.netlist, bads[i], opt);
+    const RfnResult ref = single.run();
+    EXPECT_EQ(batch[i].verdict, ref.verdict) << "property " << batch[i].name;
+    EXPECT_EQ(batch[i].verdict, Verdict::Holds);
+  }
+}
+
+TEST(VerifySessionTest, IuCoverageRegistersShareOneCluster) {
+  // The IU control is strongly connected: coverage registers from different
+  // sets have identical COIs (designs_test asserts this), so as properties
+  // they must cluster together.
+  const designs::IuDesign iu = designs::make_iu({});
+  std::vector<GateId> bads = {iu.coverage_sets[0][0], iu.coverage_sets[1][0],
+                              iu.coverage_sets[2][0], iu.coverage_sets[3][0]};
+  std::vector<std::vector<GateId>> cones;
+  std::vector<bool> solo(bads.size(), false);
+  for (GateId bad : bads) {
+    cones.push_back(coi_registers(iu.netlist, {bad}));
+    std::sort(cones.back().begin(), cones.back().end());
+  }
+  for (size_t i = 1; i < cones.size(); ++i)
+    EXPECT_DOUBLE_EQ(jaccard_overlap(cones[0], cones[i]), 1.0);
+  const auto clusters = cluster_by_cone_overlap(cones, 0.5, 8, solo);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].size(), bads.size());
+}
+
+TEST(VerifySessionTest, BatchTraceV2HasOneRecordPerProperty) {
+  const Counter c = make_counter();
+  VerifySession session(c.n, {});
+  const auto results = session.run({{"", c.bad_a, {}}, {"", c.bad_b, {}}});
+
+  std::ostringstream os;
+  write_batch_trace_json(os, results, session.clusters().size(), 0.25);
+  std::vector<std::string> lines;
+  std::istringstream is(os.str());
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), results.size() + 1);  // N properties + summary
+  EXPECT_NE(lines[0].find("\"type\":\"property\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"name\":\"bad_a\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"verdict\":\"F\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"verdict\":\"T\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"type\":\"batch-summary\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"trace_version\":\"rfn-trace-v2\""), std::string::npos);
+}
+
+TEST(VerifySessionTest, InvalidDefaultsDie) {
+  const Counter c = make_counter();
+  SessionOptions sopt;
+  sopt.defaults.traces_per_iteration = 0;
+  VerifySession session(c.n, sopt);
+  EXPECT_DEATH(session.run({{"", c.bad_a, {}}}), "traces_per_iteration");
+}
+
+TEST(RfnVerifierShim, RunTwiceResumesFromRefinedAbstraction) {
+  const Counter c = make_counter();
+  RfnVerifier v(c.n, c.bad_b);
+  const RfnResult first = v.run();
+  EXPECT_EQ(first.verdict, Verdict::Holds);
+  EXPECT_EQ(first.final_registers, v.abstract_registers());
+  // A second run starts from the refined set: it must reach the same
+  // verdict without shrinking the abstraction.
+  const RfnResult second = v.run();
+  EXPECT_EQ(second.verdict, Verdict::Holds);
+  EXPECT_GE(second.final_registers.size(), first.final_registers.size());
+}
+
+}  // namespace
+}  // namespace rfn

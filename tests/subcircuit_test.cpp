@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "netlist/analysis.hpp"
 #include "netlist/builder.hpp"
 #include "sim/sim64.hpp"
@@ -121,6 +123,99 @@ TEST(Subcircuit, CubeTranslation) {
   const Cube back = sub.cube_to_new(big);
   EXPECT_EQ(back.size(), 1u);
   EXPECT_EQ(cube_lookup(back, nr2), Tri::F);
+}
+
+// Two properties over one shared pipeline plus a private register each:
+//   in -> [shared] -> not -> [ra] ; prop_a = ra
+//                  \-> and -> [rb] ; prop_b = rb
+struct TwoProps {
+  Netlist n;
+  GateId in, shared, ra, rb, prop_a, prop_b;
+};
+
+TwoProps make_two_props() {
+  NetBuilder b;
+  TwoProps t;
+  t.in = b.input("in");
+  t.shared = b.reg("shared");
+  t.ra = b.reg("ra");
+  t.rb = b.reg("rb");
+  b.set_next(t.shared, t.in);
+  b.set_next(t.ra, b.not_(t.shared));
+  b.set_next(t.rb, b.and_(t.shared, t.in));
+  t.prop_a = t.ra;
+  t.prop_b = t.rb;
+  b.output("prop_a", t.ra);
+  b.output("prop_b", t.rb);
+  t.n = b.take();
+  return t;
+}
+
+TEST(Subcircuit, MultiSinkExtractionCoversEveryRoot) {
+  const TwoProps t = make_two_props();
+  // Both property roots, neither feeding the other: the multi-sink
+  // extraction must contain both cones in one model.
+  const Subcircuit sub = extract_abstract_model(t.n, {t.prop_a, t.prop_b},
+                                                {t.ra, t.rb});
+  EXPECT_NE(sub.to_new(t.prop_a), kNullGate);
+  EXPECT_NE(sub.to_new(t.prop_b), kNullGate);
+  EXPECT_EQ(sub.net.num_regs(), 2u);
+  // The shared upstream register was not included: exactly one pseudo input
+  // serves both cones.
+  ASSERT_EQ(sub.pseudo_inputs.size(), 1u);
+  EXPECT_EQ(sub.to_old(sub.pseudo_inputs[0]), t.shared);
+}
+
+TEST(Subcircuit, MultiSinkSupersetOfSingleSink) {
+  const TwoProps t = make_two_props();
+  const Subcircuit both = extract_abstract_model(t.n, {t.prop_a, t.prop_b},
+                                                 {t.ra, t.rb});
+  const Subcircuit only_a = extract_abstract_model(t.n, {t.prop_a}, {t.ra});
+  // Everything in the single-sink model appears in the multi-sink one.
+  for (GateId nw = 0; nw < only_a.net.size(); ++nw)
+    EXPECT_TRUE(both.contains_old(only_a.to_old(nw)));
+  EXPECT_FALSE(only_a.contains_old(t.rb));
+}
+
+TEST(Subcircuit, AppendDisjunctionKeepsExistingIds) {
+  const TwoProps t = make_two_props();
+  Netlist aug = t.n;
+  const size_t before = aug.size();
+  const GateId root = append_disjunction(aug, {t.prop_a, t.prop_b}, "bad_any");
+  EXPECT_EQ(root, before);  // appended, nothing renumbered
+  EXPECT_EQ(aug.size(), before + 1);
+  EXPECT_EQ(aug.output("bad_any"), root);
+  for (GateId g = 0; g < before; ++g) EXPECT_EQ(aug.type(g), t.n.type(g));
+  // Cones computed on the original stay valid on the augmented design, and
+  // the disjunction's cone is their union.
+  const auto cone_a = coi_registers(t.n, {t.prop_a});
+  const auto cone_any = coi_registers(aug, {root});
+  for (GateId r : cone_a)
+    EXPECT_NE(std::find(cone_any.begin(), cone_any.end(), r), cone_any.end());
+}
+
+TEST(Subcircuit, AppendDisjunctionSemantics) {
+  const TwoProps t = make_two_props();
+  Netlist aug = t.n;
+  const GateId root = append_disjunction(aug, {t.prop_a, t.prop_b}, "bad_any");
+  Sim64 sim(aug);
+  Rng rng(11);
+  Rng init(5);
+  sim.load_initial_state(init);
+  for (int cycle = 0; cycle < 16; ++cycle) {
+    sim.set(aug.find("in"), rng.next());
+    sim.eval();
+    EXPECT_EQ(sim.value(root), sim.value(t.prop_a) | sim.value(t.prop_b));
+    sim.step();
+  }
+}
+
+TEST(Subcircuit, AppendDisjunctionSingleSignalIsBuffer) {
+  const TwoProps t = make_two_props();
+  Netlist aug = t.n;
+  const GateId root = append_disjunction(aug, {t.prop_a}, "only");
+  EXPECT_EQ(aug.type(root), GateType::Buf);
+  EXPECT_EQ(aug.output("only"), root);
 }
 
 TEST(Subcircuit, AbstractionIsMonotone) {

@@ -88,7 +88,26 @@ note "bench-gate: record run traces"
   --trace-json build-ci-bench/run-trace.jsonl
 python3 tools/trace_report.py build-ci-bench/run-spans.json
 
-./build-ci-bench/bench/micro_engines --benchmark_filter=Portfolio \
+# Batch verification of every shipped design's property suite through a
+# VerifySession, each rfn-trace-v2 artifact re-validated by trace_report.py.
+# Exit 0 requires every verdict conclusive (the processor suite contains an
+# intentionally VIOLATED property).
+note "bench-gate: batch verification of the shipped designs"
+run_batch() { # <out> <design args...>
+  local out=$1; shift
+  ./build-ci-bench/tools/rfn verify "$@" --trace-json "$out"
+  python3 tools/trace_report.py --batch "$out"
+}
+run_batch build-ci-bench/batch-fifo.jsonl builtin:fifo \
+  --bad bad_full_q --bad bad_af_q --bad bad_hf_q
+run_batch build-ci-bench/batch-processor.jsonl builtin:processor \
+  --bad bad_mutex --bad error_flag
+run_batch build-ci-bench/batch-iu.jsonl builtin:iu \
+  --bad iu0 --bad iu1 --bad iu2 --bad iu3 --bad iu4
+run_batch build-ci-bench/batch-usb.jsonl builtin:usb \
+  --bad usb1_0 --bad usb1_1 --bad usb2_0 --bad usb2_1
+
+./build-ci-bench/bench/micro_engines --benchmark_filter='Portfolio|Session' \
   --json build-ci-bench/bench-current.json
 python3 tools/bench_gate.py --baseline BENCH_portfolio.json \
   --current build-ci-bench/bench-current.json

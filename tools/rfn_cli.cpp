@@ -5,8 +5,10 @@
 //   rfn translate <design> [--top MODULE]           Verilog -> BLIF
 //   rfn stats    <design>                           design statistics
 //
-// <design> is a .v (Verilog subset) or .blif file; the format is chosen by
-// extension. Common options:
+// <design> is a .v (Verilog subset) or .blif file (format chosen by
+// extension), or builtin:fifo|processor|iu|usb for the shipped generated
+// designs (small parameterizations; CI's batch runs use these). Common
+// options:
 //   --time-limit S     wall-clock budget (default 300)
 //   --workers N        engine-portfolio worker threads (default 0: sequential)
 //   --certify          independently re-check the verdict
@@ -24,6 +26,21 @@
 //                      degrades to the resource-out verdict
 //   --budget-bdd-nodes N  watchdog budget on BDD live nodes (memory proxy)
 //   --metrics          dump the full metrics registry as JSON on stdout
+//
+// Batch verification (a VerifySession instead of one RfnVerifier): repeat
+// --bad, or point --props at a file with one property per line:
+//   SIGNAL [name=LABEL] [time-limit=S] [max-iterations=N] [traces=N]
+//          [budget-ms=N] [budget-bdd-nodes=N]        (# starts a comment)
+// Properties carrying per-line overrides run solo; the rest are clustered
+// by register-cone overlap and answered through shared abstraction runs.
+// With more than one property, --trace-json emits the rfn-trace-v2 batch
+// schema (one "property" record each + a "batch-summary"); with exactly one
+// it emits rfn-trace-v1 as before. Batch options:
+//   --cluster-overlap X   Jaccard cone-overlap threshold (default 0.5)
+//   --max-cluster N       max properties per shared run (default 4)
+//   --session-workers N   cluster jobs run concurrently (default 0: inline)
+//   --batch-budget-ms N   whole-batch wall budget, split fair-share
+//   --no-reuse            disable the cross-property reuse cache
 
 #include <cstdio>
 #include <fstream>
@@ -32,7 +49,12 @@
 #include "core/certify.hpp"
 #include "core/coverage.hpp"
 #include "core/rfn.hpp"
+#include "core/session.hpp"
 #include "core/trace_json.hpp"
+#include "designs/fifo.hpp"
+#include "designs/iu.hpp"
+#include "designs/processor.hpp"
+#include "designs/usb.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/writer.hpp"
@@ -57,8 +79,49 @@ bool ends_with(const std::string& s, const std::string& suffix) {
                                                 suffix.size(), suffix) == 0;
 }
 
+/// The shipped generated designs, loadable without a file: builtin:fifo,
+/// builtin:processor, builtin:iu, builtin:usb (small parameterizations —
+/// the CI batch runs use these). Property-less designs expose their
+/// coverage registers as named outputs (iu0..iu4, usb1_0.., usb2_0..) so
+/// --bad / --props can target them.
+Netlist load_builtin(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "fifo")
+    return designs::make_fifo({.addr_bits = 3, .data_bits = 2}).netlist;
+  if (name == "processor") {
+    designs::ProcessorParams p;
+    p.units = 4;
+    p.pipe_depth = 4;
+    p.pipe_width = 4;
+    p.result_regs = 8;
+    p.counter_bits = 4;
+    designs::ProcessorDesign d = designs::make_processor(p);
+    d.netlist.add_output("bad_mutex", d.bad_mutex);
+    d.netlist.add_output("error_flag", d.error_flag);
+    return std::move(d.netlist);
+  }
+  if (name == "iu") {
+    designs::IuDesign d = designs::make_iu({});
+    for (size_t s = 0; s < d.coverage_sets.size(); ++s)
+      d.netlist.add_output("iu" + std::to_string(s), d.coverage_sets[s][0]);
+    return std::move(d.netlist);
+  }
+  if (name == "usb") {
+    designs::UsbDesign d = designs::make_usb({});
+    for (size_t i = 0; i < d.usb1.size(); ++i)
+      d.netlist.add_output("usb1_" + std::to_string(i), d.usb1[i]);
+    for (size_t i = 0; i < d.usb2.size(); ++i)
+      d.netlist.add_output("usb2_" + std::to_string(i), d.usb2[i]);
+    return std::move(d.netlist);
+  }
+  std::fprintf(stderr, "rfn: unknown builtin design '%s'\n", name.c_str());
+  *ok = false;
+  return Netlist{};
+}
+
 Netlist load_design(const std::string& path, const Options& opts, bool* ok) {
   *ok = true;
+  if (path.rfind("builtin:", 0) == 0) return load_builtin(path.substr(8), ok);
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "rfn: cannot open %s\n", path.c_str());
@@ -77,14 +140,126 @@ GateId find_signal(const Netlist& n, const std::string& name) {
   return g;
 }
 
-int cmd_verify(const Netlist& design, const Options& opts) {
-  const std::string bad_name = opts.get("bad", "bad");
-  const GateId bad = find_signal(design, bad_name);
+/// Rejects invalid options with the messages from RfnOptions::validate()
+/// instead of letting the run clamp or abort mid-flight.
+bool report_invalid(const RfnOptions& rfn_opts) {
+  const std::vector<std::string> errors = rfn_opts.validate();
+  for (const std::string& e : errors)
+    std::fprintf(stderr, "rfn: invalid options: %s\n", e.c_str());
+  return !errors.empty();
+}
+
+/// Parses one --props line: "SIGNAL [key=value...]". Returns false (with a
+/// message) on unknown signals, malformed overrides, or unknown keys.
+bool parse_props_line(const Netlist& design, const std::string& line,
+                      size_t lineno, PropertyRequest* out) {
+  std::stringstream ss(line);
+  std::string signal;
+  ss >> signal;
+  const GateId bad = find_signal(design, signal);
   if (bad == kNullGate) {
-    std::fprintf(stderr, "rfn: no signal named '%s'\n", bad_name.c_str());
-    return 2;
+    std::fprintf(stderr, "rfn: props line %zu: no signal named '%s'\n", lineno,
+                 signal.c_str());
+    return false;
+  }
+  out->bad = bad;
+  std::string tok;
+  while (ss >> tok) {
+    const size_t eq = tok.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "rfn: props line %zu: expected key=value, got '%s'\n",
+                   lineno, tok.c_str());
+      return false;
+    }
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    if (key == "name") {
+      out->name = value;
+    } else if (key == "time-limit") {
+      out->overrides.time_limit_s = std::stod(value);
+    } else if (key == "max-iterations") {
+      out->overrides.max_iterations = std::stoul(value);
+    } else if (key == "traces") {
+      out->overrides.traces_per_iteration = std::stoul(value);
+    } else if (key == "budget-ms") {
+      out->overrides.budget_ms = std::stod(value);
+    } else if (key == "budget-bdd-nodes") {
+      out->overrides.budget_bdd_nodes = std::stoll(value);
+    } else {
+      std::fprintf(stderr, "rfn: props line %zu: unknown key '%s'\n", lineno,
+                   key.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmd_verify_batch(const Netlist& design, const Options& opts,
+                     std::vector<PropertyRequest> props,
+                     const RfnOptions& rfn_opts) {
+  SessionOptions sopt;
+  sopt.defaults = rfn_opts;
+  sopt.cluster_overlap = opts.get_double("cluster-overlap", 0.5);
+  sopt.max_cluster_size = static_cast<size_t>(opts.get_int("max-cluster", 4));
+  sopt.workers = static_cast<size_t>(opts.get_int("session-workers", 0));
+  sopt.batch_budget_ms = opts.get_double("batch-budget-ms", -1.0);
+  sopt.reuse = !opts.get_bool("no-reuse", false);
+
+  const std::string span_path = opts.get("trace-spans", "");
+  if (!span_path.empty()) {
+    SpanTracer::global().enable();
+    SpanTracer::global().set_thread_name("main");
   }
 
+  const MetricsSnapshot baseline = MetricsRegistry::global().snapshot();
+  const Stopwatch watch;
+  VerifySession session(design, sopt);
+  const std::vector<PropertyResult> results = session.run(props);
+  const double seconds = watch.seconds();
+
+  if (!span_path.empty()) {
+    SpanTracer::global().disable();
+    std::ofstream out(span_path);
+    if (!out) {
+      std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
+      return 2;
+    }
+    SpanTracer::global().write_chrome_json(out);
+  }
+  const std::string trace_path = opts.get("trace-json", "");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::fprintf(stderr, "rfn: cannot write %s\n", trace_path.c_str());
+      return 2;
+    }
+    write_batch_trace_json(out, results, session.clusters().size(), seconds,
+                           &baseline);
+  }
+
+  std::printf("batch: %zu properties in %zu clusters, %.2f s\n", results.size(),
+              session.clusters().size(), seconds);
+  std::printf("%-24s %-12s %7s %9s %5s %8s\n", "property", "verdict", "cluster",
+              "clustered", "iters", "seconds");
+  bool all_conclusive = true;
+  for (const PropertyResult& r : results) {
+    std::printf("%-24s %-12s %7zu %9s %5zu %8.2f\n", r.name.c_str(),
+                r.verdict == Verdict::Holds         ? "HOLDS"
+                : r.verdict == Verdict::Fails       ? "VIOLATED"
+                : r.verdict == Verdict::ResourceOut ? "RESOURCE-OUT"
+                                                    : "UNKNOWN",
+                r.cluster, r.clustered ? "yes" : "no", r.stats.iterations,
+                r.stats.seconds);
+    if (r.verdict != Verdict::Holds && r.verdict != Verdict::Fails)
+      all_conclusive = false;
+  }
+  if (opts.get_bool("metrics", false))
+    std::printf("metrics: %s\n",
+                MetricsRegistry::global().to_json(&baseline).dump(2).c_str());
+  return all_conclusive ? 0 : 1;
+}
+
+int cmd_verify(const Netlist& design, const Options& opts) {
   RfnOptions rfn_opts;
   rfn_opts.time_limit_s = opts.get_double("time-limit", 300.0);
   rfn_opts.traces_per_iteration = static_cast<size_t>(opts.get_int("traces", 1));
@@ -92,6 +267,60 @@ int cmd_verify(const Netlist& design, const Options& opts) {
   rfn_opts.portfolio_workers = static_cast<size_t>(opts.get_int("workers", 0));
   rfn_opts.budget_ms = opts.get_double("budget-ms", -1.0);
   rfn_opts.budget_bdd_nodes = opts.get_int("budget-bdd-nodes", 0);
+  if (report_invalid(rfn_opts)) return 2;
+
+  // Collect the property set: every --bad plus every --props line. More
+  // than one property routes through a VerifySession.
+  std::vector<PropertyRequest> props;
+  for (const std::string& bad_name : opts.get_all("bad")) {
+    PropertyRequest p;
+    p.bad = find_signal(design, bad_name);
+    if (p.bad == kNullGate) {
+      std::fprintf(stderr, "rfn: no signal named '%s'\n", bad_name.c_str());
+      return 2;
+    }
+    props.push_back(std::move(p));
+  }
+  const std::string props_path = opts.get("props", "");
+  if (!props_path.empty()) {
+    std::ifstream in(props_path);
+    if (!in) {
+      std::fprintf(stderr, "rfn: cannot open %s\n", props_path.c_str());
+      return 2;
+    }
+    std::string line;
+    for (size_t lineno = 1; std::getline(in, line); ++lineno) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      PropertyRequest p;
+      if (!parse_props_line(design, line, lineno, &p)) return 2;
+      props.push_back(std::move(p));
+    }
+  }
+  if (props.size() > 1) return cmd_verify_batch(design, opts, std::move(props), rfn_opts);
+
+  const std::string bad_name =
+      props.empty() ? opts.get("bad", "bad")
+                    : (props.front().name.empty() ? opts.get("bad", "bad")
+                                                  : props.front().name);
+  const GateId bad =
+      props.empty() ? find_signal(design, bad_name) : props.front().bad;
+  if (bad == kNullGate) {
+    std::fprintf(stderr, "rfn: no signal named '%s'\n", bad_name.c_str());
+    return 2;
+  }
+  if (!props.empty() && props.front().overrides.any()) {
+    // A one-line --props file still honors its per-property overrides.
+    const PropertyRequest::Overrides& o = props.front().overrides;
+    if (o.time_limit_s) rfn_opts.time_limit_s = *o.time_limit_s;
+    if (o.max_iterations) rfn_opts.max_iterations = *o.max_iterations;
+    if (o.traces_per_iteration)
+      rfn_opts.traces_per_iteration = *o.traces_per_iteration;
+    if (o.budget_ms) rfn_opts.budget_ms = *o.budget_ms;
+    if (o.budget_bdd_nodes) rfn_opts.budget_bdd_nodes = *o.budget_bdd_nodes;
+    if (report_invalid(rfn_opts)) return 2;
+  }
 
   const std::string span_path = opts.get("trace-spans", "");
   if (!span_path.empty()) {

@@ -9,8 +9,15 @@ per-engine / per-iteration wall-time breakdown:
 Validates the file first (schema "rfn-spans-v1": version tag, per-thread
 monotonic timestamps, balanced begin/end pairs, flow pairing) and exits
 nonzero with a diagnostic on a malformed trace, so it doubles as the format
-checker in tests and CI. `--self-check` runs the validator against built-in
-good and bad synthetic traces and needs no input file.
+checker in tests and CI. `--self-check` runs the validators against
+built-in good and bad synthetic traces and needs no input file.
+
+With `--batch` the input is instead an rfn-trace-v2 JSON Lines file from a
+batch run (`rfn verify ... --bad A --bad B --trace-json FILE`): one
+"property" record per property plus a final "batch-summary". The validator
+checks the version tag, the per-record shape, the verdict spellings, and
+that the summary's property/verdict counts match the records, then prints a
+per-property table.
 
 Report sections:
   * run summary — total wall time reconstructed from the rfn.run span
@@ -33,6 +40,10 @@ import sys
 signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 TRACE_VERSION = "rfn-spans-v1"
+BATCH_TRACE_VERSION = "rfn-trace-v2"
+VERDICTS = ("T", "F", "?", "resource-out")
+PROPERTY_KEYS = ("name", "bad", "verdict", "cluster", "clustered",
+                 "iterations", "seconds")
 
 
 class TraceError(Exception):
@@ -93,6 +104,74 @@ def validate(doc):
         if set(ends) != {"s", "f"}:
             fail(f"flow {fid} is unpaired (has {sorted(ends)})")
     return events
+
+
+def validate_batch(records):
+    """Checks an rfn-trace-v2 record list (one parsed JSONL object per
+    line); returns (property_records, summary_record)."""
+    if not records:
+        fail("empty batch trace")
+    summary = records[-1]
+    if summary.get("type") != "batch-summary":
+        fail(f"last record has type {summary.get('type')!r}, "
+             f"expected 'batch-summary'")
+    version = summary.get("trace_version")
+    if version != BATCH_TRACE_VERSION:
+        fail(f"trace_version is {version!r}, expected {BATCH_TRACE_VERSION!r}")
+    props = records[:-1]
+    counts = collections.Counter()
+    for i, r in enumerate(props):
+        if r.get("type") != "property":
+            fail(f"record {i} has type {r.get('type')!r}, expected 'property'")
+        for key in PROPERTY_KEYS:
+            if key not in r:
+                fail(f"property record {i} ({r.get('name')!r}) lacks {key!r}")
+        verdict = r["verdict"]
+        if verdict not in VERDICTS:
+            fail(f"property record {i} ({r['name']!r}): unknown verdict "
+                 f"{verdict!r}")
+        counts[verdict] += 1
+    if summary.get("properties") != len(props):
+        fail(f"summary counts {summary.get('properties')} properties, the "
+             f"document has {len(props)} property records")
+    declared = summary.get("verdicts", {})
+    for verdict in VERDICTS:
+        if declared.get(verdict, 0) != counts[verdict]:
+            fail(f"summary says {declared.get(verdict, 0)} x {verdict!r}, "
+                 f"property records say {counts[verdict]}")
+    return props, summary
+
+
+def report_batch(path):
+    """Validates and summarizes an rfn-trace-v2 batch JSONL file."""
+    records = []
+    try:
+        with open(path) as fh:
+            for lineno, line in enumerate(fh, 1):
+                if not line.strip():
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as err:
+                    fail(f"line {lineno}: not JSON ({err})")
+    except OSError as err:
+        print(f"trace_report: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+    props, summary = validate_batch(records)
+
+    print("== batch summary ==")
+    print(f"properties={len(props)} clusters={summary.get('clusters')} "
+          f"total_wall_s={summary.get('seconds', 0.0):.6f}")
+    declared = summary.get("verdicts", {})
+    print("verdicts: " + " ".join(
+        f"{v}={declared.get(v, 0)}" for v in VERDICTS))
+    print(f"\n{'property':<24} {'verdict':<12} {'cluster':>7} "
+          f"{'clustered':>9} {'iters':>5} {'seconds':>9}")
+    for r in props:
+        print(f"{r['name']:<24} {r['verdict']:<12} {r['cluster']:>7} "
+              f"{('yes' if r['clustered'] else 'no'):>9} "
+              f"{r['iterations']:>5} {r['seconds']:>9.3f}")
+    return 0
 
 
 def fold_spans(events):
@@ -220,8 +299,24 @@ def synthetic_trace():
                           "dropped_events": 0}}
 
 
+def synthetic_batch_trace():
+    """A minimal well-formed rfn-trace-v2 record list for --self-check."""
+    prop = {"type": "property", "bad": 7, "cluster": 0, "clustered": True,
+            "order_seeded": False, "seeded_registers": 0, "iterations": 2,
+            "final_abstract_regs": 3, "error_trace_cycles": 0,
+            "seconds": 0.25, "note": ""}
+    return [
+        dict(prop, name="p0", verdict="T"),
+        dict(prop, name="p1", verdict="F", error_trace_cycles=4),
+        {"type": "batch-summary", "trace_version": BATCH_TRACE_VERSION,
+         "properties": 2, "clusters": 1,
+         "verdicts": {"T": 1, "F": 1, "?": 0, "resource-out": 0},
+         "seconds": 0.5, "metrics": {}},
+    ]
+
+
 def self_check():
-    """The validator must accept a good trace and reject each corruption."""
+    """The validators must accept good traces and reject each corruption."""
     good = synthetic_trace()
     try:
         validate(good)
@@ -248,6 +343,38 @@ def self_check():
         corrupt(lambda d: d["traceEvents"].__delitem__(5),  # drop flow-end
                 "unpaired flow"),
     ) if f]
+
+    good_batch = synthetic_batch_trace()
+    try:
+        validate_batch(good_batch)
+    except TraceError as err:
+        print(f"self-check: valid batch trace rejected: {err}",
+              file=sys.stderr)
+        return 1
+
+    def corrupt_batch(mutate, expect):
+        doc = json.loads(json.dumps(good_batch))
+        mutate(doc)
+        try:
+            validate_batch(doc)
+        except TraceError:
+            return None
+        return f"self-check: {expect} not detected"
+
+    failures += [f for f in (
+        corrupt_batch(lambda d: d[-1].update(trace_version="rfn-trace-v1"),
+                      "wrong batch trace_version"),
+        corrupt_batch(lambda d: d.pop(),  # drop the batch-summary
+                      "missing batch-summary"),
+        corrupt_batch(lambda d: d.__delitem__(0),  # one record per property
+                      "summary/record property-count mismatch"),
+        corrupt_batch(lambda d: d[0].update(verdict="HOLDS"),
+                      "non-canonical verdict spelling"),
+        corrupt_batch(lambda d: d[0].pop("seconds"),
+                      "property record missing a key"),
+        corrupt_batch(lambda d: d[-1]["verdicts"].update(T=2),
+                      "summary verdict-count mismatch"),
+    ) if f]
     for f in failures:
         print(f, file=sys.stderr)
     if not failures:
@@ -262,12 +389,20 @@ def main():
                     help="hottest-span rows to print (default 10)")
     ap.add_argument("--self-check", action="store_true",
                     help="validate built-in good/bad traces and exit")
+    ap.add_argument("--batch", action="store_true",
+                    help="TRACE is an rfn-trace-v2 batch JSONL file")
     args = ap.parse_args()
 
     if args.self_check:
         return self_check()
     if not args.trace:
         ap.error("a trace file is required (or --self-check)")
+    if args.batch:
+        try:
+            return report_batch(args.trace)
+        except TraceError as err:
+            print(f"trace_report: invalid batch trace: {err}", file=sys.stderr)
+            return 1
     try:
         with open(args.trace) as fh:
             doc = json.load(fh)
