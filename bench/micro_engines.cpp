@@ -29,6 +29,7 @@
 #include "mc/reach.hpp"
 #include "mincut/mincut.hpp"
 #include "netlist/builder.hpp"
+#include "sat/bmc.hpp"
 #include "sim/sim3.hpp"
 #include "sim/sim64.hpp"
 #include "util/json.hpp"
@@ -199,6 +200,7 @@ void export_portfolio_counters(benchmark::State& state) {
   state.counters["wins_bdd"] = s.value("portfolio.wins.bdd-reach");
   state.counters["wins_atpg"] = s.value("portfolio.wins.seq-atpg");
   state.counters["wins_sim"] = s.value("portfolio.wins.rand-sim");
+  state.counters["wins_sat"] = s.value("portfolio.wins.sat-bmc");
   state.counters["jobs_cancelled"] = s.value("portfolio.jobs_cancelled");
   state.counters["bdd_peak_nodes"] = s.value("bdd.peak_live_nodes.max");
 }
@@ -300,6 +302,52 @@ void BM_SessionBatchFifo(benchmark::State& state) {
   export_portfolio_counters(state);
 }
 BENCHMARK(BM_SessionBatchFifo)->Unit(benchmark::kMillisecond);
+
+// The SAT BMC engine in isolation: one fresh incremental instance per
+// iteration answering the concrete bounded question on the FIFO psh_full
+// property (all registers enabled, bound 12 — the property holds, so every
+// depth is UNSAT). Measures encode + solve from cold; the incremental
+// reuse across depths is inside the single check() call.
+void BM_SatBmcFifo(benchmark::State& state) {
+  const rfn::designs::FifoDesign fifo =
+      rfn::designs::make_fifo({.addr_bits = 3, .data_bits = 2});
+  const std::vector<GateId> regs = fifo.netlist.regs();
+  MetricsRegistry::global().reset();
+  for (auto _ : state) {
+    SatBmc bmc(fifo.netlist);
+    const SatBmcResult r = bmc.check(fifo.bad_push_full, 12, regs);
+    if (r.status != AtpgStatus::Unsat)
+      state.SkipWithError("psh_full must be bounded-UNSAT");
+    benchmark::DoNotOptimize(r.core_registers.data());
+  }
+  const MetricsSnapshot s = MetricsRegistry::global().snapshot();
+  state.counters["sat_conflicts"] = s.value("sat.conflicts");
+  state.counters["sat_checks"] = s.value("sat.checks");
+}
+BENCHMARK(BM_SatBmcFifo)->Unit(benchmark::kMillisecond);
+
+// Full RFN runs with the race lineup pinned to bdd + sat: the SAT engine
+// carries the whole falsification side (abstract probes and concretization)
+// that seq-atpg / rand-sim / guided-atpg handle in the default portfolio.
+void BM_PortfolioWithSatFifo(benchmark::State& state) {
+  const rfn::designs::FifoDesign fifo =
+      rfn::designs::make_fifo({.addr_bits = 3, .data_bits = 2});
+  MetricsRegistry::global().reset();
+  for (auto _ : state) {
+    RfnOptions opt;
+    opt.engines = {"bdd", "sat"};
+    opt.portfolio_workers = static_cast<size_t>(state.range(0));
+    opt.race_probe_time_s = 1.0;
+    RfnVerifier v(fifo.netlist, fifo.bad_push_full, opt);
+    const RfnResult res = v.run();
+    if (res.verdict != Verdict::Holds) state.SkipWithError("psh_full must hold");
+  }
+  const MetricsSnapshot s = MetricsRegistry::global().snapshot();
+  state.counters["sat_conflicts"] = s.value("sat.conflicts");
+  state.counters["sat_checks"] = s.value("sat.checks");
+  export_portfolio_counters(state);
+}
+BENCHMARK(BM_PortfolioWithSatFifo)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // The Step-2 race in isolation on the USB packet-engine abstraction:
 // bounded BDD reachability vs iterative-deepening ATPG vs random simulation

@@ -87,4 +87,24 @@ Unrolled unroll_full(const Netlist& m, size_t frames) {
   return unroll_cone(m, frames, std::vector<std::vector<GateId>>(frames, all));
 }
 
+std::vector<bool> stable_frame_cone(const Netlist& m,
+                                    const std::vector<GateId>& roots) {
+  // One backward pass per newly discovered register layer; terminates because
+  // the register set only grows.
+  std::vector<GateId> all_roots = roots;
+  std::vector<bool> in_roots(m.size(), false);
+  for (GateId r : roots) in_roots[r] = true;
+  for (;;) {
+    const std::vector<bool> cone = comb_fanin_cone(m, all_roots);
+    bool grew = false;
+    for (GateId r : m.regs()) {
+      if (!cone[r] || in_roots[m.reg_data(r)]) continue;
+      in_roots[m.reg_data(r)] = true;
+      all_roots.push_back(m.reg_data(r));
+      grew = true;
+    }
+    if (!grew) return cone;
+  }
+}
+
 }  // namespace rfn

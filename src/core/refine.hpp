@@ -27,11 +27,18 @@ struct RefineOptions {
   AtpgOptions atpg;
   /// Cap on fallback candidates when phase 1 finds no conflicts.
   size_t max_fallback_candidates = 8;
+  /// Candidate registers to try *before* the phase-1 simulation candidates
+  /// (e.g. the registers a SAT bounded-UNSAT assumption core named). Hints
+  /// steer which registers greedy minimization examines first — they are
+  /// filtered against the current model, deduplicated, and remain subject
+  /// to the phase-2b removal pass — so they never decide a verdict.
+  std::vector<GateId> hints;
 };
 
 struct RefineStats {
   size_t conflict_candidates = 0;  // phase-1 candidates from conflicts
   size_t fallback_candidates = 0;  // phase-1 candidates from frequency
+  size_t hint_candidates = 0;      // externally hinted candidates tried first
   size_t added_until_unsat = 0;    // prefix length that invalidated the trace
   size_t removed_by_greedy = 0;    // registers dropped by the backward pass
   size_t final_count = 0;

@@ -7,8 +7,23 @@
 
 namespace rfn {
 
+bool RfnOptions::engine_enabled(const char* name) const {
+  if (engines.empty()) return true;
+  return std::find(engines.begin(), engines.end(), name) != engines.end();
+}
+
 std::vector<std::string> RfnOptions::validate() const {
   std::vector<std::string> errors;
+  static const char* const kEngines[] = {"bdd", "atpg", "sim", "sat"};
+  for (const std::string& e : engines) {
+    const bool known = std::find(std::begin(kEngines), std::end(kEngines), e) !=
+                       std::end(kEngines);
+    if (!known)
+      errors.push_back("unknown engine \"" + e +
+                       "\" (expected a subset of bdd,atpg,sim,sat)");
+  }
+  if (race_sat_max_depth == 0)
+    errors.push_back("race_sat_max_depth must be >= 1");
   if (max_iterations == 0)
     errors.push_back("max_iterations must be >= 1");
   if (traces_per_iteration == 0)

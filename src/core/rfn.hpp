@@ -71,6 +71,24 @@ struct RfnOptions {
   /// Wall budget (seconds) for each probe engine per race; the primary
   /// engines (BDD fixpoint, guided ATPG) keep their own limits.
   double race_probe_time_s = 2.0;
+  /// Engines entering the Step-2 / Step-3 races. Empty = all of
+  /// {"bdd", "atpg", "sim", "sat"}; a non-empty list must be a subset of
+  /// those names (validate() rejects anything else). "bdd" is the only
+  /// engine that can prove Holds, so a list without it restricts the loop
+  /// to falsification: a run that finds no error trace ends Unknown.
+  std::vector<std::string> engines;
+  /// Iterative-deepening bound for the SAT BMC engine's abstract probe
+  /// (Step 2). The Step-3 concrete check is bounded by the abstract trace
+  /// length instead, where bounded UNSAT is conclusive.
+  size_t race_sat_max_depth = 48;
+  /// Feed the registers named by Step-3 bounded-UNSAT assumption cores to
+  /// Step-4 refinement as crucial-register hints. Hints only — they reorder
+  /// which candidates greedy minimization tries first, never what a verdict
+  /// means — so this is a performance switch, not a soundness one.
+  bool sat_core_hints = true;
+
+  /// True when `name` ("bdd", "atpg", "sim", "sat") participates in races.
+  bool engine_enabled(const char* name) const;
   /// External cancellation of the whole run: polled at iteration boundaries
   /// and chained into every engine race.
   const CancelToken* cancel = nullptr;
@@ -112,6 +130,14 @@ struct RfnIteration {
   /// Which engine won each race (empty = race had no conclusive winner).
   std::string abstract_engine;
   std::string concretize_engine;
+  /// SAT BMC activity this iteration (zeros when the engine is disabled):
+  /// solver-stat deltas over the shared incremental instance, the deepest
+  /// frame it was asked, and the size of the Step-3 bounded-UNSAT assumption
+  /// core handed to refinement as hints (0 = no core).
+  uint64_t sat_conflicts = 0;
+  uint64_t sat_propagations = 0;
+  size_t sat_depth = 0;
+  size_t sat_core_size = 0;
   /// Wall time of the Step-2 / Step-3 engine races.
   double abstract_race_seconds = 0.0;
   double concretize_race_seconds = 0.0;

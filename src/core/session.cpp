@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_set>
 
 #include "atpg/seq_atpg.hpp"
@@ -59,6 +61,20 @@ std::shared_ptr<const Subcircuit> SubcircuitMemo::get(
 }
 
 // ---------------------------------------------------------------------------
+// SatBmcPool
+
+SatBmc& SatBmcPool::get(const Netlist& m) {
+  MetricsRegistry& reg = MetricsRegistry::global();
+  const auto it = map_.find(&m);
+  if (it != map_.end()) {
+    reg.counter("session.sat_pool.hits").add(1);
+    return *it->second;
+  }
+  reg.counter("session.sat_pool.misses").add(1);
+  return *map_.emplace(&m, std::make_unique<SatBmc>(m)).first->second;
+}
+
+// ---------------------------------------------------------------------------
 // The single-property engine (formerly RfnVerifier::run).
 
 RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
@@ -100,6 +116,32 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     for (GateId r : regs)
       if (seen.find(r) == seen.end()) hooks.crucial_out->push_back(r);
   };
+
+  // Engine selection: empty opt.engines enables everything. "bdd" gates the
+  // exact fixpoint (Step 2) and the approximate fallback; "atpg" gates the
+  // sequential-ATPG probe and guided concretization; "sim" gates both
+  // random-simulation probes; "sat" gates the incremental BMC engine in both
+  // races. Only "bdd" can prove Holds, and only "atpg"/"sim"/"sat" can
+  // conclude Fails — a list without either side narrows what the loop can
+  // ever answer.
+  const bool use_bdd = opt.engine_enabled("bdd");
+  const bool use_atpg = opt.engine_enabled("atpg");
+  const bool use_sim = opt.engine_enabled("sim");
+  std::unique_ptr<SatBmc> sat_owned;
+  SatBmc* sat_bmc = nullptr;
+  if (opt.engine_enabled("sat")) {
+    // The pooled instance carries learned clauses and unrolled frames across
+    // runs; without a pool the instance still persists across this run's
+    // iterations and races (the race barrier is the happens-before edge —
+    // single-owner, like a BddMgr).
+    if (hooks.sat_bmc != nullptr) {
+      sat_bmc = &hooks.sat_bmc->get(m);
+    } else {
+      sat_owned = std::make_unique<SatBmc>(m);
+      sat_bmc = sat_owned.get();
+    }
+  }
+  const std::vector<GateId> all_regs = m.regs();  // ascending = sorted
 
   // Resource watchdog: when a budget is set, the run is cancelled through
   // run_token (chaining any external token), and every cancellation point
@@ -150,11 +192,22 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     // --- Step 2: prove or find an abstract error trace (engine race) ---
     BddMgr mgr;
     if (budgeted) mgr.set_live_node_probe(watchdog.node_probe());
-    Encoder enc(mgr, sub.net);
-    if (opt.save_var_order) apply_saved_order(mgr, enc, sub, saved_order);
+    std::optional<Encoder> enc;
+    std::optional<ImageComputer> img;
+    if (use_bdd) {
+      enc.emplace(mgr, sub.net);
+      if (opt.save_var_order) apply_saved_order(mgr, *enc, sub, saved_order);
+    }
     mgr.set_auto_reorder(opt.dynamic_reordering);
     mgr.set_node_budget(opt.reach.max_live_nodes);
-    ImageComputer img(enc);
+    if (use_bdd) img.emplace(*enc);
+
+    // SAT results live above finish_iteration so the per-iteration record
+    // can harvest them on every exit path; the stat snapshot turns the
+    // shared incremental solver's cumulative counters into deltas.
+    SatBmcResult sat_probe, sat_conc;
+    const sat::SolverStats sat_before =
+        sat_bmc != nullptr ? sat_bmc->solver_stats() : sat::SolverStats{};
 
     // Every exit path of this iteration funnels through here: harvest the
     // per-iteration BDD-manager internals, flush them into the registry
@@ -167,6 +220,15 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
       done.bdd_cache_hits = bs.cache_hits;
       done.bdd_reorderings = bs.reorderings;
       publish_bdd_metrics(bs);
+      if (sat_bmc != nullptr) {
+        const sat::SolverStats& ss = sat_bmc->solver_stats();
+        done.sat_conflicts = ss.conflicts - sat_before.conflicts;
+        done.sat_propagations = ss.propagations - sat_before.propagations;
+        done.sat_depth = std::max(sat_probe.depth, sat_conc.depth);
+        done.sat_core_size = sat_conc.status == AtpgStatus::Unsat
+                                 ? sat_conc.core_registers.size()
+                                 : 0;
+      }
       done.seconds = iter_watch.seconds();
       MetricsRegistry& reg = MetricsRegistry::global();
       reg.counter("rfn.iterations").add(1);
@@ -180,12 +242,15 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     const GateId bad_new = sub.to_new(bad);
     RFN_CHECK(bad_new != kNullGate, "property signal missing from abstraction");
     // Bad states: states from which some input valuation raises the signal.
-    const Bdd bad_set = mgr.exists(enc.signal_fn(bad_new), enc.input_vars());
-    if (img.aborted() || bad_set.is_null()) {
-      it.reach_status = ReachStatus::ResourceOut;
-      finish_iteration(it);
-      result.note = "abstract model exceeded the BDD node budget";
-      break;
+    Bdd bad_set;
+    if (use_bdd) {
+      bad_set = mgr.exists(enc->signal_fn(bad_new), enc->input_vars());
+      if (img->aborted() || bad_set.is_null()) {
+        it.reach_status = ReachStatus::ResourceOut;
+        finish_iteration(it);
+        result.note = "abstract model exceeded the BDD node budget";
+        break;
+      }
     }
 
     ReachOptions reach_opt = opt.reach;
@@ -200,54 +265,81 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
             ? std::min(opt.race_probe_time_s, deadline.remaining_seconds())
             : opt.race_probe_time_s;
 
-    // Three engines race the abstract obligation. BDD reachability is the
-    // only one that can *prove*; the sequential-ATPG and random-simulation
-    // probes can only *find* an abstract error trace — but when they do, the
-    // trace is exact and the (cancelled) fixpoint is not needed at all. The
-    // BddMgr above is owned by the bdd-reach job for the duration of the
-    // race (single-owner rule); the probes touch only the immutable netlist.
+    // Up to four engines race the abstract obligation. BDD reachability is
+    // the only one that can *prove*; the sequential-ATPG, random-simulation
+    // and SAT BMC probes can only *find* an abstract error trace — but when
+    // they do, the trace is exact and the (cancelled) fixpoint is not needed
+    // at all. The BddMgr above is owned by the bdd-reach job for the
+    // duration of the race (single-owner rule), and so is the incremental
+    // SAT instance by the sat-bmc job; the other probes touch only the
+    // immutable netlist. Jobs carry engine tags because the lineup depends
+    // on opt.engines — winner indices alone say nothing.
+    enum class Eng { Bdd, Atpg, Sim, Sat };
     ReachResult reach;
     SeqAtpgResult atpg_probe;
     Trace sim_probe;
     std::vector<PortfolioJob> jobs;
-    jobs.push_back({"bdd-reach", -1.0, [&](const CancelToken& token) {
-                      ReachOptions ro = reach_opt;
-                      ro.cancel = &token;
-                      reach = forward_reach(img, enc.initial_states(), bad_set, ro);
-                      return reach.status != ReachStatus::ResourceOut;
-                    }});
-    jobs.push_back({"seq-atpg", probe_budget, [&](const CancelToken& token) {
-                      AtpgOptions ao;
-                      ao.max_backtracks = opt.race_atpg_backtracks;
-                      ao.cancel = &token;
-                      for (size_t k = 1; k <= opt.race_atpg_max_depth; ++k) {
-                        if (token.cancelled()) return false;
-                        SeqAtpgResult r = reach_target(sub.net, k, bad_new, true, {}, ao);
-                        if (r.status == AtpgStatus::Sat) {
-                          atpg_probe = std::move(r);
-                          return true;
+    std::vector<Eng> tags;
+    if (use_bdd) {
+      jobs.push_back({"bdd-reach", -1.0, [&](const CancelToken& token) {
+                        ReachOptions ro = reach_opt;
+                        ro.cancel = &token;
+                        reach = forward_reach(*img, enc->initial_states(), bad_set, ro);
+                        return reach.status != ReachStatus::ResourceOut;
+                      }});
+      tags.push_back(Eng::Bdd);
+    }
+    if (use_atpg) {
+      jobs.push_back({"seq-atpg", probe_budget, [&](const CancelToken& token) {
+                        AtpgOptions ao;
+                        ao.max_backtracks = opt.race_atpg_backtracks;
+                        ao.cancel = &token;
+                        for (size_t k = 1; k <= opt.race_atpg_max_depth; ++k) {
+                          if (token.cancelled()) return false;
+                          SeqAtpgResult r = reach_target(sub.net, k, bad_new, true, {}, ao);
+                          if (r.status == AtpgStatus::Sat) {
+                            atpg_probe = std::move(r);
+                            return true;
+                          }
+                          // Unsat/Abort at depth k only bounds the shortest
+                          // trace; keep deepening until cancelled.
                         }
-                        // Unsat/Abort at depth k only bounds the shortest
-                        // trace; keep deepening until cancelled.
-                      }
-                      return false;
-                    }});
-    jobs.push_back({"rand-sim", probe_budget, [&, iter](const CancelToken& token) {
-                      sim_probe = random_sim_error_trace(
-                          sub.net, bad_new, opt.race_sim_cycles,
-                          0x51D5EEDull + iter, &token);
-                      return !sim_probe.empty();
-                    }});
+                        return false;
+                      }});
+      tags.push_back(Eng::Atpg);
+    }
+    if (use_sim) {
+      jobs.push_back({"rand-sim", probe_budget, [&, iter](const CancelToken& token) {
+                        sim_probe = random_sim_error_trace(
+                            sub.net, bad_new, opt.race_sim_cycles,
+                            0x51D5EEDull + iter, &token);
+                        return !sim_probe.empty();
+                      }});
+      tags.push_back(Eng::Sim);
+    }
+    if (sat_bmc != nullptr) {
+      // The enable-assumption formulation makes this the abstract obligation
+      // on the original design: registers outside `included` stay free, the
+      // same pseudo-input semantics the extracted subcircuit gives them. A
+      // bounded Unsat proves nothing unbounded, so only Sat is conclusive.
+      jobs.push_back({"sat-bmc", probe_budget, [&](const CancelToken& token) {
+                        sat_probe = sat_bmc->check(bad, opt.race_sat_max_depth,
+                                                   included, &token);
+                        return sat_probe.status == AtpgStatus::Sat;
+                      }});
+      tags.push_back(Eng::Sat);
+    }
     const RaceResult abs_race = portfolio.race(jobs, cancel);
     it.abstract_engine = abs_race.winner_name;
     it.abstract_race_seconds = abs_race.seconds;
-    it.reach_status = reach.status;
+    it.reach_status = use_bdd ? reach.status : ReachStatus::ResourceOut;
     it.reach_steps = reach.steps;
 
     std::vector<Trace> traces_n;  // abstract error traces in sub.net ids
-    if (abs_race.conclusive && abs_race.winner == 0) {
+    std::vector<Trace> traces;    // the same traces in original-design ids
+    if (abs_race.conclusive && tags[abs_race.winner] == Eng::Bdd) {
       if (reach.status == ReachStatus::Proved) {
-        if (opt.save_var_order) saved_order = save_order(mgr, enc, sub);
+        if (opt.save_var_order) saved_order = save_order(mgr, *enc, sub);
         finish_iteration(it);
         result.verdict = Verdict::Holds;
         break;
@@ -255,10 +347,10 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
       // BadReachable: abstract error trace(s) via the hybrid engine.
       HybridTraceOptions hybrid_opt = opt.hybrid;
       if (hybrid_opt.cancel == nullptr) hybrid_opt.cancel = cancel;
-      traces_n = hybrid_error_traces(enc, sub.net, reach, bad_set,
+      traces_n = hybrid_error_traces(*enc, sub.net, reach, bad_set,
                                      std::max<size_t>(1, opt.traces_per_iteration),
                                      hybrid_opt, &it.hybrid);
-      if (opt.save_var_order) saved_order = save_order(mgr, enc, sub);
+      if (opt.save_var_order) saved_order = save_order(mgr, *enc, sub);
       if (traces_n.empty()) {
         finish_iteration(it);
         result.note = "hybrid trace engine exhausted candidates";
@@ -269,14 +361,22 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
       // still running: the trace is a real trace of the abstract model, so
       // the obligation is BadReachable without any rings.
       it.reach_status = ReachStatus::BadReachable;
-      traces_n.push_back(abs_race.winner == 1 ? atpg_probe.trace : sim_probe);
-      if (opt.save_var_order) saved_order = save_order(mgr, enc, sub);
-      RFN_INFO("iter %zu: %s won the abstract race (%zu cycles)", iter,
-               abs_race.winner_name.c_str(), traces_n.front().cycles());
+      const Eng w = tags[abs_race.winner];
+      if (w == Eng::Sat) {
+        // SAT traces are decoded straight into original-design ids (cut
+        // registers in the input cubes), so they skip trace_to_old below.
+        traces.push_back(std::move(sat_probe.trace));
+      } else {
+        traces_n.push_back(w == Eng::Atpg ? atpg_probe.trace : sim_probe);
+      }
+      if (use_bdd && opt.save_var_order) saved_order = save_order(mgr, *enc, sub);
+      RFN_INFO("iter %zu: %s won the abstract race", iter,
+               abs_race.winner_name.c_str());
     } else {
       // No engine was conclusive: the exact fixpoint ran out of resources
       // and the probes found nothing within their budgets.
-      if (opt.approx_fallback && !deadline.expired() && !should_stop(cancel)) {
+      if (use_bdd && opt.approx_fallback && !deadline.expired() &&
+          !should_stop(cancel)) {
         // Future-work fallback: the overlapping-partition approximate
         // traversal may still prove the property when the exact fixpoint
         // cannot complete on a large abstract model.
@@ -288,7 +388,7 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
                                                     : reach_opt.time_limit_s;
         aopt.max_live_nodes = reach_opt.max_live_nodes;
         const ApproxReachResult approx =
-            approx_forward_reach(enc, enc.initial_states(), bad_set, aopt);
+            approx_forward_reach(*enc, enc->initial_states(), bad_set, aopt);
         if (approx.status == ApproxStatus::Proved) {
           it.approx_proved = true;
           finish_iteration(it);
@@ -321,8 +421,6 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
       break;
     }
 
-    std::vector<Trace> traces;
-    traces.reserve(traces_n.size());
     for (const Trace& t : traces_n) traces.push_back(sub.trace_to_old(t));
     const Trace& abs_trace = traces.front();
     it.trace_cycles = abs_trace.cycles();
@@ -331,41 +429,77 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
 
     // --- Step 3: concretize on the original design (engine race) ---
     // Guided sequential ATPG is conclusive both ways (Sat = real trace,
-    // Unsat = spurious); random simulation of the original design can only
-    // conclude Sat, but a hit is a real error trace found without search.
+    // Unsat = spurious). SAT BMC with every register enabled is also
+    // conclusive both ways at this bounded depth: Sat is a real error trace
+    // (possibly shorter than the abstract one), Unsat proves no trace of
+    // length <= the abstract trace exists — so the trace is spurious, and
+    // the assumption core names the registers the refutation needed (the
+    // refinement hints). Random simulation can only conclude Sat, but a hit
+    // is a real error trace found without search.
     ConcretizeResult conc;
     Trace sim_cex;
     std::vector<PortfolioJob> cjobs;
-    cjobs.push_back({"guided-atpg", -1.0, [&](const CancelToken& token) {
-                       AtpgOptions ao = opt.concretize_atpg;
-                       ao.cancel = &token;
-                       conc = traces.size() == 1
-                                  ? concretize_trace(m, abs_trace, bad, ao)
-                                  : concretize_with_traces(m, traces, bad, ao);
-                       return conc.status != AtpgStatus::Abort;
-                     }});
-    cjobs.push_back({"rand-sim", probe_budget, [&, iter](const CancelToken& token) {
-                       sim_cex = random_sim_error_trace(
-                           m, bad, opt.race_sim_cycles,
-                           0xC0FFEEULL + iter, &token);
-                       return !sim_cex.empty();
-                     }});
-    const RaceResult conc_race = portfolio.race(cjobs, cancel);
+    std::vector<Eng> ctags;
+    if (use_atpg) {
+      cjobs.push_back({"guided-atpg", -1.0, [&](const CancelToken& token) {
+                         AtpgOptions ao = opt.concretize_atpg;
+                         ao.cancel = &token;
+                         conc = traces.size() == 1
+                                    ? concretize_trace(m, abs_trace, bad, ao)
+                                    : concretize_with_traces(m, traces, bad, ao);
+                         return conc.status != AtpgStatus::Abort;
+                       }});
+      ctags.push_back(Eng::Atpg);
+    }
+    if (use_sim) {
+      cjobs.push_back({"rand-sim", probe_budget, [&, iter](const CancelToken& token) {
+                         sim_cex = random_sim_error_trace(
+                             m, bad, opt.race_sim_cycles,
+                             0xC0FFEEULL + iter, &token);
+                         return !sim_cex.empty();
+                       }});
+      ctags.push_back(Eng::Sim);
+    }
+    if (sat_bmc != nullptr) {
+      cjobs.push_back({"sat-bmc", -1.0, [&](const CancelToken& token) {
+                         sat_conc = sat_bmc->check(bad, abs_trace.cycles(),
+                                                   all_regs, &token);
+                         return sat_conc.status != AtpgStatus::Abort;
+                       }});
+      ctags.push_back(Eng::Sat);
+    }
+    RaceResult conc_race;
+    if (!cjobs.empty()) conc_race = portfolio.race(cjobs, cancel);
     it.concretize_engine = conc_race.winner_name;
     it.concretize_race_seconds = conc_race.seconds;
-    if (conc_race.conclusive && conc_race.winner == 1) {
-      it.concretize_status = AtpgStatus::Sat;
-      finish_iteration(it);
-      result.verdict = Verdict::Fails;
-      result.error_trace = sim_cex;
-      break;
+    if (conc_race.conclusive) {
+      const Eng w = ctags[conc_race.winner];
+      if (w == Eng::Sim) {
+        it.concretize_status = AtpgStatus::Sat;
+        finish_iteration(it);
+        result.verdict = Verdict::Fails;
+        result.error_trace = sim_cex;
+        break;
+      }
+      if (w == Eng::Sat) {
+        it.concretize_status = sat_conc.status;
+        if (sat_conc.status == AtpgStatus::Sat) {
+          finish_iteration(it);
+          result.verdict = Verdict::Fails;
+          result.error_trace = sat_conc.trace;
+          break;
+        }
+        // Unsat: spurious; fall through to refinement with the core hints.
+      }
     }
-    it.concretize_status = conc.status;
-    if (conc.status == AtpgStatus::Sat) {
-      finish_iteration(it);
-      result.verdict = Verdict::Fails;
-      result.error_trace = conc.trace;
-      break;
+    if (!conc_race.conclusive || ctags[conc_race.winner] == Eng::Atpg) {
+      it.concretize_status = conc.status;
+      if (conc.status == AtpgStatus::Sat) {
+        finish_iteration(it);
+        result.verdict = Verdict::Fails;
+        result.error_trace = conc.trace;
+        break;
+      }
     }
 
     // --- Step 4: refine ---
@@ -374,8 +508,22 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
       result.note = "cancelled";
       break;
     }
+    // Bounded-UNSAT assumption cores become refinement hints: registers the
+    // refutation needed that the abstraction lacks go to the front of the
+    // candidate list. Hints only — identify_crucial_registers still vets
+    // every one of them — so they steer the refinement, never the verdict.
+    RefineOptions refine_opt = opt.refine;
+    if (opt.sat_core_hints && sat_conc.status == AtpgStatus::Unsat) {
+      for (GateId r : sat_conc.core_registers)
+        if (!std::binary_search(included.begin(), included.end(), r))
+          refine_opt.hints.push_back(r);
+      if (!refine_opt.hints.empty())
+        MetricsRegistry::global()
+            .counter("rfn.sat_hint_registers")
+            .add(refine_opt.hints.size());
+    }
     const std::vector<GateId> crucial = identify_crucial_registers(
-        m, roots, bad, included, abs_trace, opt.refine, &it.refine);
+        m, roots, bad, included, abs_trace, refine_opt, &it.refine);
     finish_iteration(it);
     if (crucial.empty()) {
       result.note = "refinement produced no crucial registers";
@@ -513,6 +661,7 @@ void VerifySession::run_cluster(const std::vector<PropertyRequest>& props,
       for (GateId r : cache.crucial_hints)
         if (std::binary_search(cone.begin(), cone.end(), r)) seeds.push_back(r);
       hooks.subcircuits = &cache.subcircuits;
+      hooks.sat_bmc = &cache.sat_bmc;
       hooks.order_io = &cache.order;
       hooks.order_seeded = order_seeded;
       hooks.seed_registers = &seeds;

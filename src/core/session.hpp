@@ -39,6 +39,7 @@
 #include "core/rfn.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/subcircuit.hpp"
+#include "sat/bmc.hpp"
 
 namespace rfn {
 
@@ -136,9 +137,31 @@ class SubcircuitMemo {
   size_t misses_ = 0;
 };
 
+/// Pool of long-lived incremental SAT BMC instances keyed by design
+/// identity. One instance accumulates learned clauses and unrolled frames
+/// across every solve it answers, so handing the same instance to every run
+/// on a design is where the incremental formulation pays off. Like
+/// SubcircuitMemo it is single-threaded by design: each cluster job owns one
+/// pool, and within a run the portfolio's race barrier is the happens-before
+/// edge between uses (same single-owner rule as a BddMgr).
+class SatBmcPool {
+ public:
+  /// Returns the pooled instance for `m`, creating it on first use. The
+  /// netlist is keyed by address and must stay alive (and only grow — see
+  /// BmcEncoder) for the pool's lifetime.
+  SatBmc& get(const Netlist& m);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<const Netlist*, std::unique_ptr<SatBmc>> map_;
+};
+
 /// Cross-property reuse state carried along one cluster's runs.
 struct ReuseCache {
   SubcircuitMemo subcircuits;
+  /// Incremental SAT BMC instances shared across the cluster's runs.
+  SatBmcPool sat_bmc;
   /// Final variable order of the previous run (original-design ids —
   /// portable across the augmented and original netlists, whose ids
   /// coincide).
@@ -167,6 +190,9 @@ struct RunHooks {
   /// Out: every crucial register chosen by Step 4, appended in discovery
   /// order (duplicates possible across iterations are not re-added).
   std::vector<GateId>* crucial_out = nullptr;
+  /// Pooled incremental SAT BMC instances; null makes the run build its own
+  /// per-run instance when the "sat" engine is enabled.
+  SatBmcPool* sat_bmc = nullptr;
 };
 
 /// The single-property abstraction-refinement engine (the loop that used to

@@ -48,9 +48,19 @@ json::Value iteration_json(size_t index, const RfnIteration& it) {
   conc.set("status", to_string(it.concretize_status));
   o.set("concretize", std::move(conc));
 
+  // SAT BMC activity (solver-stat deltas over the shared incremental
+  // instance); all-zero when the engine is disabled.
+  Value sat = Value::object();
+  sat.set("conflicts", it.sat_conflicts);
+  sat.set("propagations", it.sat_propagations);
+  sat.set("depth", it.sat_depth);
+  sat.set("core_size", it.sat_core_size);
+  o.set("sat", std::move(sat));
+
   Value refine = Value::object();
   refine.set("conflict_candidates", it.refine.conflict_candidates);
   refine.set("fallback_candidates", it.refine.fallback_candidates);
+  refine.set("hint_candidates", it.refine.hint_candidates);
   refine.set("added_until_unsat", it.refine.added_until_unsat);
   refine.set("removed_by_greedy", it.refine.removed_by_greedy);
   refine.set("final_count", it.refine.final_count);

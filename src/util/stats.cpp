@@ -92,6 +92,8 @@ std::string format_engine_stats(const MetricsSnapshot& s) {
              count("atpg.seq.backtracks") + " backtracks", "-"});
   t.add_row({"hybrid", count("hybrid.walks"),
              count("hybrid.atpg_calls") + " atpg calls", "-"});
+  t.add_row({"sat-bmc", count("sat.checks"),
+             count("sat.conflicts") + " conflicts", "-"});
   return t.to_string();
 }
 

@@ -221,10 +221,13 @@ TEST(TraceJson, CliGoldenSchema) {
     ASSERT_EQ(it.find("type")->as_string(), "iteration") << "line " << i;
     EXPECT_EQ(it.find("iter")->as_uint(), i);
     for (const char* key : {"abstraction", "reach", "bdd", "hybrid",
-                            "concretize", "refine", "engines"})
+                            "concretize", "sat", "refine", "engines"})
       ASSERT_NE(it.find(key), nullptr) << key << " missing at line " << i;
     EXPECT_GE(it.find_path("abstraction.regs")->as_uint(), 1u);
     EXPECT_GT(it.find_path("bdd.peak_nodes")->as_uint(), 0u);
+    for (const char* key : {"sat.conflicts", "sat.depth", "sat.core_size",
+                            "refine.hint_candidates"})
+      ASSERT_NE(it.find_path(key), nullptr) << key << " missing at line " << i;
     ASSERT_NE(it.find_path("engines.abstract.winner"), nullptr);
     ASSERT_NE(it.find_path("engines.abstract.seconds"), nullptr);
     EXPECT_FALSE(it.find_path("reach.status")->as_string().empty());

@@ -5,6 +5,9 @@
 //   * sequential ATPG by iterative deepening: first Sat depth must equal
 //     the first bad ring index + 1, and Proved designs are Unsat at every
 //     depth within the diameter;
+//   * SAT BMC with every register enabled: same shortest-trace depth as the
+//     BDD rings, decoded traces replay and certify, safe designs are Unsat
+//     within the diameter with a core drawn from the register set;
 //   * 64-way random simulation: every visited state lies in the BDD
 //     fixpoint, hits imply BadReachable at a consistent depth;
 //   * the portfolio's random-simulation trace adapter: returned traces
@@ -24,12 +27,14 @@
 
 #include "atpg/seq_atpg.hpp"
 #include "core/bfs_baseline.hpp"
+#include "core/certify.hpp"
 #include "core/portfolio.hpp"
 #include "core/rfn.hpp"
 #include "mc/image.hpp"
 #include "mc/reach.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/builder.hpp"
+#include "sat/bmc.hpp"
 #include "sim/sim3.hpp"
 #include "sim/sim64.hpp"
 #include "util/rng.hpp"
@@ -126,6 +131,35 @@ void check_engines_agree(const Netlist& m, uint64_t seed, size_t round) {
     EXPECT_EQ(atpg_first_sat, 0u)
         << "ATPG found a trace on a design the BDD engine proved safe";
 
+  // SAT BMC with the full register set: a concrete bounded check whose
+  // first Sat depth is pinned by the same ring index, and whose decoded
+  // trace must replay and certify. Safe designs are Unsat through the
+  // diameter + 1 with a core drawn from the design's registers.
+  {
+    SatBmc bmc(m);
+    const SatBmcResult r = bmc.check(bad, full.rings.size() + 1, m.regs());
+    ASSERT_NE(r.status, AtpgStatus::Abort);
+    if (reach.status == ReachStatus::BadReachable) {
+      EXPECT_EQ(r.status, AtpgStatus::Sat)
+          << "SAT BMC missed a trace the BDD engine found";
+      if (r.status == AtpgStatus::Sat) {
+        EXPECT_EQ(r.depth, reach.steps + 1)
+            << "SAT BMC minimal depth disagrees with the first bad ring";
+        EXPECT_EQ(r.trace.cycles(), r.depth);
+        EXPECT_EQ(simulate_trace(m, r.trace, bad), Tri::T)
+            << "SAT BMC trace does not replay";
+        EXPECT_TRUE(certify_error_trace(m, r.trace, bad).ok)
+            << "SAT BMC trace fails certification";
+      }
+    } else {
+      EXPECT_EQ(r.status, AtpgStatus::Unsat)
+          << "SAT BMC found a trace on a design the BDD engine proved safe";
+      for (const GateId reg : r.core_registers) {
+        EXPECT_TRUE(m.is_reg(reg)) << "core names a non-register gate";
+      }
+    }
+  }
+
   // Random simulation: every visited state must lie inside the fixpoint,
   // and a bad hit at cycle c implies a trace of c+1 cycles, which the BDD
   // side caps from below by its first bad ring.
@@ -206,9 +240,10 @@ void check_engines_agree(const Netlist& m, uint64_t seed, size_t round) {
       EXPECT_EQ(res.verdict, expect)
           << "RFN (workers=" << workers << ") disagrees with the BDD ground "
           << "truth; note: " << res.note;
-      if (res.verdict == Verdict::Fails)
+      if (res.verdict == Verdict::Fails) {
         EXPECT_EQ(simulate_trace(m, res.error_trace, bad), Tri::T)
             << "RFN error trace (workers=" << workers << ") does not replay";
+      }
     }
   }
 }

@@ -20,14 +20,14 @@ tolerance; the BDD peak-node counter is deterministic for a fixed workload
 and is the gate's sharp edge.
 
 Usage:
-  bench/micro_engines --benchmark_filter='Portfolio|Session' --json current.json
+  bench/micro_engines --benchmark_filter='Portfolio|Session|SatBmc' --json current.json
   tools/bench_gate.py --baseline BENCH_portfolio.json --current current.json
 
 Re-baselining (after an intentional perf change): regenerate the baseline
 from a Release build and commit it together with the change that moved it:
 
   cmake -B build -S . -DCMAKE_BUILD_TYPE=Release && cmake --build build -j
-  ./build/bench/micro_engines --benchmark_filter='Portfolio|Session' \
+  ./build/bench/micro_engines --benchmark_filter='Portfolio|Session|SatBmc' \
       --json BENCH_portfolio.json
 
 and say why in the commit message.

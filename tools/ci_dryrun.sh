@@ -53,11 +53,16 @@ for san in "${sanitizers[@]}"; do
   note "sanitize ($san)"
   dir="build-ci-sanitize-${san//,/-}"
   build_and_test "$dir" -DCMAKE_BUILD_TYPE=RelWithDebInfo -DRFN_SANITIZE="$san"
+  note "sanitize ($san): SAT engine suite + budgeted bdd+sat run"
+  "./$dir/tests/sat_test"
+  "./$dir/tools/rfn" verify builtin:processor --bad error_flag \
+    --engine bdd,sat --workers 3 --budget-ms 5000 --certify
   if [[ $san == thread ]]; then
     note "sanitize (thread): concurrency suites"
     "./$dir/tests/portfolio_test"
     "./$dir/tests/netlist_fuzz_test"
     "./$dir/tests/trace_span_test"
+    "./$dir/tests/sat_test"
     note "sanitize (thread): budgeted resource-out run"
     # Must degrade cleanly (exit exactly 1: inconclusive verdict, not a
     # TSan abort) with a budget-trip span.
@@ -91,11 +96,12 @@ python3 tools/trace_report.py build-ci-bench/run-spans.json
 # Batch verification of every shipped design's property suite through a
 # VerifySession, each rfn-trace-v2 artifact re-validated by trace_report.py.
 # Exit 0 requires every verdict conclusive (the processor suite contains an
-# intentionally VIOLATED property).
+# intentionally VIOLATED property) and every conclusive verdict certified
+# (--certify: trace replay for Fails, inductive invariant for Holds).
 note "bench-gate: batch verification of the shipped designs"
 run_batch() { # <out> <design args...>
   local out=$1; shift
-  ./build-ci-bench/tools/rfn verify "$@" --trace-json "$out"
+  ./build-ci-bench/tools/rfn verify "$@" --trace-json "$out" --certify
   python3 tools/trace_report.py --batch "$out"
 }
 run_batch build-ci-bench/batch-fifo.jsonl builtin:fifo \
@@ -107,7 +113,7 @@ run_batch build-ci-bench/batch-iu.jsonl builtin:iu \
 run_batch build-ci-bench/batch-usb.jsonl builtin:usb \
   --bad usb1_0 --bad usb1_1 --bad usb2_0 --bad usb2_1
 
-./build-ci-bench/bench/micro_engines --benchmark_filter='Portfolio|Session' \
+./build-ci-bench/bench/micro_engines --benchmark_filter='Portfolio|Session|SatBmc' \
   --json build-ci-bench/bench-current.json
 python3 tools/bench_gate.py --baseline BENCH_portfolio.json \
   --current build-ci-bench/bench-current.json

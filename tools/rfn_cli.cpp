@@ -11,7 +11,12 @@
 // options:
 //   --time-limit S     wall-clock budget (default 300)
 //   --workers N        engine-portfolio worker threads (default 0: sequential)
-//   --certify          independently re-check the verdict
+//   --engine LIST      engines entering the races, comma-separated subset of
+//                      bdd,atpg,sim,sat (repeatable; default: all four).
+//                      Unknown names are rejected up front. Only bdd can
+//                      prove HOLDS; a list without it can only falsify.
+//   --certify          independently re-check the verdict (single and batch
+//                      runs; batch certifies every HOLDS/VIOLATED member)
 //   --traces N         abstract traces per iteration (default 1)
 //   --no-approx        disable the overlapping-partition fallback
 //   --dump-trace       print the error trace on Fails
@@ -253,9 +258,31 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
     if (r.verdict != Verdict::Holds && r.verdict != Verdict::Fails)
       all_conclusive = false;
   }
+  // --certify: every conclusive member verdict is re-checked through the
+  // independent certification paths (trace replay for VIOLATED, inductive
+  // invariant on the final abstraction for HOLDS). For clustered verdicts
+  // the shared run's final register set certifies the member property: the
+  // member's bad signal implies the disjunction root, so the abstraction
+  // that proved the disjunction unreachable covers the member too.
+  bool certified_ok = true;
+  if (opts.get_bool("certify", false)) {
+    for (const PropertyResult& r : results) {
+      if (r.verdict != Verdict::Holds && r.verdict != Verdict::Fails) continue;
+      RfnResult rr = r.stats;
+      rr.verdict = r.verdict;
+      rr.error_trace = r.trace;
+      const CertifyResult cert =
+          certify(design, r.bad, rr, r.stats.final_registers);
+      std::printf("certificate %-24s %s%s%s\n", r.name.c_str(),
+                  cert.ok ? "OK" : "FAILED", cert.ok ? "" : " — ",
+                  cert.ok ? "" : cert.detail.c_str());
+      if (!cert.ok) certified_ok = false;
+    }
+  }
   if (opts.get_bool("metrics", false))
     std::printf("metrics: %s\n",
                 MetricsRegistry::global().to_json(&baseline).dump(2).c_str());
+  if (!certified_ok) return 3;
   return all_conclusive ? 0 : 1;
 }
 
@@ -267,6 +294,12 @@ int cmd_verify(const Netlist& design, const Options& opts) {
   rfn_opts.portfolio_workers = static_cast<size_t>(opts.get_int("workers", 0));
   rfn_opts.budget_ms = opts.get_double("budget-ms", -1.0);
   rfn_opts.budget_bdd_nodes = opts.get_int("budget-bdd-nodes", 0);
+  for (const std::string& list : opts.get_all("engine")) {
+    std::stringstream es(list);
+    std::string e;
+    while (std::getline(es, e, ','))
+      if (!e.empty()) rfn_opts.engines.push_back(e);
+  }
   if (report_invalid(rfn_opts)) return 2;
 
   // Collect the property set: every --bad plus every --props line. More

@@ -15,9 +15,11 @@ built-in good and bad synthetic traces and needs no input file.
 With `--batch` the input is instead an rfn-trace-v2 JSON Lines file from a
 batch run (`rfn verify ... --bad A --bad B --trace-json FILE`): one
 "property" record per property plus a final "batch-summary". The validator
-checks the version tag, the per-record shape, the verdict spellings, and
-that the summary's property/verdict counts match the records, then prints a
-per-property table.
+checks the version tag, the per-record shape, the verdict spellings, that
+the summary's property/verdict counts match the records, and that the
+summary's metrics dump (when present) is well-formed, then prints a
+per-property table plus a SAT-engine activity line (checks, conflicts,
+refinement-hint registers) when the sat engine ran.
 
 Report sections:
   * run summary — total wall time reconstructed from the rfn.run span
@@ -139,7 +141,28 @@ def validate_batch(records):
         if declared.get(verdict, 0) != counts[verdict]:
             fail(f"summary says {declared.get(verdict, 0)} x {verdict!r}, "
                  f"property records say {counts[verdict]}")
+    metrics = summary.get("metrics")
+    if metrics is not None:
+        if not isinstance(metrics, dict):
+            fail("summary metrics is not an object")
+        counters = metrics.get("counters", {})
+        if not isinstance(counters, dict):
+            fail("summary metrics.counters is not an object")
     return props, summary
+
+
+def sat_summary_line(summary):
+    """One-line SAT-engine activity digest from the batch-summary metrics,
+    or None when the sat engine never ran in this batch."""
+    counters = summary.get("metrics", {}).get("counters", {})
+    checks = counters.get("sat.checks", 0)
+    if not checks:
+        return None
+    return (f"sat: checks={checks} conflicts={counters.get('sat.conflicts', 0)} "
+            f"solve_calls={counters.get('sat.solve_calls', 0)} "
+            f"core_registers={counters.get('sat.core_registers', 0)} "
+            f"hint_registers={counters.get('rfn.sat_hint_registers', 0)} "
+            f"wins={counters.get('portfolio.wins.sat-bmc', 0)}")
 
 
 def report_batch(path):
@@ -171,6 +194,9 @@ def report_batch(path):
         print(f"{r['name']:<24} {r['verdict']:<12} {r['cluster']:>7} "
               f"{('yes' if r['clustered'] else 'no'):>9} "
               f"{r['iterations']:>5} {r['seconds']:>9.3f}")
+    sat_line = sat_summary_line(summary)
+    if sat_line:
+        print(f"\n{sat_line}")
     return 0
 
 
@@ -311,7 +337,11 @@ def synthetic_batch_trace():
         {"type": "batch-summary", "trace_version": BATCH_TRACE_VERSION,
          "properties": 2, "clusters": 1,
          "verdicts": {"T": 1, "F": 1, "?": 0, "resource-out": 0},
-         "seconds": 0.5, "metrics": {}},
+         "seconds": 0.5,
+         "metrics": {"counters": {"sat.checks": 3, "sat.conflicts": 17,
+                                  "sat.solve_calls": 9,
+                                  "rfn.sat_hint_registers": 2,
+                                  "portfolio.wins.sat-bmc": 1}}},
     ]
 
 
@@ -361,9 +391,19 @@ def self_check():
             return None
         return f"self-check: {expect} not detected"
 
+    sat_line = sat_summary_line(good_batch[-1])
+    if not sat_line or "checks=3" not in sat_line or "hint_registers=2" not in sat_line:
+        failures.append("self-check: SAT batch summary line malformed: "
+                        f"{sat_line!r}")
+    if sat_summary_line({"metrics": {"counters": {}}}) is not None:
+        failures.append("self-check: SAT summary line printed for a batch "
+                        "where the sat engine never ran")
+
     failures += [f for f in (
         corrupt_batch(lambda d: d[-1].update(trace_version="rfn-trace-v1"),
                       "wrong batch trace_version"),
+        corrupt_batch(lambda d: d[-1].update(metrics=[1, 2]),
+                      "non-object summary metrics"),
         corrupt_batch(lambda d: d.pop(),  # drop the batch-summary
                       "missing batch-summary"),
         corrupt_batch(lambda d: d.__delitem__(0),  # one record per property
