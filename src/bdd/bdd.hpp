@@ -194,6 +194,18 @@ class BddMgr {
   /// Up to `limit` distinct satisfying path-cubes of f in DFS order. The
   /// hybrid trace engine iterates these when ATPG rejects a candidate.
   std::vector<std::vector<BddLit>> first_cubes(const Bdd& f, size_t limit);
+  /// Top variable of f (the one at the highest level in f's DAG);
+  /// kNoTopVar for terminals. f must be non-null.
+  static constexpr BddVar kNoTopVar = 0xFFFFFFFFu;
+  BddVar top_var(const Bdd& f) const;
+  /// Irredundant sum-of-products (Minato-Morreale ISOP): a cube cover whose
+  /// disjunction is exactly f, appended to `out` with each cube's literals
+  /// sorted by variable. Returns false — with `out` cleared — when the
+  /// cover exceeds `max_cubes` cubes or the node budget trips mid-way.
+  /// Certificate extraction turns the cover of a reached-set complement
+  /// into invariant clauses.
+  bool isop_cover(const Bdd& f, size_t max_cubes,
+                  std::vector<std::vector<BddLit>>* out);
   /// Evaluates f under a total assignment (indexed by variable).
   bool eval(const Bdd& f, const std::vector<bool>& assignment);
   /// DAG size of f (internal nodes, excluding terminals).

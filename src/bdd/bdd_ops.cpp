@@ -291,6 +291,82 @@ std::vector<std::vector<BddLit>> BddMgr::first_cubes(const Bdd& f, size_t limit)
   return cubes;
 }
 
+BddVar BddMgr::top_var(const Bdd& f) const {
+  RFN_CHECK(!f.is_null() && f.mgr() == this, "top_var: bad operand");
+  if (f.id() < 2) return kNoTopVar;
+  return nodes_[f.id()].var;
+}
+
+namespace {
+
+// Minato-Morreale ISOP over the interval [L, U]: returns the cover as a BDD
+// (exactly L when L == U on entry) and appends its cubes to `out`, or a null
+// handle when the cube limit or the manager's node budget trips. Uses only
+// public BddMgr operations, so each step is a GC-safe point.
+Bdd isop_rec(BddMgr& mgr, const Bdd& L, const Bdd& U, size_t max_cubes,
+             std::vector<std::vector<BddLit>>& out) {
+  if (L.is_false()) return mgr.bdd_false();
+  if (U.is_true()) {
+    out.push_back({});
+    return out.size() > max_cubes ? Bdd() : mgr.bdd_true();
+  }
+  // Branch on the top variable of the interval.
+  const BddVar vl = mgr.top_var(L);
+  const BddVar vu = mgr.top_var(U);
+  BddVar v;
+  if (vl == BddMgr::kNoTopVar) {
+    v = vu;
+  } else if (vu == BddMgr::kNoTopVar) {
+    v = vl;
+  } else {
+    v = mgr.level_of(vl) <= mgr.level_of(vu) ? vl : vu;
+  }
+  const Bdd l0 = mgr.cofactor(L, v, false), l1 = mgr.cofactor(L, v, true);
+  const Bdd u0 = mgr.cofactor(U, v, false), u1 = mgr.cofactor(U, v, true);
+  if (l0.is_null() || l1.is_null() || u0.is_null() || u1.is_null()) return Bdd();
+
+  // Cubes forced to carry !v: the part of l0 that cannot extend to v = 1.
+  const size_t mark0 = out.size();
+  const Bdd s0 = isop_rec(mgr, l0.diff(u1), u0, max_cubes, out);
+  if (s0.is_null()) return Bdd();
+  for (size_t i = mark0; i < out.size(); ++i) out[i].push_back({v, false});
+  // Cubes forced to carry v.
+  const size_t mark1 = out.size();
+  const Bdd s1 = isop_rec(mgr, l1.diff(u0), u1, max_cubes, out);
+  if (s1.is_null()) return Bdd();
+  for (size_t i = mark1; i < out.size(); ++i) out[i].push_back({v, true});
+  // What remains of L must be covered by v-free cubes, valid on both sides.
+  const Bdd rest = l0.diff(s0) | l1.diff(s1);
+  const Bdd both = u0 & u1;
+  if (rest.is_null() || both.is_null()) return Bdd();
+  const Bdd sd = isop_rec(mgr, rest, both, max_cubes, out);
+  if (sd.is_null()) return Bdd();
+  const Bdd cover = (mgr.nvar(v) & s0) | (mgr.var(v) & s1) | sd;
+  return cover.is_null() ? Bdd() : cover;
+}
+
+}  // namespace
+
+bool BddMgr::isop_cover(const Bdd& f, size_t max_cubes,
+                        std::vector<std::vector<BddLit>>* out) {
+  RFN_CHECK(!f.is_null() && f.mgr() == this && out != nullptr,
+            "isop_cover: bad operand");
+  const size_t mark = out->size();
+  const Bdd cover = isop_rec(*this, f, f, max_cubes, *out);
+  // With L == U the cover is exact by construction; a mismatch means a
+  // budget-truncated intermediate slipped through, so reject it like an
+  // overflow rather than hand back a wrong invariant.
+  if (cover.is_null() || !(cover == f)) {
+    out->resize(mark);
+    return false;
+  }
+  for (size_t i = mark; i < out->size(); ++i) {
+    std::sort(out->at(i).begin(), out->at(i).end(),
+              [](const BddLit& a, const BddLit& b) { return a.var < b.var; });
+  }
+  return true;
+}
+
 bool BddMgr::eval(const Bdd& f, const std::vector<bool>& assignment) {
   RFN_CHECK(!f.is_null() && f.mgr() == this, "eval: bad operand");
   uint32_t node = f.id();

@@ -1,0 +1,64 @@
+#pragma once
+// Independent certificate checker: discharges an rfn-cert-v1 witness
+// against a re-elaborated design using only the netlist layer and the CDCL
+// SAT solver — no BDDs, no model checker, none of the engines whose answer
+// the witness is supposed to vouch for. This is the trust boundary of the
+// whole verification service: a consumer need only trust this checker (and
+// the solver under it), never the CEGAR loop.
+//
+// For a holds-invariant witness the invariant Inv — a conjunction of
+// clauses over the abstraction's registers, every other register and every
+// primary input left free (the abstraction's pseudo-input semantics) — is
+// checked inductive and safe via three SAT obligations, each of which must
+// be UNSAT:
+//
+//   initiation   init ∧ ¬Inv            (binary-initialized scope registers
+//                                        pinned to their reset values)
+//   consecution  Inv ∧ T ∧ ¬Inv′        (T = one copy of each scope
+//                                        register's next-state cone, cut at
+//                                        all register boundaries)
+//   safety       Inv ∧ bad              (bad's combinational cone, cut the
+//                                        same way)
+//
+// For a fails-trace witness the embedded trace is replayed through the SAT
+// BMC encoding with every cone register's semantics enabled and the trace's
+// state/input literals assumed: a Sat answer proves the design truly
+// reaches bad at the trace's final cycle.
+//
+// A refuted obligation comes back by name together with the satisfying
+// assignment over the scope registers, so a bogus witness is a diagnosis,
+// not a shrug.
+
+#include <string>
+
+#include "cert/format.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rfn::cert {
+
+// Obligation names reported on refutation (stable strings; tests and the
+// trace schema match on them).
+inline constexpr const char* kObligationFormat = "format";
+inline constexpr const char* kObligationDesignHash = "design-hash";
+inline constexpr const char* kObligationInitiation = "initiation";
+inline constexpr const char* kObligationConsecution = "consecution";
+inline constexpr const char* kObligationSafety = "safety";
+inline constexpr const char* kObligationTraceReplay = "trace-replay";
+
+struct CheckResult {
+  bool ok = false;
+  /// Empty when ok; otherwise the failing obligation (one of the
+  /// kObligation* constants above).
+  std::string obligation;
+  /// Human diagnostic; on a refuted SAT obligation includes the satisfying
+  /// assignment over the scope registers.
+  std::string detail;
+};
+
+/// Checks `cert` against design `m`. Verifies the design fingerprint first
+/// (kObligationDesignHash), then the structural fit of the witness to the
+/// design (kObligationFormat: property root and scope registers must exist),
+/// then discharges the kind-specific obligations described above.
+CheckResult check_certificate(const Netlist& m, const Certificate& cert);
+
+}  // namespace rfn::cert

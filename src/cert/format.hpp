@@ -1,0 +1,77 @@
+#pragma once
+// The `rfn-cert-v1` witness format: a self-contained, serializable proof
+// artifact for a concluded property, checkable without trusting (or even
+// linking) the engines that produced the verdict.
+//
+// Two kinds, one per verdict polarity:
+//
+//   * holds-invariant — an inductive invariant over the final abstraction's
+//     registers, in clause form. `registers` lists the abstraction's
+//     register GateIds (sorted ascending); each clause is a list of
+//     DIMACS-style literals ±(index+1) into that list. The invariant is the
+//     conjunction of the clauses; a state satisfies a clause when some
+//     literal matches the state's value of the indexed register. Because
+//     the abstraction frees every other register (netlist/subcircuit.hpp
+//     pseudo-input semantics), an invariant inductive for the abstraction
+//     is inductive for the design, so the three checker obligations
+//     (cert/check.hpp) discharge the original property.
+//
+//   * fails-trace — the error trace embedded verbatim: per cycle a register
+//     state cube and an input cube, signals named by design GateId.
+//
+// Both carry the design fingerprint (netlist/analysis.hpp design_hash) so a
+// witness cannot be replayed against a different design, plus the property
+// root's GateId and output name.
+//
+// JSON schema ("rfn-cert-v1", one object per file):
+//   {"format":"rfn-cert-v1","kind":"holds-invariant|fails-trace",
+//    "design":{"hash":"<16 hex>","regs":..,"inputs":..,"gates":..},
+//    "property":{"name":"..","bad":..},
+//    "abstraction":{"registers":[..]},        // holds-invariant only
+//    "invariant":{"clauses":[[±lit,..],..]},  // holds-invariant only
+//    "trace":{"steps":[{"state":[[id,0|1],..],
+//                       "inputs":[[id,0|1],..]},..]}}  // fails-trace only
+//
+// This header deliberately depends on nothing beyond the netlist layer:
+// rfn_check links it together with cert/check.hpp and the SAT solver only.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn::cert {
+
+enum class CertKind : uint8_t { HoldsInvariant, FailsTrace };
+
+const char* cert_kind_name(CertKind k);  // "holds-invariant" / "fails-trace"
+
+struct Certificate {
+  CertKind kind = CertKind::HoldsInvariant;
+  /// netlist/analysis.hpp design_hash of the design the witness is for.
+  uint64_t design_hash = 0;
+  /// Informational shape of that design (regs/inputs/comb gates).
+  size_t design_regs = 0, design_inputs = 0, design_gates = 0;
+  std::string property_name;
+  GateId bad = kNullGate;
+
+  // holds-invariant payload.
+  std::vector<GateId> registers;              // sorted ascending, unique
+  std::vector<std::vector<int32_t>> clauses;  // ±(index into registers + 1)
+
+  // fails-trace payload.
+  Trace trace;
+};
+
+/// Serializes to the rfn-cert-v1 JSON document (pretty-printed).
+std::string to_json(const Certificate& c);
+
+/// Strict parse + structural validation of an rfn-cert-v1 document. On
+/// failure returns false and stores a one-line diagnostic in `error`
+/// (missing/mistyped fields, unsorted register list, out-of-range clause
+/// literals, empty clause, malformed trace, truncated JSON, ...).
+bool from_json(std::string_view text, Certificate* out, std::string* error);
+
+}  // namespace rfn::cert

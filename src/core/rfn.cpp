@@ -14,13 +14,23 @@ bool RfnOptions::engine_enabled(const char* name) const {
 
 std::vector<std::string> RfnOptions::validate() const {
   std::vector<std::string> errors;
+  // Single source of truth for the portfolio's engine names; the rejection
+  // message spells out the whole valid set so a typo is self-correcting.
   static const char* const kEngines[] = {"bdd", "atpg", "sim", "sat"};
+  static const std::string kEngineList = [] {
+    std::string list;
+    for (const char* name : kEngines) {
+      if (!list.empty()) list += ",";
+      list += name;
+    }
+    return list;
+  }();
   for (const std::string& e : engines) {
     const bool known = std::find(std::begin(kEngines), std::end(kEngines), e) !=
                        std::end(kEngines);
     if (!known)
-      errors.push_back("unknown engine \"" + e +
-                       "\" (expected a subset of bdd,atpg,sim,sat)");
+      errors.push_back("unknown engine \"" + e + "\" (valid engines: " +
+                       kEngineList + ")");
   }
   if (race_sat_max_depth == 0)
     errors.push_back("race_sat_max_depth must be >= 1");

@@ -143,10 +143,25 @@ json::Value property_json(const PropertyResult& r) {
   return o;
 }
 
+json::Value certificate_json(const CertificateRecord& r) {
+  using json::Value;
+  Value o = Value::object();
+  o.set("type", "certificate");
+  o.set("property", r.property);
+  o.set("kind", r.kind);
+  o.set("ok", r.ok);
+  o.set("clauses", r.clauses);
+  o.set("trace_cycles", r.trace_cycles);
+  o.set("obligation", r.obligation);
+  o.set("seconds", r.seconds);
+  return o;
+}
+
 void write_batch_trace_json(std::ostream& os,
                             const std::vector<PropertyResult>& results,
                             size_t num_clusters, double seconds,
-                            const MetricsSnapshot* baseline) {
+                            const MetricsSnapshot* baseline,
+                            const std::vector<CertificateRecord>* certificates) {
   using json::Value;
   size_t holds = 0, fails = 0, unknown = 0, resource_out = 0;
   for (const PropertyResult& r : results) {
@@ -156,6 +171,13 @@ void write_batch_trace_json(std::ostream& os,
       case Verdict::Fails: ++fails; break;
       case Verdict::Unknown: ++unknown; break;
       case Verdict::ResourceOut: ++resource_out; break;
+    }
+  }
+  size_t cert_ok = 0, cert_failed = 0;
+  if (certificates != nullptr) {
+    for (const CertificateRecord& r : *certificates) {
+      os << certificate_json(r).dump() << "\n";
+      ++(r.ok ? cert_ok : cert_failed);
     }
   }
   Value o = Value::object();
@@ -169,6 +191,12 @@ void write_batch_trace_json(std::ostream& os,
   verdicts.set(to_string(Verdict::Unknown), unknown);
   verdicts.set(to_string(Verdict::ResourceOut), resource_out);
   o.set("verdicts", std::move(verdicts));
+  if (certificates != nullptr) {
+    Value certs = Value::object();
+    certs.set("ok", cert_ok);
+    certs.set("failed", cert_failed);
+    o.set("certificates", std::move(certs));
+  }
   o.set("seconds", seconds);
   o.set("metrics", MetricsRegistry::global().to_json(baseline));
   os << o.dump() << "\n";

@@ -78,12 +78,35 @@ void write_trace_json(std::ostream& os, const RfnResult& res);
 /// One session property outcome as a JSON object (`"type":"property"`).
 json::Value property_json(const PropertyResult& r);
 
+/// One certification outcome per conclusive property, written by --certify
+/// runs between the property records and the batch summary:
+///   {"type":"certificate","property":"..","kind":"holds-invariant|fails-trace",
+///    "ok":..,"clauses":..,"trace_cycles":..,"obligation":"..","seconds":..}
+/// `obligation` is empty when ok; otherwise the failing checker obligation
+/// (cert/check.hpp) or "extraction" when no witness could be built.
+struct CertificateRecord {
+  std::string property;
+  std::string kind;
+  bool ok = false;
+  size_t clauses = 0;
+  size_t trace_cycles = 0;
+  std::string obligation;
+  double seconds = 0.0;
+};
+
+json::Value certificate_json(const CertificateRecord& r);
+
 /// Writes a session batch as JSON Lines (rfn-trace-v2): one property record
-/// per result, then the batch summary. `seconds` is the batch wall time;
-/// `baseline` (optional) scopes the embedded metrics dump to the batch.
+/// per result, then one certificate record per entry of `certificates`
+/// (when non-null; --certify batches pass the per-property certification
+/// outcomes), then the batch summary — which gains a "certificates"
+/// {"ok":..,"failed":..} object when records were written. `seconds` is the
+/// batch wall time; `baseline` (optional) scopes the embedded metrics dump
+/// to the batch.
 void write_batch_trace_json(std::ostream& os,
                             const std::vector<PropertyResult>& results,
                             size_t num_clusters, double seconds,
-                            const MetricsSnapshot* baseline = nullptr);
+                            const MetricsSnapshot* baseline = nullptr,
+                            const std::vector<CertificateRecord>* certificates = nullptr);
 
 }  // namespace rfn

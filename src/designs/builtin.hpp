@@ -1,0 +1,20 @@
+#pragma once
+// The shipped generated designs behind the `builtin:` scheme — one place
+// that fixes the parameterizations and the exported property outputs, shared
+// by rfn_cli, rfn_check and the test suites so a certificate produced by one
+// binary hashes identically when re-elaborated by another.
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn::designs {
+
+/// Builds builtin design `name` ("fifo", "processor", "iu", "usb") with the
+/// canonical small parameterization and its property signals exported as
+/// named outputs (fifo: bad_full_q/bad_af_q/bad_hf_q; processor:
+/// bad_mutex/error_flag; iu: iu0..iu4; usb: usb1_*/usb2_*). Unknown names
+/// set *ok = false and return an empty netlist.
+Netlist make_builtin(const std::string& name, bool* ok);
+
+}  // namespace rfn::designs

@@ -181,4 +181,47 @@ double jaccard_overlap(const std::vector<GateId>& a, const std::vector<GateId>& 
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
+namespace {
+
+struct Fnv1a {
+  uint64_t h = 0xCBF29CE484222325ull;
+
+  void byte(uint8_t b) { h = (h ^ b) * 0x00000100000001B3ull; }
+  void u32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) byte(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void str(const std::string& s) {
+    u32(static_cast<uint32_t>(s.size()));
+    for (char c : s) byte(static_cast<uint8_t>(c));
+  }
+};
+
+}  // namespace
+
+uint64_t design_hash(const Netlist& n) {
+  Fnv1a f;
+  f.u32(static_cast<uint32_t>(n.size()));
+  for (GateId g = 0; g < n.size(); ++g) {
+    const Gate& gate = n.gate(g);
+    f.byte(static_cast<uint8_t>(gate.type));
+    f.byte(gate.type == GateType::Reg ? static_cast<uint8_t>(gate.init) : 0);
+    f.u32(static_cast<uint32_t>(gate.fanins.size()));
+    for (GateId in : gate.fanins) f.u32(in);
+  }
+  f.u32(static_cast<uint32_t>(n.outputs().size()));
+  for (const auto& [name, g] : n.outputs()) {
+    f.str(name);
+    f.u32(g);
+  }
+  return f.h;
+}
+
+std::string design_hash_hex(const Netlist& n) {
+  const uint64_t h = design_hash(n);
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i)
+    out[15 - i] = "0123456789abcdef"[(h >> (4 * i)) & 0xF];
+  return out;
+}
+
 }  // namespace rfn

@@ -63,4 +63,14 @@ std::vector<GateId> closest_registers(const Netlist& n, const std::vector<GateId
 /// the overlap of their register cones (coi_registers).
 double jaccard_overlap(const std::vector<GateId>& a, const std::vector<GateId>& b);
 
+/// FNV-1a structural fingerprint of a design: gate types, fanin lists,
+/// register initial values, and the named-output table. Two elaborations of
+/// the same source hash equal, and any edit that can change verification
+/// semantics changes the hash. Certificates (cert/format.hpp) embed it so a
+/// witness can never be checked against the wrong design.
+uint64_t design_hash(const Netlist& n);
+
+/// design_hash rendered as 16 lowercase hex digits.
+std::string design_hash_hex(const Netlist& n);
+
 }  // namespace rfn

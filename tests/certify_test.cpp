@@ -1,9 +1,19 @@
-// Tests for independent verdict certification.
+// Tests for independent verdict certification: the in-process recompute
+// path (core/certify.hpp) and the rfn-cert-v1 witness spec — JSON
+// round-trips, the three checker obligations on every builtin design, and
+// tampered witnesses refused with the right obligation named.
 
 #include "core/certify.hpp"
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "cert/check.hpp"
+#include "cert/format.hpp"
+#include "core/certificate.hpp"
+#include "designs/builtin.hpp"
+#include "netlist/analysis.hpp"
 #include "netlist/builder.hpp"
 
 namespace rfn {
@@ -80,6 +90,237 @@ TEST(Certify, UnknownIsNeverCertified) {
   RfnResult unknown;
   unknown.verdict = Verdict::Unknown;
   EXPECT_FALSE(certify(m, bad, unknown, {}).ok);
+}
+
+// --- rfn-cert-v1 witness spec ---
+
+// One self-latching register: bad = r is unreachable from r=0 and the
+// unique inductive invariant is the single clause {¬r}.
+Netlist make_latch(GateId* bad_out) {
+  NetBuilder b;
+  const GateId r = b.reg("r");
+  b.set_next(r, r);
+  b.output("bad", r);
+  Netlist n = b.take();
+  *bad_out = n.output("bad");
+  return n;
+}
+
+std::string replaced(std::string text, const std::string& from,
+                     const std::string& to) {
+  const size_t at = text.find(from);
+  EXPECT_NE(at, std::string::npos) << "document lacks '" << from << "'";
+  if (at != std::string::npos) text.replace(at, from.size(), to);
+  return text;
+}
+
+TEST(CertSpec, HoldsWitnessRoundTripsThroughJson) {
+  GateId bad;
+  const Netlist m = make_chain(4, false, &bad);
+  RfnVerifier rfn(m, bad);
+  ASSERT_EQ(rfn.run().verdict, Verdict::Holds);
+  const CertificateBuild built =
+      build_holds_certificate(m, bad, "bad", rfn.abstract_registers());
+  ASSERT_TRUE(built.ok) << built.detail;
+
+  cert::Certificate back;
+  std::string err;
+  ASSERT_TRUE(cert::from_json(cert::to_json(built.certificate), &back, &err))
+      << err;
+  EXPECT_EQ(back.kind, cert::CertKind::HoldsInvariant);
+  EXPECT_EQ(back.design_hash, design_hash(m));
+  EXPECT_EQ(back.design_regs, m.num_regs());
+  EXPECT_EQ(back.property_name, "bad");
+  EXPECT_EQ(back.bad, bad);
+  EXPECT_EQ(back.registers, built.certificate.registers);
+  EXPECT_EQ(back.clauses, built.certificate.clauses);
+  EXPECT_TRUE(back.trace.empty());
+}
+
+TEST(CertSpec, FailsWitnessRoundTripsThroughJson) {
+  GateId bad;
+  const Netlist m = make_chain(3, true, &bad);
+  RfnVerifier rfn(m, bad);
+  const RfnResult res = rfn.run();
+  ASSERT_EQ(res.verdict, Verdict::Fails);
+  const CertificateBuild built =
+      build_fails_certificate(m, bad, "bad", res.error_trace);
+  ASSERT_TRUE(built.ok) << built.detail;
+
+  cert::Certificate back;
+  std::string err;
+  ASSERT_TRUE(cert::from_json(cert::to_json(built.certificate), &back, &err))
+      << err;
+  EXPECT_EQ(back.kind, cert::CertKind::FailsTrace);
+  EXPECT_EQ(back.design_hash, design_hash(m));
+  ASSERT_EQ(back.trace.cycles(), res.error_trace.cycles());
+  for (size_t i = 0; i < back.trace.cycles(); ++i) {
+    const TraceStep& a = back.trace.steps[i];
+    const TraceStep& b = res.error_trace.steps[i];
+    ASSERT_EQ(a.state.size(), b.state.size()) << "cycle " << i;
+    ASSERT_EQ(a.inputs.size(), b.inputs.size()) << "cycle " << i;
+    for (size_t j = 0; j < a.state.size(); ++j) {
+      EXPECT_EQ(a.state[j].signal, b.state[j].signal);
+      EXPECT_EQ(a.state[j].value, b.state[j].value);
+    }
+  }
+  EXPECT_TRUE(cert::check_certificate(m, back).ok);
+}
+
+TEST(CertSpec, ParserRejectsTamperedDocuments) {
+  GateId bad;
+  const Netlist m = make_latch(&bad);
+  const CertificateBuild built =
+      build_holds_certificate(m, bad, "bad", m.regs());
+  ASSERT_TRUE(built.ok) << built.detail;
+  const std::string good = cert::to_json(built.certificate);
+  cert::Certificate parsed;
+  std::string err;
+  ASSERT_TRUE(cert::from_json(good, &parsed, &err)) << err;
+
+  // Truncation, a foreign format tag, an unknown kind, and a mangled design
+  // fingerprint must all fail the strict parse with a diagnostic.
+  for (const std::string& bogus :
+       {good.substr(0, good.size() / 2),
+        replaced(good, "rfn-cert-v1", "rfn-cert-v0"),
+        replaced(good, "holds-invariant", "holds-magic"),
+        replaced(good, "\"hash\": \"", "\"hash\": \"zz")}) {
+    err.clear();
+    EXPECT_FALSE(cert::from_json(bogus, &parsed, &err));
+    EXPECT_FALSE(err.empty());
+  }
+
+  // Structural validation: unsorted register scope, out-of-range clause
+  // literal, empty clause, fails-trace without steps.
+  cert::Certificate c = built.certificate;
+  c.registers = {3, 1};
+  EXPECT_FALSE(cert::from_json(cert::to_json(c), &parsed, &err));
+  c = built.certificate;
+  c.clauses = {{2}};  // scope has one register -> only ±1 is valid
+  EXPECT_FALSE(cert::from_json(cert::to_json(c), &parsed, &err));
+  c = built.certificate;
+  c.clauses = {{}};
+  EXPECT_FALSE(cert::from_json(cert::to_json(c), &parsed, &err));
+  c = built.certificate;
+  c.kind = cert::CertKind::FailsTrace;
+  c.trace = Trace{};
+  EXPECT_FALSE(cert::from_json(cert::to_json(c), &parsed, &err));
+}
+
+TEST(CertSpec, CheckerNamesTheFailingObligation) {
+  GateId bad;
+  const Netlist m = make_latch(&bad);
+  const CertificateBuild built =
+      build_holds_certificate(m, bad, "bad", m.regs());
+  ASSERT_TRUE(built.ok) << built.detail;
+  ASSERT_EQ(built.certificate.clauses,
+            (std::vector<std::vector<int32_t>>{{-1}}));
+  EXPECT_TRUE(cert::check_certificate(m, built.certificate).ok);
+
+  // Tampered clause {r}: the reset state r=0 refutes initiation.
+  cert::Certificate tampered = built.certificate;
+  tampered.clauses = {{1}};
+  cert::CheckResult res = cert::check_certificate(m, tampered);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.obligation, cert::kObligationInitiation);
+  EXPECT_NE(res.detail.find("r=0"), std::string::npos) << res.detail;
+
+  // Dropping every clause weakens Inv to `true`, which reaches bad: safety.
+  cert::Certificate dropped = built.certificate;
+  dropped.clauses.clear();
+  res = cert::check_certificate(m, dropped);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.obligation, cert::kObligationSafety);
+
+  // A latch whose next state leaves {¬r} (next = 1) refutes consecution:
+  // initiation still passes (init r=0), so the checker must blame the
+  // induction step, not the base case.
+  NetBuilder b;
+  const GateId r = b.reg("r");
+  b.set_next(r, b.constant(true));
+  b.output("bad", b.and_(r, b.not_(r)));
+  const Netlist m2 = b.take();
+  cert::Certificate drift = built.certificate;
+  drift.design_hash = design_hash(m2);
+  drift.bad = m2.output("bad");
+  drift.registers = m2.regs();
+  res = cert::check_certificate(m2, drift);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.obligation, cert::kObligationConsecution);
+
+  // The same witness against a different design: fingerprint mismatch.
+  GateId other_bad;
+  const Netlist other = make_chain(3, false, &other_bad);
+  res = cert::check_certificate(other, built.certificate);
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.obligation, cert::kObligationDesignHash);
+  EXPECT_NE(res.detail.find(design_hash_hex(other)), std::string::npos);
+
+  // Structural misfit on the right design: a scope id that is no register.
+  cert::Certificate misfit = built.certificate;
+  misfit.registers = {bad == 0 ? GateId{1} : GateId{0}};
+  if (!m.is_reg(misfit.registers[0])) {
+    res = cert::check_certificate(m, misfit);
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.obligation, cert::kObligationFormat);
+  }
+}
+
+// End-to-end witness spec per builtin design: verify, build the
+// polarity-matching witness, serialize, reparse, and discharge it through
+// the independent checker — exactly the rfn_cli --certify + rfn_check path.
+void builtin_witness_roundtrip(const char* design, const char* property,
+                               Verdict expected) {
+  bool ok = false;
+  const Netlist m = designs::make_builtin(design, &ok);
+  ASSERT_TRUE(ok);
+  GateId bad = m.output(property);  // rfn_cli resolution: output, then name
+  if (bad == kNullGate) bad = m.find(property);
+  ASSERT_NE(bad, kNullGate);
+  RfnVerifier rfn(m, bad);
+  const RfnResult res = rfn.run();
+  ASSERT_EQ(res.verdict, expected);
+
+  const CertificateArtifact art = certify_with_witness(
+      m, bad, property, res.verdict, res.error_trace, res.final_registers);
+  ASSERT_TRUE(art.built) << art.detail;
+  EXPECT_TRUE(art.checked) << art.obligation << ": " << art.detail;
+
+  cert::Certificate back;
+  std::string err;
+  ASSERT_TRUE(cert::from_json(cert::to_json(art.certificate), &back, &err))
+      << err;
+  const cert::CheckResult chk = cert::check_certificate(m, back);
+  EXPECT_TRUE(chk.ok) << chk.obligation << ": " << chk.detail;
+}
+
+TEST(CertSpec, FifoHoldsWitness) {
+  builtin_witness_roundtrip("fifo", "bad_full_q", Verdict::Holds);
+}
+
+TEST(CertSpec, ProcessorHoldsWitness) {
+  builtin_witness_roundtrip("processor", "bad_mutex", Verdict::Holds);
+}
+
+TEST(CertSpec, IuHoldsWitness) {
+  builtin_witness_roundtrip("iu", "bad_dec", Verdict::Holds);
+}
+
+TEST(CertSpec, UsbHoldsWitness) {
+  builtin_witness_roundtrip("usb", "bad_se1", Verdict::Holds);
+}
+
+TEST(CertSpec, IuCoverageFailsWitness) {
+  builtin_witness_roundtrip("iu", "iu0", Verdict::Fails);
+}
+
+TEST(CertSpec, InconclusiveVerdictsCarryNoWitness) {
+  GateId bad;
+  const Netlist m = make_latch(&bad);
+  const CertificateArtifact art =
+      certify_with_witness(m, bad, "bad", Verdict::Unknown, Trace{}, m.regs());
+  EXPECT_FALSE(art.built);
+  EXPECT_FALSE(art.checked);
 }
 
 }  // namespace

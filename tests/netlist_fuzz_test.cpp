@@ -26,12 +26,16 @@
 #include <fstream>
 
 #include "atpg/seq_atpg.hpp"
+#include "cert/check.hpp"
+#include "cert/format.hpp"
 #include "core/bfs_baseline.hpp"
+#include "core/certificate.hpp"
 #include "core/certify.hpp"
 #include "core/portfolio.hpp"
 #include "core/rfn.hpp"
 #include "mc/image.hpp"
 #include "mc/reach.hpp"
+#include "netlist/analysis.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/builder.hpp"
 #include "sat/bmc.hpp"
@@ -243,6 +247,42 @@ void check_engines_agree(const Netlist& m, uint64_t seed, size_t round) {
       if (res.verdict == Verdict::Fails) {
         EXPECT_EQ(simulate_trace(m, res.error_trace, bad), Tri::T)
             << "RFN error trace (workers=" << workers << ") does not replay";
+      }
+
+      // Certificate round trip on the concluded verdict: extraction,
+      // serialize + reparse, and the independent SAT checker must accept
+      // the witness the verdict earned...
+      if (res.verdict != expect) continue;
+      const CertificateBuild built =
+          res.verdict == Verdict::Holds
+              ? build_holds_certificate(m, bad, "bad", res.final_registers)
+              : build_fails_certificate(m, bad, "bad", res.error_trace);
+      ASSERT_TRUE(built.ok) << "workers=" << workers << ": " << built.detail;
+      cert::Certificate back;
+      std::string cert_err;
+      ASSERT_TRUE(
+          cert::from_json(cert::to_json(built.certificate), &back, &cert_err))
+          << cert_err;
+      const cert::CheckResult chk = cert::check_certificate(m, back);
+      EXPECT_TRUE(chk.ok) << "workers=" << workers << ", verdict "
+                          << to_string(res.verdict) << ": obligation "
+                          << chk.obligation << ": " << chk.detail;
+
+      // ...and a deliberately mutated invariant must be refused. Weakening
+      // Inv to `true` on a design whose bad is truly reachable leaves the
+      // safety obligation nothing to stand on.
+      if (res.verdict == Verdict::Fails) {
+        cert::Certificate mutated;
+        mutated.kind = cert::CertKind::HoldsInvariant;
+        mutated.design_hash = design_hash(m);
+        mutated.design_regs = m.num_regs();
+        mutated.property_name = "bad";
+        mutated.bad = bad;
+        mutated.registers = m.regs();
+        const cert::CheckResult rej = cert::check_certificate(m, mutated);
+        EXPECT_FALSE(rej.ok)
+            << "checker accepted a holds witness for a violated property";
+        EXPECT_EQ(rej.obligation, cert::kObligationSafety);
       }
     }
   }

@@ -286,6 +286,12 @@ TEST(SatOptions, ValidateRejectsUnknownEngines) {
   const std::vector<std::string> msgs = opt.validate();
   ASSERT_EQ(msgs.size(), 1u);
   EXPECT_NE(msgs.front().find("unknown engine \"bogus\""), std::string::npos);
+  // The rejection must spell out the whole valid engine set so a typo is
+  // self-correcting from the message alone.
+  for (const char* engine : {"bdd", "atpg", "sim", "sat"})
+    EXPECT_NE(msgs.front().find(engine), std::string::npos)
+        << "message does not name engine \"" << engine
+        << "\": " << msgs.front();
 
   opt.engines.clear();
   opt.race_sat_max_depth = 0;

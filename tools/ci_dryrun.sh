@@ -57,6 +57,20 @@ for san in "${sanitizers[@]}"; do
   "./$dir/tests/sat_test"
   "./$dir/tools/rfn" verify builtin:processor --bad error_flag \
     --engine bdd,sat --workers 3 --budget-ms 5000 --certify
+  note "sanitize ($san): certificates checked by rfn_check"
+  check_certs() { # <builddir> <design> <property args...>
+    local bdir=$1 design=$2; shift 2
+    "./$bdir/tools/rfn" verify "builtin:$design" "$@" \
+      --cert-dir "$bdir/certs-$design"
+    local cert
+    for cert in "$bdir/certs-$design"/*.cert.json; do
+      "./$bdir/tools/rfn_check" "$cert" "builtin:$design"
+    done
+  }
+  check_certs "$dir" fifo --bad bad_full_q --bad bad_af_q --bad bad_hf_q
+  check_certs "$dir" processor --bad bad_mutex --bad error_flag
+  check_certs "$dir" iu --bad bad_dec --bad iu0
+  check_certs "$dir" usb --bad bad_se1 --bad usb1_0
   if [[ $san == thread ]]; then
     note "sanitize (thread): concurrency suites"
     "./$dir/tests/portfolio_test"
@@ -80,7 +94,7 @@ done
 # --- job: bench-gate --------------------------------------------------------
 note "bench-gate"
 cmake -B build-ci-bench -S . -DCMAKE_BUILD_TYPE=Release "${LAUNCHER_ARGS[@]}" >/dev/null
-cmake --build build-ci-bench -j "$(nproc)" --target micro_engines rfn_cli
+cmake --build build-ci-bench -j "$(nproc)" --target micro_engines rfn_cli rfn_check
 
 note "bench-gate: trace tooling self-check"
 python3 tools/trace_report.py --self-check
@@ -95,23 +109,30 @@ python3 tools/trace_report.py build-ci-bench/run-spans.json
 
 # Batch verification of every shipped design's property suite through a
 # VerifySession, each rfn-trace-v2 artifact re-validated by trace_report.py.
-# Exit 0 requires every verdict conclusive (the processor suite contains an
-# intentionally VIOLATED property) and every conclusive verdict certified
-# (--certify: trace replay for Fails, inductive invariant for Holds).
+# Exit 0 requires every verdict conclusive (the processor suite contains
+# intentionally VIOLATED properties) and every conclusive verdict turned
+# into an rfn-cert-v1 witness via --cert-dir (trace for Fails, inductive
+# invariant for Holds); every witness is then re-validated by the
+# independent rfn_check binary against a fresh design elaboration.
 note "bench-gate: batch verification of the shipped designs"
-run_batch() { # <out> <design args...>
-  local out=$1; shift
-  ./build-ci-bench/tools/rfn verify "$@" --trace-json "$out" --certify
+run_batch() { # <out> <design> <property args...>
+  local out=$1 design=$2; shift 2
+  ./build-ci-bench/tools/rfn verify "builtin:$design" "$@" \
+    --trace-json "$out" --cert-dir "build-ci-bench/certs-$design"
   python3 tools/trace_report.py --batch "$out"
+  local cert
+  for cert in "build-ci-bench/certs-$design"/*.cert.json; do
+    ./build-ci-bench/tools/rfn_check "$cert" "builtin:$design"
+  done
 }
-run_batch build-ci-bench/batch-fifo.jsonl builtin:fifo \
+run_batch build-ci-bench/batch-fifo.jsonl fifo \
   --bad bad_full_q --bad bad_af_q --bad bad_hf_q
-run_batch build-ci-bench/batch-processor.jsonl builtin:processor \
+run_batch build-ci-bench/batch-processor.jsonl processor \
   --bad bad_mutex --bad error_flag
-run_batch build-ci-bench/batch-iu.jsonl builtin:iu \
-  --bad iu0 --bad iu1 --bad iu2 --bad iu3 --bad iu4
-run_batch build-ci-bench/batch-usb.jsonl builtin:usb \
-  --bad usb1_0 --bad usb1_1 --bad usb2_0 --bad usb2_1
+run_batch build-ci-bench/batch-iu.jsonl iu \
+  --bad bad_dec --bad iu0 --bad iu1 --bad iu2 --bad iu3 --bad iu4
+run_batch build-ci-bench/batch-usb.jsonl usb \
+  --bad bad_se1 --bad usb1_0 --bad usb1_1 --bad usb2_0 --bad usb2_1
 
 ./build-ci-bench/bench/micro_engines --benchmark_filter='Portfolio|Session|SatBmc' \
   --json build-ci-bench/bench-current.json

@@ -15,8 +15,18 @@
 //                      bdd,atpg,sim,sat (repeatable; default: all four).
 //                      Unknown names are rejected up front. Only bdd can
 //                      prove HOLDS; a list without it can only falsify.
-//   --certify          independently re-check the verdict (single and batch
-//                      runs; batch certifies every HOLDS/VIOLATED member)
+//   --certify          build an rfn-cert-v1 witness for the verdict (an
+//                      inductive invariant for HOLDS, the error trace for
+//                      VIOLATED; see src/cert/format.hpp) and discharge it
+//                      through the independent SAT checker — the same check
+//                      tools/rfn_check.cpp runs out of process. Batch runs
+//                      certify every HOLDS/VIOLATED member and add one
+//                      "certificate" record per member to the rfn-trace-v2
+//                      artifact
+//   --cert-out FILE    write the single-run witness JSON to FILE (implies
+//                      --certify)
+//   --cert-dir DIR     batch runs: write each member's witness to
+//                      DIR/<property>.cert.json (implies --certify)
 //   --traces N         abstract traces per iteration (default 1)
 //   --no-approx        disable the overlapping-partition fallback
 //   --dump-trace       print the error trace on Fails
@@ -48,18 +58,17 @@
 //   --no-reuse            disable the cross-property reuse cache
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
-#include "core/certify.hpp"
+#include "cert/format.hpp"
+#include "core/certificate.hpp"
 #include "core/coverage.hpp"
 #include "core/rfn.hpp"
 #include "core/session.hpp"
 #include "core/trace_json.hpp"
-#include "designs/fifo.hpp"
-#include "designs/iu.hpp"
-#include "designs/processor.hpp"
-#include "designs/usb.hpp"
+#include "designs/builtin.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/writer.hpp"
@@ -90,38 +99,10 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 /// coverage registers as named outputs (iu0..iu4, usb1_0.., usb2_0..) so
 /// --bad / --props can target them.
 Netlist load_builtin(const std::string& name, bool* ok) {
-  *ok = true;
-  if (name == "fifo")
-    return designs::make_fifo({.addr_bits = 3, .data_bits = 2}).netlist;
-  if (name == "processor") {
-    designs::ProcessorParams p;
-    p.units = 4;
-    p.pipe_depth = 4;
-    p.pipe_width = 4;
-    p.result_regs = 8;
-    p.counter_bits = 4;
-    designs::ProcessorDesign d = designs::make_processor(p);
-    d.netlist.add_output("bad_mutex", d.bad_mutex);
-    d.netlist.add_output("error_flag", d.error_flag);
-    return std::move(d.netlist);
-  }
-  if (name == "iu") {
-    designs::IuDesign d = designs::make_iu({});
-    for (size_t s = 0; s < d.coverage_sets.size(); ++s)
-      d.netlist.add_output("iu" + std::to_string(s), d.coverage_sets[s][0]);
-    return std::move(d.netlist);
-  }
-  if (name == "usb") {
-    designs::UsbDesign d = designs::make_usb({});
-    for (size_t i = 0; i < d.usb1.size(); ++i)
-      d.netlist.add_output("usb1_" + std::to_string(i), d.usb1[i]);
-    for (size_t i = 0; i < d.usb2.size(); ++i)
-      d.netlist.add_output("usb2_" + std::to_string(i), d.usb2[i]);
-    return std::move(d.netlist);
-  }
-  std::fprintf(stderr, "rfn: unknown builtin design '%s'\n", name.c_str());
-  *ok = false;
-  return Netlist{};
+  Netlist n = designs::make_builtin(name, ok);
+  if (!*ok)
+    std::fprintf(stderr, "rfn: unknown builtin design '%s'\n", name.c_str());
+  return n;
 }
 
 Netlist load_design(const std::string& path, const Options& opts, bool* ok) {
@@ -143,6 +124,47 @@ GateId find_signal(const Netlist& n, const std::string& name) {
   GateId g = n.find(name);
   if (g == kNullGate) g = n.output(name);
   return g;
+}
+
+std::string cert_file_name(const std::string& property) {
+  std::string out;
+  for (const char c : property) {
+    const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    out += keep ? c : '_';
+  }
+  return out + ".cert.json";
+}
+
+/// Builds + checks the witness for one concluded property and flattens the
+/// outcome into the rfn-trace-v2 certificate record. `cert_dir` non-empty
+/// writes the witness JSON to DIR/<property>.cert.json.
+CertificateArtifact certify_property(const Netlist& design, GateId bad,
+                                     const std::string& name, Verdict verdict,
+                                     const Trace& trace,
+                                     const std::vector<GateId>& final_registers,
+                                     const std::string& cert_dir,
+                                     CertificateRecord* rec, bool* io_ok) {
+  CertificateArtifact art = certify_with_witness(design, bad, name, verdict,
+                                                 trace, final_registers);
+  rec->property = name;
+  rec->kind = cert::cert_kind_name(art.certificate.kind);
+  rec->ok = art.checked;
+  rec->clauses = art.certificate.clauses.size();
+  rec->trace_cycles = art.certificate.trace.cycles();
+  rec->obligation = art.checked ? "" : (art.built ? art.obligation : "extraction");
+  rec->seconds = art.seconds;
+  if (art.built && !cert_dir.empty()) {
+    const std::string path = cert_dir + "/" + cert_file_name(name);
+    std::ofstream out(path);
+    if (out) {
+      out << cert::to_json(art.certificate);
+    } else {
+      std::fprintf(stderr, "rfn: cannot write %s\n", path.c_str());
+      *io_ok = false;
+    }
+  }
+  return art;
 }
 
 /// Rejects invalid options with the messages from RfnOptions::validate()
@@ -231,6 +253,33 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
     }
     SpanTracer::global().write_chrome_json(out);
   }
+  // --certify: every conclusive member verdict gains an rfn-cert-v1 witness
+  // (trace for VIOLATED, inductive invariant on the final abstraction for
+  // HOLDS) discharged through the independent SAT checker before the trace
+  // artifact is written, so the certificate records land in rfn-trace-v2.
+  // For clustered verdicts the shared run's final register set certifies the
+  // member property: the member's bad signal implies the disjunction root,
+  // so the abstraction that proved the disjunction unreachable covers the
+  // member too.
+  const std::string cert_dir = opts.get("cert-dir", "");
+  const bool do_certify = opts.get_bool("certify", false) || !cert_dir.empty();
+  std::vector<CertificateRecord> cert_records;
+  bool certified_ok = true, cert_io_ok = true;
+  if (do_certify) {
+    if (!cert_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(cert_dir, ec);
+    }
+    for (const PropertyResult& r : results) {
+      if (r.verdict != Verdict::Holds && r.verdict != Verdict::Fails) continue;
+      CertificateRecord rec;
+      certify_property(design, r.bad, r.name, r.verdict, r.trace,
+                       r.stats.final_registers, cert_dir, &rec, &cert_io_ok);
+      if (!rec.ok) certified_ok = false;
+      cert_records.push_back(std::move(rec));
+    }
+  }
+
   const std::string trace_path = opts.get("trace-json", "");
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);
@@ -239,7 +288,7 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
       return 2;
     }
     write_batch_trace_json(out, results, session.clusters().size(), seconds,
-                           &baseline);
+                           &baseline, do_certify ? &cert_records : nullptr);
   }
 
   std::printf("batch: %zu properties in %zu clusters, %.2f s\n", results.size(),
@@ -258,30 +307,19 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
     if (r.verdict != Verdict::Holds && r.verdict != Verdict::Fails)
       all_conclusive = false;
   }
-  // --certify: every conclusive member verdict is re-checked through the
-  // independent certification paths (trace replay for VIOLATED, inductive
-  // invariant on the final abstraction for HOLDS). For clustered verdicts
-  // the shared run's final register set certifies the member property: the
-  // member's bad signal implies the disjunction root, so the abstraction
-  // that proved the disjunction unreachable covers the member too.
-  bool certified_ok = true;
-  if (opts.get_bool("certify", false)) {
-    for (const PropertyResult& r : results) {
-      if (r.verdict != Verdict::Holds && r.verdict != Verdict::Fails) continue;
-      RfnResult rr = r.stats;
-      rr.verdict = r.verdict;
-      rr.error_trace = r.trace;
-      const CertifyResult cert =
-          certify(design, r.bad, rr, r.stats.final_registers);
-      std::printf("certificate %-24s %s%s%s\n", r.name.c_str(),
-                  cert.ok ? "OK" : "FAILED", cert.ok ? "" : " — ",
-                  cert.ok ? "" : cert.detail.c_str());
-      if (!cert.ok) certified_ok = false;
+  for (const CertificateRecord& rec : cert_records) {
+    if (rec.ok) {
+      std::printf("certificate %-24s OK (%s)\n", rec.property.c_str(),
+                  rec.kind.c_str());
+    } else {
+      std::printf("certificate %-24s FAILED — obligation %s\n",
+                  rec.property.c_str(), rec.obligation.c_str());
     }
   }
   if (opts.get_bool("metrics", false))
     std::printf("metrics: %s\n",
                 MetricsRegistry::global().to_json(&baseline).dump(2).c_str());
+  if (!cert_io_ok) return 2;
   if (!certified_ok) return 3;
   return all_conclusive ? 0 : 1;
 }
@@ -312,6 +350,10 @@ int cmd_verify(const Netlist& design, const Options& opts) {
       std::fprintf(stderr, "rfn: no signal named '%s'\n", bad_name.c_str());
       return 2;
     }
+    // Keep the name the user asked for: two --bad outputs can resolve to
+    // same-named gates (the iu coverage aliases), and --cert-dir derives
+    // witness file names from the property name.
+    p.name = bad_name;
     props.push_back(std::move(p));
   }
   const std::string props_path = opts.get("props", "");
@@ -415,12 +457,28 @@ int cmd_verify(const Netlist& design, const Options& opts) {
     if (opts.get_bool("dump-trace", false))
       std::fputs(trace_to_string(design, result.error_trace).c_str(), stdout);
   }
-  if (opts.get_bool("certify", false)) {
-    const CertifyResult cert =
-        certify(design, bad, result, verifier.abstract_registers());
-    std::printf("certificate: %s%s%s\n", cert.ok ? "OK" : "FAILED",
-                cert.ok ? "" : " — ", cert.ok ? "" : cert.detail.c_str());
-    if (!cert.ok && result.verdict != Verdict::Unknown &&
+  const std::string cert_out = opts.get("cert-out", "");
+  if (opts.get_bool("certify", false) || !cert_out.empty()) {
+    const CertificateArtifact art = certify_with_witness(
+        design, bad, bad_name, result.verdict, result.error_trace,
+        verifier.abstract_registers());
+    std::string what = art.detail;
+    if (!art.checked && art.built)
+      what = "obligation " + art.obligation + ": " + what;
+    if (art.checked)
+      what += std::string(" [") + cert::cert_kind_name(art.certificate.kind) + "]";
+    std::printf("certificate: %s — %s\n", art.checked ? "OK" : "FAILED",
+                what.c_str());
+    if (art.built && !cert_out.empty()) {
+      std::ofstream out(cert_out);
+      if (!out) {
+        std::fprintf(stderr, "rfn: cannot write %s\n", cert_out.c_str());
+        return 2;
+      }
+      out << cert::to_json(art.certificate);
+      std::printf("certificate written: %s\n", cert_out.c_str());
+    }
+    if (!art.checked && result.verdict != Verdict::Unknown &&
         result.verdict != Verdict::ResourceOut)
       return 3;
   }

@@ -14,11 +14,14 @@ built-in good and bad synthetic traces and needs no input file.
 
 With `--batch` the input is instead an rfn-trace-v2 JSON Lines file from a
 batch run (`rfn verify ... --bad A --bad B --trace-json FILE`): one
-"property" record per property plus a final "batch-summary". The validator
-checks the version tag, the per-record shape, the verdict spellings, that
-the summary's property/verdict counts match the records, and that the
-summary's metrics dump (when present) is well-formed, then prints a
-per-property table plus a SAT-engine activity line (checks, conflicts,
+"property" record per property, then — for --certify runs — one
+"certificate" record per conclusive property, plus a final "batch-summary".
+The validator checks the version tag, the per-record shape, the verdict and
+certificate-kind spellings, that a failed certification names its failing
+obligation (and a successful one does not), and that the summary's
+property/verdict/certificate counts match the records, then prints a
+per-property table, a certification summary line when certificates were
+recorded, and a SAT-engine activity line (checks, conflicts,
 refinement-hint registers) when the sat engine ran.
 
 Report sections:
@@ -46,6 +49,9 @@ BATCH_TRACE_VERSION = "rfn-trace-v2"
 VERDICTS = ("T", "F", "?", "resource-out")
 PROPERTY_KEYS = ("name", "bad", "verdict", "cluster", "clustered",
                  "iterations", "seconds")
+CERTIFICATE_KEYS = ("property", "kind", "ok", "clauses", "trace_cycles",
+                    "obligation", "seconds")
+CERTIFICATE_KINDS = ("holds-invariant", "fails-trace")
 
 
 class TraceError(Exception):
@@ -110,7 +116,7 @@ def validate(doc):
 
 def validate_batch(records):
     """Checks an rfn-trace-v2 record list (one parsed JSONL object per
-    line); returns (property_records, summary_record)."""
+    line); returns (property_records, certificate_records, summary)."""
     if not records:
         fail("empty batch trace")
     summary = records[-1]
@@ -120,11 +126,20 @@ def validate_batch(records):
     version = summary.get("trace_version")
     if version != BATCH_TRACE_VERSION:
         fail(f"trace_version is {version!r}, expected {BATCH_TRACE_VERSION!r}")
-    props = records[:-1]
+    props, certs = [], []
+    for i, r in enumerate(records[:-1]):
+        kind = r.get("type")
+        if kind == "property":
+            if certs:
+                fail(f"record {i}: property record after certificate records")
+            props.append(r)
+        elif kind == "certificate":
+            certs.append(r)
+        else:
+            fail(f"record {i} has type {kind!r}, expected 'property' or "
+                 f"'certificate'")
     counts = collections.Counter()
     for i, r in enumerate(props):
-        if r.get("type") != "property":
-            fail(f"record {i} has type {r.get('type')!r}, expected 'property'")
         for key in PROPERTY_KEYS:
             if key not in r:
                 fail(f"property record {i} ({r.get('name')!r}) lacks {key!r}")
@@ -133,6 +148,22 @@ def validate_batch(records):
             fail(f"property record {i} ({r['name']!r}): unknown verdict "
                  f"{verdict!r}")
         counts[verdict] += 1
+    cert_counts = collections.Counter()
+    for i, r in enumerate(certs):
+        for key in CERTIFICATE_KEYS:
+            if key not in r:
+                fail(f"certificate record {i} ({r.get('property')!r}) lacks "
+                     f"{key!r}")
+        if r["kind"] not in CERTIFICATE_KINDS:
+            fail(f"certificate record {i} ({r['property']!r}): unknown kind "
+                 f"{r['kind']!r}")
+        if r["ok"] and r["obligation"]:
+            fail(f"certificate record {i} ({r['property']!r}): ok but names "
+                 f"a failing obligation {r['obligation']!r}")
+        if not r["ok"] and not r["obligation"]:
+            fail(f"certificate record {i} ({r['property']!r}): failed "
+                 f"without naming the refuted obligation")
+        cert_counts["ok" if r["ok"] else "failed"] += 1
     if summary.get("properties") != len(props):
         fail(f"summary counts {summary.get('properties')} properties, the "
              f"document has {len(props)} property records")
@@ -141,6 +172,15 @@ def validate_batch(records):
         if declared.get(verdict, 0) != counts[verdict]:
             fail(f"summary says {declared.get(verdict, 0)} x {verdict!r}, "
                  f"property records say {counts[verdict]}")
+    declared_certs = summary.get("certificates")
+    if certs and declared_certs is None:
+        fail("certificate records present but the summary has no "
+             "'certificates' counts")
+    if declared_certs is not None:
+        for key in ("ok", "failed"):
+            if declared_certs.get(key, 0) != cert_counts[key]:
+                fail(f"summary says {declared_certs.get(key, 0)} {key} "
+                     f"certificate(s), records say {cert_counts[key]}")
     metrics = summary.get("metrics")
     if metrics is not None:
         if not isinstance(metrics, dict):
@@ -148,7 +188,7 @@ def validate_batch(records):
         counters = metrics.get("counters", {})
         if not isinstance(counters, dict):
             fail("summary metrics.counters is not an object")
-    return props, summary
+    return props, certs, summary
 
 
 def sat_summary_line(summary):
@@ -180,7 +220,7 @@ def report_batch(path):
     except OSError as err:
         print(f"trace_report: cannot read {path}: {err}", file=sys.stderr)
         return 1
-    props, summary = validate_batch(records)
+    props, certs, summary = validate_batch(records)
 
     print("== batch summary ==")
     print(f"properties={len(props)} clusters={summary.get('clusters')} "
@@ -194,6 +234,18 @@ def report_batch(path):
         print(f"{r['name']:<24} {r['verdict']:<12} {r['cluster']:>7} "
               f"{('yes' if r['clustered'] else 'no'):>9} "
               f"{r['iterations']:>5} {r['seconds']:>9.3f}")
+    if certs:
+        kinds = collections.Counter(r["kind"] for r in certs)
+        ok = sum(1 for r in certs if r["ok"])
+        line = f"\ncertificates: ok={ok} failed={len(certs) - ok}"
+        for kind in CERTIFICATE_KINDS:
+            if kinds[kind]:
+                line += f" {kind}={kinds[kind]}"
+        print(line)
+        for r in certs:
+            if not r["ok"]:
+                print(f"  FAILED {r['property']}: obligation "
+                      f"{r['obligation']}")
     sat_line = sat_summary_line(summary)
     if sat_line:
         print(f"\n{sat_line}")
@@ -331,12 +383,18 @@ def synthetic_batch_trace():
             "order_seeded": False, "seeded_registers": 0, "iterations": 2,
             "final_abstract_regs": 3, "error_trace_cycles": 0,
             "seconds": 0.25, "note": ""}
+    cert = {"type": "certificate", "clauses": 0, "trace_cycles": 0,
+            "obligation": "", "seconds": 0.01}
     return [
         dict(prop, name="p0", verdict="T"),
         dict(prop, name="p1", verdict="F", error_trace_cycles=4),
+        dict(cert, property="p0", kind="holds-invariant", ok=True, clauses=5),
+        dict(cert, property="p1", kind="fails-trace", ok=False,
+             trace_cycles=4, obligation="trace-replay"),
         {"type": "batch-summary", "trace_version": BATCH_TRACE_VERSION,
          "properties": 2, "clusters": 1,
          "verdicts": {"T": 1, "F": 1, "?": 0, "resource-out": 0},
+         "certificates": {"ok": 1, "failed": 1},
          "seconds": 0.5,
          "metrics": {"counters": {"sat.checks": 3, "sat.conflicts": 17,
                                   "sat.solve_calls": 9,
@@ -414,6 +472,20 @@ def self_check():
                       "property record missing a key"),
         corrupt_batch(lambda d: d[-1]["verdicts"].update(T=2),
                       "summary verdict-count mismatch"),
+        corrupt_batch(lambda d: d[2].update(kind="holds-magic"),
+                      "unknown certificate kind"),
+        corrupt_batch(lambda d: d[2].update(obligation="safety"),
+                      "ok certificate naming a failing obligation"),
+        corrupt_batch(lambda d: d[3].update(obligation=""),
+                      "failed certificate without an obligation"),
+        corrupt_batch(lambda d: d[2].pop("clauses"),
+                      "certificate record missing a key"),
+        corrupt_batch(lambda d: d[-1]["certificates"].update(ok=2),
+                      "summary certificate-count mismatch"),
+        corrupt_batch(lambda d: d[-1].pop("certificates"),
+                      "certificate records without summary counts"),
+        corrupt_batch(lambda d: d.insert(3, dict(d[0])),
+                      "property record after certificate records"),
     ) if f]
     for f in failures:
         print(f, file=sys.stderr)
