@@ -1,0 +1,100 @@
+#pragma once
+// AIGER 1.9 reader/writer and witness export.
+//
+// The bridge to the hardware model-checking ecosystem: HWMCC-class
+// benchmarks ship as AIGER and-inverter graphs, and third-party tools
+// (aigsim, certifaiger-style checkers) consume AIGER witnesses. This module
+// covers the model-checking subset of the 1.9 format:
+//
+//   * both encodings — ASCII ("aag") and binary ("aig", delta-coded ands);
+//   * latches with 1.9 reset values: 0, 1, or the latch's own literal
+//     (uninitialized power-up, elaborated as Tri::X so the 3-valued engines
+//     see the initial-state cube);
+//   * multiple bad-state properties (B) and invariant constraints (C).
+//     Constraints are folded into every property during elaboration with
+//     the standard monitor construction: a fresh register tracks
+//     "constraints held at every earlier step" and each bad is gated by
+//     monitor AND current-step constraints, so every downstream engine
+//     keeps plain unreachability semantics;
+//   * symbol tables and comments. Justice/fairness sections (J/F) are
+//     rejected with a clean diagnostic — liveness is out of scope.
+//
+// Compatibility rule: a file with B = 0 but O > 0 (the pre-1.9 HWMCC
+// convention) treats every output as a bad-state property.
+//
+// Elaboration targets the shared gate-level Netlist through NetBuilder, so
+// reading is normalizing: and-inverter pairs become And/Not gates with
+// structural hashing, constant folding, and double-negation elimination
+// applied. write_aiger is exact on that normalized form — for any netlist n,
+// read(write(read(write(n)))) is structurally identical (same GateIds, same
+// netlist/analysis.hpp design_hash) to read(write(n)), which is what lets
+// certificates and the corpus baseline key on the design hash of the
+// AIGER-loaded netlist. netlist_fuzz_test enforces the idempotence.
+//
+// This header deliberately depends on nothing beyond the netlist layer:
+// rfn_check links it to re-elaborate AIGER designs without ever linking the
+// BDD package or the CEGAR loop it audits.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace rfn::aiger {
+
+/// One verification obligation of an AIGER file: bad-state property b<k>
+/// (or output o<k> under the B=0 compatibility rule). `name` is the symbol
+/// table entry when present, else "b<k>" / "o<k>"; the same name is
+/// registered as a netlist output, so CLI --bad lookups and certificate
+/// property names line up.
+struct AigerProperty {
+  std::string name;
+  GateId signal = kNullGate;
+};
+
+/// An elaborated AIGER file: the netlist plus the property list and the
+/// header shape (for diagnostics and corpus summaries).
+struct AigerDesign {
+  Netlist netlist;
+  std::vector<AigerProperty> properties;
+  // Header counts as declared in the file.
+  size_t num_inputs = 0, num_latches = 0, num_ands = 0;
+  size_t num_outputs = 0, num_bad = 0, num_constraints = 0;
+  bool binary = false;
+  /// True when C > 0 and the constraint monitor was woven into every
+  /// property (see header comment).
+  bool constraints_folded = false;
+};
+
+/// Parses an AIGER 1.9 document (either encoding, detected from the magic)
+/// into `out`. Strict: malformed headers, out-of-range or undefined
+/// literals, redefinitions, combinational cycles, truncated binary delta
+/// codes, invalid reset literals, duplicate or out-of-range symbol entries,
+/// and unsupported justice/fairness sections all return false with a
+/// one-line diagnostic in `error` — never a crash or an abort.
+bool read_aiger(std::string_view bytes, AigerDesign* out, std::string* error);
+
+/// Serializes a netlist as AIGER, ASCII ("aag") or binary ("aig").
+/// Gates are decomposed into and-inverter form (Or/Nand/Nor/Xor/Xnor/Mux
+/// become AND chains under complemented literals); every design output is
+/// exported as a bad-state property (B section) carrying its output name in
+/// the symbol table, which inverts the reader's property registration.
+/// Latch resets follow 1.9: omitted for 0, "1" for 1, the latch's own
+/// literal for Tri::X. Gates unreachable from latches and outputs are not
+/// emitted.
+std::string write_aiger(const Netlist& n, bool binary);
+
+/// AIGER witness for a violated property: status line "1", the property
+/// ("b<index>"), the initial latch state (one character per latch in
+/// netlist register order; 'x' = unconstrained), one input vector per trace
+/// cycle (netlist input order, 'x' = unconstrained), and the terminating
+/// ".". Registers absent from the trace's first state cube default to
+/// their reset value.
+std::string write_witness_fails(const Netlist& n, size_t property_index,
+                                const Trace& trace);
+
+/// AIGER witness claiming the property holds: "0", "b<index>", ".".
+std::string write_witness_holds(size_t property_index);
+
+}  // namespace rfn::aiger

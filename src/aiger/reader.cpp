@@ -1,0 +1,554 @@
+// AIGER 1.9 parser + elaboration into the gate-level Netlist.
+//
+// Strictness contract (see aiger.hpp): every malformed input returns false
+// with a one-line diagnostic — the reader never aborts the process, because
+// corpus harnesses feed it untrusted benchmark files. Elaboration goes
+// through NetBuilder so and-inverter pairs land as structurally-hashed
+// And/Not gates; the creation order below (inputs, latches, then and gates
+// in file order resolving rhs0 before rhs1, then latch next-states,
+// constraints, bads, outputs) is what makes read-after-write idempotent on
+// GateIds and hence on design_hash.
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "aiger/aiger.hpp"
+#include "netlist/builder.hpp"
+
+namespace rfn::aiger {
+
+namespace {
+
+/// Per-count ceiling: rejects absurd headers before any allocation.
+constexpr uint64_t kMaxCount = uint64_t{1} << 28;
+
+bool parse_u64(std::string_view tok, uint64_t* out) {
+  if (tok.empty() || tok.size() > 19) return false;
+  uint64_t v = 0;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> toks;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t j = i;
+    while (j < line.size() && line[j] != ' ' && line[j] != '\t') ++j;
+    if (j > i) toks.push_back(line.substr(i, j - i));
+    i = j;
+  }
+  return toks;
+}
+
+class Reader {
+ public:
+  Reader(std::string_view s, AigerDesign* out, std::string* error)
+      : s_(s), out_(out), error_(error) {}
+
+  bool run();
+
+ private:
+  // --- diagnostics ---
+
+  bool fail(const std::string& msg) {
+    if (error_) *error_ = "line " + std::to_string(line_) + ": " + msg;
+    return false;
+  }
+  bool fail_at(const std::string& where, const std::string& msg) {
+    if (error_) *error_ = where + ": " + msg;
+    return false;
+  }
+
+  // --- input cursor ---
+
+  /// Reads the next '\n'-terminated line (strips a trailing '\r'); false at
+  /// end of input.
+  bool next_line(std::string_view* out) {
+    if (pos_ >= s_.size()) return false;
+    size_t end = s_.find('\n', pos_);
+    if (end == std::string_view::npos) end = s_.size();
+    std::string_view line = s_.substr(pos_, end - pos_);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    pos_ = end < s_.size() ? end + 1 : s_.size();
+    ++line_;
+    *out = line;
+    return true;
+  }
+
+  bool need_line(std::string_view* out, const char* section) {
+    if (next_line(out)) return true;
+    return fail(std::string("truncated file: missing ") + section + " line");
+  }
+
+  /// One section line holding exactly `n` literals (each range-checked).
+  bool literal_line(const char* section, size_t n, uint64_t* lits) {
+    std::string_view line;
+    if (!need_line(&line, section)) return false;
+    const std::vector<std::string_view> toks = split(line);
+    if (toks.size() != n)
+      return fail(std::string(section) + " line needs " + std::to_string(n) +
+                  " literal(s)");
+    for (size_t i = 0; i < n; ++i) {
+      if (!parse_u64(toks[i], &lits[i]))
+        return fail(std::string(section) + " line: '" + std::string(toks[i]) +
+                    "' is not a number");
+      if (lits[i] > 2 * m_ + 1)
+        return fail(std::string(section) + " literal " +
+                    std::to_string(lits[i]) + " out of range (max " +
+                    std::to_string(2 * m_ + 1) + ")");
+    }
+    return true;
+  }
+
+  // --- variable table ---
+
+  enum class Kind : uint8_t { Undefined, Input, Latch, And };
+
+  bool define(uint64_t lit, Kind kind, const char* what) {
+    if (lit & 1)
+      return fail(std::string(what) + " literal " + std::to_string(lit) +
+                  " must be even");
+    if (lit < 2)
+      return fail(std::string(what) + " literal " + std::to_string(lit) +
+                  " redefines constant");
+    const uint64_t var = lit >> 1;
+    if (kind_[var] != Kind::Undefined)
+      return fail(std::string(what) + " literal " + std::to_string(lit) +
+                  " redefines variable " + std::to_string(var));
+    kind_[var] = kind;
+    return true;
+  }
+
+  /// Materializes a literal as a signal. Requires the variable defined and
+  /// (for and gates) already built; creates Not gates / constants on demand.
+  GateId lit2sig(uint64_t lit) {
+    if (lit == 0) return bld_.constant(false);
+    if (lit == 1) return bld_.constant(true);
+    const GateId g = var2gate_[lit >> 1];
+    return (lit & 1) ? bld_.not_(g) : g;
+  }
+
+  bool check_defined(uint64_t lit, const std::string& where) {
+    const uint64_t var = lit >> 1;
+    if (lit <= 1) return true;
+    if (kind_[var] == Kind::Undefined)
+      return fail_at(where, "references undeclared literal " +
+                                std::to_string(lit) + " (variable " +
+                                std::to_string(var) + " is never defined)");
+    return true;
+  }
+
+  bool parse_header();
+  bool parse_inputs();
+  bool parse_latches();
+  bool parse_literal_sections();
+  bool parse_ascii_ands();
+  bool build_binary_ands();
+  bool parse_symbols();
+  bool resolve_ascii_ands();
+  bool elaborate();
+
+  // --- state ---
+
+  std::string_view s_;
+  AigerDesign* out_;
+  std::string* error_;
+  size_t pos_ = 0;
+  size_t line_ = 0;
+
+  bool binary_ = false;
+  uint64_t m_ = 0, i_ = 0, l_ = 0, o_ = 0, a_ = 0;
+  uint64_t num_b_ = 0, num_c_ = 0;  // B and C header counts
+
+  NetBuilder bld_;
+  std::vector<Kind> kind_;        // indexed by variable
+  std::vector<GateId> var2gate_;  // indexed by variable
+  std::vector<GateId> latches_;
+  std::vector<uint64_t> latch_next_;
+  std::vector<uint64_t> out_lits_, bad_lits_, con_lits_;
+
+  struct AndDef {
+    uint64_t lhs, rhs0, rhs1;
+    uint8_t state = 0;  // 0 new, 1 on stack, 2 built
+  };
+  std::vector<AndDef> and_defs_;          // ASCII only
+  std::vector<size_t> def_of_;            // variable -> and_defs_ index
+
+  std::vector<std::string> sym_i_, sym_l_, sym_o_, sym_b_;
+};
+
+bool Reader::parse_header() {
+  std::string_view line;
+  if (!next_line(&line)) return fail("empty file");
+  const std::vector<std::string_view> toks = split(line);
+  if (toks.empty()) return fail("missing header");
+  if (toks[0] == "aig") {
+    binary_ = true;
+  } else if (toks[0] == "aag") {
+    binary_ = false;
+  } else {
+    return fail("not an AIGER file (header must start with 'aag' or 'aig')");
+  }
+  if (toks.size() < 6 || toks.size() > 10)
+    return fail("header needs 5 to 9 counts (M I L O A [B C J F])");
+  uint64_t counts[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+  for (size_t i = 1; i < toks.size(); ++i) {
+    if (!parse_u64(toks[i], &counts[i - 1]))
+      return fail("header count '" + std::string(toks[i]) +
+                  "' is not a number");
+    if (counts[i - 1] > kMaxCount) return fail("header count too large");
+  }
+  m_ = counts[0];
+  i_ = counts[1];
+  l_ = counts[2];
+  o_ = counts[3];
+  a_ = counts[4];
+  num_b_ = counts[5];
+  num_c_ = counts[6];
+  if (counts[7] || counts[8])
+    return fail("justice/fairness properties are unsupported");
+  if (m_ != i_ + l_ + a_)
+    return fail("header M = " + std::to_string(m_) + " but I + L + A = " +
+                std::to_string(i_ + l_ + a_));
+  kind_.assign(m_ + 1, Kind::Undefined);
+  var2gate_.assign(m_ + 1, kNullGate);
+  def_of_.assign(m_ + 1, SIZE_MAX);
+  return true;
+}
+
+bool Reader::parse_inputs() {
+  for (uint64_t k = 0; k < i_; ++k) {
+    uint64_t lit;
+    if (binary_) {
+      lit = 2 * (k + 1);  // implicit in the binary encoding
+    } else {
+      if (!literal_line("input", 1, &lit)) return false;
+    }
+    if (!define(lit, Kind::Input, "input")) return false;
+    var2gate_[lit >> 1] = bld_.input("");
+  }
+  return true;
+}
+
+bool Reader::parse_latches() {
+  latches_.reserve(l_);
+  latch_next_.reserve(l_);
+  for (uint64_t k = 0; k < l_; ++k) {
+    std::string_view line;
+    if (!need_line(&line, "latch")) return false;
+    const std::vector<std::string_view> toks = split(line);
+    const size_t base = binary_ ? 0 : 1;  // binary omits the latch literal
+    if (toks.size() < base + 1 || toks.size() > base + 2)
+      return fail("latch line needs " + std::to_string(base + 1) + " or " +
+                  std::to_string(base + 2) + " numbers");
+    uint64_t nums[3] = {0, 0, 0};
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (!parse_u64(toks[i], &nums[i]))
+        return fail("latch line: '" + std::string(toks[i]) +
+                    "' is not a number");
+    }
+    const uint64_t lit = binary_ ? 2 * (i_ + k + 1) : nums[0];
+    const uint64_t next = nums[base];
+    if (!define(lit, Kind::Latch, "latch")) return false;
+    if (next > 2 * m_ + 1)
+      return fail("latch next-state literal " + std::to_string(next) +
+                  " out of range");
+    Tri init = Tri::F;
+    if (toks.size() == base + 2) {
+      const uint64_t reset = nums[base + 1];
+      if (reset == 0) {
+        init = Tri::F;
+      } else if (reset == 1) {
+        init = Tri::T;
+      } else if (reset == lit) {
+        init = Tri::X;  // uninitialized power-up
+      } else {
+        return fail("latch reset " + std::to_string(reset) +
+                    " must be 0, 1, or the latch's own literal " +
+                    std::to_string(lit));
+      }
+    }
+    const GateId reg = bld_.reg("", init);
+    var2gate_[lit >> 1] = reg;
+    latches_.push_back(reg);
+    latch_next_.push_back(next);
+  }
+  return true;
+}
+
+bool Reader::parse_literal_sections() {
+  uint64_t lit;
+  for (uint64_t k = 0; k < o_; ++k) {
+    if (!literal_line("output", 1, &lit)) return false;
+    out_lits_.push_back(lit);
+  }
+  for (uint64_t k = 0; k < num_b_; ++k) {
+    if (!literal_line("bad", 1, &lit)) return false;
+    bad_lits_.push_back(lit);
+  }
+  for (uint64_t k = 0; k < num_c_; ++k) {
+    if (!literal_line("constraint", 1, &lit)) return false;
+    con_lits_.push_back(lit);
+  }
+  return true;
+}
+
+bool Reader::parse_ascii_ands() {
+  and_defs_.reserve(a_);
+  for (uint64_t k = 0; k < a_; ++k) {
+    uint64_t lits[3];
+    if (!literal_line("and", 3, lits)) return false;
+    if (!define(lits[0], Kind::And, "and")) return false;
+    and_defs_.push_back({lits[0], lits[1], lits[2]});
+    def_of_[lits[0] >> 1] = and_defs_.size() - 1;
+  }
+  return true;
+}
+
+bool Reader::resolve_ascii_ands() {
+  // And gates may be listed in any order in ASCII mode: build each one with
+  // an explicit DFS stack (fanins first, rhs0 before rhs1) and flag
+  // combinational cycles. For topologically sorted files — including
+  // everything write_aiger emits — this degenerates to file order, which is
+  // the creation-order contract the round-trip relies on.
+  std::vector<size_t> stack;
+  for (size_t root = 0; root < and_defs_.size(); ++root) {
+    if (and_defs_[root].state == 2) continue;
+    stack.assign(1, root);
+    while (!stack.empty()) {
+      AndDef& d = and_defs_[stack.back()];
+      if (d.state == 2) {
+        stack.pop_back();
+        continue;
+      }
+      d.state = 1;
+      bool ready = true;
+      for (const uint64_t rhs : {d.rhs0, d.rhs1}) {
+        if (!check_defined(rhs, "and gate " + std::to_string(d.lhs)))
+          return false;
+        const uint64_t var = rhs >> 1;
+        if (rhs > 1 && kind_[var] == Kind::And &&
+            var2gate_[var] == kNullGate) {
+          AndDef& dep = and_defs_[def_of_[var]];
+          if (dep.state == 1)
+            return fail_at("and gate " + std::to_string(d.lhs),
+                           "combinational cycle through literal " +
+                               std::to_string(rhs));
+          stack.push_back(def_of_[var]);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      var2gate_[d.lhs >> 1] = bld_.and_(lit2sig(d.rhs0), lit2sig(d.rhs1));
+      d.state = 2;
+      stack.pop_back();
+    }
+  }
+  return true;
+}
+
+bool Reader::build_binary_ands() {
+  // Binary and gates are delta-coded: for the k-th gate the left-hand side
+  // is implicitly 2*(I+L+k+1) and the stream holds LEB128 varints
+  // delta0 = lhs - rhs0 and delta1 = rhs0 - rhs1, which forces the
+  // topological order rhs1 <= rhs0 < lhs.
+  auto decode = [&](uint64_t* out) {
+    uint64_t x = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= s_.size()) return false;
+      const uint8_t ch = static_cast<uint8_t>(s_[pos_++]);
+      x |= static_cast<uint64_t>(ch & 0x7F) << shift;
+      if (!(ch & 0x80)) break;
+      shift += 7;
+      if (shift > 63) return false;  // overlong encoding
+    }
+    *out = x;
+    return true;
+  };
+  for (uint64_t k = 0; k < a_; ++k) {
+    const uint64_t lhs = 2 * (i_ + l_ + k + 1);
+    const std::string where = "and gate " + std::to_string(lhs);
+    uint64_t delta0, delta1;
+    if (!decode(&delta0) || !decode(&delta1))
+      return fail_at(where, "truncated delta code in binary and section");
+    if (delta0 == 0 || delta0 > lhs)
+      return fail_at(where, "delta " + std::to_string(delta0) +
+                                " puts rhs0 outside [0, lhs)");
+    const uint64_t rhs0 = lhs - delta0;
+    if (delta1 > rhs0)
+      return fail_at(where, "delta " + std::to_string(delta1) +
+                                " puts rhs1 below 0");
+    const uint64_t rhs1 = rhs0 - delta1;
+    // rhs0 < lhs and the ascending implicit lhs order guarantee both
+    // operands are already defined; the kind table is filled for strictness.
+    kind_[lhs >> 1] = Kind::And;
+    var2gate_[lhs >> 1] = bld_.and_(lit2sig(rhs0), lit2sig(rhs1));
+  }
+  return true;
+}
+
+bool Reader::parse_symbols() {
+  sym_i_.assign(i_, "");
+  sym_l_.assign(l_, "");
+  sym_o_.assign(o_, "");
+  sym_b_.assign(num_b_, "");
+  std::vector<std::vector<bool>> seen{
+      std::vector<bool>(i_, false), std::vector<bool>(l_, false),
+      std::vector<bool>(o_, false), std::vector<bool>(num_b_, false),
+      std::vector<bool>(num_c_, false)};
+  std::string_view line;
+  while (next_line(&line)) {
+    if (line == "c") return true;  // comment section: rest of file ignored
+    if (line.empty()) return fail("empty line in symbol table");
+    const char k = line[0];
+    const size_t cls = k == 'i'   ? 0
+                       : k == 'l' ? 1
+                       : k == 'o' ? 2
+                       : k == 'b' ? 3
+                       : k == 'c' ? 4
+                                  : SIZE_MAX;
+    const size_t space = line.find(' ');
+    uint64_t pos = 0;
+    if (cls == SIZE_MAX || space == std::string_view::npos ||
+        !parse_u64(line.substr(1, space - 1), &pos))
+      return fail("malformed symbol table line '" + std::string(line) + "'");
+    const std::string name(line.substr(space + 1));
+    if (name.empty()) return fail("symbol with empty name");
+    const uint64_t limit[] = {i_, l_, o_, num_b_, num_c_};
+    if (pos >= limit[cls])
+      return fail("symbol '" + std::string(line) + "' position out of range");
+    if (seen[cls][pos])
+      return fail("duplicate symbol '" + std::string(line.substr(0, space)) +
+                  "'");
+    seen[cls][pos] = true;
+    switch (cls) {
+      case 0: sym_i_[pos] = name; break;
+      case 1: sym_l_[pos] = name; break;
+      case 2: sym_o_[pos] = name; break;
+      case 3: sym_b_[pos] = name; break;
+      default: break;  // constraint symbols are informational only
+    }
+  }
+  return true;
+}
+
+bool Reader::elaborate() {
+  // Names first (ids are already fixed); reject in-kind duplicates — an
+  // ambiguous gate name would make --bad lookups and witness files lie.
+  std::unordered_set<std::string> gate_names;
+  for (uint64_t k = 0; k < i_; ++k) {
+    if (sym_i_[k].empty()) continue;
+    if (!gate_names.insert(sym_i_[k]).second)
+      return fail_at("symbol table", "duplicate name '" + sym_i_[k] + "'");
+    bld_.name(var2gate_[k + 1], sym_i_[k]);
+  }
+  for (uint64_t k = 0; k < l_; ++k) {
+    if (sym_l_[k].empty()) continue;
+    if (!gate_names.insert(sym_l_[k]).second)
+      return fail_at("symbol table", "duplicate name '" + sym_l_[k] + "'");
+    bld_.name(latches_[k], sym_l_[k]);
+  }
+
+  // Binary and gates were already built while decoding the byte stream
+  // (they precede the symbol table); ASCII ones are resolved here.
+  if (!binary_ && !resolve_ascii_ands()) return false;
+
+  for (uint64_t k = 0; k < l_; ++k) {
+    const std::string where = "latch " + std::to_string(k);
+    if (!check_defined(latch_next_[k], where)) return false;
+    bld_.set_next(latches_[k], lit2sig(latch_next_[k]));
+  }
+
+  // Invariant constraints fold into every property: ok_reg remembers
+  // "constraints held at all earlier steps", and a bad only counts when it
+  // rises with the constraints still intact this step.
+  GateId guard = kNullGate;
+  if (num_c_ > 0) {
+    std::vector<GateId> cons;
+    for (uint64_t k = 0; k < num_c_; ++k) {
+      if (!check_defined(con_lits_[k], "constraint " + std::to_string(k)))
+        return false;
+      cons.push_back(lit2sig(con_lits_[k]));
+    }
+    const GateId all = bld_.and_n(cons);
+    const GateId ok = bld_.reg("_aiger_constraints_ok", Tri::T);
+    bld_.set_next(ok, bld_.and_(ok, all));
+    guard = bld_.and_(ok, all);
+    out_->constraints_folded = true;
+  }
+
+  // Property registration. B entries are always properties; with B = 0 the
+  // pre-1.9 HWMCC convention applies and outputs double as properties.
+  std::unordered_set<std::string> prop_names;
+  auto add_property = [&](const std::string& name, GateId sig,
+                          bool is_property) {
+    if (!prop_names.insert(name).second)
+      return fail_at("symbol table",
+                     "duplicate output/bad name '" + name + "'");
+    bld_.output(name, sig);
+    if (is_property) out_->properties.push_back({name, sig});
+    return true;
+  };
+  for (uint64_t k = 0; k < num_b_; ++k) {
+    if (!check_defined(bad_lits_[k], "bad " + std::to_string(k)))
+      return false;
+    GateId sig = lit2sig(bad_lits_[k]);
+    if (guard != kNullGate) sig = bld_.and_(sig, guard);
+    const std::string name =
+        sym_b_[k].empty() ? "b" + std::to_string(k) : sym_b_[k];
+    if (!add_property(name, sig, true)) return false;
+  }
+  const bool outputs_are_properties = num_b_ == 0;
+  for (uint64_t k = 0; k < o_; ++k) {
+    if (!check_defined(out_lits_[k], "output " + std::to_string(k)))
+      return false;
+    GateId sig = lit2sig(out_lits_[k]);
+    if (outputs_are_properties && guard != kNullGate)
+      sig = bld_.and_(sig, guard);
+    const std::string name =
+        sym_o_[k].empty() ? "o" + std::to_string(k) : sym_o_[k];
+    if (!add_property(name, sig, outputs_are_properties)) return false;
+  }
+  return true;
+}
+
+bool Reader::run() {
+  if (!parse_header()) return false;
+  if (!parse_inputs()) return false;
+  if (!parse_latches()) return false;
+  if (!parse_literal_sections()) return false;
+  if (!binary_ && !parse_ascii_ands()) return false;
+  if (binary_) {
+    // The binary and section is raw bytes between the last ASCII section
+    // and the symbol table; gates are built while decoding.
+    if (!build_binary_ands()) return false;
+  }
+  if (!parse_symbols()) return false;
+  if (!elaborate()) return false;
+  out_->netlist = bld_.take();
+  out_->num_inputs = i_;
+  out_->num_latches = l_;
+  out_->num_ands = a_;
+  out_->num_outputs = o_;
+  out_->num_bad = num_b_;
+  out_->num_constraints = num_c_;
+  out_->binary = binary_;
+  return true;
+}
+
+}  // namespace
+
+bool read_aiger(std::string_view bytes, AigerDesign* out, std::string* error) {
+  *out = AigerDesign{};
+  Reader r(bytes, out, error);
+  return r.run();
+}
+
+}  // namespace rfn::aiger

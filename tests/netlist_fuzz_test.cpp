@@ -25,6 +25,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "aiger/aiger.hpp"
 #include "atpg/seq_atpg.hpp"
 #include "cert/check.hpp"
 #include "cert/format.hpp"
@@ -91,6 +92,58 @@ void dump_failure(const Netlist& m, uint64_t seed, size_t round) {
   out << "# netlist_fuzz_test seed=" << seed << " round=" << round << "\n"
       << write_blif(m, "fuzz");
   ADD_FAILURE() << "cross-engine disagreement; netlist dumped to " << path;
+}
+
+void dump_failure_aiger(const Netlist& m, uint64_t seed, size_t round) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(RFN_FUZZ_DUMP_DIR, ec);
+  const std::string path = std::string(RFN_FUZZ_DUMP_DIR) + "/fuzz_seed_" +
+                           std::to_string(seed) + "_round_" +
+                           std::to_string(round) + ".aag";
+  std::ofstream out(path);
+  out << aiger::write_aiger(m, false) << "c\nnetlist_fuzz_test seed=" << seed
+      << " round=" << round << "\n";
+  ADD_FAILURE() << "AIGER round-trip mismatch; netlist dumped to " << path;
+}
+
+/// AIGER round-trip: write -> read normalizes the netlist into and-inverter
+/// form; one more write -> read must then be a fixpoint of design_hash, both
+/// encodings must elaborate identically, and the normalized design must keep
+/// the same BDD reachability verdict as the original.
+void check_aiger_roundtrip(const Netlist& m, uint64_t seed, size_t round) {
+  std::string error;
+  aiger::AigerDesign d2, d2bin, d3;
+  ASSERT_TRUE(aiger::read_aiger(aiger::write_aiger(m, false), &d2, &error))
+      << "seed " << seed << " round " << round << ": " << error;
+  ASSERT_TRUE(aiger::read_aiger(aiger::write_aiger(m, true), &d2bin, &error))
+      << "seed " << seed << " round " << round << ": " << error;
+  EXPECT_EQ(design_hash(d2.netlist), design_hash(d2bin.netlist))
+      << "ASCII and binary encodings elaborate differently";
+  ASSERT_TRUE(
+      aiger::read_aiger(aiger::write_aiger(d2.netlist, false), &d3, &error))
+      << error;
+  EXPECT_EQ(design_hash(d2.netlist), design_hash(d3.netlist))
+      << "write -> read is not idempotent on the design hash";
+
+  // Verdict agreement: the decomposed and-inverter form must reach bad at
+  // exactly the same depth (or prove it unreachable) as the source netlist.
+  auto reach_of = [](const Netlist& n) {
+    const GateId bad = n.output("bad");
+    EXPECT_NE(bad, kNullGate);
+    BddMgr mgr;
+    Encoder enc(mgr, n);
+    ImageComputer img(enc);
+    const Bdd bad_set = mgr.exists(enc.signal_fn(bad), enc.input_vars());
+    const ReachResult r = forward_reach(img, enc.initial_states(), bad_set);
+    EXPECT_NE(r.status, ReachStatus::ResourceOut);
+    return std::make_pair(r.status, r.steps);
+  };
+  const auto [st1, steps1] = reach_of(m);
+  const auto [st2, steps2] = reach_of(d2.netlist);
+  EXPECT_EQ(st1, st2) << "round-tripped design changed verdict";
+  if (st1 == ReachStatus::BadReachable && st2 == ReachStatus::BadReachable)
+    EXPECT_EQ(steps1, steps2) << "round-tripped design changed trace depth";
 }
 
 void check_engines_agree(const Netlist& m, uint64_t seed, size_t round) {
@@ -302,6 +355,10 @@ TEST_P(CrossEngineFuzz, EnginesAgreeOnRandomNetlists) {
     check_engines_agree(m, seed, round);
     if (!failed_before && ::testing::Test::HasFailure())
       dump_failure(m, seed, round);
+    const bool failed_before_aiger = ::testing::Test::HasFailure();
+    check_aiger_roundtrip(m, seed, round);
+    if (!failed_before_aiger && ::testing::Test::HasFailure())
+      dump_failure_aiger(m, seed, round);
   }
 }
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
-"""Bench regression gate for rfn-bench-v1 JSON documents.
+"""Bench regression gate for rfn-bench-v1 and rfn-corpus-v1 JSON documents.
 
-Compares a fresh `bench/micro_engines --json` run against the checked-in
-baseline (BENCH_portfolio.json) and exits nonzero when a benchmark regressed:
+Bench mode compares a fresh `bench/micro_engines --json` run against the
+checked-in baseline (BENCH_portfolio.json) and exits nonzero when a
+benchmark regressed:
 
   * wall time per iteration grew by more than --time-tolerance (default 20%),
   * the deterministic bdd_peak_nodes counter grew by more than
@@ -31,6 +32,20 @@ from a Release build and commit it together with the change that moved it:
       --json BENCH_portfolio.json
 
 and say why in the commit message.
+
+Corpus mode diffs two rfn-corpus-v1 documents (from tools/corpus_run.py):
+
+  tools/bench_gate.py --corpus-baseline tests/corpus/baseline.json \
+      --corpus-current corpus_summary.json
+
+and fails on any semantic drift: a baseline file or property missing from
+the current run, a file status that degraded (ok -> resource-out/error), a
+verdict flip, or a certification regression (certified true -> false).
+Wall-clock seconds and engine_wins are deliberately NOT gated — races are
+timing-dependent; the verdicts and certificates are not. New files or
+properties in the current run are reported but do not fail the gate (they
+fail corpus_run's own totals check if broken); commit a regenerated
+baseline to start gating them.
 """
 
 import argparse
@@ -61,15 +76,94 @@ def load(path):
     return benchmarks
 
 
+def load_corpus(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "rfn-corpus-v1":
+        sys.exit(f"bench_gate: {path}: not an rfn-corpus-v1 document "
+                 f"(schema={doc.get('schema')!r})")
+    files = {}
+    for i, rec in enumerate(doc.get("files", [])):
+        name = rec.get("file")
+        if not name:
+            sys.exit(f"bench_gate: {path}: file record {i} has no \"file\" "
+                     f"— malformed artifact, not a regression")
+        files[name] = rec
+    return files
+
+
+def corpus_gate(baseline_path, current_path):
+    baseline = load_corpus(baseline_path)
+    current = load_corpus(current_path)
+
+    failures = []
+    checked = 0
+    for fname, base in sorted(baseline.items()):
+        cur = current.get(fname)
+        if cur is None:
+            failures.append(f"{fname}: missing from current run")
+            continue
+        base_status = base.get("status", "ok")
+        cur_status = cur.get("status", "ok")
+        if base_status == "ok" and cur_status != "ok":
+            failures.append(f"{fname}: status degraded ok -> {cur_status}")
+            continue
+        cur_props = {p["name"]: p for p in cur.get("properties", [])}
+        for p in base.get("properties", []):
+            cp = cur_props.get(p["name"])
+            checked += 1
+            if cp is None:
+                failures.append(f"{fname}: property {p['name']!r} missing "
+                                f"from current run")
+                continue
+            if cp.get("verdict") != p.get("verdict"):
+                failures.append(
+                    f"{fname}: {p['name']}: verdict flipped "
+                    f"{p.get('verdict')!r} -> {cp.get('verdict')!r}")
+            if p.get("certified") and not cp.get("certified"):
+                failures.append(
+                    f"{fname}: {p['name']}: certification regressed "
+                    f"(was certified, now is not)")
+    for fname in sorted(set(current) - set(baseline)):
+        print(f"bench_gate: {fname}: new file, not in the baseline "
+              f"(re-baseline to start gating it)")
+
+    if failures:
+        print("bench_gate: corpus FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"bench_gate:   {f}", file=sys.stderr)
+        print("bench_gate: if the drift is intentional, regenerate "
+              "tests/corpus/baseline.json (see the module docstring)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_gate: corpus PASSED ({len(baseline)} files, "
+          f"{checked} properties)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--baseline", required=True, help="checked-in rfn-bench-v1 JSON")
-    ap.add_argument("--current", required=True, help="freshly generated rfn-bench-v1 JSON")
+    ap.add_argument("--baseline", help="checked-in rfn-bench-v1 JSON")
+    ap.add_argument("--current", help="freshly generated rfn-bench-v1 JSON")
+    ap.add_argument("--corpus-baseline",
+                    help="checked-in rfn-corpus-v1 JSON (corpus mode)")
+    ap.add_argument("--corpus-current",
+                    help="freshly generated rfn-corpus-v1 JSON (corpus mode)")
     ap.add_argument("--time-tolerance", type=float, default=0.20,
                     help="allowed relative wall-time growth (default 0.20)")
     ap.add_argument("--node-tolerance", type=float, default=0.10,
                     help="allowed relative bdd_peak_nodes growth (default 0.10)")
     args = ap.parse_args()
+
+    if bool(args.corpus_baseline) != bool(args.corpus_current):
+        ap.error("--corpus-baseline and --corpus-current go together")
+    if args.corpus_baseline:
+        if args.baseline or args.current:
+            ap.error("corpus mode and bench mode are separate invocations")
+        return corpus_gate(args.corpus_baseline, args.corpus_current)
+    if not args.baseline or not args.current:
+        ap.error("--baseline and --current are required (or the "
+                 "--corpus-* pair)")
 
     baseline = load(args.baseline)
     current = load(args.current)

@@ -3,7 +3,7 @@
 # for machines without act or network access.
 #
 #   tools/ci_dryrun.sh            one matrix cell (gcc Release) + TSan +
-#                                 bench gate + bench_gate self-check
+#                                 bench gate + corpus gate + gate self-checks
 #   tools/ci_dryrun.sh --full     the whole matrix and both sanitizers
 #
 # Cells whose toolchain is absent locally (clang, ccache) are skipped with a
@@ -153,5 +153,33 @@ if python3 tools/bench_gate.py --baseline build-ci-bench/bench-current.json \
   echo "ci_dryrun: bench_gate accepted a 25% regression" >&2
   exit 1
 fi
+# --- job: corpus ------------------------------------------------------------
+# The committed AIGER corpus through batch sessions, every certificate
+# re-checked by rfn_check, the summary gated against the checked-in
+# baseline, then an injected verdict flip must fail the gate.
+note "corpus gate"
+python3 tools/corpus_run.py \
+  --cli build-ci-bench/tools/rfn --check build-ci-bench/tools/rfn_check \
+  --corpus tests/corpus --out build-ci-bench/corpus-current.json
+python3 tools/trace_report.py --corpus build-ci-bench/corpus-current.json
+python3 tools/bench_gate.py \
+  --corpus-baseline tests/corpus/baseline.json \
+  --corpus-current build-ci-bench/corpus-current.json
+
+note "corpus gate self-check (injected verdict flip must exit nonzero)"
+python3 - <<'EOF'
+import json
+doc = json.load(open("build-ci-bench/corpus-current.json"))
+prop = doc["files"][0]["properties"][0]
+prop["verdict"] = "F" if prop["verdict"] == "T" else "T"
+json.dump(doc, open("build-ci-bench/corpus-flipped.json", "w"))
+EOF
+if python3 tools/bench_gate.py \
+    --corpus-baseline tests/corpus/baseline.json \
+    --corpus-current build-ci-bench/corpus-flipped.json; then
+  echo "ci_dryrun: corpus gate accepted an injected verdict flip" >&2
+  exit 1
+fi
+
 echo
 echo "ci_dryrun: all jobs green"

@@ -1,6 +1,7 @@
 // rfn_check — independent certificate verifier.
 //
-//   rfn_check <cert.json> <design.v|design.blif|builtin:NAME> [--top MODULE]
+//   rfn_check <cert.json> <design.v|design.blif|design.aag|design.aig|
+//              builtin:NAME> [--top MODULE]
 //
 // Re-elaborates the design, parses an rfn-cert-v1 witness (emitted by
 // `rfn verify --certify`, see cert/format.hpp) and discharges its
@@ -23,6 +24,7 @@
 #include <sstream>
 #include <string>
 
+#include "aiger/aiger.hpp"
 #include "cert/check.hpp"
 #include "cert/format.hpp"
 #include "designs/builtin.hpp"
@@ -46,7 +48,7 @@ bool ends_with(const std::string& s, const std::string& suffix) {
 }
 
 bool read_file(const std::string& path, std::string* out) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);  // binary .aig is not line text
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
@@ -68,6 +70,18 @@ Netlist load_design(const std::string& path, const std::string& top, bool* ok) {
     std::fprintf(stderr, "rfn_check: cannot open %s\n", path.c_str());
     *ok = false;
     return Netlist{};
+  }
+  if (ends_with(path, ".aag") || ends_with(path, ".aig")) {
+    // Same strict elaboration as the verifier: the witness's design hash is
+    // taken over the normalized netlist, so both sides must agree on it.
+    aiger::AigerDesign d;
+    std::string error;
+    if (!aiger::read_aiger(text, &d, &error)) {
+      std::fprintf(stderr, "rfn_check: %s: %s\n", path.c_str(), error.c_str());
+      *ok = false;
+      return Netlist{};
+    }
+    return std::move(d.netlist);
   }
   if (ends_with(path, ".blif")) return read_blif(text);
   return rtlv::elaborate_verilog(text, top).netlist;

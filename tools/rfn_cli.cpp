@@ -2,13 +2,17 @@
 //
 //   rfn verify   <design> --bad SIGNAL [options]   property verification
 //   rfn coverage <design> --signals a,b,c [options] unreachable-state analysis
-//   rfn translate <design> [--top MODULE]           Verilog -> BLIF
+//   rfn translate <design> [--format blif|aag|aig]  design format conversion
 //   rfn stats    <design>                           design statistics
 //
-// <design> is a .v (Verilog subset) or .blif file (format chosen by
-// extension), or builtin:fifo|processor|iu|usb for the shipped generated
-// designs (small parameterizations; CI's batch runs use these). Common
-// options:
+// <design> is a .v (Verilog subset), .blif, or AIGER 1.9 .aag/.aig file
+// (format chosen by extension; --aiger forces AIGER for other names), or
+// builtin:fifo|processor|iu|usb for the shipped generated designs (small
+// parameterizations; CI's batch runs use these). For AIGER designs every
+// bad-state property (or output, pre-1.9 style) becomes a verification
+// obligation: with no --bad/--props the whole set runs as one batch
+// session, so cone clustering, the ReuseCache, and all engines apply
+// unchanged. Common options:
 //   --time-limit S     wall-clock budget (default 300)
 //   --workers N        engine-portfolio worker threads (default 0: sequential)
 //   --engine LIST      engines entering the races, comma-separated subset of
@@ -56,12 +60,24 @@
 //   --session-workers N   cluster jobs run concurrently (default 0: inline)
 //   --batch-budget-ms N   whole-batch wall budget, split fair-share
 //   --no-reuse            disable the cross-property reuse cache
+//   --batch               force the session path (and the rfn-trace-v2
+//                         artifact schema) even for a single property —
+//                         corpus harnesses rely on one parser for all runs
+//
+// AIGER-specific options:
+//   --aiger               treat <design> as AIGER regardless of extension
+//   --witness-dir DIR     batch runs: drop an AIGER-convention witness per
+//                         conclusive property into DIR/<property>.wit
+//                         ("1\nb<k>\n<state>\n<inputs per cycle>...\n." for
+//                         VIOLATED, "0\nb<k>\n." for HOLDS)
+//   --aiger-witness FILE  single runs: the same, to one file
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "aiger/aiger.hpp"
 #include "cert/format.hpp"
 #include "core/certificate.hpp"
 #include "core/coverage.hpp"
@@ -105,10 +121,14 @@ Netlist load_builtin(const std::string& name, bool* ok) {
   return n;
 }
 
-Netlist load_design(const std::string& path, const Options& opts, bool* ok) {
+/// Loads a design of any supported format. For AIGER inputs, `aig` (when
+/// non-null) receives the property list and header shape; its netlist member
+/// is moved into the return value.
+Netlist load_design(const std::string& path, const Options& opts, bool* ok,
+                    aiger::AigerDesign* aig = nullptr) {
   *ok = true;
   if (path.rfind("builtin:", 0) == 0) return load_builtin(path.substr(8), ok);
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);  // binary .aig is not line text
   if (!in) {
     std::fprintf(stderr, "rfn: cannot open %s\n", path.c_str());
     *ok = false;
@@ -116,6 +136,18 @@ Netlist load_design(const std::string& path, const Options& opts, bool* ok) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (opts.get_bool("aiger", false) || ends_with(path, ".aag") ||
+      ends_with(path, ".aig")) {
+    aiger::AigerDesign local;
+    aiger::AigerDesign& d = aig ? *aig : local;
+    std::string error;
+    if (!aiger::read_aiger(buf.str(), &d, &error)) {
+      std::fprintf(stderr, "rfn: %s: %s\n", path.c_str(), error.c_str());
+      *ok = false;
+      return Netlist{};
+    }
+    return std::move(d.netlist);
+  }
   if (ends_with(path, ".blif")) return read_blif(buf.str());
   return rtlv::elaborate_verilog(buf.str(), opts.get("top", "")).netlist;
 }
@@ -126,14 +158,35 @@ GateId find_signal(const Netlist& n, const std::string& name) {
   return g;
 }
 
-std::string cert_file_name(const std::string& property) {
+std::string sanitize_file_stem(const std::string& property) {
   std::string out;
   for (const char c : property) {
     const bool keep = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
                       (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
     out += keep ? c : '_';
   }
-  return out + ".cert.json";
+  return out;
+}
+
+std::string cert_file_name(const std::string& property) {
+  return sanitize_file_stem(property) + ".cert.json";
+}
+
+/// AIGER witnesses name properties by index ("b<k>"): the index within the
+/// source file's bad list when the design came from AIGER, else the
+/// property's position in the run.
+size_t witness_index(const std::vector<aiger::AigerProperty>& aprops,
+                     const std::string& name, size_t fallback) {
+  for (size_t i = 0; i < aprops.size(); ++i)
+    if (aprops[i].name == name) return i;
+  return fallback;
+}
+
+bool write_text_file(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary);
+  if (out) out << body;
+  if (!out) std::fprintf(stderr, "rfn: cannot write %s\n", path.c_str());
+  return static_cast<bool>(out);
 }
 
 /// Builds + checks the witness for one concluded property and flattens the
@@ -223,7 +276,8 @@ bool parse_props_line(const Netlist& design, const std::string& line,
 
 int cmd_verify_batch(const Netlist& design, const Options& opts,
                      std::vector<PropertyRequest> props,
-                     const RfnOptions& rfn_opts) {
+                     const RfnOptions& rfn_opts,
+                     const std::vector<aiger::AigerProperty>& aprops) {
   SessionOptions sopt;
   sopt.defaults = rfn_opts;
   sopt.cluster_overlap = opts.get_double("cluster-overlap", 0.5);
@@ -280,6 +334,31 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
     }
   }
 
+  // --witness-dir: conclusive verdicts additionally export AIGER-convention
+  // witnesses, consumable by third-party checkers (aigsim-style stimulus for
+  // VIOLATED, a claim line for HOLDS).
+  const std::string wit_dir = opts.get("witness-dir", "");
+  bool wit_io_ok = true;
+  if (!wit_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(wit_dir, ec);
+    for (size_t i = 0; i < results.size(); ++i) {
+      const PropertyResult& r = results[i];
+      const size_t idx = witness_index(aprops, r.name, i);
+      std::string body;
+      if (r.verdict == Verdict::Holds) {
+        body = aiger::write_witness_holds(idx);
+      } else if (r.verdict == Verdict::Fails) {
+        body = aiger::write_witness_fails(design, idx, r.trace);
+      } else {
+        continue;
+      }
+      const std::string path =
+          wit_dir + "/" + sanitize_file_stem(r.name) + ".wit";
+      if (!write_text_file(path, body)) wit_io_ok = false;
+    }
+  }
+
   const std::string trace_path = opts.get("trace-json", "");
   if (!trace_path.empty()) {
     std::ofstream out(trace_path);
@@ -319,12 +398,13 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
   if (opts.get_bool("metrics", false))
     std::printf("metrics: %s\n",
                 MetricsRegistry::global().to_json(&baseline).dump(2).c_str());
-  if (!cert_io_ok) return 2;
+  if (!cert_io_ok || !wit_io_ok) return 2;
   if (!certified_ok) return 3;
   return all_conclusive ? 0 : 1;
 }
 
-int cmd_verify(const Netlist& design, const Options& opts) {
+int cmd_verify(const Netlist& design, const Options& opts,
+               const std::vector<aiger::AigerProperty>& aprops) {
   RfnOptions rfn_opts;
   rfn_opts.time_limit_s = opts.get_double("time-limit", 300.0);
   rfn_opts.traces_per_iteration = static_cast<size_t>(opts.get_int("traces", 1));
@@ -373,7 +453,30 @@ int cmd_verify(const Netlist& design, const Options& opts) {
       props.push_back(std::move(p));
     }
   }
-  if (props.size() > 1) return cmd_verify_batch(design, opts, std::move(props), rfn_opts);
+  // An AIGER design with no explicit selection verifies its whole property
+  // list (each bad output, or each output pre-1.9 style) as one batch.
+  if (props.empty() && !aprops.empty()) {
+    for (const aiger::AigerProperty& ap : aprops) {
+      PropertyRequest p;
+      p.name = ap.name;
+      p.bad = ap.signal;
+      props.push_back(std::move(p));
+    }
+  }
+  if (props.size() > 1 || opts.get_bool("batch", false)) {
+    if (props.empty()) {
+      // --batch with no property selection: the conventional default.
+      PropertyRequest p;
+      p.name = opts.get("bad", "bad");
+      p.bad = find_signal(design, p.name);
+      if (p.bad == kNullGate) {
+        std::fprintf(stderr, "rfn: no signal named '%s'\n", p.name.c_str());
+        return 2;
+      }
+      props.push_back(std::move(p));
+    }
+    return cmd_verify_batch(design, opts, std::move(props), rfn_opts, aprops);
+  }
 
   const std::string bad_name =
       props.empty() ? opts.get("bad", "bad")
@@ -457,6 +560,16 @@ int cmd_verify(const Netlist& design, const Options& opts) {
     if (opts.get_bool("dump-trace", false))
       std::fputs(trace_to_string(design, result.error_trace).c_str(), stdout);
   }
+  const std::string aiger_wit = opts.get("aiger-witness", "");
+  if (!aiger_wit.empty() &&
+      (result.verdict == Verdict::Holds || result.verdict == Verdict::Fails)) {
+    const size_t idx = witness_index(aprops, bad_name, 0);
+    const std::string body =
+        result.verdict == Verdict::Holds
+            ? aiger::write_witness_holds(idx)
+            : aiger::write_witness_fails(design, idx, result.error_trace);
+    if (!write_text_file(aiger_wit, body)) return 2;
+  }
   const std::string cert_out = opts.get("cert-out", "");
   if (opts.get_bool("certify", false) || !cert_out.empty()) {
     const CertificateArtifact art = certify_with_witness(
@@ -535,14 +648,37 @@ int main(int argc, char** argv) {
   const std::string& path = opts.positionals()[1];
 
   bool ok = false;
-  const Netlist design = load_design(path, opts, &ok);
+  aiger::AigerDesign aig;
+  const Netlist design = load_design(path, opts, &ok, &aig);
   if (!ok) return 2;
   std::printf("loaded %s: %s\n", path.c_str(), stats_line(design).c_str());
+  if (!aig.properties.empty())
+    std::printf("aiger: %zu propert%s (%zu bad, %zu outputs, %zu constraints%s)\n",
+                aig.properties.size(),
+                aig.properties.size() == 1 ? "y" : "ies", aig.num_bad,
+                aig.num_outputs, aig.num_constraints,
+                aig.constraints_folded ? ", folded" : "");
 
-  if (command == "verify") return cmd_verify(design, opts);
+  if (command == "verify") return cmd_verify(design, opts, aig.properties);
   if (command == "coverage") return cmd_coverage(design, opts);
   if (command == "translate") {
-    std::fputs(write_blif(design, "rfn_translated").c_str(), stdout);
+    const std::string format = opts.get("format", "blif");
+    std::string body;
+    if (format == "blif") {
+      body = write_blif(design, "rfn_translated");
+    } else if (format == "aag" || format == "aig") {
+      body = aiger::write_aiger(design, format == "aig");
+    } else {
+      std::fprintf(stderr, "rfn: unknown translate format '%s'\n",
+                   format.c_str());
+      return 2;
+    }
+    const std::string out_path = opts.get("out", "");
+    if (out_path.empty()) {
+      std::fwrite(body.data(), 1, body.size(), stdout);  // .aig is raw bytes
+    } else if (!write_text_file(out_path, body)) {
+      return 2;
+    }
     return 0;
   }
   if (command == "stats") {

@@ -24,6 +24,11 @@ per-property table, a certification summary line when certificates were
 recorded, and a SAT-engine activity line (checks, conflicts,
 refinement-hint registers) when the sat engine ran.
 
+With `--corpus` the input is an rfn-corpus-v1 summary from
+tools/corpus_run.py. The validator checks the schema tag, the per-file and
+per-property record shapes, the verdict spellings, and that the totals
+block agrees with the records, then prints a per-file table.
+
 Report sections:
   * run summary — total wall time reconstructed from the rfn.run span
     (machine-readable as `total_wall_s=...`), dropped-event count, any
@@ -52,6 +57,9 @@ PROPERTY_KEYS = ("name", "bad", "verdict", "cluster", "clustered",
 CERTIFICATE_KEYS = ("property", "kind", "ok", "clauses", "trace_cycles",
                     "obligation", "seconds")
 CERTIFICATE_KINDS = ("holds-invariant", "fails-trace")
+CORPUS_SCHEMA = "rfn-corpus-v1"
+CORPUS_STATUSES = ("ok", "resource-out", "error")
+CORPUS_PROPERTY_KEYS = ("name", "verdict", "certified")
 
 
 class TraceError(Exception):
@@ -189,6 +197,98 @@ def validate_batch(records):
         if not isinstance(counters, dict):
             fail("summary metrics.counters is not an object")
     return props, certs, summary
+
+
+def validate_corpus(doc):
+    """Checks an rfn-corpus-v1 summary; returns the file-record list."""
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("schema") != CORPUS_SCHEMA:
+        fail(f"schema is {doc.get('schema')!r}, expected {CORPUS_SCHEMA!r}")
+    files = doc.get("files")
+    if not isinstance(files, list):
+        fail("files missing or not a list")
+    verdicts = collections.Counter()
+    certified = 0
+    n_props = 0
+    seen_files = set()
+    for i, rec in enumerate(files):
+        name = rec.get("file")
+        if not name:
+            fail(f"file record {i} has no 'file'")
+        if name in seen_files:
+            fail(f"file record {i}: duplicate file {name!r}")
+        seen_files.add(name)
+        if rec.get("status") not in CORPUS_STATUSES:
+            fail(f"file record {i} ({name!r}): unknown status "
+                 f"{rec.get('status')!r}")
+        props = rec.get("properties")
+        if not isinstance(props, list):
+            fail(f"file record {i} ({name!r}): properties missing or not "
+                 f"a list")
+        if rec.get("status") == "ok" and not props:
+            fail(f"file record {i} ({name!r}): status ok with no "
+                 f"properties — every AIGER corpus file carries at least "
+                 f"one bad")
+        for j, p in enumerate(props):
+            for key in CORPUS_PROPERTY_KEYS:
+                if key not in p:
+                    fail(f"{name}: property record {j} lacks {key!r}")
+            if p["verdict"] not in VERDICTS:
+                fail(f"{name}: property {p['name']!r}: unknown verdict "
+                     f"{p['verdict']!r}")
+            if not isinstance(p["certified"], bool):
+                fail(f"{name}: property {p['name']!r}: certified is not "
+                     f"a boolean")
+            verdicts[p["verdict"]] += 1
+            certified += p["certified"]
+            n_props += 1
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        fail("totals missing or not an object")
+    if totals.get("files") != len(files):
+        fail(f"totals say {totals.get('files')} files, the document has "
+             f"{len(files)} file records")
+    if totals.get("properties") != n_props:
+        fail(f"totals say {totals.get('properties')} properties, the "
+             f"records have {n_props}")
+    declared = totals.get("verdicts", {})
+    for v in VERDICTS:
+        if declared.get(v, 0) != verdicts[v]:
+            fail(f"totals say {declared.get(v, 0)} x {v!r}, the records "
+                 f"say {verdicts[v]}")
+    if totals.get("certified") != certified:
+        fail(f"totals say {totals.get('certified')} certified, the records "
+             f"say {certified}")
+    return files
+
+
+def report_corpus(path):
+    """Validates and summarizes an rfn-corpus-v1 summary file."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace_report: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+    files = validate_corpus(doc)
+    totals = doc["totals"]
+    print("== corpus summary ==")
+    print(f"files={totals['files']} properties={totals['properties']} "
+          f"certified={totals['certified']}")
+    declared = totals.get("verdicts", {})
+    print("verdicts: " + " ".join(
+        f"{v}={declared.get(v, 0)}" for v in VERDICTS))
+    print(f"\n{'file':<28} {'status':<13} {'props':>5} {'T':>3} {'F':>3} "
+          f"{'cert':>4} {'seconds':>8}")
+    for rec in files:
+        counts = collections.Counter(p["verdict"] for p in rec["properties"])
+        cert = sum(p["certified"] for p in rec["properties"])
+        print(f"{rec['file']:<28} {rec['status']:<13} "
+              f"{len(rec['properties']):>5} {counts.get('T', 0):>3} "
+              f"{counts.get('F', 0):>3} {cert:>4} "
+              f"{rec.get('seconds', 0.0):>8.2f}")
+    return 0
 
 
 def sat_summary_line(summary):
@@ -403,6 +503,27 @@ def synthetic_batch_trace():
     ]
 
 
+def synthetic_corpus():
+    """A minimal well-formed rfn-corpus-v1 summary for --self-check."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "corpus": "tests/corpus",
+        "files": [
+            {"file": "a.aag", "status": "ok", "seconds": 0.1,
+             "properties": [
+                 {"name": "p0", "verdict": "T", "certified": True},
+                 {"name": "p1", "verdict": "F", "certified": True},
+             ],
+             "engine_wins": {"bdd-reach": 2}},
+            {"file": "b.aig", "status": "resource-out", "seconds": 120.0,
+             "properties": [], "engine_wins": {}},
+        ],
+        "totals": {"files": 2, "properties": 2,
+                   "verdicts": {"T": 1, "F": 1, "?": 0, "resource-out": 0},
+                   "certified": 2},
+    }
+
+
 def self_check():
     """The validators must accept good traces and reject each corruption."""
     good = synthetic_trace()
@@ -487,6 +608,44 @@ def self_check():
         corrupt_batch(lambda d: d.insert(3, dict(d[0])),
                       "property record after certificate records"),
     ) if f]
+
+    good_corpus = synthetic_corpus()
+    try:
+        validate_corpus(good_corpus)
+    except TraceError as err:
+        print(f"self-check: valid corpus summary rejected: {err}",
+              file=sys.stderr)
+        return 1
+
+    def corrupt_corpus(mutate, expect):
+        doc = json.loads(json.dumps(good_corpus))
+        mutate(doc)
+        try:
+            validate_corpus(doc)
+        except TraceError:
+            return None
+        return f"self-check: {expect} not detected"
+
+    failures += [f for f in (
+        corrupt_corpus(lambda d: d.update(schema="rfn-corpus-v0"),
+                       "wrong corpus schema tag"),
+        corrupt_corpus(lambda d: d["files"][0]["properties"][0].update(
+                           verdict="HOLDS"),
+                       "non-canonical corpus verdict spelling"),
+        corrupt_corpus(lambda d: d["files"][0].update(status="crashed"),
+                       "unknown corpus file status"),
+        corrupt_corpus(lambda d: d["files"][0]["properties"].pop(),
+                       "corpus totals/record property-count mismatch"),
+        corrupt_corpus(lambda d: d["totals"]["verdicts"].update(T=2),
+                       "corpus totals verdict-count mismatch"),
+        corrupt_corpus(lambda d: d["files"][0]["properties"][0].update(
+                           certified="yes"),
+                       "non-boolean certified flag"),
+        corrupt_corpus(lambda d: d["totals"].update(certified=1),
+                       "corpus certified-count mismatch"),
+        corrupt_corpus(lambda d: d["files"].append(dict(d["files"][0])),
+                       "duplicate corpus file record"),
+    ) if f]
     for f in failures:
         print(f, file=sys.stderr)
     if not failures:
@@ -503,12 +662,22 @@ def main():
                     help="validate built-in good/bad traces and exit")
     ap.add_argument("--batch", action="store_true",
                     help="TRACE is an rfn-trace-v2 batch JSONL file")
+    ap.add_argument("--corpus", action="store_true",
+                    help="TRACE is an rfn-corpus-v1 summary from "
+                         "tools/corpus_run.py")
     args = ap.parse_args()
 
     if args.self_check:
         return self_check()
     if not args.trace:
         ap.error("a trace file is required (or --self-check)")
+    if args.corpus:
+        try:
+            return report_corpus(args.trace)
+        except TraceError as err:
+            print(f"trace_report: invalid corpus summary: {err}",
+                  file=sys.stderr)
+            return 1
     if args.batch:
         try:
             return report_batch(args.trace)
