@@ -203,6 +203,12 @@ void export_portfolio_counters(benchmark::State& state) {
   state.counters["wins_sat"] = s.value("portfolio.wins.sat-bmc");
   state.counters["jobs_cancelled"] = s.value("portfolio.jobs_cancelled");
   state.counters["bdd_peak_nodes"] = s.value("bdd.peak_live_nodes.max");
+  // Byte-exact arena peaks (see util/prof and DESIGN.md "Resource
+  // profiling"). Informational in the per-bench counters — the CI byte gate
+  // runs on rfn-prof-v1 artifacts from deterministic --workers 0 CLI runs
+  // (tools/bench_gate.py --prof-baseline), not on these.
+  state.counters["bdd_peak_heap_bytes"] = s.value("bdd.heap_bytes.max");
+  state.counters["sat_peak_heap_bytes"] = s.value("sat.heap_bytes.max");
 }
 
 // Full RFN runs on the FIFO psh_full property, sequential (workers = 0)

@@ -14,6 +14,10 @@ void publish_bdd_metrics(const BddStats& s) {
   m.counter("bdd.cache_lookups").add(s.cache_lookups);
   m.counter("bdd.cache_hits").add(s.cache_hits);
   m.gauge("bdd.peak_live_nodes").record_max(static_cast<int64_t>(s.peak_live_nodes));
+  // Arena bytes: level = this manager's footprint, max = the largest any
+  // manager reached this run (rfn-prof-v1's bdd.peak_bytes).
+  m.gauge("bdd.heap_bytes").set(static_cast<int64_t>(s.heap_bytes));
+  m.gauge("bdd.heap_bytes").record_max(static_cast<int64_t>(s.heap_peak_bytes));
 }
 
 // ---------------------------------------------------------------------------
@@ -92,6 +96,8 @@ BddMgr::BddMgr(uint32_t initial_vars) {
   stats_.live_nodes = 0;  // terminals not counted
   cache_.resize(1u << 16);
   cache_mask_ = cache_.size() - 1;
+  heap_track(0, nodes_.capacity() * sizeof(Node) +
+                    cache_.capacity() * sizeof(CacheEntry));
   for (uint32_t i = 0; i < initial_vars; ++i) new_var();
 }
 
@@ -103,6 +109,7 @@ BddVar BddMgr::new_var() {
   invperm_.push_back(v);
   subtables_.emplace_back();
   subtables_.back().buckets.assign(16, kNil);
+  heap_track(0, subtables_.back().buckets.capacity() * sizeof(uint32_t));
   stats_.num_vars = perm_.size();
   return v;
 }
@@ -154,6 +161,8 @@ void BddMgr::maybe_grow(Subtable& st) {
   if (st.count < st.buckets.size() * 2) return;
   std::vector<uint32_t> old = std::move(st.buckets);
   st.buckets.assign(old.size() * 4, kNil);
+  heap_track(old.capacity() * sizeof(uint32_t),
+             st.buckets.capacity() * sizeof(uint32_t));
   const size_t mask = st.buckets.size() - 1;
   for (uint32_t head : old) {
     while (head != kNil) {
@@ -184,7 +193,9 @@ uint32_t BddMgr::find_or_add(BddVar v, uint32_t lo, uint32_t hi) {
     --free_count_;
   } else {
     id = static_cast<uint32_t>(nodes_.size());
+    const size_t before = nodes_.capacity();
     nodes_.push_back({});
+    heap_track(before * sizeof(Node), nodes_.capacity() * sizeof(Node));
   }
   Node& n = nodes_[id];
   n.var = v;

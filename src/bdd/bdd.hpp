@@ -109,6 +109,13 @@ struct BddStats {
   size_t reorderings = 0;
   size_t cache_lookups = 0;
   size_t cache_hits = 0;
+  /// Byte-exact arena footprint: node pool + unique-table buckets +
+  /// computed cache, by *capacity* (what the vectors actually hold from the
+  /// allocator). The arena never shrinks — freed nodes go to the free list —
+  /// so live == peak within one manager; both are kept so the metrics
+  /// vocabulary matches the SAT solver's, whose watch lists can be resized.
+  size_t heap_bytes = 0;
+  size_t heap_peak_bytes = 0;
 
   /// Computed-cache hit rate in [0, 1]; 0 when no lookups happened.
   double cache_hit_rate() const {
@@ -241,6 +248,19 @@ class BddMgr {
   const BddStats& stats() const { return stats_; }
   size_t live_nodes() const { return stats_.live_nodes; }
 
+  /// Tracked arena bytes (stats().heap_bytes, maintained incrementally at
+  /// every growth site) and an O(vars) recomputation from the live vector
+  /// capacities. prof_test pins tracked == recomputed after alloc, GC and
+  /// reorder — the incremental counter may never drift.
+  size_t heap_bytes() const { return stats_.heap_bytes; }
+  size_t heap_bytes_recomputed() const {
+    size_t bytes = nodes_.capacity() * sizeof(Node) +
+                   cache_.capacity() * sizeof(CacheEntry);
+    for (const Subtable& st : subtables_)
+      bytes += st.buckets.capacity() * sizeof(uint32_t);
+    return bytes;
+  }
+
   /// Telemetry probe for watchers on other threads (the resource watchdog).
   /// The manager relaxed-stores the current live-node count into `probe`
   /// whenever it changes; stats() itself is single-threaded state and must
@@ -350,6 +370,16 @@ class BddMgr {
     if (live_node_probe_ != nullptr)
       live_node_probe_->store(static_cast<int64_t>(stats_.live_nodes),
                               std::memory_order_relaxed);
+  }
+
+  /// Applies a capacity delta (in bytes) from one growth site. Every
+  /// mutation that can change a tracked vector's capacity brackets itself
+  /// with before/after capacities so stats_.heap_bytes stays byte-exact
+  /// against heap_bytes_recomputed().
+  void heap_track(size_t before_bytes, size_t after_bytes) {
+    stats_.heap_bytes += after_bytes - before_bytes;
+    if (stats_.heap_bytes > stats_.heap_peak_bytes)
+      stats_.heap_peak_bytes = stats_.heap_bytes;
   }
 
   /// Thrown by find_or_add when the node budget is exceeded; caught at the

@@ -6,6 +6,7 @@
 #include "sim/sim64.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/prof.hpp"
 #include "util/trace.hpp"
 
 namespace rfn {
@@ -32,9 +33,13 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
     size_t launched = 0;
     size_t cancelled = 0;
     size_t inconclusive = 0;
+    // Per-job thread-CPU nanoseconds; each wrapper writes only its own slot
+    // (same discipline as the jobs' result slots), read after the wait.
+    std::vector<int64_t> cpu_ns;
   };
   auto sh = std::make_shared<Shared>(parent);
   sh->remaining = jobs.size();
+  sh->cpu_ns.assign(jobs.size(), 0);
 
   SpanTracer& tracer = SpanTracer::global();
   for (size_t i = 0; i < jobs.size(); ++i) {
@@ -60,8 +65,10 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
       bool won = false;
       if (!skip) {
         // The per-job budget starts now, not at enqueue time.
+        const int64_t cpu0 = prof::thread_cpu_ns();
         CancelToken token(jobs[i].time_limit_s, &sh->cancel);
         won = jobs[i].run(token);
+        sh->cpu_ns[i] = prof::thread_cpu_ns() - cpu0;
       }
       const char* outcome = "skipped";
       std::lock_guard<std::mutex> lk(sh->mu);
@@ -101,8 +108,8 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
                                      ? tracer.intern(res.winner_name)
                                      : "(none)");
 
-  // One flush per race ("portfolio.*"): the race's hot path (job wrappers)
-  // touches only the Shared block, never the registry.
+  // One flush per race ("portfolio.*" and "engine.cpu.*"): the race's hot
+  // path (job wrappers) touches only the Shared block, never the registry.
   MetricsRegistry& m = MetricsRegistry::global();
   m.counter("portfolio.races").add(1);
   m.counter("portfolio.jobs_launched").add(res.launched);
@@ -110,6 +117,12 @@ RaceResult Portfolio::race(const std::vector<PortfolioJob>& jobs,
   m.counter("portfolio.jobs_inconclusive").add(sh->inconclusive);
   m.timer("portfolio.race").record(res.seconds);
   if (res.conclusive) m.counter("portfolio.wins." + res.winner_name).add(1);
+  for (size_t i = 0; i < jobs.size(); ++i) {
+    if (sh->cpu_ns[i] == 0) continue;  // skipped, or no thread-CPU clock
+    const double cpu = static_cast<double>(sh->cpu_ns[i]) * 1e-9;
+    res.cpu_seconds += cpu;
+    m.timer("engine.cpu." + jobs[i].name).record(cpu);
+  }
   RFN_DEBUG("portfolio race: winner=%s launched=%zu cancelled=%zu %.3fs",
             res.conclusive ? res.winner_name.c_str() : "(none)", res.launched,
             res.cancelled, res.seconds);

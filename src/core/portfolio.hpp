@@ -51,6 +51,10 @@ struct RaceResult {
   size_t winner = static_cast<size_t>(-1);
   std::string winner_name;
   double seconds = 0.0;
+  /// Thread-CPU seconds summed over every launched job (winner, losers and
+  /// cancelled alike), measured per job via CLOCK_THREAD_CPUTIME_ID. With
+  /// workers racing this exceeds `seconds`; sequential it cannot.
+  double cpu_seconds = 0.0;
   size_t launched = 0;
   size_t cancelled = 0;
 };

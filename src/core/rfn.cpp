@@ -46,6 +46,8 @@ std::vector<std::string> RfnOptions::validate() const {
         "make forward progress)");
   if (budget_bdd_nodes < 0)
     errors.push_back("budget_bdd_nodes must be >= 0 (0 disables the budget)");
+  if (budget_mem_mb < 0)
+    errors.push_back("budget_mem_mb must be >= 0 (0 disables the budget)");
   if (race_probe_time_s < 0.0)
     errors.push_back("race_probe_time_s must be >= 0");
   if (race_sim_cycles == 0)

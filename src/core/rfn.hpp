@@ -96,9 +96,16 @@ struct RfnOptions {
   /// polls the run and cancels it on overrun; the run then degrades to the
   /// ResourceOut verdict with the trip recorded in RfnResult::budget_trip.
   /// budget_ms bounds wall time (<= 0: off); budget_bdd_nodes bounds the
-  /// live-node count of the current iteration's BDD manager (<= 0: off).
+  /// live-node count of the current iteration's BDD manager (<= 0: off);
+  /// budget_mem_mb bounds process RSS as sampled from /proc/self/statm each
+  /// watchdog poll (<= 0: off; no-op off-Linux where RSS reads return 0).
   double budget_ms = -1.0;
   int64_t budget_bdd_nodes = 0;
+  int64_t budget_mem_mb = 0;
+  /// Sample RSS into prof::RssLog on every watchdog poll even when no
+  /// memory budget is set — the monitor thread then runs purely as the
+  /// profiler's sampler (rfn_cli --prof-json sets this).
+  bool sample_rss = false;
 
   /// Checks the options for consistency and returns human-readable errors
   /// (empty = valid) instead of clamping silently at run time. The CLI and
@@ -138,18 +145,23 @@ struct RfnIteration {
   uint64_t sat_propagations = 0;
   size_t sat_depth = 0;
   size_t sat_core_size = 0;
-  /// Wall time of the Step-2 / Step-3 engine races.
+  /// Wall time of the Step-2 / Step-3 engine races, and the thread-CPU time
+  /// their jobs burned (winner, losers and cancelled alike; see
+  /// RaceResult::cpu_seconds).
   double abstract_race_seconds = 0.0;
   double concretize_race_seconds = 0.0;
+  double abstract_race_cpu_seconds = 0.0;
+  double concretize_race_cpu_seconds = 0.0;
   double seconds = 0.0;
 };
 
 /// What the resource watchdog observed when it fired (RfnResult::budget_trip).
 struct BudgetTrip {
   bool tripped = false;
-  std::string reason;      // "wall-budget" | "bdd-node-budget"
+  std::string reason;      // "wall-budget" | "bdd-node-budget" | "mem-budget"
   double at_seconds = 0.0;
   int64_t bdd_nodes = 0;   // live nodes at the trip (node-budget trips)
+  int64_t rss_bytes = 0;   // process RSS at the trip (0 when not sampled)
 };
 
 struct RfnResult {
@@ -162,6 +174,10 @@ struct RfnResult {
   /// abstract model. Lets callers resume refinement or seed a later run.
   std::vector<GateId> final_registers;
   double seconds = 0.0;
+  /// Thread-CPU seconds attributable to this run: the calling thread's CPU
+  /// over run() plus, when portfolio workers raced off-thread, the CPU their
+  /// jobs burned (sequential runs execute jobs inline, already counted).
+  double cpu_seconds = 0.0;
   std::vector<RfnIteration> per_iteration;
   std::string note;  // diagnostic for Unknown/ResourceOut verdicts
   BudgetTrip budget_trip;

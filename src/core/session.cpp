@@ -18,6 +18,7 @@
 #include "util/executor.hpp"
 #include "util/log.hpp"
 #include "util/metrics.hpp"
+#include "util/prof.hpp"
 #include "util/stopwatch.hpp"
 #include "util/trace.hpp"
 #include "util/watchdog.hpp"
@@ -88,6 +89,12 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
   result.metrics_baseline = epoch.baseline();
   Span run_span("rfn.run");
   const Deadline deadline(opt.time_limit_s);
+  // CPU attribution: this thread's CPU over the whole run, plus — when
+  // portfolio workers race off-thread — the CPU their jobs burned. With zero
+  // workers the jobs run inline on this thread and are already in the first
+  // term, so adding race CPU again would double-count.
+  const int64_t run_cpu0 = prof::thread_cpu_ns();
+  double off_thread_race_cpu_s = 0.0;
 
   // Session seeding: the saved variable order and crucial-register hints of
   // earlier properties. Both are hints — they shape which abstract models
@@ -150,11 +157,16 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
   WatchdogOptions wd_opt;
   wd_opt.wall_budget_s = opt.budget_ms > 0.0 ? opt.budget_ms * 1e-3 : -1.0;
   wd_opt.bdd_node_budget = opt.budget_bdd_nodes;
+  wd_opt.mem_budget_mb = opt.budget_mem_mb;
+  wd_opt.sample_rss = opt.sample_rss;
   Watchdog watchdog(wd_opt, &run_token);
-  const bool budgeted =
-      wd_opt.wall_budget_s > 0.0 || wd_opt.bdd_node_budget > 0;
+  const bool budgeted = wd_opt.wall_budget_s > 0.0 ||
+                        wd_opt.bdd_node_budget > 0 || wd_opt.mem_budget_mb > 0;
   const CancelToken* cancel = budgeted ? &run_token : opt.cancel;
-  if (budgeted) watchdog.start();
+  // With sample_rss but no budget the monitor thread still runs, purely as
+  // the profiler's RSS sampler: it can never trip, so cancellation stays on
+  // the caller's token.
+  if (budgeted || wd_opt.sample_rss) watchdog.start();
 
   // One scheduler (and thread pool) for the whole run; with zero workers the
   // races run their jobs sequentially inline, in priority order.
@@ -332,6 +344,8 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     const RaceResult abs_race = portfolio.race(jobs, cancel);
     it.abstract_engine = abs_race.winner_name;
     it.abstract_race_seconds = abs_race.seconds;
+    it.abstract_race_cpu_seconds = abs_race.cpu_seconds;
+    if (opt.portfolio_workers > 0) off_thread_race_cpu_s += abs_race.cpu_seconds;
     it.reach_status = use_bdd ? reach.status : ReachStatus::ResourceOut;
     it.reach_steps = reach.steps;
 
@@ -472,6 +486,8 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     if (!cjobs.empty()) conc_race = portfolio.race(cjobs, cancel);
     it.concretize_engine = conc_race.winner_name;
     it.concretize_race_seconds = conc_race.seconds;
+    it.concretize_race_cpu_seconds = conc_race.cpu_seconds;
+    if (opt.portfolio_workers > 0) off_thread_race_cpu_s += conc_race.cpu_seconds;
     if (conc_race.conclusive) {
       const Eng w = ctags[conc_race.winner];
       if (w == Eng::Sim) {
@@ -538,6 +554,9 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
   result.final_registers = std::move(included);
   result.final_abstract_regs = result.final_registers.size();
   result.seconds = deadline.elapsed_seconds();
+  result.cpu_seconds =
+      static_cast<double>(prof::thread_cpu_ns() - run_cpu0) * 1e-9 +
+      off_thread_race_cpu_s;
   if (hooks.order_io != nullptr) *hooks.order_io = std::move(saved_order);
 
   // Joining the monitor thread is the happens-before edge for reading the
@@ -548,6 +567,7 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     result.budget_trip.reason = watchdog.trip_reason();
     result.budget_trip.at_seconds = watchdog.trip_seconds();
     result.budget_trip.bdd_nodes = watchdog.trip_bdd_nodes();
+    result.budget_trip.rss_bytes = watchdog.trip_rss_bytes();
     // A verdict reached before the trip landed is still sound; only an
     // undecided run degrades to resource-out.
     if (result.verdict == Verdict::Unknown) {
@@ -613,6 +633,7 @@ RfnOptions merge_overrides(const RfnOptions& defaults,
   if (o.traces_per_iteration) r.traces_per_iteration = *o.traces_per_iteration;
   if (o.budget_ms) r.budget_ms = *o.budget_ms;
   if (o.budget_bdd_nodes) r.budget_bdd_nodes = *o.budget_bdd_nodes;
+  if (o.budget_mem_mb) r.budget_mem_mb = *o.budget_mem_mb;
   return r;
 }
 

@@ -60,10 +60,11 @@ struct PropertyRequest {
     std::optional<size_t> traces_per_iteration;
     std::optional<double> budget_ms;
     std::optional<int64_t> budget_bdd_nodes;
+    std::optional<int64_t> budget_mem_mb;
 
     bool any() const {
       return time_limit_s || max_iterations || traces_per_iteration ||
-             budget_ms || budget_bdd_nodes;
+             budget_ms || budget_bdd_nodes || budget_mem_mb;
     }
   } overrides;
 };

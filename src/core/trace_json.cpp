@@ -74,10 +74,12 @@ json::Value iteration_json(size_t index, const RfnIteration& it) {
   Value abs_race = Value::object();
   abs_race.set("winner", it.abstract_engine);
   abs_race.set("seconds", it.abstract_race_seconds);
+  abs_race.set("cpu_seconds", it.abstract_race_cpu_seconds);
   engines.set("abstract", std::move(abs_race));
   Value conc_race = Value::object();
   conc_race.set("winner", it.concretize_engine);
   conc_race.set("seconds", it.concretize_race_seconds);
+  conc_race.set("cpu_seconds", it.concretize_race_cpu_seconds);
   engines.set("concretize", std::move(conc_race));
   o.set("engines", std::move(engines));
 
@@ -95,12 +97,14 @@ json::Value summary_json(const RfnResult& res) {
   o.set("final_abstract_regs", res.final_abstract_regs);
   o.set("error_trace_cycles", res.error_trace.cycles());
   o.set("seconds", res.seconds);
+  o.set("cpu_seconds", res.cpu_seconds);
   o.set("note", res.note);
   if (res.budget_trip.tripped) {
     Value trip = Value::object();
     trip.set("reason", res.budget_trip.reason);
     trip.set("at_seconds", res.budget_trip.at_seconds);
     trip.set("bdd_nodes", res.budget_trip.bdd_nodes);
+    trip.set("rss_bytes", res.budget_trip.rss_bytes);
     o.set("budget_trip", std::move(trip));
   }
   // The registry is process-global; serializing against the run's baseline
@@ -132,12 +136,14 @@ json::Value property_json(const PropertyResult& r) {
   o.set("final_abstract_regs", r.stats.final_abstract_regs);
   o.set("error_trace_cycles", r.trace.cycles());
   o.set("seconds", r.stats.seconds);
+  o.set("cpu_ms", r.stats.cpu_seconds * 1e3);
   o.set("note", r.stats.note);
   if (r.stats.budget_trip.tripped) {
     Value trip = Value::object();
     trip.set("reason", r.stats.budget_trip.reason);
     trip.set("at_seconds", r.stats.budget_trip.at_seconds);
     trip.set("bdd_nodes", r.stats.budget_trip.bdd_nodes);
+    trip.set("rss_bytes", r.stats.budget_trip.rss_bytes);
     o.set("budget_trip", std::move(trip));
   }
   return o;

@@ -22,14 +22,16 @@
 //    "refine":{"conflict_candidates":..,"fallback_candidates":..,
 //              "added_until_unsat":..,"removed_by_greedy":..,
 //              "final_count":..,"atpg_calls":..,"trace_invalidated":..},
-//    "engines":{"abstract":{"winner":"..","seconds":..},
-//               "concretize":{"winner":"..","seconds":..}},
+//    "engines":{"abstract":{"winner":"..","seconds":..,"cpu_seconds":..},
+//               "concretize":{"winner":"..","seconds":..,"cpu_seconds":..}},
 //    "seconds":..}
 //   {"type":"summary","trace_version":"rfn-trace-v1",
 //    "verdict":"T|F|?|resource-out",
-//    "iterations":..,"final_abstract_regs":..,"seconds":..,"note":"..",
-//    ["budget_trip":{"reason":"wall-budget|bdd-node-budget",
-//                    "at_seconds":..,"bdd_nodes":..},]   // watchdog trips only
+//    "iterations":..,"final_abstract_regs":..,"seconds":..,"cpu_seconds":..,
+//    "note":"..",
+//    ["budget_trip":{"reason":"wall-budget|bdd-node-budget|mem-budget",
+//                    "at_seconds":..,"bdd_nodes":..,"rss_bytes":..},]
+//                                                       // watchdog trips only
 //    "metrics_epoch":..,
 //    "metrics":{<MetricsRegistry::to_json(run baseline)>}}
 //
@@ -42,7 +44,7 @@
 //    "verdict":"T|F|?|resource-out",
 //    "cluster":..,"clustered":..,"order_seeded":..,"seeded_registers":..,
 //    "iterations":..,"final_abstract_regs":..,"error_trace_cycles":..,
-//    "seconds":..,"note":"..",
+//    "seconds":..,"cpu_ms":..,"note":"..",
 //    ["budget_trip":{...}]}                                // one per property
 //   {"type":"batch-summary","trace_version":"rfn-trace-v2",
 //    "properties":..,"clusters":..,

@@ -76,6 +76,12 @@ SatBmcResult SatBmc::check(GateId bad, size_t max_depth,
   reg.counter("sat.restarts").add(after.restarts - before.restarts);
   reg.counter("sat.learned_clauses").add(after.learned_clauses - before.learned_clauses);
   reg.gauge("sat.frames").record_max(static_cast<int64_t>(enc_.frames()));
+  // Arena bytes (flush-once, like every sat.* metric here): level = this
+  // solver's footprint, max = the largest any solver reached this run
+  // (rfn-prof-v1's sat.peak_bytes).
+  reg.gauge("sat.heap_bytes").set(static_cast<int64_t>(solver_.heap_bytes()));
+  reg.gauge("sat.heap_bytes")
+      .record_max(static_cast<int64_t>(solver_.heap_bytes_peak()));
   if (result.status == AtpgStatus::Unsat)
     reg.counter("sat.core_registers").add(result.core_registers.size());
   // Same spelling as core/status.hpp's to_string(AtpgStatus) without the

@@ -62,6 +62,10 @@ class SatBmc {
 
   const sat::SolverStats& solver_stats() const { return solver_.stats(); }
   size_t frames() const { return enc_.frames(); }
+  /// Byte-exact clause-arena + watch-list footprint of the owned solver
+  /// (see Solver::heap_bytes); the session layer reports these per property.
+  size_t solver_heap_bytes() const { return solver_.heap_bytes(); }
+  size_t solver_heap_bytes_peak() const { return solver_.heap_bytes_peak(); }
 
  private:
   const Netlist* m_;

@@ -1,5 +1,7 @@
 #include "util/executor.hpp"
 
+#include "util/prof.hpp"
+
 namespace rfn {
 
 Executor::Executor(size_t workers) {
@@ -17,9 +19,15 @@ Executor::~Executor() {
   for (std::thread& t : threads_) t.join();
 }
 
+void Executor::run_task(std::function<void()>& fn) {
+  const int64_t cpu0 = prof::thread_cpu_ns();
+  fn();
+  cpu_ns_.fetch_add(prof::thread_cpu_ns() - cpu0, std::memory_order_relaxed);
+}
+
 void Executor::submit(std::function<void()> fn) {
   if (threads_.empty()) {
-    fn();
+    run_task(fn);
     return;
   }
   {
@@ -39,7 +47,7 @@ void Executor::worker_loop() {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    job();
+    run_task(job);
   }
 }
 

@@ -1,0 +1,107 @@
+#pragma once
+// Resource accounting and profiling: thread-CPU clocks, RSS sampling, and
+// the rfn-prof-v1 artifact.
+//
+// Three independent meters feed this layer:
+//   * CPU — thread_cpu_ns() reads CLOCK_THREAD_CPUTIME_ID so the portfolio
+//     can attribute CPU seconds to each engine job no matter which executor
+//     worker ran it. The deltas land in `engine.cpu.<name>` timers (flushed
+//     once per race, like every portfolio metric).
+//   * Heap — BddMgr and sat::Solver keep byte-exact tallies of their arena
+//     capacities (node pool + unique table + computed cache; clause arena +
+//     watch lists) and their owners flush them as `bdd.heap_bytes` /
+//     `sat.heap_bytes` gauges. The counters live in those subsystems; this
+//     header only defines where they are aggregated.
+//   * RSS — read_rss_bytes() reads /proc/self/statm; the watchdog's monitor
+//     thread samples it into the process-global RssLog each poll, which both
+//     backs --budget-mem-mb enforcement and the artifact's RSS timeline.
+//
+// build_prof_json() bundles all three into one rfn-prof-v1 document
+// (validated offline by tools/trace_report.py --prof), and folded_stacks()
+// renders the span tracer's Chrome trace as collapsed stacks with self-time
+// for flamegraph.pl.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace rfn::prof {
+
+/// CPU time consumed by the calling thread, in nanoseconds
+/// (CLOCK_THREAD_CPUTIME_ID). Monotone per thread. Returns 0 on platforms
+/// without per-thread CPU clocks, so deltas degrade to 0, never garbage.
+int64_t thread_cpu_ns();
+
+/// CPU time consumed by the whole process, in nanoseconds
+/// (CLOCK_PROCESS_CPUTIME_ID). 0 when unavailable.
+int64_t process_cpu_ns();
+
+/// Current resident set size in bytes, from /proc/self/statm (resident
+/// pages x page size). 0 when the file is unreadable (non-Linux).
+int64_t read_rss_bytes();
+
+struct RssSample {
+  double t_ms = 0.0;   // since enable()
+  int64_t bytes = 0;
+};
+
+/// Process-global bounded RSS timeline. The watchdog's monitor thread calls
+/// sample() each poll; the CLI enables it for the lifetime of a profiled
+/// run and serializes it into the rfn-prof-v1 artifact. Bounded: past
+/// kMaxSamples the log thins itself (keeps every other sample and doubles
+/// its accept stride), so an hours-long run still fits — the peak is exact
+/// regardless of thinning.
+class RssLog {
+ public:
+  static RssLog& global();
+
+  /// Clears the log and starts a new timeline epoch at t = 0.
+  void enable();
+  void disable();
+  bool enabled() const;
+
+  /// Reads RSS now and appends it (subject to the accept stride). No-op
+  /// when disabled. Returns the bytes read (0 when disabled/unreadable).
+  int64_t sample();
+  /// Appends an externally-read value — same stride and peak rules.
+  void record(int64_t bytes);
+
+  int64_t peak_bytes() const;
+  std::vector<RssSample> samples() const;
+
+  static constexpr size_t kMaxSamples = 4096;
+
+ private:
+  void record_locked(int64_t bytes);
+
+  mutable std::mutex mu_;
+  bool enabled_ = false;
+  Stopwatch watch_;
+  uint64_t calls_ = 0;
+  uint64_t stride_ = 1;
+  int64_t peak_ = 0;
+  std::vector<RssSample> samples_;
+};
+
+/// Assembles the rfn-prof-v1 document from a run's baseline-relative
+/// metrics. `baseline`/`now` bracket the run (MetricsEpoch discipline);
+/// `wall_s` is the run's wall time, `cpu_s` the process-CPU delta over the
+/// same interval, `workers` the portfolio worker count. Engine rows come
+/// from the `engine.cpu.<name>` timers, subsystem peaks from the
+/// `bdd.heap_bytes` / `sat.heap_bytes` gauges, and the RSS block from
+/// RssLog::global().
+json::Value build_prof_json(const MetricsSnapshot& baseline,
+                            const MetricsSnapshot& now, double wall_s,
+                            double cpu_s, size_t workers);
+
+/// Renders a Chrome trace-event document (SpanTracer::to_chrome_json) as
+/// collapsed stacks: one "thread;outer;inner <self-microseconds>" line per
+/// distinct stack, sorted, ready for flamegraph.pl. Self time is the span's
+/// duration minus its children's — the invariant prof_test pins is that the
+/// per-thread line sums equal the per-thread root span durations.
+std::string folded_stacks(const json::Value& chrome_doc);
+
+}  // namespace rfn::prof

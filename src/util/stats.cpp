@@ -82,18 +82,34 @@ std::string format_engine_stats(const MetricsSnapshot& s) {
   auto count = [&s](const char* name) {
     return fmt_int(static_cast<int64_t>(s.value(name)));
   };
-  Table t({"engine", "calls", "effort", "wall (s)"});
+  // Thread-CPU seconds from the portfolio's per-job accounting
+  // ("engine.cpu.<job>" timers); "-" for engines that never raced.
+  auto cpu = [&s](std::initializer_list<const char*> jobs) -> std::string {
+    double total = 0.0;
+    bool any = false;
+    for (const char* job : jobs) {
+      const std::string key = std::string("engine.cpu.") + job + ".seconds";
+      if (s.values.find(key) == s.values.end()) continue;
+      total += s.value(key.c_str());
+      any = true;
+    }
+    return any ? fmt_double(total, 3) : "-";
+  };
+  Table t({"engine", "calls", "effort", "wall (s)", "cpu (s)"});
   t.add_row({"bdd-reach", count("mc.reach.calls"),
              count("mc.reach.image_steps") + " image steps",
-             fmt_double(s.value("mc.reach.seconds"), 3)});
+             fmt_double(s.value("mc.reach.seconds"), 3),
+             cpu({"bdd-reach"})});
   t.add_row({"comb-atpg", count("atpg.comb.calls"),
-             count("atpg.comb.backtracks") + " backtracks", "-"});
+             count("atpg.comb.backtracks") + " backtracks", "-", "-"});
   t.add_row({"seq-atpg", count("atpg.seq.calls"),
-             count("atpg.seq.backtracks") + " backtracks", "-"});
+             count("atpg.seq.backtracks") + " backtracks", "-",
+             cpu({"seq-atpg", "guided-atpg"})});
   t.add_row({"hybrid", count("hybrid.walks"),
-             count("hybrid.atpg_calls") + " atpg calls", "-"});
+             count("hybrid.atpg_calls") + " atpg calls", "-", "-"});
   t.add_row({"sat-bmc", count("sat.checks"),
-             count("sat.conflicts") + " conflicts", "-"});
+             count("sat.conflicts") + " conflicts", "-", cpu({"sat-bmc"})});
+  t.add_row({"rand-sim", "-", "-", "-", cpu({"rand-sim"})});
   return t.to_string();
 }
 

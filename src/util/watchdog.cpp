@@ -3,13 +3,16 @@
 #include <chrono>
 
 #include "util/metrics.hpp"
+#include "util/prof.hpp"
 #include "util/stopwatch.hpp"
 #include "util/trace.hpp"
 
 namespace rfn {
 
 void Watchdog::start() {
-  if (opt_.wall_budget_s <= 0.0 && opt_.bdd_node_budget <= 0) return;
+  if (opt_.wall_budget_s <= 0.0 && opt_.bdd_node_budget <= 0 &&
+      opt_.mem_budget_mb <= 0 && !opt_.sample_rss)
+    return;
   started_ = true;
   thread_ = std::thread([this] { run(); });
 }
@@ -37,11 +40,20 @@ void Watchdog::run() {
 
     const double elapsed = watch.seconds();
     const int64_t nodes = bdd_nodes_.load(std::memory_order_relaxed);
+    // RSS is a syscall-backed read, so it only happens when something
+    // consumes it: the memory budget, or the profiler's timeline.
+    int64_t rss = 0;
+    if (opt_.mem_budget_mb > 0 || opt_.sample_rss) {
+      rss = prof::read_rss_bytes();
+      prof::RssLog::global().record(rss);
+    }
     const char* reason = nullptr;
     if (opt_.wall_budget_s > 0.0 && elapsed >= opt_.wall_budget_s)
       reason = "wall-budget";
     else if (opt_.bdd_node_budget > 0 && nodes >= opt_.bdd_node_budget)
       reason = "bdd-node-budget";
+    else if (opt_.mem_budget_mb > 0 && rss >= opt_.mem_budget_mb * (1 << 20))
+      reason = "mem-budget";
     if (reason == nullptr) continue;
 
     // One-shot trip: record the state, publish it (release pairs with the
@@ -49,6 +61,7 @@ void Watchdog::run() {
     reason_ = reason;
     trip_seconds_ = elapsed;
     trip_nodes_ = nodes;
+    trip_rss_ = rss;
     tripped_.store(true, std::memory_order_release);
     MetricsRegistry::global().counter("watchdog.trips").add();
     MetricsRegistry::global()

@@ -1,15 +1,18 @@
 #pragma once
-// Resource watchdog: a monitor thread that enforces per-run wall-clock and
-// BDD-node budgets by firing a CancelToken, so a run that outgrows its
-// budget degrades to a clean `resource-out` verdict instead of dying on an
-// allocator limit or hanging past its deadline.
+// Resource watchdog: a monitor thread that enforces per-run wall-clock,
+// BDD-node and process-memory budgets by firing a CancelToken, so a run
+// that outgrows its budget degrades to a clean `resource-out` verdict
+// instead of dying on an allocator limit or hanging past its deadline.
 //
 // Enforcement is cooperative — the same polling-based cancellation the
 // portfolio scheduler already uses: the watchdog only sets the token, and
 // engines notice at their step boundaries. The node budget reads a relaxed
 // atomic probe the BDD manager publishes (BddMgr::set_live_node_probe);
 // the watchdog never touches manager internals, so there is no data race
-// with the allocator (TSan-clean by construction).
+// with the allocator (TSan-clean by construction). The memory budget reads
+// process RSS (util/prof's /proc/self/statm reader) each poll; the same
+// poll feeds the profiler's RSS timeline (prof::RssLog) when sampling is
+// requested, so --prof-json gets its timeline for free on budgeted runs.
 //
 // Lifecycle: construct with budgets + victim token, start(), and stop()
 // (idempotent, also run by the destructor) before reading trip state or
@@ -29,6 +32,10 @@ namespace rfn {
 struct WatchdogOptions {
   double wall_budget_s = -1.0;    // <= 0: no wall budget
   int64_t bdd_node_budget = 0;    // <= 0: no node budget
+  int64_t mem_budget_mb = 0;      // <= 0: no RSS budget
+  /// Sample RSS into prof::RssLog each poll even with no budget set — the
+  /// monitor thread then runs purely as the profiler's sampler.
+  bool sample_rss = false;
   double poll_interval_s = 0.01;
 };
 
@@ -42,7 +49,8 @@ class Watchdog {
   Watchdog(const Watchdog&) = delete;
   Watchdog& operator=(const Watchdog&) = delete;
 
-  /// Spawns the monitor thread. No-op when neither budget is set.
+  /// Spawns the monitor thread. No-op when no budget is set and RSS
+  /// sampling was not requested.
   void start();
   /// Joins the monitor thread; idempotent.
   void stop();
@@ -56,6 +64,7 @@ class Watchdog {
   const char* trip_reason() const { return reason_; }
   double trip_seconds() const { return trip_seconds_; }
   int64_t trip_bdd_nodes() const { return trip_nodes_; }
+  int64_t trip_rss_bytes() const { return trip_rss_; }
 
  private:
   void run();
@@ -68,6 +77,7 @@ class Watchdog {
   const char* reason_ = "";
   double trip_seconds_ = 0.0;
   int64_t trip_nodes_ = 0;
+  int64_t trip_rss_ = 0;
 
   std::mutex mu_;
   std::condition_variable cv_;

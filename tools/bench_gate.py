@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Bench regression gate for rfn-bench-v1 and rfn-corpus-v1 JSON documents.
+"""Bench regression gate for rfn-bench-v1, rfn-corpus, and rfn-prof-v1 JSON.
 
 Bench mode compares a fresh `bench/micro_engines --json` run against the
 checked-in baseline (BENCH_portfolio.json) and exits nonzero when a
@@ -33,7 +33,31 @@ from a Release build and commit it together with the change that moved it:
 
 and say why in the commit message.
 
-Corpus mode diffs two rfn-corpus-v1 documents (from tools/corpus_run.py):
+Prof mode diffs two rfn-prof-v1 documents (from `rfn verify --prof-json`):
+
+  tools/bench_gate.py --prof-baseline BENCH_prof.json --prof-current prof.json
+
+and fails when a subsystem's peak_bytes grew past --byte-tolerance (default
+25%) over the baseline, or when a baseline subsystem is missing from the
+current artifact. The arena byte counters (bdd node pool + unique-table
+buckets + computed cache; SAT clause arena + watch lists) are byte-exact
+and — for a fixed workload run with `--workers 0` — fully deterministic, so
+the generous tolerance only absorbs allocator capacity-doubling
+granularity, not noise. Engine CPU, wall time, and RSS are deliberately NOT
+gated here: they are machine-dependent (the wall gate above already covers
+time). Re-baselining after an intentional memory-footprint change (the
+engine list keeps both arenas exercised — bdd-reach proves bad_mutex, the
+SAT engine concretizes error_flag's counterexample):
+
+  ./build/tools/rfn verify builtin:processor --bad bad_mutex \
+      --bad error_flag --workers 0 --engine bdd,sat \
+      --prof-json BENCH_prof.json
+
+and commit BENCH_prof.json with the change that moved it, saying why.
+
+Corpus mode diffs two corpus documents (from tools/corpus_run.py;
+rfn-corpus-v2, with rfn-corpus-v1 baselines still accepted so pre-profiler
+checkouts keep gating):
 
   tools/bench_gate.py --corpus-baseline tests/corpus/baseline.json \
       --corpus-current corpus_summary.json
@@ -41,8 +65,9 @@ Corpus mode diffs two rfn-corpus-v1 documents (from tools/corpus_run.py):
 and fails on any semantic drift: a baseline file or property missing from
 the current run, a file status that degraded (ok -> resource-out/error), a
 verdict flip, or a certification regression (certified true -> false).
-Wall-clock seconds and engine_wins are deliberately NOT gated — races are
-timing-dependent; the verdicts and certificates are not. New files or
+Wall-clock seconds, engine_wins, and the v2 peak_rss_bytes/cpu_ms fields
+are deliberately NOT gated — races are timing-dependent and RSS/CPU are
+machine-dependent; the verdicts and certificates are not. New files or
 properties in the current run are reported but do not fail the gate (they
 fail corpus_run's own totals check if broken); commit a regenerated
 baseline to start gating them.
@@ -53,6 +78,12 @@ import json
 import sys
 
 GATED_COUNTERS = ("bdd_peak_nodes",)
+CORPUS_SCHEMAS = ("rfn-corpus-v2", "rfn-corpus-v1")
+PROF_SCHEMA = "rfn-prof-v1"
+# The subsystems whose byte-exact arena peaks the prof gate covers. A
+# subsystem present in the baseline but absent from the current artifact is
+# a schema break, not a memory win.
+PROF_SUBSYSTEMS = ("bdd", "sat")
 
 # The batch-session pair: one VerifySession over the FIFO flag suite vs
 # the same properties as independent RfnVerifier runs.
@@ -79,9 +110,10 @@ def load(path):
 def load_corpus(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != "rfn-corpus-v1":
-        sys.exit(f"bench_gate: {path}: not an rfn-corpus-v1 document "
-                 f"(schema={doc.get('schema')!r})")
+    if doc.get("schema") not in CORPUS_SCHEMAS:
+        sys.exit(f"bench_gate: {path}: not an rfn-corpus document "
+                 f"(schema={doc.get('schema')!r}, "
+                 f"want one of {list(CORPUS_SCHEMAS)})")
     files = {}
     for i, rec in enumerate(doc.get("files", [])):
         name = rec.get("file")
@@ -141,29 +173,97 @@ def corpus_gate(baseline_path, current_path):
     return 0
 
 
+def load_prof(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("format") != PROF_SCHEMA:
+        sys.exit(f"bench_gate: {path}: not an {PROF_SCHEMA} document "
+                 f"(format={doc.get('format')!r})")
+    subsystems = doc.get("subsystems")
+    if not isinstance(subsystems, dict):
+        sys.exit(f"bench_gate: {path}: no \"subsystems\" object "
+                 f"— malformed artifact, not a regression")
+    return subsystems
+
+
+def prof_gate(baseline_path, current_path, tolerance):
+    baseline = load_prof(baseline_path)
+    current = load_prof(current_path)
+
+    failures = []
+    for name in PROF_SUBSYSTEMS:
+        base = baseline.get(name)
+        if base is None:
+            # A baseline from before a subsystem was instrumented: nothing
+            # to gate against, and re-baselining is the forward path.
+            print(f"bench_gate: {name}: not in the prof baseline "
+                  f"(re-baseline to start gating it)")
+            continue
+        base_peak = base.get("peak_bytes", 0)
+        cur = current.get(name)
+        if cur is None or cur.get("peak_bytes") is None:
+            failures.append(f"{name}: peak_bytes missing from current "
+                            f"artifact (malformed or schema break)")
+            continue
+        cur_peak = cur["peak_bytes"]
+        if base_peak > 0 and cur_peak > base_peak * (1.0 + tolerance):
+            failures.append(
+                f"{name}: peak_bytes {cur_peak} vs baseline {base_peak} "
+                f"(+{(cur_peak / base_peak - 1.0) * 100.0:.1f}% > "
+                f"{tolerance * 100.0:.0f}%)")
+        else:
+            print(f"bench_gate: {name}: peak_bytes ok "
+                  f"({cur_peak} vs {base_peak})")
+
+    if failures:
+        print("bench_gate: prof FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"bench_gate:   {f}", file=sys.stderr)
+        print("bench_gate: if the footprint growth is intentional, "
+              "regenerate BENCH_prof.json (see the module docstring)",
+              file=sys.stderr)
+        return 1
+    print(f"bench_gate: prof PASSED ({len(PROF_SUBSYSTEMS)} subsystems)")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", help="checked-in rfn-bench-v1 JSON")
     ap.add_argument("--current", help="freshly generated rfn-bench-v1 JSON")
     ap.add_argument("--corpus-baseline",
-                    help="checked-in rfn-corpus-v1 JSON (corpus mode)")
+                    help="checked-in rfn-corpus JSON (corpus mode)")
     ap.add_argument("--corpus-current",
-                    help="freshly generated rfn-corpus-v1 JSON (corpus mode)")
+                    help="freshly generated rfn-corpus JSON (corpus mode)")
+    ap.add_argument("--prof-baseline",
+                    help="checked-in rfn-prof-v1 JSON (prof mode)")
+    ap.add_argument("--prof-current",
+                    help="freshly generated rfn-prof-v1 JSON (prof mode)")
     ap.add_argument("--time-tolerance", type=float, default=0.20,
                     help="allowed relative wall-time growth (default 0.20)")
     ap.add_argument("--node-tolerance", type=float, default=0.10,
                     help="allowed relative bdd_peak_nodes growth (default 0.10)")
+    ap.add_argument("--byte-tolerance", type=float, default=0.25,
+                    help="allowed relative subsystem peak_bytes growth in "
+                         "prof mode (default 0.25)")
     args = ap.parse_args()
 
     if bool(args.corpus_baseline) != bool(args.corpus_current):
         ap.error("--corpus-baseline and --corpus-current go together")
+    if bool(args.prof_baseline) != bool(args.prof_current):
+        ap.error("--prof-baseline and --prof-current go together")
+    modes = sum(bool(m) for m in (args.corpus_baseline, args.prof_baseline,
+                                  args.baseline or args.current))
+    if modes > 1:
+        ap.error("bench, corpus, and prof modes are separate invocations")
     if args.corpus_baseline:
-        if args.baseline or args.current:
-            ap.error("corpus mode and bench mode are separate invocations")
         return corpus_gate(args.corpus_baseline, args.corpus_current)
+    if args.prof_baseline:
+        return prof_gate(args.prof_baseline, args.prof_current,
+                         args.byte_tolerance)
     if not args.baseline or not args.current:
         ap.error("--baseline and --current are required (or the "
-                 "--corpus-* pair)")
+                 "--corpus-* / --prof-* pair)")
 
     baseline = load(args.baseline)
     current = load(args.current)

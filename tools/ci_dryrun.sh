@@ -76,6 +76,7 @@ for san in "${sanitizers[@]}"; do
     "./$dir/tests/portfolio_test"
     "./$dir/tests/netlist_fuzz_test"
     "./$dir/tests/trace_span_test"
+    "./$dir/tests/prof_test"
     "./$dir/tests/sat_test"
     note "sanitize (thread): budgeted resource-out run"
     # Must degrade cleanly (exit exactly 1: inconclusive verdict, not a
@@ -88,6 +89,22 @@ for san in "${sanitizers[@]}"; do
       exit 1
     fi
     python3 tools/trace_report.py "$dir/tsan-spans.json" | grep budget_trip
+    note "sanitize (thread): memory-budget resource-out run"
+    # A 1 MiB RSS budget is below any live process's footprint: the run
+    # must degrade to resource-out (exit 1, never an OOM kill or a hang)
+    # with the tripped budget named in the trace. The watchdog's RSS poll
+    # races the engines by design — TSan watches the trip hand-off.
+    rc=0
+    "./$dir/tools/rfn" verify tests/data/slow24.v --bad bad --workers 3 \
+      --budget-mem-mb 1 --trace-json "$dir/tsan-mem-trace.jsonl" || rc=$?
+    if [[ $rc != 1 ]]; then
+      echo "ci_dryrun: memory-budgeted run exited $rc (expected 1)" >&2
+      exit 1
+    fi
+    grep -q '"reason":"mem-budget"' "$dir/tsan-mem-trace.jsonl"
+    "./$dir/tools/rfn" verify tests/data/demo.v --bad bad_q --workers 3 \
+      --prof-json "$dir/tsan-prof.json" --prof-folded "$dir/tsan-prof.folded"
+    python3 tools/trace_report.py --prof "$dir/tsan-prof.json"
   fi
 done
 
@@ -115,11 +132,16 @@ python3 tools/trace_report.py build-ci-bench/run-spans.json
 # invariant for Holds); every witness is then re-validated by the
 # independent rfn_check binary against a fresh design elaboration.
 note "bench-gate: batch verification of the shipped designs"
+# Each design also emits an rfn-prof-v1 artifact; trace_report.py --prof
+# re-validates it, including the CPU-consistency bound (no engine set can
+# burn more CPU than race-wall x workers allows).
 run_batch() { # <out> <design> <property args...>
   local out=$1 design=$2; shift 2
   ./build-ci-bench/tools/rfn verify "builtin:$design" "$@" \
-    --trace-json "$out" --cert-dir "build-ci-bench/certs-$design"
+    --trace-json "$out" --cert-dir "build-ci-bench/certs-$design" \
+    --prof-json "build-ci-bench/prof-$design.json"
   python3 tools/trace_report.py --batch "$out"
+  python3 tools/trace_report.py --prof "build-ci-bench/prof-$design.json"
   local cert
   for cert in "build-ci-bench/certs-$design"/*.cert.json; do
     ./build-ci-bench/tools/rfn_check "$cert" "builtin:$design"
@@ -151,6 +173,32 @@ EOF
 if python3 tools/bench_gate.py --baseline build-ci-bench/bench-current.json \
     --current build-ci-bench/bench-regressed.json; then
   echo "ci_dryrun: bench_gate accepted a 25% regression" >&2
+  exit 1
+fi
+
+# --- prof gate: subsystem peak bytes vs BENCH_prof.json ---------------------
+# The profile is recorded sequentially (--workers 0): the arena capacities
+# are then run-to-run identical, so the gate's 25% tolerance only absorbs
+# allocator doubling granularity, not noise.
+note "bench-gate: prof gate against BENCH_prof.json"
+./build-ci-bench/tools/rfn verify builtin:processor --bad bad_mutex \
+  --bad error_flag --workers 0 --engine bdd,sat \
+  --prof-json build-ci-bench/prof-current.json
+python3 tools/trace_report.py --prof build-ci-bench/prof-current.json
+python3 tools/bench_gate.py --prof-baseline BENCH_prof.json \
+  --prof-current build-ci-bench/prof-current.json
+
+note "prof gate self-check (injected byte regression must exit nonzero)"
+python3 - <<'EOF'
+import json
+doc = json.load(open("build-ci-bench/prof-current.json"))
+bdd = doc["subsystems"]["bdd"]
+bdd["peak_bytes"] = int(bdd["peak_bytes"] * 1.5)
+json.dump(doc, open("build-ci-bench/prof-regressed.json", "w"))
+EOF
+if python3 tools/bench_gate.py --prof-baseline BENCH_prof.json \
+    --prof-current build-ci-bench/prof-regressed.json; then
+  echo "ci_dryrun: prof gate accepted an injected byte regression" >&2
   exit 1
 fi
 # --- job: corpus ------------------------------------------------------------

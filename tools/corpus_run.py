@@ -4,13 +4,15 @@
 Runs `rfn verify FILE --batch --cert-dir ... --trace-json ...` for every
 `.aag`/`.aig` file in the corpus directory, each under its own watchdog
 budget, re-validates every emitted certificate with `rfn_check` against the
-same AIGER file, and writes an rfn-corpus-v1 JSON summary:
+same AIGER file, and writes an rfn-corpus-v2 JSON summary:
 
-  {"schema": "rfn-corpus-v1",
+  {"schema": "rfn-corpus-v2",
    "corpus": "tests/corpus",
    "files": [{"file": "two_bads.aag",
               "status": "ok" | "resource-out" | "error",
               "seconds": 0.12,
+              "peak_rss_bytes": 23318528,
+              "cpu_ms": 9.31,
               "properties": [{"name": "both_high", "verdict": "T",
                               "certified": true}, ...],
               "engine_wins": {"bdd-reach": 2, ...}}, ...],
@@ -29,6 +31,14 @@ to happen, not a soft state.
 `engine_wins` (the portfolio.wins.* counters) are informational: races are
 timing-dependent, so tools/bench_gate.py --corpus-baseline ignores them and
 gates only on the file set, statuses, verdicts, and certification bits.
+
+`peak_rss_bytes`/`cpu_ms` (new in v2) come from the rfn-prof-v1 artifact the
+CLI emits per file (`--prof-json`): process-wide RSS high-water mark and
+process CPU for the whole run. Like seconds and engine_wins they are
+informational — machine-dependent, never gated. Both are 0 when the run
+timed out, crashed, or the prof artifact was unreadable.
+tools/trace_report.py --corpus still accepts rfn-corpus-v1 baselines
+(without the two fields) so older committed baselines keep validating.
 
 Usage:
   tools/corpus_run.py --cli build/tools/rfn --check build/tools/rfn_check \
@@ -51,7 +61,7 @@ import sys
 import tempfile
 import time
 
-SCHEMA = "rfn-corpus-v1"
+SCHEMA = "rfn-corpus-v2"
 AIGER_SUFFIXES = (".aag", ".aig")
 ENGINE_WIN_PREFIX = "portfolio.wins."
 
@@ -89,14 +99,34 @@ def parse_trace(path):
     return props, wins
 
 
+def read_prof(path, name):
+    """Harvests (peak_rss_bytes, cpu_ms) from an rfn-prof-v1 artifact;
+    returns (0, 0) — never raises — when the file is missing or garbled, so
+    a prof hiccup degrades the two informational fields instead of turning
+    a perfectly good verify run into an "error" record."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+        if doc.get("format") != "rfn-prof-v1":
+            raise ValueError(f"format {doc.get('format')!r} is not rfn-prof-v1")
+        return (int(doc["rss"]["peak_bytes"]),
+                round(float(doc["total_cpu_ms"]), 3))
+    except (OSError, ValueError, KeyError, TypeError) as err:
+        print(f"corpus_run: {name}: unusable prof artifact ({err})",
+              file=sys.stderr)
+        return 0, 0
+
+
 def run_file(cli, check, path, workdir, timeout):
-    """Verifies one AIGER file; returns its rfn-corpus-v1 file record."""
+    """Verifies one AIGER file; returns its rfn-corpus-v2 file record."""
     name = os.path.basename(path)
     stem = sanitize_file_stem(name)
     cert_dir = os.path.join(workdir, stem + ".certs")
     trace = os.path.join(workdir, stem + ".jsonl")
+    prof = os.path.join(workdir, stem + ".prof.json")
     cmd = [cli, "verify", path, "--batch",
-           "--cert-dir", cert_dir, "--trace-json", trace]
+           "--cert-dir", cert_dir, "--trace-json", trace,
+           "--prof-json", prof]
     start = time.monotonic()
     try:
         proc = subprocess.run(cmd, capture_output=True, text=True,
@@ -106,8 +136,10 @@ def run_file(cli, check, path, workdir, timeout):
               file=sys.stderr)
         return {"file": name, "status": "resource-out",
                 "seconds": round(time.monotonic() - start, 3),
+                "peak_rss_bytes": 0, "cpu_ms": 0,
                 "properties": [], "engine_wins": {}}
     seconds = round(time.monotonic() - start, 3)
+    peak_rss_bytes, cpu_ms = read_prof(prof, name)
 
     # Exit 0: all verdicts conclusive. Exit 1: at least one inconclusive /
     # resource-out property — still a parseable run, the verdicts tell the
@@ -116,12 +148,14 @@ def run_file(cli, check, path, workdir, timeout):
         print(f"corpus_run: {name}: verify exited {proc.returncode}:\n"
               f"{proc.stderr.strip()}", file=sys.stderr)
         return {"file": name, "status": "error", "seconds": seconds,
+                "peak_rss_bytes": peak_rss_bytes, "cpu_ms": cpu_ms,
                 "properties": [], "engine_wins": {}}
     try:
         props, wins = parse_trace(trace)
     except (OSError, ValueError) as err:
         print(f"corpus_run: {name}: {err}", file=sys.stderr)
         return {"file": name, "status": "error", "seconds": seconds,
+                "peak_rss_bytes": peak_rss_bytes, "cpu_ms": cpu_ms,
                 "properties": [], "engine_wins": {}}
 
     properties = []
@@ -146,6 +180,7 @@ def run_file(cli, check, path, workdir, timeout):
         properties.append({"name": r["name"], "verdict": r["verdict"],
                            "certified": certified})
     return {"file": name, "status": "ok", "seconds": seconds,
+            "peak_rss_bytes": peak_rss_bytes, "cpu_ms": cpu_ms,
             "properties": properties, "engine_wins": wins}
 
 
@@ -157,7 +192,7 @@ def main():
     ap.add_argument("--corpus", default="tests/corpus",
                     help="directory of .aag/.aig files (default tests/corpus)")
     ap.add_argument("--out", required=True,
-                    help="where to write the rfn-corpus-v1 JSON summary")
+                    help="where to write the rfn-corpus-v2 JSON summary")
     ap.add_argument("--timeout-per-file", type=float, default=120.0,
                     help="watchdog budget per file in seconds (default 120)")
     ap.add_argument("--keep-work", metavar="DIR",

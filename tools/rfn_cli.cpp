@@ -44,12 +44,24 @@
 //   --budget-ms N      resource-watchdog wall budget; on overrun the run
 //                      degrades to the resource-out verdict
 //   --budget-bdd-nodes N  watchdog budget on BDD live nodes (memory proxy)
+//   --budget-mem-mb N  watchdog budget on process RSS (MiB, sampled from
+//                      /proc/self/statm); on overrun the run degrades to
+//                      resource-out with the trip named "mem-budget"
+//   --prof-json FILE   write an rfn-prof-v1 resource profile: per-engine
+//                      thread-CPU, per-subsystem (bdd/sat) peak arena bytes,
+//                      and the RSS timeline sampled by the watchdog thread
+//                      (see src/util/prof.hpp for the schema; validate with
+//                      tools/trace_report.py --prof FILE)
+//   --prof-folded FILE write collapsed-stack self-time lines aggregated from
+//                      the span rings (flamegraph.pl input; implies span
+//                      tracing for the run even without --trace-spans)
 //   --metrics          dump the full metrics registry as JSON on stdout
 //
 // Batch verification (a VerifySession instead of one RfnVerifier): repeat
 // --bad, or point --props at a file with one property per line:
 //   SIGNAL [name=LABEL] [time-limit=S] [max-iterations=N] [traces=N]
-//          [budget-ms=N] [budget-bdd-nodes=N]        (# starts a comment)
+//          [budget-ms=N] [budget-bdd-nodes=N] [budget-mem-mb=N]
+//                                                    (# starts a comment)
 // Properties carrying per-line overrides run solo; the rest are clustered
 // by register-cone overlap and answered through shared abstraction runs.
 // With more than one property, --trace-json emits the rfn-trace-v2 batch
@@ -90,6 +102,7 @@
 #include "netlist/writer.hpp"
 #include "rtlv/elaborate.hpp"
 #include "util/options.hpp"
+#include "util/prof.hpp"
 #include "util/stats.hpp"
 #include "util/trace.hpp"
 
@@ -220,6 +233,31 @@ CertificateArtifact certify_property(const Netlist& design, GateId bad,
   return art;
 }
 
+/// --prof-json epilogue: appends one final direct RSS sample (so the
+/// timeline is never empty for runs shorter than a watchdog poll), stops the
+/// log, assembles the rfn-prof-v1 document against the run's metrics
+/// baseline, and writes it.
+bool write_prof_json_file(const std::string& path,
+                          const MetricsSnapshot& baseline, double wall_s,
+                          double cpu_s, size_t workers) {
+  prof::RssLog::global().sample();
+  prof::RssLog::global().disable();
+  const MetricsSnapshot now = MetricsRegistry::global().snapshot();
+  const json::Value doc =
+      prof::build_prof_json(baseline, now, wall_s, cpu_s, workers);
+  std::ofstream out(path);
+  if (out) out << doc.dump(2) << "\n";
+  if (!out) std::fprintf(stderr, "rfn: cannot write %s\n", path.c_str());
+  return static_cast<bool>(out);
+}
+
+/// --prof-folded: collapsed-stack self-time lines from the span rings
+/// (tracing must have been enabled for the run and disabled again).
+bool write_prof_folded_file(const std::string& path) {
+  return write_text_file(
+      path, prof::folded_stacks(SpanTracer::global().to_chrome_json()));
+}
+
 /// Rejects invalid options with the messages from RfnOptions::validate()
 /// instead of letting the run clamp or abort mid-flight.
 bool report_invalid(const RfnOptions& rfn_opts) {
@@ -265,6 +303,8 @@ bool parse_props_line(const Netlist& design, const std::string& line,
       out->overrides.budget_ms = std::stod(value);
     } else if (key == "budget-bdd-nodes") {
       out->overrides.budget_bdd_nodes = std::stoll(value);
+    } else if (key == "budget-mem-mb") {
+      out->overrides.budget_mem_mb = std::stoll(value);
     } else {
       std::fprintf(stderr, "rfn: props line %zu: unknown key '%s'\n", lineno,
                    key.c_str());
@@ -287,26 +327,41 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
   sopt.reuse = !opts.get_bool("no-reuse", false);
 
   const std::string span_path = opts.get("trace-spans", "");
-  if (!span_path.empty()) {
+  const std::string prof_json_path = opts.get("prof-json", "");
+  const std::string prof_folded_path = opts.get("prof-folded", "");
+  const bool trace_spans = !span_path.empty() || !prof_folded_path.empty();
+  if (trace_spans) {
     SpanTracer::global().enable();
     SpanTracer::global().set_thread_name("main");
   }
+  if (!prof_json_path.empty()) prof::RssLog::global().enable();
+  const int64_t pcpu0 = prof::process_cpu_ns();
 
   const MetricsSnapshot baseline = MetricsRegistry::global().snapshot();
   const Stopwatch watch;
   VerifySession session(design, sopt);
   const std::vector<PropertyResult> results = session.run(props);
   const double seconds = watch.seconds();
+  const double proc_cpu_s =
+      static_cast<double>(prof::process_cpu_ns() - pcpu0) * 1e-9;
 
-  if (!span_path.empty()) {
+  if (trace_spans) {
     SpanTracer::global().disable();
-    std::ofstream out(span_path);
-    if (!out) {
-      std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
-      return 2;
+    if (!span_path.empty()) {
+      std::ofstream out(span_path);
+      if (!out) {
+        std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
+        return 2;
+      }
+      SpanTracer::global().write_chrome_json(out);
     }
-    SpanTracer::global().write_chrome_json(out);
+    if (!prof_folded_path.empty() && !write_prof_folded_file(prof_folded_path))
+      return 2;
   }
+  if (!prof_json_path.empty() &&
+      !write_prof_json_file(prof_json_path, baseline, seconds, proc_cpu_s,
+                            sopt.defaults.portfolio_workers))
+    return 2;
   // --certify: every conclusive member verdict gains an rfn-cert-v1 witness
   // (trace for VIOLATED, inductive invariant on the final abstraction for
   // HOLDS) discharged through the independent SAT checker before the trace
@@ -412,6 +467,10 @@ int cmd_verify(const Netlist& design, const Options& opts,
   rfn_opts.portfolio_workers = static_cast<size_t>(opts.get_int("workers", 0));
   rfn_opts.budget_ms = opts.get_double("budget-ms", -1.0);
   rfn_opts.budget_bdd_nodes = opts.get_int("budget-bdd-nodes", 0);
+  rfn_opts.budget_mem_mb = opts.get_int("budget-mem-mb", 0);
+  // --prof-json wants the RSS timeline: the watchdog monitor thread samples
+  // /proc/self/statm each poll even when no budget is set.
+  rfn_opts.sample_rss = !opts.get("prof-json", "").empty();
   for (const std::string& list : opts.get_all("engine")) {
     std::stringstream es(list);
     std::string e;
@@ -497,29 +556,46 @@ int cmd_verify(const Netlist& design, const Options& opts,
       rfn_opts.traces_per_iteration = *o.traces_per_iteration;
     if (o.budget_ms) rfn_opts.budget_ms = *o.budget_ms;
     if (o.budget_bdd_nodes) rfn_opts.budget_bdd_nodes = *o.budget_bdd_nodes;
+    if (o.budget_mem_mb) rfn_opts.budget_mem_mb = *o.budget_mem_mb;
     if (report_invalid(rfn_opts)) return 2;
   }
 
   const std::string span_path = opts.get("trace-spans", "");
-  if (!span_path.empty()) {
+  const std::string prof_json_path = opts.get("prof-json", "");
+  const std::string prof_folded_path = opts.get("prof-folded", "");
+  const bool trace_spans = !span_path.empty() || !prof_folded_path.empty();
+  if (trace_spans) {
     SpanTracer::global().enable();
     SpanTracer::global().set_thread_name("main");
   }
+  if (!prof_json_path.empty()) prof::RssLog::global().enable();
+  const int64_t pcpu0 = prof::process_cpu_ns();
 
   RfnVerifier verifier(design, bad, rfn_opts);
   const RfnResult result = verifier.run();
+  const double proc_cpu_s =
+      static_cast<double>(prof::process_cpu_ns() - pcpu0) * 1e-9;
 
-  if (!span_path.empty()) {
+  if (trace_spans) {
     // run() has joined every thread it started (races and watchdog), so the
     // buffers are quiescent here.
     SpanTracer::global().disable();
-    std::ofstream out(span_path);
-    if (!out) {
-      std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
-      return 2;
+    if (!span_path.empty()) {
+      std::ofstream out(span_path);
+      if (!out) {
+        std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
+        return 2;
+      }
+      SpanTracer::global().write_chrome_json(out);
     }
-    SpanTracer::global().write_chrome_json(out);
+    if (!prof_folded_path.empty() && !write_prof_folded_file(prof_folded_path))
+      return 2;
   }
+  if (!prof_json_path.empty() &&
+      !write_prof_json_file(prof_json_path, result.metrics_baseline,
+                            result.seconds, proc_cpu_s,
+                            rfn_opts.portfolio_workers))
+    return 2;
 
   const std::string trace_path = opts.get("trace-json", "");
   if (!trace_path.empty()) {
@@ -537,9 +613,11 @@ int cmd_verify(const Netlist& design, const Options& opts,
               : result.verdict == Verdict::ResourceOut ? "RESOURCE-OUT"
                                                        : "UNKNOWN");
   if (result.budget_trip.tripped)
-    std::printf("budget trip: %s at %.3f s (bdd nodes %lld)\n",
+    std::printf("budget trip: %s at %.3f s (bdd nodes %lld, rss %.1f MiB)\n",
                 result.budget_trip.reason.c_str(), result.budget_trip.at_seconds,
-                static_cast<long long>(result.budget_trip.bdd_nodes));
+                static_cast<long long>(result.budget_trip.bdd_nodes),
+                static_cast<double>(result.budget_trip.rss_bytes) /
+                    (1 << 20));
   std::printf("iterations: %zu, abstract model: %zu / %zu registers, %.2f s\n",
               result.iterations, result.final_abstract_regs, design.num_regs(),
               result.seconds);

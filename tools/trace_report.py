@@ -24,10 +24,22 @@ per-property table, a certification summary line when certificates were
 recorded, and a SAT-engine activity line (checks, conflicts,
 refinement-hint registers) when the sat engine ran.
 
-With `--corpus` the input is an rfn-corpus-v1 summary from
+With `--corpus` the input is an rfn-corpus-v1 or -v2 summary from
 tools/corpus_run.py. The validator checks the schema tag, the per-file and
 per-property record shapes, the verdict spellings, and that the totals
-block agrees with the records, then prints a per-file table.
+block agrees with the records, then prints a per-file table. v2 records
+additionally carry per-file resource columns (peak_rss_bytes, cpu_ms),
+which the validator requires to be nonnegative numbers; v1 baselines
+remain readable for the CI gate's back-compat.
+
+With `--prof` the input is an rfn-prof-v1 resource profile from
+`rfn verify ... --prof-json FILE`. The validator checks the format tag,
+that every per-engine CPU figure is nonnegative and their sum is
+consistent with the portfolio's race wall time for the recorded worker
+count (CPU cannot exceed wall x workers, modulo slack for clock
+granularity), that each subsystem's peak bytes dominate its live bytes,
+and that the RSS timeline has monotone timestamps with its peak no
+smaller than any sample, then prints a per-engine/per-subsystem digest.
 
 Report sections:
   * run summary — total wall time reconstructed from the rfn.run span
@@ -57,9 +69,18 @@ PROPERTY_KEYS = ("name", "bad", "verdict", "cluster", "clustered",
 CERTIFICATE_KEYS = ("property", "kind", "ok", "clauses", "trace_cycles",
                     "obligation", "seconds")
 CERTIFICATE_KINDS = ("holds-invariant", "fails-trace")
-CORPUS_SCHEMA = "rfn-corpus-v1"
+CORPUS_SCHEMA = "rfn-corpus-v2"
+CORPUS_SCHEMA_V1 = "rfn-corpus-v1"
 CORPUS_STATUSES = ("ok", "resource-out", "error")
 CORPUS_PROPERTY_KEYS = ("name", "verdict", "certified")
+# v2 adds per-file resource columns recorded from each file's prof artifact.
+CORPUS_V2_FILE_KEYS = ("peak_rss_bytes", "cpu_ms")
+PROF_SCHEMA = "rfn-prof-v1"
+# Sum of per-engine thread-CPU can exceed race wall time only through
+# parallelism: bound it by wall x workers, with headroom for clock
+# granularity and the slice of engine work that runs outside races.
+PROF_CPU_SLACK = 1.25
+PROF_CPU_SLACK_MS = 50.0
 
 
 class TraceError(Exception):
@@ -200,11 +221,14 @@ def validate_batch(records):
 
 
 def validate_corpus(doc):
-    """Checks an rfn-corpus-v1 summary; returns the file-record list."""
+    """Checks an rfn-corpus-v1/-v2 summary; returns the file-record list."""
     if not isinstance(doc, dict):
         fail("top level is not an object")
-    if doc.get("schema") != CORPUS_SCHEMA:
-        fail(f"schema is {doc.get('schema')!r}, expected {CORPUS_SCHEMA!r}")
+    schema = doc.get("schema")
+    if schema not in (CORPUS_SCHEMA, CORPUS_SCHEMA_V1):
+        fail(f"schema is {schema!r}, expected {CORPUS_SCHEMA!r} "
+             f"(or {CORPUS_SCHEMA_V1!r} for old baselines)")
+    v2 = schema == CORPUS_SCHEMA
     files = doc.get("files")
     if not isinstance(files, list):
         fail("files missing or not a list")
@@ -230,6 +254,13 @@ def validate_corpus(doc):
             fail(f"file record {i} ({name!r}): status ok with no "
                  f"properties — every AIGER corpus file carries at least "
                  f"one bad")
+        if v2:
+            for key in CORPUS_V2_FILE_KEYS:
+                value = rec.get(key)
+                if not isinstance(value, (int, float)) or \
+                        isinstance(value, bool) or value < 0:
+                    fail(f"file record {i} ({name!r}): {key!r} missing or "
+                         f"not a nonnegative number (got {value!r})")
         for j, p in enumerate(props):
             for key in CORPUS_PROPERTY_KEYS:
                 if key not in p:
@@ -261,6 +292,122 @@ def validate_corpus(doc):
         fail(f"totals say {totals.get('certified')} certified, the records "
              f"say {certified}")
     return files
+
+
+def _nonneg_number(value):
+    return isinstance(value, (int, float)) and \
+        not isinstance(value, bool) and value >= 0
+
+
+def validate_prof(doc):
+    """Checks an rfn-prof-v1 resource profile; returns the document."""
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("format") != PROF_SCHEMA:
+        fail(f"format is {doc.get('format')!r}, expected {PROF_SCHEMA!r}")
+    for key in ("wall_ms", "total_cpu_ms"):
+        if not _nonneg_number(doc.get(key)):
+            fail(f"{key!r} missing or not a nonnegative number")
+    workers = doc.get("workers")
+    if not isinstance(workers, int) or isinstance(workers, bool) or \
+            workers < 0:
+        fail("'workers' missing or not a nonnegative integer")
+
+    engines = doc.get("engines")
+    if not isinstance(engines, list):
+        fail("'engines' missing or not a list")
+    seen = set()
+    engine_cpu_ms = 0.0
+    for i, e in enumerate(engines):
+        name = e.get("name") if isinstance(e, dict) else None
+        if not name or not isinstance(name, str):
+            fail(f"engine record {i} lacks a name")
+        if name in seen:
+            fail(f"engine record {i}: duplicate engine {name!r}")
+        seen.add(name)
+        if not _nonneg_number(e.get("cpu_ms")):
+            fail(f"engine {name!r}: cpu_ms missing or negative")
+        engine_cpu_ms += e["cpu_ms"]
+
+    portfolio = doc.get("portfolio")
+    if not isinstance(portfolio, dict):
+        fail("'portfolio' missing or not an object")
+    for key in ("race_wall_ms", "race_cpu_ms"):
+        if not _nonneg_number(portfolio.get(key)):
+            fail(f"portfolio.{key} missing or negative")
+    # CPU-vs-wall sanity: N threads can burn at most N seconds of CPU per
+    # wall second. Slack covers clock granularity and engine work that runs
+    # outside the races (e.g. setup inside the job wrapper).
+    bound = portfolio["race_wall_ms"] * max(1, workers) * PROF_CPU_SLACK \
+        + PROF_CPU_SLACK_MS
+    if engine_cpu_ms > bound:
+        fail(f"engine cpu_ms sum {engine_cpu_ms:.3f} exceeds "
+             f"race_wall_ms x workers bound {bound:.3f} "
+             f"(wall {portfolio['race_wall_ms']:.3f} ms x {max(1, workers)} "
+             f"workers)")
+
+    subsystems = doc.get("subsystems")
+    if not isinstance(subsystems, dict):
+        fail("'subsystems' missing or not an object")
+    for sub in ("bdd", "sat"):
+        rec = subsystems.get(sub)
+        if not isinstance(rec, dict):
+            fail(f"subsystems.{sub} missing or not an object")
+        for key in ("live_bytes", "peak_bytes"):
+            if not _nonneg_number(rec.get(key)):
+                fail(f"subsystems.{sub}.{key} missing or negative")
+        if rec["peak_bytes"] < rec["live_bytes"]:
+            fail(f"subsystems.{sub}: peak_bytes {rec['peak_bytes']} below "
+                 f"live_bytes {rec['live_bytes']}")
+
+    rss = doc.get("rss")
+    if not isinstance(rss, dict):
+        fail("'rss' missing or not an object")
+    if not _nonneg_number(rss.get("peak_bytes")):
+        fail("rss.peak_bytes missing or negative")
+    samples = rss.get("samples")
+    if not isinstance(samples, list):
+        fail("rss.samples missing or not a list")
+    last_t = -1.0
+    for i, s in enumerate(samples):
+        if not isinstance(s, dict) or not _nonneg_number(s.get("t_ms")) or \
+                not _nonneg_number(s.get("bytes")):
+            fail(f"rss sample {i} malformed (needs nonnegative t_ms/bytes)")
+        if s["t_ms"] < last_t:
+            fail(f"rss sample {i}: timestamp {s['t_ms']} goes backwards")
+        last_t = s["t_ms"]
+        if s["bytes"] > rss["peak_bytes"]:
+            fail(f"rss sample {i}: {s['bytes']} bytes above declared peak "
+                 f"{rss['peak_bytes']}")
+    return doc
+
+
+def report_prof(path):
+    """Validates and summarizes an rfn-prof-v1 resource profile."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"trace_report: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+    validate_prof(doc)
+    print("== resource profile ==")
+    print(f"wall_ms={doc['wall_ms']:.3f} total_cpu_ms={doc['total_cpu_ms']:.3f} "
+          f"workers={doc['workers']}")
+    portfolio = doc["portfolio"]
+    print(f"races: wall_ms={portfolio['race_wall_ms']:.3f} "
+          f"cpu_ms={portfolio['race_cpu_ms']:.3f}")
+    if doc["engines"]:
+        print(f"\n{'engine':<16} {'cpu_ms':>10}")
+        for e in sorted(doc["engines"], key=lambda e: -e["cpu_ms"]):
+            print(f"{e['name']:<16} {e['cpu_ms']:>10.3f}")
+    print(f"\n{'subsystem':<10} {'live_bytes':>12} {'peak_bytes':>12}")
+    for sub, rec in sorted(doc["subsystems"].items()):
+        print(f"{sub:<10} {rec['live_bytes']:>12} {rec['peak_bytes']:>12}")
+    rss = doc["rss"]
+    print(f"\nrss: peak_bytes={rss['peak_bytes']} "
+          f"samples={len(rss['samples'])}")
+    return 0
 
 
 def report_corpus(path):
@@ -504,23 +651,49 @@ def synthetic_batch_trace():
 
 
 def synthetic_corpus():
-    """A minimal well-formed rfn-corpus-v1 summary for --self-check."""
+    """A minimal well-formed rfn-corpus-v2 summary for --self-check."""
     return {
         "schema": CORPUS_SCHEMA,
         "corpus": "tests/corpus",
         "files": [
             {"file": "a.aag", "status": "ok", "seconds": 0.1,
+             "peak_rss_bytes": 20 << 20, "cpu_ms": 95.0,
              "properties": [
                  {"name": "p0", "verdict": "T", "certified": True},
                  {"name": "p1", "verdict": "F", "certified": True},
              ],
              "engine_wins": {"bdd-reach": 2}},
             {"file": "b.aig", "status": "resource-out", "seconds": 120.0,
+             "peak_rss_bytes": 128 << 20, "cpu_ms": 119000.0,
              "properties": [], "engine_wins": {}},
         ],
         "totals": {"files": 2, "properties": 2,
                    "verdicts": {"T": 1, "F": 1, "?": 0, "resource-out": 0},
                    "certified": 2},
+    }
+
+
+def synthetic_prof():
+    """A minimal well-formed rfn-prof-v1 profile for --self-check."""
+    return {
+        "format": PROF_SCHEMA,
+        "wall_ms": 120.0,
+        "total_cpu_ms": 180.0,
+        "workers": 2,
+        "engines": [
+            {"name": "bdd-reach", "cpu_ms": 80.0},
+            {"name": "sat-bmc", "cpu_ms": 60.0},
+        ],
+        "portfolio": {"race_wall_ms": 100.0, "race_cpu_ms": 140.0},
+        "subsystems": {
+            "bdd": {"live_bytes": 2 << 20, "peak_bytes": 2 << 20},
+            "sat": {"live_bytes": 1 << 20, "peak_bytes": 3 << 20},
+        },
+        "rss": {"peak_bytes": 30 << 20, "samples": [
+            {"t_ms": 10.0, "bytes": 20 << 20},
+            {"t_ms": 60.0, "bytes": 30 << 20},
+            {"t_ms": 110.0, "bytes": 28 << 20},
+        ]},
     }
 
 
@@ -645,6 +818,62 @@ def self_check():
                        "corpus certified-count mismatch"),
         corrupt_corpus(lambda d: d["files"].append(dict(d["files"][0])),
                        "duplicate corpus file record"),
+        corrupt_corpus(lambda d: d["files"][0].pop("peak_rss_bytes"),
+                       "v2 file record missing peak_rss_bytes"),
+        corrupt_corpus(lambda d: d["files"][0].update(cpu_ms=-1.0),
+                       "negative v2 cpu_ms"),
+    ) if f]
+
+    # A v1 baseline (no resource columns) must stay readable for the CI
+    # gate's back-compat path.
+    v1 = json.loads(json.dumps(good_corpus))
+    v1["schema"] = CORPUS_SCHEMA_V1
+    for rec in v1["files"]:
+        rec.pop("peak_rss_bytes")
+        rec.pop("cpu_ms")
+    try:
+        validate_corpus(v1)
+    except TraceError as err:
+        failures.append(f"self-check: v1 corpus baseline rejected: {err}")
+
+    good_prof = synthetic_prof()
+    try:
+        validate_prof(good_prof)
+    except TraceError as err:
+        print(f"self-check: valid prof artifact rejected: {err}",
+              file=sys.stderr)
+        return 1
+
+    def corrupt_prof(mutate, expect):
+        doc = json.loads(json.dumps(good_prof))
+        mutate(doc)
+        try:
+            validate_prof(doc)
+        except TraceError:
+            return None
+        return f"self-check: {expect} not detected"
+
+    failures += [f for f in (
+        corrupt_prof(lambda d: d.update(format="rfn-prof-v0"),
+                     "wrong prof format tag"),
+        corrupt_prof(lambda d: d["engines"][0].update(cpu_ms=-5.0),
+                     "negative engine cpu_ms"),
+        corrupt_prof(lambda d: d["engines"].append(dict(d["engines"][0])),
+                     "duplicate engine record"),
+        corrupt_prof(lambda d: d["engines"][0].update(cpu_ms=1e6),
+                     "engine CPU sum exceeding wall x workers"),
+        corrupt_prof(lambda d: d["subsystems"]["sat"].update(peak_bytes=1),
+                     "subsystem peak below live"),
+        corrupt_prof(lambda d: d["subsystems"].pop("bdd"),
+                     "missing bdd subsystem record"),
+        corrupt_prof(lambda d: d["rss"]["samples"][1].update(t_ms=1.0),
+                     "non-monotone rss timestamps"),
+        corrupt_prof(lambda d: d["rss"].update(peak_bytes=1),
+                     "rss sample above declared peak"),
+        corrupt_prof(lambda d: d["rss"].pop("samples"),
+                     "missing rss samples"),
+        corrupt_prof(lambda d: d.update(workers="two"),
+                     "non-integer workers"),
     ) if f]
     for f in failures:
         print(f, file=sys.stderr)
@@ -663,14 +892,24 @@ def main():
     ap.add_argument("--batch", action="store_true",
                     help="TRACE is an rfn-trace-v2 batch JSONL file")
     ap.add_argument("--corpus", action="store_true",
-                    help="TRACE is an rfn-corpus-v1 summary from "
+                    help="TRACE is an rfn-corpus-v1/-v2 summary from "
                          "tools/corpus_run.py")
+    ap.add_argument("--prof", action="store_true",
+                    help="TRACE is an rfn-prof-v1 resource profile from "
+                         "rfn verify --prof-json")
     args = ap.parse_args()
 
     if args.self_check:
         return self_check()
     if not args.trace:
         ap.error("a trace file is required (or --self-check)")
+    if args.prof:
+        try:
+            return report_prof(args.trace)
+        except TraceError as err:
+            print(f"trace_report: invalid prof artifact: {err}",
+                  file=sys.stderr)
+            return 1
     if args.corpus:
         try:
             return report_corpus(args.trace)
