@@ -1,0 +1,258 @@
+#pragma once
+// rfn::api — the request/response surface every front door drives.
+//
+// Before this facade, tools/rfn_cli.cpp owned the whole parse → validate →
+// load-design → run-session pipeline inline (~770 lines), which made a
+// long-lived server impossible to build without forking that logic. The
+// redesign splits the pipeline into data and one run path:
+//
+//   VerifyRequest   — everything a verification asks for: the design
+//                     (api::DesignRef), the property set (PropertySpec),
+//                     the engine knobs (RfnOptions embedded verbatim) and
+//                     the session knobs. Serializes as rfn-req-v1; the CLI
+//                     builds the same struct from flags, so a request over
+//                     a socket and a command line are the same computation.
+//   run_verify      — the one shared run path: validate (the single choke
+//                     point calling VerifyRequest::validate), resolve
+//                     properties, run the VerifySession, certify, and emit
+//                     rfn-trace-v2 records through a TraceSink (file sink =
+//                     the historical --trace-json bytes; callback sink =
+//                     the server's mid-run streaming).
+//   VerifyResponse  — the final verdict document (rfn-resp-v1): per-
+//                     property verdicts, verdict counts, certificate
+//                     outcomes, warm-cache effects, wall time.
+//
+// The schemas are versioned ("rfn-req-v1"/"rfn-resp-v1") and the codecs are
+// strict: unknown keys are rejected, so a typo'd option fails the request
+// instead of silently running with defaults.
+
+#include <string>
+#include <vector>
+
+#include "api/load.hpp"
+#include "api/sink.hpp"
+#include "core/certificate.hpp"
+#include "core/rfn.hpp"
+#include "core/session.hpp"
+#include "core/trace_json.hpp"
+#include "util/json.hpp"
+#include "util/metrics.hpp"
+
+namespace rfn::api {
+
+inline constexpr const char* kRequestVersion = "rfn-req-v1";
+inline constexpr const char* kResponseVersion = "rfn-resp-v1";
+
+/// Resolves a property signal the way every front door always has: by gate
+/// name first, then by output name.
+GateId find_signal(const Netlist& n, const std::string& name);
+
+/// One property selection inside a request, before resolution against the
+/// loaded design. The override vocabulary is exactly the --props file's
+/// (time-limit, max-iterations, traces, budget-ms, budget-bdd-nodes,
+/// budget-mem-mb) — one codec serves the file, the flags, and the wire.
+struct PropertySpec {
+  /// Signal name in the design (gate or output name).
+  std::string signal;
+  /// Label override; empty keeps the signal's design name.
+  std::string name;
+  PropertyRequest::Overrides overrides;
+  /// Diagnostic prefix for resolution errors ("props line 3"); never
+  /// serialized.
+  std::string origin;
+};
+
+/// Applies one key=value override ("name" included). False with a message
+/// on unknown keys; the same spellings everywhere.
+bool apply_override(const std::string& key, const std::string& value,
+                    PropertySpec* out, std::string* error);
+
+/// Parses one --props line: "SIGNAL [key=value...]". Resolution against the
+/// design happens later (resolve_properties).
+bool parse_property_spec(const std::string& line, PropertySpec* out,
+                         std::string* error);
+
+/// A verification request: rfn-req-v1.
+///
+///   {"type":"verify","version":"rfn-req-v1","id":"..","tenant":"..",
+///    "design":{"path":"..","text":"..","format":"..","top":".."},
+///    "props":[{"signal":"..","name":"..",
+///              "overrides":{"time-limit":..,"max-iterations":..,
+///                           "traces":..,"budget-ms":..,
+///                           "budget-bdd-nodes":..,"budget-mem-mb":..}}],
+///    "options":{"time-limit":..,"max-iterations":..,"traces":..,
+///               "workers":..,"engines":["bdd",..],"approx-fallback":..,
+///               "budget-ms":..,"budget-bdd-nodes":..,"budget-mem-mb":..},
+///    "session":{"cluster-overlap":..,"max-cluster":..,"workers":..,
+///               "batch-budget-ms":..,"reuse":..,"batch":..},
+///    "certify":..,"inline-certificates":..}
+///
+/// Every field except "type"/"version"/"design" is optional and defaults as
+/// the CLI always has. An empty "props" falls back to the design's AIGER
+/// property list, then to the conventional "bad" signal.
+struct VerifyRequest {
+  /// Client-chosen id, echoed in every record and the response.
+  std::string id;
+  /// Fair-share scheduling key (the server's admission unit). Empty is a
+  /// valid tenant of its own.
+  std::string tenant;
+  DesignRef design;
+  std::vector<PropertySpec> props;
+  /// Engine knobs, embedded verbatim — RfnOptions::validate() is the single
+  /// validation choke point for them (called from validate() below).
+  RfnOptions options;
+  // Session knobs (SessionOptions sans defaults/hooks).
+  double cluster_overlap = 0.5;
+  size_t max_cluster_size = 4;
+  size_t session_workers = 0;
+  double batch_budget_ms = -1.0;
+  bool reuse = true;
+  /// Forces the session path (and rfn-trace-v2) even for one property.
+  bool batch = false;
+  /// Certify every conclusive verdict through the independent SAT checker.
+  bool certify = false;
+  /// Ship each built rfn-cert-v1 document inline in the response.
+  bool inline_certificates = false;
+
+  /// The one validation choke point: RfnOptions::validate() plus the
+  /// session knobs. Empty means valid.
+  std::vector<std::string> validate() const;
+
+  json::Value to_json() const;
+  /// Strict rfn-req-v1 parse: wrong type/version, non-object shapes, and
+  /// unknown keys are all errors.
+  static bool from_json(const json::Value& v, VerifyRequest* out,
+                        std::string* error);
+};
+
+/// Per-property verdict inside a response.
+struct PropertyVerdict {
+  std::string name;
+  std::string verdict;  // "T" | "F" | "?" | "resource-out"
+  size_t cluster = 0;
+  bool clustered = false;
+  bool order_seeded = false;
+  size_t seeded_registers = 0;
+  size_t iterations = 0;
+  double seconds = 0.0;
+  std::string note;
+};
+
+/// Warm-state effects of a served request (filled by rfn_serve; all-default
+/// for CLI runs, where every request is cold by construction).
+struct WarmCacheInfo {
+  bool enabled = false;
+  /// The design's cache entry existed before this request.
+  bool hit = false;
+  /// Cache-level lookup counters, cumulative over the server's lifetime.
+  size_t hits = 0;
+  size_t misses = 0;
+  size_t evictions = 0;
+  /// Entries and charged bytes after this request.
+  size_t entries = 0;
+  int64_t bytes = 0;
+  /// Pre-existing warm state the run could reuse: a saved BDD variable
+  /// order, and pooled incremental SAT instances.
+  bool order_warm = false;
+  size_t sat_pool_entries = 0;
+};
+
+/// The final verdict document: rfn-resp-v1.
+///
+///   {"type":"response","version":"rfn-resp-v1","id":"..","ok":..,
+///    ["error":"..","reject_reason":"..",]              // failures only
+///    "design_hash":"..","properties":..,"clusters":..,
+///    "verdicts":{"T":..,"F":..,"?":..,"resource-out":..},
+///    "results":[{"name":..,"verdict":..,"cluster":..,"clustered":..,
+///                "order_seeded":..,"seeded_registers":..,"iterations":..,
+///                "seconds":..,"note":..}],
+///    ["certificates":{"ok":..,"failed":..[,"docs":[..]]},]  // certify only
+///    "warm_cache":{"enabled":..,"hit":..,"hits":..,"misses":..,
+///                  "evictions":..,"entries":..,"bytes":..,
+///                  "order_warm":..,"sat_pool_entries":..},
+///    "seconds":..}
+struct VerifyResponse {
+  std::string id;
+  bool ok = false;
+  std::string error;
+  /// Named admission-control reason when the server rejected the request
+  /// without running it: "queue-full", "time-oversubscribed",
+  /// "mem-oversubscribed", "bdd-oversubscribed", "load-failed",
+  /// "bad-request".
+  std::string reject_reason;
+  std::string design_hash;
+  size_t properties = 0;
+  size_t clusters = 0;
+  size_t holds = 0, fails = 0, unknown = 0, resource_out = 0;
+  std::vector<PropertyVerdict> results;
+  bool certified = false;
+  size_t cert_ok = 0, cert_failed = 0;
+  /// Inline rfn-cert-v1 documents (VerifyRequest::inline_certificates).
+  std::vector<json::Value> certificates;
+  WarmCacheInfo warm;
+  double seconds = 0.0;
+
+  json::Value to_json() const;
+  static bool from_json(const json::Value& v, VerifyResponse* out,
+                        std::string* error);
+  /// A failure response (admission rejects, malformed requests).
+  static VerifyResponse reject(const std::string& id, const std::string& reason,
+                               const std::string& detail);
+};
+
+/// Resolves the request's property selection against the loaded design:
+/// explicit specs first, else the design's AIGER property list, else the
+/// conventional "bad" signal. False with a one-line error (prefixed by the
+/// spec's origin, when set) on unknown signals.
+bool resolve_properties(const Netlist& n,
+                        const std::vector<aiger::AigerProperty>& aiger_props,
+                        const std::vector<PropertySpec>& specs,
+                        std::vector<PropertyRequest>* out, std::string* error);
+
+/// Builds + checks the witness for one concluded property and flattens the
+/// outcome into the rfn-trace-v2 certificate record (no file I/O — callers
+/// owning a --cert-dir write the artifact themselves).
+CertificateArtifact certify_property(const Netlist& design, GateId bad,
+                                     const std::string& name, Verdict verdict,
+                                     const Trace& trace,
+                                     const std::vector<GateId>& final_registers,
+                                     CertificateRecord* rec);
+
+/// Everything run_verify produced, for callers that post-process beyond the
+/// response (the CLI's table, witness export, cert-dir writing).
+struct RunOutput {
+  VerifyResponse response;
+  std::vector<PropertyResult> results;
+  /// Parallel arrays: one record + artifact per certified property.
+  std::vector<CertificateRecord> cert_records;
+  std::vector<CertificateArtifact> cert_artifacts;
+  size_t clusters = 0;
+  double seconds = 0.0;
+  /// Metrics snapshot taken when the run started (scopes the batch-summary
+  /// metrics dump and the CLI's --prof-json epilogue).
+  MetricsSnapshot baseline;
+};
+
+/// The one shared run path: validate → resolve properties → VerifySession →
+/// certify → emit rfn-trace-v2 through `sink` (null skips emission).
+///
+/// `stream_properties` false (the CLI) emits property records post-run in
+/// request order — byte-identical to the historical write_batch_trace_json
+/// file. True (the server) emits each property record as its verdict lands
+/// (completion order), then certificates and the batch summary post-run.
+///
+/// `warm` (optional) is the server's per-design warm cache entry, passed to
+/// SessionOptions::shared_cache; honored only when session_workers == 0.
+///
+/// Returns false — with a one-line `error` and nothing emitted — on invalid
+/// options or unresolvable properties; the design is assumed loaded.
+bool run_verify(const LoadedDesign& design, const VerifyRequest& req,
+                TraceSink* sink, bool stream_properties, ReuseCache* warm,
+                RunOutput* out, std::string* error);
+
+/// The legacy single-property path (rfn-trace-v1): one run_property call
+/// with no session machinery, exactly what `rfn verify` without a batch
+/// does. RfnResult::final_registers feeds certification.
+RfnResult run_single(const Netlist& m, GateId bad, const RfnOptions& opt);
+
+}  // namespace rfn::api

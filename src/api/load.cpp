@@ -1,0 +1,103 @@
+#include "api/load.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "designs/builtin.hpp"
+#include "netlist/analysis.hpp"
+#include "netlist/blif.hpp"
+#include "rtlv/elaborate.hpp"
+
+namespace rfn::api {
+
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string join(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& n : names) {
+    if (!out.empty()) out += ", ";
+    out += n;
+  }
+  return out;
+}
+
+void stamp(LoadedDesign* out, std::string source) {
+  out->hash = design_hash(out->netlist);
+  out->hash_hex = design_hash_hex(out->netlist);
+  out->source = std::move(source);
+}
+
+}  // namespace
+
+bool load_design(const DesignRef& ref, LoadedDesign* out, std::string* error) {
+  *out = LoadedDesign{};
+  std::string format = ref.format;
+  std::string text;
+
+  if (!ref.text.empty()) {
+    if (format.empty()) {
+      *error = "inline designs need an explicit format (valid: verilog, blif, aiger)";
+      return false;
+    }
+    text = ref.text;
+  } else if (ref.path.rfind("builtin:", 0) == 0) {
+    const std::string name = ref.path.substr(8);
+    bool ok = false;
+    out->netlist = designs::make_builtin(name, &ok);
+    if (!ok) {
+      *error = "unknown builtin design '" + name +
+               "' (valid: " + join(designs::builtin_names()) + ")";
+      return false;
+    }
+    stamp(out, ref.path);
+    return true;
+  } else {
+    std::ifstream in(ref.path, std::ios::binary);  // binary .aig is not line text
+    if (!in) {
+      *error = "cannot open " + ref.path;
+      return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    text = buf.str();
+    if (format.empty())
+      format = ends_with(ref.path, ".aag") || ends_with(ref.path, ".aig")
+                   ? "aiger"
+               : ends_with(ref.path, ".blif") ? "blif"
+                                              : "verilog";
+  }
+
+  const std::string source = ref.text.empty() ? ref.path : "<inline>";
+  if (format == "aiger") {
+    aiger::AigerDesign d;
+    std::string aiger_error;
+    if (!aiger::read_aiger(text, &d, &aiger_error)) {
+      *error = source + ": " + aiger_error;
+      return false;
+    }
+    out->netlist = std::move(d.netlist);
+    out->aiger_properties = std::move(d.properties);
+    out->aiger_bad = d.num_bad;
+    out->aiger_outputs = d.num_outputs;
+    out->aiger_constraints = d.num_constraints;
+    out->aiger_constraints_folded = d.constraints_folded;
+  } else if (format == "blif") {
+    out->netlist = read_blif(text);
+  } else if (format == "verilog") {
+    out->netlist = rtlv::elaborate_verilog(text, ref.top).netlist;
+  } else {
+    *error = "unknown design format '" + format +
+             "' (valid: verilog, blif, aiger)";
+    return false;
+  }
+  stamp(out, source);
+  return true;
+}
+
+}  // namespace rfn::api

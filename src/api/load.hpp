@@ -1,0 +1,69 @@
+#pragma once
+// api::load_design — the one design loader behind every front door.
+//
+// Builtin/AIGER/Verilog/BLIF loading used to be resolved three times, with
+// three drifting error vocabularies: rfn_cli (all formats + --aiger
+// forcing), rfn_check (the same minus AIGER property harvesting), and
+// designs/builtin (the `builtin:` scheme). This header is the single
+// resolution point: a DesignRef names the design (a path, a `builtin:NAME`,
+// or inline text with an explicit format) and load_design elaborates it the
+// same way no matter which binary asked, so a certificate produced by one
+// binary hashes identically when re-elaborated by another, and a server
+// request elaborates exactly like the CLI invocation it replaces.
+//
+// Error messages are uniform and self-describing — an unknown `builtin:`
+// name lists the valid set, the same convention RfnOptions::validate() uses
+// for engine names.
+//
+// Deliberately a leaf library (netlist + frontends + designs, never the
+// engines): rfn_check links it without widening its trust boundary.
+
+#include <string>
+#include <vector>
+
+#include "aiger/aiger.hpp"
+#include "netlist/netlist.hpp"
+
+namespace rfn::api {
+
+/// Names a design to load. Either `text` (inline source, `format` required)
+/// or `path` (a file, a `builtin:NAME`, format by extension unless forced).
+struct DesignRef {
+  /// File path or "builtin:NAME". Ignored when `text` is set.
+  std::string path;
+  /// Inline design source (server requests that ship the design in-band).
+  std::string text;
+  /// "verilog" | "blif" | "aiger"; empty = by extension (.aag/.aig → aiger,
+  /// .blif → blif, anything else → verilog — the historical CLI rule).
+  /// Required for inline text. "aiger" on a path forces AIGER regardless of
+  /// extension (the old --aiger flag).
+  std::string format;
+  /// Top module for multi-module Verilog.
+  std::string top;
+};
+
+/// A loaded design plus everything the request path needs to know about it:
+/// the AIGER property list (each bad output becomes a verification
+/// obligation when the request names none) and the design fingerprint that
+/// keys certificates and the server's warm-state cache.
+struct LoadedDesign {
+  Netlist netlist;
+  /// AIGER bads/outputs as named properties (empty for other formats).
+  std::vector<aiger::AigerProperty> aiger_properties;
+  /// AIGER header shape, for diagnostics (zeros for other formats).
+  size_t aiger_bad = 0;
+  size_t aiger_outputs = 0;
+  size_t aiger_constraints = 0;
+  bool aiger_constraints_folded = false;
+  /// netlist/analysis design_hash over the elaborated netlist.
+  uint64_t hash = 0;
+  std::string hash_hex;
+  /// The path (or "<inline>") for diagnostics.
+  std::string source;
+};
+
+/// Loads `ref` into `out`. On failure returns false with a one-line
+/// diagnostic in `error` (no binary prefix — callers add their own).
+bool load_design(const DesignRef& ref, LoadedDesign* out, std::string* error);
+
+}  // namespace rfn::api

@@ -61,6 +61,21 @@ std::shared_ptr<const Subcircuit> SubcircuitMemo::get(
   return sub;
 }
 
+int64_t SubcircuitMemo::approx_bytes() const {
+  // Structural estimate: each memoized Subcircuit owns a netlist copy plus
+  // two id maps sized by the ORIGINAL design. A nominal per-gate footprint
+  // (gate record + fanin vector) over both keeps the figure monotone in the
+  // cached volume, which is all the warm-state byte budget needs.
+  constexpr int64_t kPerGate = 48;
+  int64_t total = 0;
+  for (const auto& [key, sub] : map_) {
+    total += static_cast<int64_t>(key.size());
+    total += static_cast<int64_t>(sub->net.size()) * kPerGate;
+    total += static_cast<int64_t>(sub->old_of_new.size()) * sizeof(GateId) * 2;
+  }
+  return total;
+}
+
 // ---------------------------------------------------------------------------
 // SatBmcPool
 
@@ -73,6 +88,22 @@ SatBmc& SatBmcPool::get(const Netlist& m) {
   }
   reg.counter("session.sat_pool.misses").add(1);
   return *map_.emplace(&m, std::make_unique<SatBmc>(m)).first->second;
+}
+
+int64_t SatBmcPool::heap_bytes() const {
+  int64_t total = 0;
+  for (const auto& [net, bmc] : map_)
+    total += static_cast<int64_t>(bmc->solver_heap_bytes());
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// ReuseCache
+
+int64_t ReuseCache::approx_bytes() const {
+  return sat_bmc.heap_bytes() + subcircuits.approx_bytes() +
+         static_cast<int64_t>(order.tokens.size() * sizeof(SavedOrder::Token)) +
+         static_cast<int64_t>(crucial_hints.size() * sizeof(GateId));
 }
 
 // ---------------------------------------------------------------------------
@@ -661,15 +692,29 @@ std::string join_errors(const std::vector<std::string>& errors) {
 VerifySession::VerifySession(const Netlist& m, SessionOptions opt)
     : m_(&m), opt_(std::move(opt)) {}
 
+void VerifySession::notify(const PropertyResult& r) const {
+  if (!opt_.on_property) return;
+  std::lock_guard<std::mutex> lk(emit_mu_);
+  opt_.on_property(r);
+}
+
 void VerifySession::run_cluster(const std::vector<PropertyRequest>& props,
                                 const std::vector<std::vector<GateId>>& cones,
                                 const std::vector<size_t>& members,
                                 size_t cluster_id, double share_ms,
                                 std::vector<PropertyResult>& results) const {
-  ReuseCache cache;
+  // Cluster-local state, plus — when the caller provided a cross-session
+  // warm cache and the session runs inline — the shared base cache. The
+  // workers == 0 restriction is load-bearing: memo, pool, and order are
+  // single-threaded by design, and concurrent cluster jobs would race on
+  // them.
+  ReuseCache local;
+  ReuseCache* base_cache = (opt_.shared_cache != nullptr && opt_.workers == 0)
+                               ? opt_.shared_cache
+                               : &local;
 
-  // One engine run with the cluster's reuse cache wired in. `cone` filters
-  // the crucial-register hints down to registers that can actually influence
+  // One engine run with the reuse cache wired in. `cone` filters the
+  // crucial-register hints down to registers that can actually influence
   // this run's property (seeding anything else would only bloat the
   // abstraction).
   const auto run_one = [&](const Netlist& net, GateId bad_sig,
@@ -679,14 +724,22 @@ void VerifySession::run_cluster(const std::vector<PropertyRequest>& props,
     RunHooks hooks;
     std::vector<GateId> seeds;
     if (opt_.reuse) {
-      for (GateId r : cache.crucial_hints)
+      // Memo and pool must match the netlist the run sees: a pooled SatBmc
+      // references its netlist by address, and memo keys reuse gate ids —
+      // entries for an augmented disjunction copy would dangle (the copy
+      // dies with the cluster) or collide with a later copy's coincident
+      // ids. So only base-netlist runs touch the possibly-shared base
+      // cache; the order and hints are original-design ids, portable across
+      // both netlists, and always shared.
+      ReuseCache& structural = &net == m_ ? *base_cache : local;
+      for (GateId r : base_cache->crucial_hints)
         if (std::binary_search(cone.begin(), cone.end(), r)) seeds.push_back(r);
-      hooks.subcircuits = &cache.subcircuits;
-      hooks.sat_bmc = &cache.sat_bmc;
-      hooks.order_io = &cache.order;
+      hooks.subcircuits = &structural.subcircuits;
+      hooks.sat_bmc = &structural.sat_bmc;
+      hooks.order_io = &base_cache->order;
       hooks.order_seeded = order_seeded;
       hooks.seed_registers = &seeds;
-      hooks.crucial_out = &cache.crucial_hints;
+      hooks.crucial_out = &base_cache->crucial_hints;
     }
     if (seeded != nullptr) *seeded = seeds.size();
     return run_property(net, bad_sig, ro, hooks);
@@ -704,6 +757,7 @@ void VerifySession::run_cluster(const std::vector<PropertyRequest>& props,
     out.verdict = rr.verdict;
     out.trace = rr.error_trace;
     out.stats = std::move(rr);
+    notify(out);
   };
 
   if (members.size() == 1) {
@@ -751,6 +805,7 @@ void VerifySession::run_cluster(const std::vector<PropertyRequest>& props,
         out.clustered = true;
         out.order_seeded = order_seeded;
         out.seeded_registers = seeded;
+        notify(out);
       }
       return;
     }
@@ -771,6 +826,7 @@ void VerifySession::run_cluster(const std::vector<PropertyRequest>& props,
           out.clustered = true;
           out.order_seeded = order_seeded;
           out.seeded_registers = seeded;
+          notify(out);
           ++attributed;
         } else {
           keep.push_back(idx);

@@ -29,7 +29,9 @@
 // over run_property(), the one-property engine that also powers every
 // cluster job here.
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -93,6 +95,8 @@ struct PropertyResult {
   size_t seeded_registers = 0;
 };
 
+struct ReuseCache;
+
 struct SessionOptions {
   /// Baseline RfnOptions each property run starts from.
   RfnOptions defaults;
@@ -116,6 +120,22 @@ struct SessionOptions {
   /// order seeding, crucial-register hints). Hints only — never verdicts —
   /// so this is a performance switch, not a soundness one.
   bool reuse = true;
+  /// Invoked once per property, as its result is finalized (completion
+  /// order, which for workers == 0 is cluster order, not request order).
+  /// Runs under the session's emission mutex, so the callback itself needs
+  /// no locking. This is how rfn_serve streams rfn-trace-v2 property
+  /// records mid-run; null keeps the historical collect-then-report shape.
+  std::function<void(const PropertyResult&)> on_property;
+  /// Cross-request warm state (the server's per-design cache entry): the
+  /// session reads and writes this ReuseCache instead of a per-cluster one,
+  /// so SavedOrder / SatBmcPool / SubcircuitMemo survive into the next
+  /// session on the same design. Honored only when workers == 0 (the memo,
+  /// pool, and order are single-threaded by design); runs on augmented
+  /// disjunction copies still use cluster-local memo/pool — their netlists
+  /// die with the cluster, and a pooled SatBmc must never outlive the
+  /// netlist it references. The caller must construct every warmed session
+  /// over the SAME Netlist instance (pool entries are keyed by address).
+  ReuseCache* shared_cache = nullptr;
 };
 
 /// Memoized subcircuit extraction keyed by (property roots, included
@@ -131,6 +151,12 @@ class SubcircuitMemo {
 
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
+
+  /// Rough resident-byte estimate of the memoized subcircuits (structural:
+  /// gates x a nominal per-gate footprint plus the id maps). Feeds the
+  /// server's warm-state byte budget; exactness is not required there, only
+  /// monotonicity in the cached volume.
+  int64_t approx_bytes() const;
 
  private:
   std::unordered_map<std::string, std::shared_ptr<const Subcircuit>> map_;
@@ -154,6 +180,11 @@ class SatBmcPool {
 
   size_t size() const { return map_.size(); }
 
+  /// Byte-exact heap footprint of the pooled solvers (sum of each
+  /// instance's tracked clause-arena + watch-list bytes; see
+  /// sat::Solver::heap_bytes). The dominant term of a warm cache entry.
+  int64_t heap_bytes() const;
+
  private:
   std::unordered_map<const Netlist*, std::unique_ptr<SatBmc>> map_;
 };
@@ -170,6 +201,11 @@ struct ReuseCache {
   /// Union of crucial registers identified by refinement so far, in
   /// discovery order.
   std::vector<GateId> crucial_hints;
+
+  /// Resident-byte estimate of the whole cache: exact solver arenas plus
+  /// structural estimates for the memo, order, and hints. The server's
+  /// WarmStateCache charges each design entry by this figure.
+  int64_t approx_bytes() const;
 };
 
 /// Optional hooks run_property() threads through one CEGAR run; all fields
@@ -230,9 +266,14 @@ class VerifySession {
                    const std::vector<size_t>& members, size_t cluster_id,
                    double share_ms, std::vector<PropertyResult>& results) const;
 
+  /// Fires SessionOptions::on_property under emit_mu_ (no-op when unset).
+  void notify(const PropertyResult& r) const;
+
   const Netlist* m_;
   SessionOptions opt_;
   std::vector<std::vector<size_t>> clusters_;
+  /// Serializes SessionOptions::on_property across cluster jobs.
+  mutable std::mutex emit_mu_;
 };
 
 }  // namespace rfn

@@ -163,15 +163,13 @@ json::Value certificate_json(const CertificateRecord& r) {
   return o;
 }
 
-void write_batch_trace_json(std::ostream& os,
-                            const std::vector<PropertyResult>& results,
-                            size_t num_clusters, double seconds,
-                            const MetricsSnapshot* baseline,
-                            const std::vector<CertificateRecord>* certificates) {
+json::Value batch_summary_json(const std::vector<PropertyResult>& results,
+                               size_t num_clusters, double seconds,
+                               const MetricsSnapshot* baseline,
+                               const std::vector<CertificateRecord>* certificates) {
   using json::Value;
   size_t holds = 0, fails = 0, unknown = 0, resource_out = 0;
   for (const PropertyResult& r : results) {
-    os << property_json(r).dump() << "\n";
     switch (r.verdict) {
       case Verdict::Holds: ++holds; break;
       case Verdict::Fails: ++fails; break;
@@ -180,12 +178,8 @@ void write_batch_trace_json(std::ostream& os,
     }
   }
   size_t cert_ok = 0, cert_failed = 0;
-  if (certificates != nullptr) {
-    for (const CertificateRecord& r : *certificates) {
-      os << certificate_json(r).dump() << "\n";
-      ++(r.ok ? cert_ok : cert_failed);
-    }
-  }
+  if (certificates != nullptr)
+    for (const CertificateRecord& r : *certificates) ++(r.ok ? cert_ok : cert_failed);
   Value o = Value::object();
   o.set("type", "batch-summary");
   o.set("trace_version", "rfn-trace-v2");
@@ -205,7 +199,23 @@ void write_batch_trace_json(std::ostream& os,
   }
   o.set("seconds", seconds);
   o.set("metrics", MetricsRegistry::global().to_json(baseline));
-  os << o.dump() << "\n";
+  return o;
+}
+
+void write_batch_trace_json(std::ostream& os,
+                            const std::vector<PropertyResult>& results,
+                            size_t num_clusters, double seconds,
+                            const MetricsSnapshot* baseline,
+                            const std::vector<CertificateRecord>* certificates) {
+  for (const PropertyResult& r : results)
+    os << property_json(r).dump() << "\n";
+  if (certificates != nullptr)
+    for (const CertificateRecord& r : *certificates)
+      os << certificate_json(r).dump() << "\n";
+  os << batch_summary_json(results, num_clusters, seconds, baseline,
+                           certificates)
+            .dump()
+     << "\n";
 }
 
 }  // namespace rfn

@@ -98,6 +98,16 @@ struct CertificateRecord {
 
 json::Value certificate_json(const CertificateRecord& r);
 
+/// The batch-summary record (`"type":"batch-summary"`): verdict counts over
+/// `results`, certificate ok/failed counts when `certificates` is non-null,
+/// and the metrics dump against `baseline`. This is the record
+/// write_batch_trace_json ends with; exposed so a streaming emitter
+/// (api::run_verify, rfn_serve) produces the identical bytes.
+json::Value batch_summary_json(const std::vector<PropertyResult>& results,
+                               size_t num_clusters, double seconds,
+                               const MetricsSnapshot* baseline = nullptr,
+                               const std::vector<CertificateRecord>* certificates = nullptr);
+
 /// Writes a session batch as JSON Lines (rfn-trace-v2): one property record
 /// per result, then one certificate record per entry of `certificates`
 /// (when non-null; --certify batches pass the per-property certification

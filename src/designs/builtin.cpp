@@ -9,6 +9,12 @@
 
 namespace rfn::designs {
 
+const std::vector<std::string>& builtin_names() {
+  static const std::vector<std::string> kNames = {"fifo", "processor", "iu",
+                                                  "usb"};
+  return kNames;
+}
+
 Netlist make_builtin(const std::string& name, bool* ok) {
   *ok = true;
   if (name == "fifo")

@@ -5,6 +5,7 @@
 // binary hashes identically when re-elaborated by another.
 
 #include <string>
+#include <vector>
 
 #include "netlist/netlist.hpp"
 
@@ -16,5 +17,10 @@ namespace rfn::designs {
 /// bad_mutex/error_flag; iu: iu0..iu4; usb: usb1_*/usb2_*). Unknown names
 /// set *ok = false and return an empty netlist.
 Netlist make_builtin(const std::string& name, bool* ok);
+
+/// The valid `builtin:` names, in the order make_builtin checks them. Error
+/// messages list this set so a typo tells the user what would have worked —
+/// the same convention RfnOptions::validate() uses for engine names.
+const std::vector<std::string>& builtin_names();
 
 }  // namespace rfn::designs

@@ -1,0 +1,576 @@
+// rfn_serve tests: fair-share scheduling, admission control, the warm-state
+// cache, strict rfn-req-v1 rejection, and — the acceptance check — CLI-vs-
+// server equivalence through the shared rfn::api run path, plus the warm
+// SavedOrder reuse a repeat request must show.
+
+#include "serve/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/api.hpp"
+#include "serve/queue.hpp"
+#include "serve/warm_cache.hpp"
+
+namespace rfn {
+namespace {
+
+// ---------------------------------------------------------------------------
+// FairQueue
+
+serve::Job job(const std::string& tenant, double ms = 0.0, int64_t mem = 0,
+               int64_t bdd = 0) {
+  serve::Job j;
+  j.tenant = tenant;
+  j.demand_ms = ms;
+  j.demand_mem_mb = mem;
+  j.demand_bdd_nodes = bdd;
+  j.run = [] {};
+  return j;
+}
+
+TEST(FairQueue, InterleavesTenantsByStartedCount) {
+  serve::FairQueue q(serve::AdmissionLimits{});
+  std::string reason, detail;
+  // Tenant a floods four jobs, then tenant b files two.
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(q.try_push(job("a"), &reason, &detail));
+  for (int i = 0; i < 2; ++i)
+    ASSERT_TRUE(q.try_push(job("b"), &reason, &detail));
+  std::vector<std::string> order;
+  serve::Job j;
+  while (q.pop_fairest(&j)) {
+    order.push_back(j.tenant);
+    q.finish(j);
+  }
+  // Fair share alternates until b drains; a's flood cannot starve b.
+  EXPECT_EQ(order, (std::vector<std::string>{"a", "b", "a", "b", "a", "a"}));
+}
+
+TEST(FairQueue, FifoWithinOneTenant) {
+  serve::FairQueue q(serve::AdmissionLimits{});
+  std::string reason, detail;
+  for (double ms : {1.0, 2.0, 3.0})
+    ASSERT_TRUE(q.try_push(job("t", ms), &reason, &detail));
+  serve::Job j;
+  for (double want : {1.0, 2.0, 3.0}) {
+    ASSERT_TRUE(q.pop_fairest(&j));
+    EXPECT_EQ(j.demand_ms, want);
+    q.finish(j);
+  }
+  EXPECT_FALSE(q.pop_fairest(&j));
+}
+
+TEST(FairQueue, RejectsWithNamedReasons) {
+  serve::AdmissionLimits lim;
+  lim.queue_capacity = 2;
+  lim.time_window_ms = 100.0;
+  lim.mem_window_mb = 50;
+  lim.bdd_node_window = 1000;
+  std::string reason, detail;
+
+  serve::FairQueue q2(lim);
+  ASSERT_TRUE(q2.try_push(job("a", 60.0), &reason, &detail));
+  EXPECT_FALSE(q2.try_push(job("b", 60.0), &reason, &detail));
+  EXPECT_EQ(reason, "time-oversubscribed");
+  EXPECT_NE(detail.find("window"), std::string::npos);
+
+  serve::FairQueue q3(lim);
+  ASSERT_TRUE(q3.try_push(job("a", 1.0, 30), &reason, &detail));
+  EXPECT_FALSE(q3.try_push(job("b", 1.0, 30), &reason, &detail));
+  EXPECT_EQ(reason, "mem-oversubscribed");
+
+  serve::FairQueue q4(lim);
+  ASSERT_TRUE(q4.try_push(job("a", 1.0, 0, 800), &reason, &detail));
+  EXPECT_FALSE(q4.try_push(job("b", 1.0, 0, 800), &reason, &detail));
+  EXPECT_EQ(reason, "bdd-oversubscribed");
+
+  serve::FairQueue q5(lim);
+  ASSERT_TRUE(q5.try_push(job("a", 1.0), &reason, &detail));
+  ASSERT_TRUE(q5.try_push(job("b", 1.0), &reason, &detail));
+  EXPECT_FALSE(q5.try_push(job("c", 1.0), &reason, &detail));
+  EXPECT_EQ(reason, "queue-full");
+
+  // finish() releases the demands: the queue admits again.
+  serve::Job j;
+  ASSERT_TRUE(q5.pop_fairest(&j));
+  q5.finish(j);
+  EXPECT_TRUE(q5.try_push(job("c", 1.0), &reason, &detail));
+}
+
+TEST(FairQueue, DemandFallsBackToTimeLimitThenDefault) {
+  api::VerifyRequest req;
+  req.options.budget_ms = 250.0;
+  EXPECT_EQ(serve::request_demand_ms(req, 999.0), 250.0);
+  req.options.budget_ms = -1.0;
+  req.options.time_limit_s = 2.0;
+  EXPECT_EQ(serve::request_demand_ms(req, 999.0), 2000.0);
+  req.options.time_limit_s = -1.0;
+  EXPECT_EQ(serve::request_demand_ms(req, 999.0), 999.0);
+}
+
+// ---------------------------------------------------------------------------
+// WarmStateCache
+
+api::LoadedDesign load_builtin_fifo() {
+  api::DesignRef ref;
+  ref.path = "builtin:fifo";
+  api::LoadedDesign d;
+  std::string error;
+  EXPECT_TRUE(api::load_design(ref, &d, &error)) << error;
+  return d;
+}
+
+TEST(WarmStateCache, HitMissCountersAcrossRepeatAcquires) {
+  serve::WarmStateCache cache(/*byte_budget=*/0);
+  auto lease1 = cache.acquire(load_builtin_fifo());
+  EXPECT_FALSE(lease1.warm);
+  EXPECT_FALSE(lease1.order_warm);
+  const Netlist* first_instance = &lease1.design->netlist;
+  // Warm the entry the way a session would: a saved order and a pooled
+  // incremental SAT instance.
+  lease1.cache->order.tokens.push_back({});
+  lease1.cache->sat_bmc.get(lease1.design->netlist);
+  cache.release(lease1);
+
+  auto lease2 = cache.acquire(load_builtin_fifo());
+  EXPECT_TRUE(lease2.warm);
+  EXPECT_TRUE(lease2.order_warm);
+  EXPECT_EQ(lease2.sat_pool_entries, 1u);
+  // The cached instance answers the repeat request — pooled SatBmc entries
+  // key the netlist by address, so instance stability is the contract.
+  EXPECT_EQ(&lease2.design->netlist, first_instance);
+  cache.release(lease2);
+
+  const serve::WarmStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_GT(s.bytes, 0);
+}
+
+TEST(WarmStateCache, EvictsLruUnderByteBudget) {
+  // A 1-byte budget cannot hold any entry: release evicts immediately.
+  serve::WarmStateCache tiny(1);
+  auto lease = tiny.acquire(load_builtin_fifo());
+  tiny.release(lease);
+  serve::WarmStats s = tiny.stats();
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.bytes, 0);
+
+  // The next acquire on the same design is a miss again.
+  auto again = tiny.acquire(load_builtin_fifo());
+  EXPECT_FALSE(again.warm);
+  tiny.release(again);
+}
+
+TEST(WarmStateCache, NeverEvictsALiveLease) {
+  serve::WarmStateCache tiny(1);
+  auto lease = tiny.acquire(load_builtin_fifo());
+  // Over budget but in use: the entry must survive until release.
+  EXPECT_EQ(tiny.stats().entries, 1u);
+  EXPECT_EQ(tiny.stats().evictions, 0u);
+  tiny.release(lease);
+  EXPECT_EQ(tiny.stats().entries, 0u);
+}
+
+TEST(WarmStateCache, UnboundedBudgetKeepsEverything) {
+  serve::WarmStateCache cache(0);
+  for (int i = 0; i < 3; ++i) {
+    auto lease = cache.acquire(load_builtin_fifo());
+    cache.release(lease);
+  }
+  const serve::WarmStats s = cache.stats();
+  EXPECT_EQ(s.entries, 1u);  // same design hash: one entry
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Strict rfn-req-v1 rejection
+
+json::Value valid_request_doc() {
+  api::VerifyRequest req;
+  req.id = "r1";
+  req.design.path = "builtin:fifo";
+  api::PropertySpec spec;
+  spec.signal = "bad_full_q";
+  req.props.push_back(spec);
+  return req.to_json();
+}
+
+TEST(RequestCodec, RoundTripsThroughJson) {
+  const json::Value doc = valid_request_doc();
+  api::VerifyRequest back;
+  std::string error;
+  ASSERT_TRUE(api::VerifyRequest::from_json(doc, &back, &error)) << error;
+  EXPECT_EQ(back.id, "r1");
+  EXPECT_EQ(back.design.path, "builtin:fifo");
+  ASSERT_EQ(back.props.size(), 1u);
+  EXPECT_EQ(back.props[0].signal, "bad_full_q");
+}
+
+TEST(RequestCodec, RejectsMalformedDocuments) {
+  // Deterministic mutations of a valid document: every one must be rejected
+  // with a non-empty diagnostic, never accepted or crashed on.
+  std::vector<json::Value> bad;
+  {
+    json::Value v = valid_request_doc();
+    v.set("version", "rfn-req-v0");
+    bad.push_back(v);
+  }
+  {
+    json::Value v = valid_request_doc();
+    v.set("type", "destroy");
+    bad.push_back(v);
+  }
+  {
+    json::Value v = valid_request_doc();
+    v.set("surprise", 1.0);
+    bad.push_back(v);
+  }
+  {
+    json::Value v = valid_request_doc();
+    v.set("props", "not-an-array");
+    bad.push_back(v);
+  }
+  {
+    json::Value v = valid_request_doc();
+    v.set("id", 42.0);
+    bad.push_back(v);
+  }
+  {
+    json::Value v = valid_request_doc();
+    json::Value opts = json::Value::object();
+    opts.set("warp-speed", true);
+    v.set("options", std::move(opts));
+    bad.push_back(v);
+  }
+  {
+    json::Value v = valid_request_doc();
+    json::Value sess = json::Value::object();
+    sess.set("cluster-overlap", "lots");
+    v.set("session", std::move(sess));
+    bad.push_back(v);
+  }
+  {
+    // No design at all.
+    json::Value v = json::Value::object();
+    v.set("type", "verify");
+    v.set("version", api::kRequestVersion);
+    bad.push_back(v);
+  }
+  bad.push_back(json::Value(3.0));
+  bad.push_back(json::Value("verify"));
+  for (size_t i = 0; i < bad.size(); ++i) {
+    api::VerifyRequest out;
+    std::string error;
+    EXPECT_FALSE(api::VerifyRequest::from_json(bad[i], &out, &error))
+        << "mutation " << i << " was accepted: " << bad[i].dump();
+    EXPECT_FALSE(error.empty()) << "mutation " << i;
+  }
+}
+
+TEST(RequestCodec, TruncationFuzz) {
+  // Every strict prefix of a valid request either fails to parse as JSON or
+  // fails the codec — a torn socket line can never half-apply.
+  const std::string text = valid_request_doc().dump();
+  for (size_t len = 0; len < text.size(); ++len) {
+    std::string perr;
+    const json::Value doc = json::parse(text.substr(0, len), &perr);
+    if (doc.is_null()) continue;  // not JSON: rejected upstream
+    api::VerifyRequest out;
+    std::string error;
+    EXPECT_FALSE(api::VerifyRequest::from_json(doc, &out, &error))
+        << "prefix of length " << len << " was accepted";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end over a socket
+
+class Client {
+ public:
+  explicit Client(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    connected_ =
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  void send_line(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t off = 0;
+    while (off < framed.size()) {
+      ssize_t n = ::send(fd_, framed.data() + off, framed.size() - off, 0);
+      ASSERT_GT(n, 0);
+      off += static_cast<size_t>(n);
+    }
+  }
+
+  /// Reads records until the next rfn-resp-v1 line; returns it and stashes
+  /// the streamed records in `records`.
+  json::Value read_response(std::vector<json::Value>* records = nullptr) {
+    std::string line;
+    while (read_line(&line)) {
+      std::string perr;
+      json::Value doc = json::parse(line, &perr);
+      EXPECT_TRUE(perr.empty()) << perr << " in: " << line;
+      const json::Value* type = doc.find("type");
+      if (type != nullptr && type->is_string() &&
+          type->as_string() == "response") {
+        return doc;
+      }
+      if (records != nullptr) records->push_back(std::move(doc));
+    }
+    ADD_FAILURE() << "connection closed before a response";
+    return json::Value();
+  }
+
+  json::Value transact(const json::Value& req,
+                       std::vector<json::Value>* records = nullptr) {
+    send_line(req.dump());
+    return read_response(records);
+  }
+
+ private:
+  bool read_line(std::string* out) {
+    for (;;) {
+      const size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        *out = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      buf_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buf_;
+};
+
+json::Value fifo_request(const std::string& id, const std::string& tenant) {
+  api::VerifyRequest req;
+  req.id = id;
+  req.tenant = tenant;
+  req.design.path = "builtin:fifo";
+  for (const char* sig : {"bad_full_q", "bad_af_q", "bad_hf_q"}) {
+    api::PropertySpec spec;
+    spec.signal = sig;
+    req.props.push_back(spec);
+  }
+  req.batch = true;
+  return req.to_json();
+}
+
+double num_at(const json::Value& doc, const char* path) {
+  const json::Value* v = doc.find_path(path);
+  EXPECT_NE(v, nullptr) << path << " missing in " << doc.dump();
+  return v != nullptr && v->is_number() ? v->as_double() : -1.0;
+}
+
+TEST(ServeEndToEnd, WarmRepeatRequestsAndNamedRejects) {
+  serve::ServerOptions opt;
+  opt.tcp_port = 0;  // ephemeral
+  opt.admission.mem_window_mb = 100;
+  serve::Server server(opt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_GT(server.tcp_port(), 0);
+
+  Client client(server.tcp_port());
+  ASSERT_TRUE(client.connected());
+
+  // Readiness probe.
+  json::Value ping = json::Value::object();
+  ping.set("type", "ping");
+  ping.set("id", "p");
+  json::Value pong = client.transact(ping);
+  EXPECT_TRUE(pong.find("ok")->as_bool());
+
+  // First verify: a cold miss.
+  std::vector<json::Value> rec1;
+  json::Value r1 = client.transact(fifo_request("r1", "a"), &rec1);
+  ASSERT_TRUE(r1.find("ok") != nullptr && r1.find("ok")->as_bool())
+      << r1.dump();
+  EXPECT_EQ(num_at(r1, "verdicts.T"), 3.0);
+  EXPECT_EQ(r1.find_path("warm_cache.hit")->as_bool(), false);
+  EXPECT_EQ(num_at(r1, "warm_cache.misses"), 1.0);
+
+  // Streamed records arrive before the response: three property records
+  // and the batch summary.
+  size_t props = 0, summaries = 0;
+  for (const json::Value& rec : rec1) {
+    const json::Value* type = rec.find("type");
+    ASSERT_NE(type, nullptr) << rec.dump();
+    props += type->as_string() == "property";
+    summaries += type->as_string() == "batch-summary";
+  }
+  EXPECT_EQ(props, 3u);
+  EXPECT_EQ(summaries, 1u);
+
+  // Repeat request on the same design hash: a warm hit that reuses the
+  // saved BDD variable order (the SavedOrder survived in the cache entry).
+  json::Value r2 = client.transact(fifo_request("r2", "a"));
+  ASSERT_TRUE(r2.find("ok")->as_bool()) << r2.dump();
+  EXPECT_TRUE(r2.find_path("warm_cache.hit")->as_bool());
+  EXPECT_TRUE(r2.find_path("warm_cache.order_warm")->as_bool());
+  EXPECT_GE(num_at(r2, "warm_cache.hits"), 1.0);
+  EXPECT_GT(num_at(r2, "warm_cache.bytes"), 0.0);
+
+  // The warm order actually seeds the repeat run: some member reports
+  // order_seeded (the first property of the warmed session).
+  bool any_seeded = false;
+  const json::Value* results = r2.find("results");
+  ASSERT_NE(results, nullptr);
+  for (const json::Value& res : results->items())
+    any_seeded |= res.find("order_seeded")->as_bool();
+  EXPECT_TRUE(any_seeded);
+
+  // Admission: a request whose declared mem budget oversubscribes the
+  // window is rejected by name, before any engine work.
+  api::VerifyRequest big;
+  big.id = "big";
+  big.design.path = "builtin:fifo";
+  big.options.budget_mem_mb = 200;
+  json::Value rejected = client.transact(big.to_json());
+  EXPECT_FALSE(rejected.find("ok")->as_bool());
+  EXPECT_EQ(rejected.find("reject_reason")->as_string(), "mem-oversubscribed");
+
+  // Malformed line: named bad-request, connection stays usable.
+  client.send_line("this is not json");
+  json::Value bad = client.read_response();
+  EXPECT_FALSE(bad.find("ok")->as_bool());
+  EXPECT_EQ(bad.find("reject_reason")->as_string(), "bad-request");
+  EXPECT_NE(bad.find("error")->as_string().find("invalid JSON"),
+            std::string::npos);
+
+  // Unknown design: load-failed names the valid builtin set.
+  api::VerifyRequest ghost;
+  ghost.id = "ghost";
+  ghost.design.path = "builtin:ghost";
+  json::Value lf = client.transact(ghost.to_json());
+  EXPECT_FALSE(lf.find("ok")->as_bool());
+  EXPECT_EQ(lf.find("reject_reason")->as_string(), "load-failed");
+  EXPECT_NE(lf.find("error")->as_string().find("fifo"), std::string::npos);
+
+  const serve::WarmStats ws = server.warm_stats();
+  EXPECT_GE(ws.hits, 1u);
+  server.stop();
+}
+
+TEST(ServeEndToEnd, CliAndServerAgreeThroughSharedApi) {
+  // The CLI path: api::run_verify with a collecting sink, post-run emission
+  // (request order) — exactly what `rfn verify --trace-json` writes.
+  api::VerifyRequest req;
+  req.design.path = "builtin:fifo";
+  for (const char* sig : {"bad_full_q", "bad_af_q", "bad_hf_q"}) {
+    api::PropertySpec spec;
+    spec.signal = sig;
+    req.props.push_back(spec);
+  }
+  req.batch = true;
+  api::LoadedDesign design;
+  std::string error;
+  ASSERT_TRUE(api::load_design(req.design, &design, &error)) << error;
+  api::CollectTraceSink cli_sink;
+  api::RunOutput cli_out;
+  ASSERT_TRUE(api::run_verify(design, req, &cli_sink,
+                              /*stream_properties=*/false, nullptr, &cli_out,
+                              &error))
+      << error;
+
+  // The server path: the same request over a socket.
+  serve::ServerOptions opt;
+  opt.tcp_port = 0;
+  serve::Server server(opt);
+  ASSERT_TRUE(server.start(&error)) << error;
+  Client client(server.tcp_port());
+  ASSERT_TRUE(client.connected());
+  req.id = "eq";
+  std::vector<json::Value> served_records;
+  json::Value resp = client.transact(req.to_json(), &served_records);
+  ASSERT_TRUE(resp.find("ok")->as_bool()) << resp.dump();
+  server.stop();
+
+  // Same verdicts per property, same cluster assignment, regardless of the
+  // emission mode (the server streams in completion order; compare as maps).
+  auto verdicts_of = [](const std::vector<json::Value>& records) {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const json::Value& rec : records) {
+      const json::Value* type = rec.find("type");
+      if (type == nullptr || type->as_string() != "property") continue;
+      out.emplace_back(rec.find("name")->as_string(),
+                       rec.find("verdict")->as_string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(verdicts_of(cli_sink.records()), verdicts_of(served_records));
+
+  // And the response document agrees with the CLI's RunOutput.
+  EXPECT_EQ(num_at(resp, "verdicts.T"),
+            static_cast<double>(cli_out.response.holds));
+  EXPECT_EQ(num_at(resp, "properties"),
+            static_cast<double>(cli_out.response.properties));
+  EXPECT_EQ(resp.find("design_hash")->as_string(),
+            cli_out.response.design_hash);
+
+  // Both emitted exactly one batch summary with identical verdict counts.
+  auto summary_of = [](const std::vector<json::Value>& records) {
+    for (const json::Value& rec : records) {
+      const json::Value* type = rec.find("type");
+      if (type != nullptr && type->as_string() == "batch-summary")
+        return rec.find("verdicts")->dump();
+    }
+    return std::string();
+  };
+  EXPECT_EQ(summary_of(cli_sink.records()), summary_of(served_records));
+  EXPECT_FALSE(summary_of(served_records).empty());
+}
+
+TEST(ServeEndToEnd, TwoTenantsOnTwoConnections) {
+  serve::ServerOptions opt;
+  opt.tcp_port = 0;
+  opt.workers = 2;
+  serve::Server server(opt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client a(server.tcp_port()), b(server.tcp_port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  json::Value ra = a.transact(fifo_request("a1", "a"));
+  json::Value rb = b.transact(fifo_request("b1", "b"));
+  EXPECT_TRUE(ra.find("ok")->as_bool());
+  EXPECT_TRUE(rb.find("ok")->as_bool());
+  EXPECT_EQ(server.served(), 2u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace rfn

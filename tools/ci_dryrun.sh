@@ -78,6 +78,19 @@ for san in "${sanitizers[@]}"; do
     "./$dir/tests/trace_span_test"
     "./$dir/tests/prof_test"
     "./$dir/tests/sat_test"
+    "./$dir/tests/serve_test"
+    note "sanitize (thread): serve daemon boot + replay"
+    # Accept loop, connection threads, fair-share queue, executor workers
+    # and the warm-cache lease hand-off all race by design — one
+    # instrumented boot + replay watches the lot end to end.
+    "./$dir/tools/rfn_serve" --socket "/tmp/rfn-tsan-$$.sock" \
+      --workers 2 --admit-mem-mb 512 &
+    serve_pid=$!
+    for _ in $(seq 100); do [[ -S "/tmp/rfn-tsan-$$.sock" ]] && break; sleep 0.1; done
+    python3 tools/serve_replay.py --socket "/tmp/rfn-tsan-$$.sock" \
+      --log "$dir/tsan-serve-session.jsonl" --shutdown
+    wait "$serve_pid"
+    python3 tools/trace_report.py --serve "$dir/tsan-serve-session.jsonl"
     note "sanitize (thread): budgeted resource-out run"
     # Must degrade cleanly (exit exactly 1: inconclusive verdict, not a
     # TSan abort) with a budget-trip span.
@@ -201,6 +214,25 @@ if python3 tools/bench_gate.py --prof-baseline BENCH_prof.json \
   echo "ci_dryrun: prof gate accepted an injected byte regression" >&2
   exit 1
 fi
+# --- job: serve smoke -------------------------------------------------------
+# rfn_serve booted for real: three tenants replayed through one connection,
+# repeats proving warm_cache.hits > 0 (a resident server that reloads cold
+# every time is just a slow CLI), an oversubscribed request rejected by
+# name, and the captured session log re-validated by trace_report --serve.
+note "serve smoke"
+cmake --build build-ci-bench -j "$(nproc)" --target rfn_serve serve_test
+./build-ci-bench/tests/serve_test
+./build-ci-bench/tools/rfn_serve --socket "/tmp/rfn-ci-$$.sock" \
+  --workers 2 --admit-mem-mb 512 &
+serve_pid=$!
+for _ in $(seq 100); do [[ -S "/tmp/rfn-ci-$$.sock" ]] && break; sleep 0.1; done
+python3 tools/serve_replay.py --socket "/tmp/rfn-ci-$$.sock" \
+  --log build-ci-bench/serve-session.jsonl --shutdown
+wait "$serve_pid"
+python3 tools/trace_report.py --serve build-ci-bench/serve-session.jsonl \
+  | tee build-ci-bench/serve-report.txt
+grep -Eq 'warm_hits=[1-9]' build-ci-bench/serve-report.txt
+
 # --- job: corpus ------------------------------------------------------------
 # The committed AIGER corpus through batch sessions, every certificate
 # re-checked by rfn_check, the summary gated against the checked-in

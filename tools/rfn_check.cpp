@@ -24,12 +24,9 @@
 #include <sstream>
 #include <string>
 
-#include "aiger/aiger.hpp"
+#include "api/load.hpp"
 #include "cert/check.hpp"
 #include "cert/format.hpp"
-#include "designs/builtin.hpp"
-#include "netlist/blif.hpp"
-#include "rtlv/elaborate.hpp"
 
 using namespace rfn;
 
@@ -42,49 +39,13 @@ int usage() {
   return 2;
 }
 
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
 bool read_file(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);  // binary .aig is not line text
+  std::ifstream in(path, std::ios::binary);
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
   *out = buf.str();
   return true;
-}
-
-Netlist load_design(const std::string& path, const std::string& top, bool* ok) {
-  *ok = true;
-  if (path.rfind("builtin:", 0) == 0) {
-    Netlist n = designs::make_builtin(path.substr(8), ok);
-    if (!*ok)
-      std::fprintf(stderr, "rfn_check: unknown builtin design '%s'\n",
-                   path.substr(8).c_str());
-    return n;
-  }
-  std::string text;
-  if (!read_file(path, &text)) {
-    std::fprintf(stderr, "rfn_check: cannot open %s\n", path.c_str());
-    *ok = false;
-    return Netlist{};
-  }
-  if (ends_with(path, ".aag") || ends_with(path, ".aig")) {
-    // Same strict elaboration as the verifier: the witness's design hash is
-    // taken over the normalized netlist, so both sides must agree on it.
-    aiger::AigerDesign d;
-    std::string error;
-    if (!aiger::read_aiger(text, &d, &error)) {
-      std::fprintf(stderr, "rfn_check: %s: %s\n", path.c_str(), error.c_str());
-      *ok = false;
-      return Netlist{};
-    }
-    return std::move(d.netlist);
-  }
-  if (ends_with(path, ".blif")) return read_blif(text);
-  return rtlv::elaborate_verilog(text, top).netlist;
 }
 
 }  // namespace
@@ -119,9 +80,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  bool ok = false;
-  const Netlist design = load_design(design_path, top, &ok);
-  if (!ok) return 2;
+  // api::load_design: the SAME resolution the verifier used, so the
+  // witness's design hash is taken over an identically normalized netlist.
+  // (rfn_load is a leaf library — linking it does not widen this binary's
+  // trust boundary.)
+  api::DesignRef ref;
+  ref.path = design_path;
+  ref.top = top;
+  api::LoadedDesign loaded;
+  if (!api::load_design(ref, &loaded, &error)) {
+    std::fprintf(stderr, "rfn_check: %s\n", error.c_str());
+    return 2;
+  }
+  const Netlist& design = loaded.netlist;
 
   std::printf("rfn_check: %s witness for property '%s' on %s\n",
               cert::cert_kind_name(certificate.kind),

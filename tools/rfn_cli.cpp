@@ -83,6 +83,13 @@
 //                         ("1\nb<k>\n<state>\n<inputs per cycle>...\n." for
 //                         VIOLATED, "0\nb<k>\n." for HOLDS)
 //   --aiger-witness FILE  single runs: the same, to one file
+//
+// This binary is a thin flag → api::VerifyRequest translator: design
+// loading is api::load_design, the batch path is api::run_verify (the same
+// run path rfn_serve drives from the socket — a command line and an
+// rfn-req-v1 document are the same computation), and the single-run path is
+// api::run_single. What remains here is flag parsing, the stdout report,
+// and the file epilogues (span/prof artifacts, cert/witness exports).
 
 #include <cstdio>
 #include <filesystem>
@@ -90,17 +97,12 @@
 #include <sstream>
 
 #include "aiger/aiger.hpp"
+#include "api/api.hpp"
 #include "cert/format.hpp"
-#include "core/certificate.hpp"
 #include "core/coverage.hpp"
-#include "core/rfn.hpp"
-#include "core/session.hpp"
-#include "core/trace_json.hpp"
-#include "designs/builtin.hpp"
 #include "netlist/analysis.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/writer.hpp"
-#include "rtlv/elaborate.hpp"
 #include "util/options.hpp"
 #include "util/prof.hpp"
 #include "util/stats.hpp"
@@ -115,60 +117,6 @@ int usage() {
                "usage: rfn <verify|coverage|translate|stats> <design.v|design.blif> "
                "[options]\n       see the header of tools/rfn_cli.cpp for options\n");
   return 2;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() && s.compare(s.size() - suffix.size(),
-                                                suffix.size(), suffix) == 0;
-}
-
-/// The shipped generated designs, loadable without a file: builtin:fifo,
-/// builtin:processor, builtin:iu, builtin:usb (small parameterizations —
-/// the CI batch runs use these). Property-less designs expose their
-/// coverage registers as named outputs (iu0..iu4, usb1_0.., usb2_0..) so
-/// --bad / --props can target them.
-Netlist load_builtin(const std::string& name, bool* ok) {
-  Netlist n = designs::make_builtin(name, ok);
-  if (!*ok)
-    std::fprintf(stderr, "rfn: unknown builtin design '%s'\n", name.c_str());
-  return n;
-}
-
-/// Loads a design of any supported format. For AIGER inputs, `aig` (when
-/// non-null) receives the property list and header shape; its netlist member
-/// is moved into the return value.
-Netlist load_design(const std::string& path, const Options& opts, bool* ok,
-                    aiger::AigerDesign* aig = nullptr) {
-  *ok = true;
-  if (path.rfind("builtin:", 0) == 0) return load_builtin(path.substr(8), ok);
-  std::ifstream in(path, std::ios::binary);  // binary .aig is not line text
-  if (!in) {
-    std::fprintf(stderr, "rfn: cannot open %s\n", path.c_str());
-    *ok = false;
-    return Netlist{};
-  }
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (opts.get_bool("aiger", false) || ends_with(path, ".aag") ||
-      ends_with(path, ".aig")) {
-    aiger::AigerDesign local;
-    aiger::AigerDesign& d = aig ? *aig : local;
-    std::string error;
-    if (!aiger::read_aiger(buf.str(), &d, &error)) {
-      std::fprintf(stderr, "rfn: %s: %s\n", path.c_str(), error.c_str());
-      *ok = false;
-      return Netlist{};
-    }
-    return std::move(d.netlist);
-  }
-  if (ends_with(path, ".blif")) return read_blif(buf.str());
-  return rtlv::elaborate_verilog(buf.str(), opts.get("top", "")).netlist;
-}
-
-GateId find_signal(const Netlist& n, const std::string& name) {
-  GateId g = n.find(name);
-  if (g == kNullGate) g = n.output(name);
-  return g;
 }
 
 std::string sanitize_file_stem(const std::string& property) {
@@ -200,37 +148,6 @@ bool write_text_file(const std::string& path, const std::string& body) {
   if (out) out << body;
   if (!out) std::fprintf(stderr, "rfn: cannot write %s\n", path.c_str());
   return static_cast<bool>(out);
-}
-
-/// Builds + checks the witness for one concluded property and flattens the
-/// outcome into the rfn-trace-v2 certificate record. `cert_dir` non-empty
-/// writes the witness JSON to DIR/<property>.cert.json.
-CertificateArtifact certify_property(const Netlist& design, GateId bad,
-                                     const std::string& name, Verdict verdict,
-                                     const Trace& trace,
-                                     const std::vector<GateId>& final_registers,
-                                     const std::string& cert_dir,
-                                     CertificateRecord* rec, bool* io_ok) {
-  CertificateArtifact art = certify_with_witness(design, bad, name, verdict,
-                                                 trace, final_registers);
-  rec->property = name;
-  rec->kind = cert::cert_kind_name(art.certificate.kind);
-  rec->ok = art.checked;
-  rec->clauses = art.certificate.clauses.size();
-  rec->trace_cycles = art.certificate.trace.cycles();
-  rec->obligation = art.checked ? "" : (art.built ? art.obligation : "extraction");
-  rec->seconds = art.seconds;
-  if (art.built && !cert_dir.empty()) {
-    const std::string path = cert_dir + "/" + cert_file_name(name);
-    std::ofstream out(path);
-    if (out) {
-      out << cert::to_json(art.certificate);
-    } else {
-      std::fprintf(stderr, "rfn: cannot write %s\n", path.c_str());
-      *io_ok = false;
-    }
-  }
-  return art;
 }
 
 /// --prof-json epilogue: appends one final direct RSS sample (so the
@@ -267,125 +184,106 @@ bool report_invalid(const RfnOptions& rfn_opts) {
   return !errors.empty();
 }
 
-/// Parses one --props line: "SIGNAL [key=value...]". Returns false (with a
-/// message) on unknown signals, malformed overrides, or unknown keys.
-bool parse_props_line(const Netlist& design, const std::string& line,
-                      size_t lineno, PropertyRequest* out) {
-  std::stringstream ss(line);
-  std::string signal;
-  ss >> signal;
-  const GateId bad = find_signal(design, signal);
-  if (bad == kNullGate) {
-    std::fprintf(stderr, "rfn: props line %zu: no signal named '%s'\n", lineno,
-                 signal.c_str());
-    return false;
-  }
-  out->bad = bad;
-  std::string tok;
-  while (ss >> tok) {
-    const size_t eq = tok.find('=');
-    if (eq == std::string::npos) {
-      std::fprintf(stderr, "rfn: props line %zu: expected key=value, got '%s'\n",
-                   lineno, tok.c_str());
-      return false;
+/// Span/prof instrumentation around a run: the flags are epilogue artifacts,
+/// so both verify paths share the enable/disable/write bracketing.
+struct ProfScope {
+  std::string span_path, prof_json_path, prof_folded_path;
+  bool trace_spans = false;
+  int64_t pcpu0 = 0;
+
+  explicit ProfScope(const Options& opts) {
+    span_path = opts.get("trace-spans", "");
+    prof_json_path = opts.get("prof-json", "");
+    prof_folded_path = opts.get("prof-folded", "");
+    trace_spans = !span_path.empty() || !prof_folded_path.empty();
+    if (trace_spans) {
+      SpanTracer::global().enable();
+      SpanTracer::global().set_thread_name("main");
     }
-    const std::string key = tok.substr(0, eq);
-    const std::string value = tok.substr(eq + 1);
-    if (key == "name") {
-      out->name = value;
-    } else if (key == "time-limit") {
-      out->overrides.time_limit_s = std::stod(value);
-    } else if (key == "max-iterations") {
-      out->overrides.max_iterations = std::stoul(value);
-    } else if (key == "traces") {
-      out->overrides.traces_per_iteration = std::stoul(value);
-    } else if (key == "budget-ms") {
-      out->overrides.budget_ms = std::stod(value);
-    } else if (key == "budget-bdd-nodes") {
-      out->overrides.budget_bdd_nodes = std::stoll(value);
-    } else if (key == "budget-mem-mb") {
-      out->overrides.budget_mem_mb = std::stoll(value);
-    } else {
-      std::fprintf(stderr, "rfn: props line %zu: unknown key '%s'\n", lineno,
-                   key.c_str());
-      return false;
-    }
+    if (!prof_json_path.empty()) prof::RssLog::global().enable();
+    pcpu0 = prof::process_cpu_ns();
   }
-  return true;
-}
 
-int cmd_verify_batch(const Netlist& design, const Options& opts,
-                     std::vector<PropertyRequest> props,
-                     const RfnOptions& rfn_opts,
-                     const std::vector<aiger::AigerProperty>& aprops) {
-  SessionOptions sopt;
-  sopt.defaults = rfn_opts;
-  sopt.cluster_overlap = opts.get_double("cluster-overlap", 0.5);
-  sopt.max_cluster_size = static_cast<size_t>(opts.get_int("max-cluster", 4));
-  sopt.workers = static_cast<size_t>(opts.get_int("session-workers", 0));
-  sopt.batch_budget_ms = opts.get_double("batch-budget-ms", -1.0);
-  sopt.reuse = !opts.get_bool("no-reuse", false);
-
-  const std::string span_path = opts.get("trace-spans", "");
-  const std::string prof_json_path = opts.get("prof-json", "");
-  const std::string prof_folded_path = opts.get("prof-folded", "");
-  const bool trace_spans = !span_path.empty() || !prof_folded_path.empty();
-  if (trace_spans) {
-    SpanTracer::global().enable();
-    SpanTracer::global().set_thread_name("main");
+  double cpu_seconds() const {
+    return static_cast<double>(prof::process_cpu_ns() - pcpu0) * 1e-9;
   }
-  if (!prof_json_path.empty()) prof::RssLog::global().enable();
-  const int64_t pcpu0 = prof::process_cpu_ns();
 
-  const MetricsSnapshot baseline = MetricsRegistry::global().snapshot();
-  const Stopwatch watch;
-  VerifySession session(design, sopt);
-  const std::vector<PropertyResult> results = session.run(props);
-  const double seconds = watch.seconds();
-  const double proc_cpu_s =
-      static_cast<double>(prof::process_cpu_ns() - pcpu0) * 1e-9;
-
-  if (trace_spans) {
-    SpanTracer::global().disable();
-    if (!span_path.empty()) {
-      std::ofstream out(span_path);
-      if (!out) {
-        std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
-        return 2;
+  /// Writes the span/prof artifacts; call once after the run's threads have
+  /// joined (the span buffers are quiescent then). False on I/O errors.
+  bool finish(const MetricsSnapshot& baseline, double wall_s, double cpu_s,
+              size_t workers) {
+    if (trace_spans) {
+      SpanTracer::global().disable();
+      if (!span_path.empty()) {
+        std::ofstream out(span_path);
+        if (!out) {
+          std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
+          return false;
+        }
+        SpanTracer::global().write_chrome_json(out);
       }
-      SpanTracer::global().write_chrome_json(out);
+      if (!prof_folded_path.empty() &&
+          !write_prof_folded_file(prof_folded_path))
+        return false;
     }
-    if (!prof_folded_path.empty() && !write_prof_folded_file(prof_folded_path))
-      return 2;
+    if (!prof_json_path.empty() &&
+        !write_prof_json_file(prof_json_path, baseline, wall_s, cpu_s,
+                              workers))
+      return false;
+    return true;
   }
-  if (!prof_json_path.empty() &&
-      !write_prof_json_file(prof_json_path, baseline, seconds, proc_cpu_s,
-                            sopt.defaults.portfolio_workers))
-    return 2;
-  // --certify: every conclusive member verdict gains an rfn-cert-v1 witness
-  // (trace for VIOLATED, inductive invariant on the final abstraction for
-  // HOLDS) discharged through the independent SAT checker before the trace
-  // artifact is written, so the certificate records land in rfn-trace-v2.
-  // For clustered verdicts the shared run's final register set certifies the
-  // member property: the member's bad signal implies the disjunction root,
-  // so the abstraction that proved the disjunction unreachable covers the
-  // member too.
+};
+
+int cmd_verify_batch(const api::LoadedDesign& design, const Options& opts,
+                     api::VerifyRequest req) {
   const std::string cert_dir = opts.get("cert-dir", "");
-  const bool do_certify = opts.get_bool("certify", false) || !cert_dir.empty();
-  std::vector<CertificateRecord> cert_records;
-  bool certified_ok = true, cert_io_ok = true;
-  if (do_certify) {
-    if (!cert_dir.empty()) {
-      std::error_code ec;
-      std::filesystem::create_directories(cert_dir, ec);
+  req.certify = opts.get_bool("certify", false) || !cert_dir.empty();
+
+  // The trace file opens before the run so an unwritable path fails before
+  // minutes of engine work, not after.
+  const std::string trace_path = opts.get("trace-json", "");
+  std::ofstream trace_out;
+  if (!trace_path.empty()) {
+    trace_out.open(trace_path);
+    if (!trace_out) {
+      std::fprintf(stderr, "rfn: cannot write %s\n", trace_path.c_str());
+      return 2;
     }
-    for (const PropertyResult& r : results) {
-      if (r.verdict != Verdict::Holds && r.verdict != Verdict::Fails) continue;
-      CertificateRecord rec;
-      certify_property(design, r.bad, r.name, r.verdict, r.trace,
-                       r.stats.final_registers, cert_dir, &rec, &cert_io_ok);
-      if (!rec.ok) certified_ok = false;
-      cert_records.push_back(std::move(rec));
+  }
+  api::StreamTraceSink file_sink(trace_out);
+
+  ProfScope prof(opts);
+  api::RunOutput out;
+  std::string error;
+  if (!api::run_verify(design, req, trace_path.empty() ? nullptr : &file_sink,
+                       /*stream_properties=*/false, nullptr, &out, &error)) {
+    std::fprintf(stderr, "rfn: %s\n", error.c_str());
+    return 2;
+  }
+  if (!prof.finish(out.baseline, out.seconds, prof.cpu_seconds(),
+                   req.options.portfolio_workers))
+    return 2;
+
+  // --cert-dir: run_verify built and checked the witnesses (they are already
+  // in the rfn-trace-v2 records); writing them to disk is CLI business.
+  bool certified_ok = true, cert_io_ok = true;
+  if (req.certify && !cert_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cert_dir, ec);
+  }
+  for (size_t i = 0; i < out.cert_records.size(); ++i) {
+    const CertificateRecord& rec = out.cert_records[i];
+    if (!rec.ok) certified_ok = false;
+    const CertificateArtifact& art = out.cert_artifacts[i];
+    if (art.built && !cert_dir.empty()) {
+      const std::string path = cert_dir + "/" + cert_file_name(rec.property);
+      std::ofstream cert_out(path);
+      if (cert_out) {
+        cert_out << cert::to_json(art.certificate);
+      } else {
+        std::fprintf(stderr, "rfn: cannot write %s\n", path.c_str());
+        cert_io_ok = false;
+      }
     }
   }
 
@@ -397,14 +295,14 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
   if (!wit_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(wit_dir, ec);
-    for (size_t i = 0; i < results.size(); ++i) {
-      const PropertyResult& r = results[i];
-      const size_t idx = witness_index(aprops, r.name, i);
+    for (size_t i = 0; i < out.results.size(); ++i) {
+      const PropertyResult& r = out.results[i];
+      const size_t idx = witness_index(design.aiger_properties, r.name, i);
       std::string body;
       if (r.verdict == Verdict::Holds) {
         body = aiger::write_witness_holds(idx);
       } else if (r.verdict == Verdict::Fails) {
-        body = aiger::write_witness_fails(design, idx, r.trace);
+        body = aiger::write_witness_fails(design.netlist, idx, r.trace);
       } else {
         continue;
       }
@@ -414,23 +312,12 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
     }
   }
 
-  const std::string trace_path = opts.get("trace-json", "");
-  if (!trace_path.empty()) {
-    std::ofstream out(trace_path);
-    if (!out) {
-      std::fprintf(stderr, "rfn: cannot write %s\n", trace_path.c_str());
-      return 2;
-    }
-    write_batch_trace_json(out, results, session.clusters().size(), seconds,
-                           &baseline, do_certify ? &cert_records : nullptr);
-  }
-
-  std::printf("batch: %zu properties in %zu clusters, %.2f s\n", results.size(),
-              session.clusters().size(), seconds);
+  std::printf("batch: %zu properties in %zu clusters, %.2f s\n",
+              out.results.size(), out.clusters, out.seconds);
   std::printf("%-24s %-12s %7s %9s %5s %8s\n", "property", "verdict", "cluster",
               "clustered", "iters", "seconds");
   bool all_conclusive = true;
-  for (const PropertyResult& r : results) {
+  for (const PropertyResult& r : out.results) {
     std::printf("%-24s %-12s %7zu %9s %5zu %8.2f\n", r.name.c_str(),
                 r.verdict == Verdict::Holds         ? "HOLDS"
                 : r.verdict == Verdict::Fails       ? "VIOLATED"
@@ -441,7 +328,7 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
     if (r.verdict != Verdict::Holds && r.verdict != Verdict::Fails)
       all_conclusive = false;
   }
-  for (const CertificateRecord& rec : cert_records) {
+  for (const CertificateRecord& rec : out.cert_records) {
     if (rec.ok) {
       std::printf("certificate %-24s OK (%s)\n", rec.property.c_str(),
                   rec.kind.c_str());
@@ -452,104 +339,20 @@ int cmd_verify_batch(const Netlist& design, const Options& opts,
   }
   if (opts.get_bool("metrics", false))
     std::printf("metrics: %s\n",
-                MetricsRegistry::global().to_json(&baseline).dump(2).c_str());
+                MetricsRegistry::global().to_json(&out.baseline).dump(2).c_str());
   if (!cert_io_ok || !wit_io_ok) return 2;
   if (!certified_ok) return 3;
   return all_conclusive ? 0 : 1;
 }
 
-int cmd_verify(const Netlist& design, const Options& opts,
-               const std::vector<aiger::AigerProperty>& aprops) {
-  RfnOptions rfn_opts;
-  rfn_opts.time_limit_s = opts.get_double("time-limit", 300.0);
-  rfn_opts.traces_per_iteration = static_cast<size_t>(opts.get_int("traces", 1));
-  rfn_opts.approx_fallback = !opts.get_bool("no-approx", false);
-  rfn_opts.portfolio_workers = static_cast<size_t>(opts.get_int("workers", 0));
-  rfn_opts.budget_ms = opts.get_double("budget-ms", -1.0);
-  rfn_opts.budget_bdd_nodes = opts.get_int("budget-bdd-nodes", 0);
-  rfn_opts.budget_mem_mb = opts.get_int("budget-mem-mb", 0);
-  // --prof-json wants the RSS timeline: the watchdog monitor thread samples
-  // /proc/self/statm each poll even when no budget is set.
-  rfn_opts.sample_rss = !opts.get("prof-json", "").empty();
-  for (const std::string& list : opts.get_all("engine")) {
-    std::stringstream es(list);
-    std::string e;
-    while (std::getline(es, e, ','))
-      if (!e.empty()) rfn_opts.engines.push_back(e);
-  }
-  if (report_invalid(rfn_opts)) return 2;
-
-  // Collect the property set: every --bad plus every --props line. More
-  // than one property routes through a VerifySession.
-  std::vector<PropertyRequest> props;
-  for (const std::string& bad_name : opts.get_all("bad")) {
-    PropertyRequest p;
-    p.bad = find_signal(design, bad_name);
-    if (p.bad == kNullGate) {
-      std::fprintf(stderr, "rfn: no signal named '%s'\n", bad_name.c_str());
-      return 2;
-    }
-    // Keep the name the user asked for: two --bad outputs can resolve to
-    // same-named gates (the iu coverage aliases), and --cert-dir derives
-    // witness file names from the property name.
-    p.name = bad_name;
-    props.push_back(std::move(p));
-  }
-  const std::string props_path = opts.get("props", "");
-  if (!props_path.empty()) {
-    std::ifstream in(props_path);
-    if (!in) {
-      std::fprintf(stderr, "rfn: cannot open %s\n", props_path.c_str());
-      return 2;
-    }
-    std::string line;
-    for (size_t lineno = 1; std::getline(in, line); ++lineno) {
-      const size_t hash = line.find('#');
-      if (hash != std::string::npos) line.resize(hash);
-      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
-      PropertyRequest p;
-      if (!parse_props_line(design, line, lineno, &p)) return 2;
-      props.push_back(std::move(p));
-    }
-  }
-  // An AIGER design with no explicit selection verifies its whole property
-  // list (each bad output, or each output pre-1.9 style) as one batch.
-  if (props.empty() && !aprops.empty()) {
-    for (const aiger::AigerProperty& ap : aprops) {
-      PropertyRequest p;
-      p.name = ap.name;
-      p.bad = ap.signal;
-      props.push_back(std::move(p));
-    }
-  }
-  if (props.size() > 1 || opts.get_bool("batch", false)) {
-    if (props.empty()) {
-      // --batch with no property selection: the conventional default.
-      PropertyRequest p;
-      p.name = opts.get("bad", "bad");
-      p.bad = find_signal(design, p.name);
-      if (p.bad == kNullGate) {
-        std::fprintf(stderr, "rfn: no signal named '%s'\n", p.name.c_str());
-        return 2;
-      }
-      props.push_back(std::move(p));
-    }
-    return cmd_verify_batch(design, opts, std::move(props), rfn_opts, aprops);
-  }
-
-  const std::string bad_name =
-      props.empty() ? opts.get("bad", "bad")
-                    : (props.front().name.empty() ? opts.get("bad", "bad")
-                                                  : props.front().name);
-  const GateId bad =
-      props.empty() ? find_signal(design, bad_name) : props.front().bad;
-  if (bad == kNullGate) {
-    std::fprintf(stderr, "rfn: no signal named '%s'\n", bad_name.c_str());
-    return 2;
-  }
-  if (!props.empty() && props.front().overrides.any()) {
+int cmd_verify_single(const api::LoadedDesign& design, const Options& opts,
+                      const api::VerifyRequest& req, GateId bad,
+                      const std::string& bad_name) {
+  const Netlist& net = design.netlist;
+  RfnOptions rfn_opts = req.options;
+  if (!req.props.empty() && req.props.front().overrides.any()) {
     // A one-line --props file still honors its per-property overrides.
-    const PropertyRequest::Overrides& o = props.front().overrides;
+    const PropertyRequest::Overrides& o = req.props.front().overrides;
     if (o.time_limit_s) rfn_opts.time_limit_s = *o.time_limit_s;
     if (o.max_iterations) rfn_opts.max_iterations = *o.max_iterations;
     if (o.traces_per_iteration)
@@ -560,41 +363,10 @@ int cmd_verify(const Netlist& design, const Options& opts,
     if (report_invalid(rfn_opts)) return 2;
   }
 
-  const std::string span_path = opts.get("trace-spans", "");
-  const std::string prof_json_path = opts.get("prof-json", "");
-  const std::string prof_folded_path = opts.get("prof-folded", "");
-  const bool trace_spans = !span_path.empty() || !prof_folded_path.empty();
-  if (trace_spans) {
-    SpanTracer::global().enable();
-    SpanTracer::global().set_thread_name("main");
-  }
-  if (!prof_json_path.empty()) prof::RssLog::global().enable();
-  const int64_t pcpu0 = prof::process_cpu_ns();
-
-  RfnVerifier verifier(design, bad, rfn_opts);
-  const RfnResult result = verifier.run();
-  const double proc_cpu_s =
-      static_cast<double>(prof::process_cpu_ns() - pcpu0) * 1e-9;
-
-  if (trace_spans) {
-    // run() has joined every thread it started (races and watchdog), so the
-    // buffers are quiescent here.
-    SpanTracer::global().disable();
-    if (!span_path.empty()) {
-      std::ofstream out(span_path);
-      if (!out) {
-        std::fprintf(stderr, "rfn: cannot write %s\n", span_path.c_str());
-        return 2;
-      }
-      SpanTracer::global().write_chrome_json(out);
-    }
-    if (!prof_folded_path.empty() && !write_prof_folded_file(prof_folded_path))
-      return 2;
-  }
-  if (!prof_json_path.empty() &&
-      !write_prof_json_file(prof_json_path, result.metrics_baseline,
-                            result.seconds, proc_cpu_s,
-                            rfn_opts.portfolio_workers))
+  ProfScope prof(opts);
+  const RfnResult result = api::run_single(net, bad, rfn_opts);
+  if (!prof.finish(result.metrics_baseline, result.seconds, prof.cpu_seconds(),
+                   rfn_opts.portfolio_workers))
     return 2;
 
   const std::string trace_path = opts.get("trace-json", "");
@@ -619,7 +391,7 @@ int cmd_verify(const Netlist& design, const Options& opts,
                 static_cast<double>(result.budget_trip.rss_bytes) /
                     (1 << 20));
   std::printf("iterations: %zu, abstract model: %zu / %zu registers, %.2f s\n",
-              result.iterations, result.final_abstract_regs, design.num_regs(),
+              result.iterations, result.final_abstract_regs, net.num_regs(),
               result.seconds);
   if (!result.note.empty()) std::printf("note: %s\n", result.note.c_str());
   // Engine effort and race outcomes come from the metrics registry, so they
@@ -636,23 +408,23 @@ int cmd_verify(const Netlist& design, const Options& opts,
   if (result.verdict == Verdict::Fails) {
     std::printf("error trace: %zu cycles\n", result.error_trace.cycles());
     if (opts.get_bool("dump-trace", false))
-      std::fputs(trace_to_string(design, result.error_trace).c_str(), stdout);
+      std::fputs(trace_to_string(net, result.error_trace).c_str(), stdout);
   }
   const std::string aiger_wit = opts.get("aiger-witness", "");
   if (!aiger_wit.empty() &&
       (result.verdict == Verdict::Holds || result.verdict == Verdict::Fails)) {
-    const size_t idx = witness_index(aprops, bad_name, 0);
+    const size_t idx = witness_index(design.aiger_properties, bad_name, 0);
     const std::string body =
         result.verdict == Verdict::Holds
             ? aiger::write_witness_holds(idx)
-            : aiger::write_witness_fails(design, idx, result.error_trace);
+            : aiger::write_witness_fails(net, idx, result.error_trace);
     if (!write_text_file(aiger_wit, body)) return 2;
   }
   const std::string cert_out = opts.get("cert-out", "");
   if (opts.get_bool("certify", false) || !cert_out.empty()) {
-    const CertificateArtifact art = certify_with_witness(
-        design, bad, bad_name, result.verdict, result.error_trace,
-        verifier.abstract_registers());
+    const CertificateArtifact art =
+        certify_with_witness(net, bad, bad_name, result.verdict,
+                             result.error_trace, result.final_registers);
     std::string what = art.detail;
     if (!art.checked && art.built)
       what = "obligation " + art.obligation + ": " + what;
@@ -678,6 +450,112 @@ int cmd_verify(const Netlist& design, const Options& opts,
              : 1;
 }
 
+int cmd_verify(const api::LoadedDesign& design, const Options& opts) {
+  // Flags → api::VerifyRequest: the same struct a server request parses to.
+  api::VerifyRequest req;
+  req.options.time_limit_s = opts.get_double("time-limit", 300.0);
+  req.options.traces_per_iteration =
+      static_cast<size_t>(opts.get_int("traces", 1));
+  req.options.approx_fallback = !opts.get_bool("no-approx", false);
+  req.options.portfolio_workers = static_cast<size_t>(opts.get_int("workers", 0));
+  req.options.budget_ms = opts.get_double("budget-ms", -1.0);
+  req.options.budget_bdd_nodes = opts.get_int("budget-bdd-nodes", 0);
+  req.options.budget_mem_mb = opts.get_int("budget-mem-mb", 0);
+  // --prof-json wants the RSS timeline: the watchdog monitor thread samples
+  // /proc/self/statm each poll even when no budget is set.
+  req.options.sample_rss = !opts.get("prof-json", "").empty();
+  for (const std::string& list : opts.get_all("engine")) {
+    std::stringstream es(list);
+    std::string e;
+    while (std::getline(es, e, ','))
+      if (!e.empty()) req.options.engines.push_back(e);
+  }
+  if (report_invalid(req.options)) return 2;
+  req.cluster_overlap = opts.get_double("cluster-overlap", 0.5);
+  req.max_cluster_size = static_cast<size_t>(opts.get_int("max-cluster", 4));
+  req.session_workers =
+      static_cast<size_t>(opts.get_int("session-workers", 0));
+  req.batch_budget_ms = opts.get_double("batch-budget-ms", -1.0);
+  req.reuse = !opts.get_bool("no-reuse", false);
+  req.batch = opts.get_bool("batch", false);
+
+  // Collect the property set: every --bad plus every --props line. More
+  // than one property routes through a VerifySession. Signals resolve
+  // inside api::run_verify (api::resolve_properties) with the spec's origin
+  // prefixed to any unknown-signal diagnostic.
+  for (const std::string& bad_name : opts.get_all("bad")) {
+    api::PropertySpec spec;
+    spec.signal = bad_name;
+    // Keep the name the user asked for: two --bad outputs can resolve to
+    // same-named gates (the iu coverage aliases), and --cert-dir derives
+    // witness file names from the property name.
+    spec.name = bad_name;
+    req.props.push_back(std::move(spec));
+  }
+  const std::string props_path = opts.get("props", "");
+  if (!props_path.empty()) {
+    std::ifstream in(props_path);
+    if (!in) {
+      std::fprintf(stderr, "rfn: cannot open %s\n", props_path.c_str());
+      return 2;
+    }
+    std::string line;
+    for (size_t lineno = 1; std::getline(in, line); ++lineno) {
+      const size_t hash = line.find('#');
+      if (hash != std::string::npos) line.resize(hash);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      api::PropertySpec spec;
+      std::string perr;
+      if (!api::parse_property_spec(line, &spec, &perr)) {
+        std::fprintf(stderr, "rfn: props line %zu: %s\n", lineno, perr.c_str());
+        return 2;
+      }
+      spec.origin = "props line " + std::to_string(lineno);
+      req.props.push_back(std::move(spec));
+    }
+  }
+  // An AIGER design with no explicit selection verifies its whole property
+  // list (each bad output, or each output pre-1.9 style) as one batch.
+  const size_t effective =
+      req.props.empty() ? design.aiger_properties.size() : req.props.size();
+  if (effective > 1 || req.batch)
+    return cmd_verify_batch(design, opts, std::move(req));
+
+  // Single-run path (rfn-trace-v1): exactly what `rfn verify` without a
+  // batch always did. The property label and its gate resolve separately —
+  // an unnamed one-line --props file keeps the conventional "bad" label
+  // while verifying the signal the line named, and an AIGER property's
+  // label ("b0") is not a netlist signal name at all.
+  GateId bad = kNullGate;
+  std::string bad_name;
+  if (!req.props.empty()) {
+    const api::PropertySpec& spec = req.props.front();
+    bad = api::find_signal(design.netlist, spec.signal);
+    if (bad == kNullGate) {
+      if (spec.origin.empty()) {
+        std::fprintf(stderr, "rfn: no signal named '%s'\n",
+                     spec.signal.c_str());
+      } else {
+        std::fprintf(stderr, "rfn: %s: no signal named '%s'\n",
+                     spec.origin.c_str(), spec.signal.c_str());
+      }
+      return 2;
+    }
+    bad_name = spec.name.empty() ? opts.get("bad", "bad") : spec.name;
+  } else if (!design.aiger_properties.empty()) {
+    bad = design.aiger_properties.front().signal;
+    bad_name = design.aiger_properties.front().name;
+  } else {
+    bad_name = opts.get("bad", "bad");
+    bad = api::find_signal(design.netlist, bad_name);
+    if (bad == kNullGate) {
+      std::fprintf(stderr, "rfn: no signal named '%s'\n", bad_name.c_str());
+      return 2;
+    }
+  }
+  return cmd_verify_single(design, opts, req, bad, bad_name);
+}
+
 int cmd_coverage(const Netlist& design, const Options& opts) {
   const std::string list = opts.get("signals", "");
   if (list.empty()) {
@@ -688,7 +566,7 @@ int cmd_coverage(const Netlist& design, const Options& opts) {
   std::stringstream ss(list);
   std::string name;
   while (std::getline(ss, name, ',')) {
-    const GateId g = find_signal(design, name);
+    const GateId g = api::find_signal(design, name);
     if (g == kNullGate || !design.is_reg(g)) {
       std::fprintf(stderr, "rfn: coverage signal '%s' is not a register\n",
                    name.c_str());
@@ -725,27 +603,35 @@ int main(int argc, char** argv) {
   const std::string& command = opts.positionals()[0];
   const std::string& path = opts.positionals()[1];
 
-  bool ok = false;
-  aiger::AigerDesign aig;
-  const Netlist design = load_design(path, opts, &ok, &aig);
-  if (!ok) return 2;
-  std::printf("loaded %s: %s\n", path.c_str(), stats_line(design).c_str());
-  if (!aig.properties.empty())
+  api::DesignRef ref;
+  ref.path = path;
+  ref.top = opts.get("top", "");
+  if (opts.get_bool("aiger", false)) ref.format = "aiger";
+  api::LoadedDesign design;
+  std::string error;
+  if (!api::load_design(ref, &design, &error)) {
+    std::fprintf(stderr, "rfn: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("loaded %s: %s\n", path.c_str(),
+              stats_line(design.netlist).c_str());
+  if (!design.aiger_properties.empty())
     std::printf("aiger: %zu propert%s (%zu bad, %zu outputs, %zu constraints%s)\n",
-                aig.properties.size(),
-                aig.properties.size() == 1 ? "y" : "ies", aig.num_bad,
-                aig.num_outputs, aig.num_constraints,
-                aig.constraints_folded ? ", folded" : "");
+                design.aiger_properties.size(),
+                design.aiger_properties.size() == 1 ? "y" : "ies",
+                design.aiger_bad, design.aiger_outputs,
+                design.aiger_constraints,
+                design.aiger_constraints_folded ? ", folded" : "");
 
-  if (command == "verify") return cmd_verify(design, opts, aig.properties);
-  if (command == "coverage") return cmd_coverage(design, opts);
+  if (command == "verify") return cmd_verify(design, opts);
+  if (command == "coverage") return cmd_coverage(design.netlist, opts);
   if (command == "translate") {
     const std::string format = opts.get("format", "blif");
     std::string body;
     if (format == "blif") {
-      body = write_blif(design, "rfn_translated");
+      body = write_blif(design.netlist, "rfn_translated");
     } else if (format == "aag" || format == "aig") {
-      body = aiger::write_aiger(design, format == "aig");
+      body = aiger::write_aiger(design.netlist, format == "aig");
     } else {
       std::fprintf(stderr, "rfn: unknown translate format '%s'\n",
                    format.c_str());
@@ -760,8 +646,8 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "stats") {
-    for (const auto& [name, g] : design.outputs()) {
-      const auto regs = coi_registers(design, {g});
+    for (const auto& [name, g] : design.netlist.outputs()) {
+      const auto regs = coi_registers(design.netlist, {g});
       std::printf("output %-24s COI: %zu registers\n", name.c_str(), regs.size());
     }
     return 0;

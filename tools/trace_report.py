@@ -32,6 +32,19 @@ additionally carry per-file resource columns (peak_rss_bytes, cpu_ms),
 which the validator requires to be nonnegative numbers; v1 baselines
 remain readable for the CI gate's back-compat.
 
+With `--serve` the input is a server session log: the JSON Lines a client
+(or the CI replay script) captured from one rfn_serve connection —
+streamed rfn-trace-v2 records interleaved with rfn-resp-v1 response
+lines. Requests on one connection are served sequentially, so the log
+groups as [records..., response] repeated. The validator checks every
+response's version tag and shape, that each ok verify response's preceding
+record group is a well-formed rfn-trace-v2 stream (reusing the --batch
+validator) whose property counts and verdicts match the response document,
+that rejected requests name a known reject_reason and streamed nothing,
+that the warm_cache block is complete with monotone cumulative counters,
+then prints a per-request table and a machine-readable `warm_hits=` line
+the CI serve job greps to prove cross-request state reuse happened.
+
 With `--prof` the input is an rfn-prof-v1 resource profile from
 `rfn verify ... --prof-json FILE`. The validator checks the format tag,
 that every per-engine CPU figure is nonnegative and their sum is
@@ -75,6 +88,11 @@ CORPUS_STATUSES = ("ok", "resource-out", "error")
 CORPUS_PROPERTY_KEYS = ("name", "verdict", "certified")
 # v2 adds per-file resource columns recorded from each file's prof artifact.
 CORPUS_V2_FILE_KEYS = ("peak_rss_bytes", "cpu_ms")
+RESPONSE_VERSION = "rfn-resp-v1"
+REJECT_REASONS = ("queue-full", "time-oversubscribed", "mem-oversubscribed",
+                  "bdd-oversubscribed", "load-failed", "bad-request")
+WARM_CACHE_KEYS = ("enabled", "hit", "hits", "misses", "evictions",
+                   "entries", "bytes", "order_warm", "sat_pool_entries")
 PROF_SCHEMA = "rfn-prof-v1"
 # Sum of per-engine thread-CPU can exceed race wall time only through
 # parallelism: bound it by wall x workers, with headroom for clock
@@ -382,6 +400,139 @@ def validate_prof(doc):
     return doc
 
 
+def validate_serve(lines):
+    """Checks one connection's session log (parsed JSONL objects); returns
+    a list of (response, record_group) pairs in arrival order."""
+    requests = []
+    pending = []
+    for i, rec in enumerate(lines):
+        if not isinstance(rec, dict):
+            fail(f"line {i + 1}: not a JSON object")
+        if rec.get("type") == "response":
+            requests.append((rec, pending))
+            pending = []
+        else:
+            pending.append(rec)
+    if pending:
+        fail(f"{len(pending)} trailing record(s) after the last response — "
+             f"the log was cut mid-request")
+    if not requests:
+        fail("no response lines in the session log")
+
+    last_hits = last_misses = 0
+    for idx, (resp, records) in enumerate(requests):
+        where = f"response {idx} (id {resp.get('id')!r})"
+        if resp.get("version") != RESPONSE_VERSION:
+            fail(f"{where}: version is {resp.get('version')!r}, expected "
+                 f"{RESPONSE_VERSION!r}")
+        ok = resp.get("ok")
+        if not isinstance(ok, bool):
+            fail(f"{where}: 'ok' missing or not a boolean")
+        if not ok:
+            reason = resp.get("reject_reason")
+            if reason not in REJECT_REASONS:
+                fail(f"{where}: rejected with unknown reason {reason!r} "
+                     f"(valid: {', '.join(REJECT_REASONS)})")
+            if not resp.get("error"):
+                fail(f"{where}: rejected without a diagnostic 'error'")
+            if records:
+                fail(f"{where}: rejected request streamed {len(records)} "
+                     f"record(s) — rejects must answer before engine work")
+            continue
+        if "verdicts" not in resp:
+            # A control response (ping / shutdown): nothing streams.
+            if records:
+                fail(f"{where}: control response preceded by "
+                     f"{len(records)} stray record(s)")
+            continue
+        # An ok verify response: the preceding group must be a well-formed
+        # rfn-trace-v2 stream whose counts agree with the response document.
+        props, _, _ = validate_batch(records)
+        if resp.get("properties") != len(props):
+            fail(f"{where}: response says {resp.get('properties')} "
+                 f"properties, the stream carried {len(props)}")
+        counts = collections.Counter(r["verdict"] for r in props)
+        declared = resp.get("verdicts", {})
+        for v in VERDICTS:
+            if declared.get(v, 0) != counts[v]:
+                fail(f"{where}: response says {declared.get(v, 0)} x {v!r}, "
+                     f"streamed records say {counts[v]}")
+        if not resp.get("design_hash"):
+            fail(f"{where}: ok verify response without a design_hash")
+        warm = resp.get("warm_cache")
+        if not isinstance(warm, dict):
+            fail(f"{where}: warm_cache missing or not an object")
+        for key in WARM_CACHE_KEYS:
+            if key not in warm:
+                fail(f"{where}: warm_cache lacks {key!r}")
+        for key in ("hits", "misses", "evictions", "entries", "bytes",
+                    "sat_pool_entries"):
+            if not _nonneg_number(warm[key]):
+                fail(f"{where}: warm_cache.{key} not a nonnegative number")
+        if warm["hit"] and not warm["enabled"]:
+            fail(f"{where}: warm_cache reports a hit while disabled")
+        # The hit/miss counters are cumulative over the server's lifetime:
+        # they can only grow as the session progresses.
+        if warm["enabled"]:
+            if warm["hits"] < last_hits or warm["misses"] < last_misses:
+                fail(f"{where}: cumulative warm counters went backwards "
+                     f"(hits {last_hits}->{warm['hits']}, misses "
+                     f"{last_misses}->{warm['misses']})")
+            last_hits, last_misses = warm["hits"], warm["misses"]
+    return requests
+
+
+def report_serve(path):
+    """Validates and summarizes an rfn_serve session log."""
+    lines = []
+    try:
+        with open(path) as fh:
+            for lineno, line in enumerate(fh, 1):
+                if not line.strip():
+                    continue
+                try:
+                    lines.append(json.loads(line))
+                except json.JSONDecodeError as err:
+                    fail(f"line {lineno}: not JSON ({err})")
+    except OSError as err:
+        print(f"trace_report: cannot read {path}: {err}", file=sys.stderr)
+        return 1
+    requests = validate_serve(lines)
+
+    n_ok = n_rejected = n_control = 0
+    warm_hits = 0
+    print("== serve session ==")
+    print(f"{'id':<12} {'kind':<8} {'ok':<3} {'verdicts/reason':<24} "
+          f"{'warm':<5} {'seconds':>8}")
+    for resp, _records in requests:
+        rid = str(resp.get("id", ""))
+        if not resp["ok"]:
+            n_rejected += 1
+            print(f"{rid:<12} {'reject':<8} {'no':<3} "
+                  f"{resp['reject_reason']:<24} {'':<5} {'':>8}")
+            continue
+        if "verdicts" not in resp:
+            n_control += 1
+            print(f"{rid:<12} {'control':<8} {'yes':<3} {'':<24} {'':<5} "
+                  f"{'':>8}")
+            continue
+        n_ok += 1
+        declared = resp["verdicts"]
+        verdicts = " ".join(f"{v}={declared.get(v, 0)}" for v in VERDICTS
+                            if declared.get(v, 0))
+        warm = resp["warm_cache"]
+        warm_hits = max(warm_hits, warm["hits"])
+        print(f"{rid:<12} {'verify':<8} {'yes':<3} {verdicts:<24} "
+              f"{('hit' if warm['hit'] else 'miss'):<5} "
+              f"{resp.get('seconds', 0.0):>8.3f}")
+    print(f"\nrequests={len(requests)} verified={n_ok} "
+          f"rejected={n_rejected} control={n_control}")
+    # Machine-readable: the CI serve job greps this to prove repeat requests
+    # actually reused warm state.
+    print(f"warm_hits={warm_hits}")
+    return 0
+
+
 def report_prof(path):
     """Validates and summarizes an rfn-prof-v1 resource profile."""
     try:
@@ -673,6 +824,33 @@ def synthetic_corpus():
     }
 
 
+def synthetic_serve_log():
+    """A minimal well-formed rfn_serve session log for --self-check: a ping,
+    two verify requests (cold miss then warm hit), and a reject."""
+    def verify_response(rid, hit, hits, misses):
+        return {"type": "response", "version": RESPONSE_VERSION, "id": rid,
+                "ok": True, "design_hash": "deadbeef", "properties": 2,
+                "clusters": 1,
+                "verdicts": {"T": 1, "F": 1, "?": 0, "resource-out": 0},
+                "warm_cache": {"enabled": True, "hit": hit, "hits": hits,
+                               "misses": misses, "evictions": 0,
+                               "entries": 1, "bytes": 15232,
+                               "order_warm": hit, "sat_pool_entries": 0},
+                "seconds": 0.5}
+
+    records = synthetic_batch_trace()
+    log = [{"type": "response", "version": RESPONSE_VERSION, "id": "p",
+            "ok": True}]
+    log += records
+    log.append(verify_response("r1", hit=False, hits=0, misses=1))
+    log += records
+    log.append(verify_response("r2", hit=True, hits=1, misses=1))
+    log.append({"type": "response", "version": RESPONSE_VERSION, "id": "big",
+                "ok": False, "reject_reason": "mem-oversubscribed",
+                "error": "0 MB outstanding + 200 MB demanded > 100 MB window"})
+    return log
+
+
 def synthetic_prof():
     """A minimal well-formed rfn-prof-v1 profile for --self-check."""
     return {
@@ -875,6 +1053,61 @@ def self_check():
         corrupt_prof(lambda d: d.update(workers="two"),
                      "non-integer workers"),
     ) if f]
+
+    good_serve = synthetic_serve_log()
+    try:
+        validate_serve(good_serve)
+    except TraceError as err:
+        print(f"self-check: valid serve session log rejected: {err}",
+              file=sys.stderr)
+        return 1
+
+    def corrupt_serve(mutate, expect):
+        doc = json.loads(json.dumps(good_serve))
+        mutate(doc)
+        try:
+            validate_serve(doc)
+        except TraceError:
+            return None
+        return f"self-check: {expect} not detected"
+
+    # Indices into the synthetic log: 0 = ping response, 1..5 = first
+    # record group, 6 = cold verify response, 12 = warm verify response,
+    # 13 = reject response.
+    failures += [f for f in (
+        corrupt_serve(lambda d: d[6].update(version="rfn-resp-v0"),
+                      "wrong response version"),
+        corrupt_serve(lambda d: d.pop(6),  # records with no response
+                      "record group folded into the next request"),
+        corrupt_serve(lambda d: d[6]["verdicts"].update(T=2),
+                      "response/stream verdict mismatch"),
+        corrupt_serve(lambda d: d[6].update(properties=3),
+                      "response/stream property-count mismatch"),
+        corrupt_serve(lambda d: d[6].pop("design_hash"),
+                      "ok verify response without design_hash"),
+        corrupt_serve(lambda d: d[6]["warm_cache"].pop("order_warm"),
+                      "incomplete warm_cache block"),
+        corrupt_serve(lambda d: d[6]["warm_cache"].update(hits=5),
+                      "cumulative warm counters going backwards"),
+        corrupt_serve(lambda d: d[12]["warm_cache"].update(enabled=False),
+                      "warm hit while disabled"),
+        corrupt_serve(lambda d: d[13].update(reject_reason="tuesday"),
+                      "unknown reject reason"),
+        corrupt_serve(lambda d: d[13].pop("error"),
+                      "reject without a diagnostic"),
+        corrupt_serve(lambda d: d.insert(13, dict(d[1])),
+                      "records streamed before a reject"),
+        corrupt_serve(lambda d: d.append(dict(d[1])),
+                      "trailing records after the last response"),
+    ) if f]
+    # Dropping the reject response leaves a still-valid (shorter) log.
+    shorter = json.loads(json.dumps(good_serve))[:-1]
+    try:
+        validate_serve(shorter)
+    except TraceError as err:
+        failures.append(f"self-check: truncated-but-complete serve log "
+                        f"rejected: {err}")
+
     for f in failures:
         print(f, file=sys.stderr)
     if not failures:
@@ -897,12 +1130,22 @@ def main():
     ap.add_argument("--prof", action="store_true",
                     help="TRACE is an rfn-prof-v1 resource profile from "
                          "rfn verify --prof-json")
+    ap.add_argument("--serve", action="store_true",
+                    help="TRACE is an rfn_serve session log (streamed "
+                         "records + rfn-resp-v1 lines from one connection)")
     args = ap.parse_args()
 
     if args.self_check:
         return self_check()
     if not args.trace:
         ap.error("a trace file is required (or --self-check)")
+    if args.serve:
+        try:
+            return report_serve(args.trace)
+        except TraceError as err:
+            print(f"trace_report: invalid serve session log: {err}",
+                  file=sys.stderr)
+            return 1
     if args.prof:
         try:
             return report_prof(args.trace)
