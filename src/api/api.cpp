@@ -749,6 +749,11 @@ bool run_verify(const LoadedDesign& design, const VerifyRequest& req,
       sink->record(property_json(r));
     };
 
+  // The batch summary diffs the process-global registry against this
+  // baseline. With one run per process (the CLI) the diff is exactly this
+  // run's work; under rfn_serve, concurrent requests overlap the window,
+  // so server-mode summary metrics are process-cumulative, not per-request
+  // (documented in DESIGN.md §15).
   out->baseline = MetricsRegistry::global().snapshot();
   const Stopwatch watch;
   VerifySession session(design.netlist, sopt);

@@ -82,6 +82,7 @@ bool FairQueue::pop_fairest(Job* out) {
   best->jobs.pop_front();
   best->arrivals.pop_front();
   ++best->started;
+  ++best->running;
   --pending_;
   return true;
 }
@@ -92,11 +93,23 @@ void FairQueue::finish(const Job& job) {
   outstanding_ms_ -= job.demand_ms;
   outstanding_mem_mb_ -= job.demand_mem_mb;
   outstanding_bdd_nodes_ -= job.demand_bdd_nodes;
+  // Drop fully idle tenant records: the name is client-controlled, so
+  // keeping every name ever seen would grow without bound.
+  auto it = tenants_.find(job.tenant);
+  if (it == tenants_.end()) return;
+  Tenant& t = it->second;
+  if (t.running > 0) --t.running;
+  if (t.jobs.empty() && t.running == 0) tenants_.erase(it);
 }
 
 size_t FairQueue::pending() const {
   std::lock_guard<std::mutex> lk(mu_);
   return pending_;
+}
+
+size_t FairQueue::tenant_records() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return tenants_.size();
 }
 
 }  // namespace rfn::serve

@@ -16,6 +16,11 @@
 // order on ties), so a tenant that floods the queue cannot starve one that
 // sends a single request. The queue does not run jobs — rfn_serve drains it
 // from util/executor workers, one drain token per admitted job.
+//
+// Tenant names are client-controlled, so a tenant's record is erased once
+// it has no queued and no running jobs — the map is bounded by the
+// admission capacity, not by the number of distinct names ever seen. The
+// cost is that a fully idle tenant's fair-share history resets.
 
 #include <cstdint>
 #include <deque>
@@ -76,14 +81,20 @@ class FairQueue {
   /// Admitted-but-unstarted jobs.
   size_t pending() const;
 
+  /// Live tenant records (those with queued or running jobs) — bounded by
+  /// the admission capacity, not by distinct names ever seen.
+  size_t tenant_records() const;
+
  private:
   struct Tenant {
     std::deque<Job> jobs;
     /// Arrival tick of each queued job (parallel to `jobs`), for tie-breaks.
     std::deque<uint64_t> arrivals;
-    /// Jobs handed to workers over the queue's lifetime (running + done) —
-    /// the fair-share charge.
+    /// Jobs handed to workers while this record has existed — the
+    /// fair-share charge.
     size_t started = 0;
+    /// Popped-but-unfinished jobs; the record lives while this is nonzero.
+    size_t running = 0;
   };
 
   const AdmissionLimits limits_;

@@ -99,6 +99,7 @@ void Server::accept_loop(int listen_fd) {
       }
       continue;
     }
+    reap_connections();
     auto conn = std::make_shared<Conn>();
     conn->fd = fd;
     std::lock_guard<std::mutex> lk(conns_mu_);
@@ -107,7 +108,26 @@ void Server::accept_loop(int listen_fd) {
       return;
     }
     conns_.push_back(conn);
-    conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+    conn->thread = std::thread([this, conn] { connection_loop(conn); });
+  }
+}
+
+void Server::reap_connections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move((*it)->thread));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // done is the thread's last act, so these joins return immediately.
+  for (std::thread& t : finished) {
+    if (t.joinable()) t.join();
   }
 }
 
@@ -151,9 +171,12 @@ void Server::connection_loop(std::shared_ptr<Conn> conn) {
     }
     buf.erase(0, start);
   }
-  std::lock_guard<std::mutex> lk(conn->mu);
-  ::close(conn->fd);
-  conn->fd = -1;
+  {
+    std::lock_guard<std::mutex> lk(conn->mu);
+    ::close(conn->fd);
+    conn->fd = -1;
+  }
+  conn->done.store(true);
 }
 
 void Server::handle_request(Conn& conn, const json::Value& doc) {
@@ -184,15 +207,12 @@ void Server::handle_request(Conn& conn, const json::Value& doc) {
                    .dump());
     return;
   }
-  auto design = std::make_shared<api::LoadedDesign>();
-  if (!api::load_design(req->design, design.get(), &err)) {
-    write_line(conn, api::VerifyResponse::reject(req->id, "load-failed", err)
-                         .to_json()
-                         .dump());
-    return;
-  }
-  // Admission, then one drain token per admitted job. The connection thread
-  // blocks on the job's completion — the NEXT line is read only after this
+  // Admission runs on the DECLARED demands before the design is loaded:
+  // parsing/elaborating up to 64 MB of inline design text is real CPU, and
+  // a rejected request must cost microseconds, not an elaboration. The
+  // admitted job loads on the worker ("load-failed" is written from
+  // there). One drain token per admitted job; the connection thread blocks
+  // on the job's completion — the NEXT line is read only after this
   // request's response went out, which keeps the record stream unambiguous.
   auto done = std::make_shared<std::promise<void>>();
   Job job;
@@ -203,8 +223,17 @@ void Server::handle_request(Conn& conn, const json::Value& doc) {
       req->options.budget_mem_mb > 0 ? req->options.budget_mem_mb : 0;
   job.demand_bdd_nodes =
       req->options.budget_bdd_nodes > 0 ? req->options.budget_bdd_nodes : 0;
-  job.run = [this, &conn, req, design, done] {
-    process(conn, *req, std::move(*design));
+  job.run = [this, &conn, req, done] {
+    api::LoadedDesign design;
+    std::string lerr;
+    if (!api::load_design(req->design, &design, &lerr)) {
+      write_line(conn,
+                 api::VerifyResponse::reject(req->id, "load-failed", lerr)
+                     .to_json()
+                     .dump());
+    } else {
+      process(conn, *req, std::move(design));
+    }
     done->set_value();
   };
   std::string reason, detail;
@@ -310,11 +339,9 @@ void Server::stop() {
   }
   accept_threads_.clear();
   std::vector<std::shared_ptr<Conn>> conns;
-  std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lk(conns_mu_);
-    conns = conns_;
-    threads.swap(conn_threads_);
+    conns.swap(conns_);
   }
   for (auto& c : conns) {
     std::lock_guard<std::mutex> lk(c->mu);
@@ -322,9 +349,10 @@ void Server::stop() {
   }
   // Joining a connection thread waits out its in-flight job (the executor
   // stays alive until the destructor), so no job outlives the server state
-  // it touches.
-  for (auto& t : threads) {
-    if (t.joinable()) t.join();
+  // it touches. The accept loops are already joined, so no reaper races
+  // these joins.
+  for (auto& c : conns) {
+    if (c->thread.joinable()) c->thread.join();
   }
   if (unix_fd_ >= 0) {
     ::close(unix_fd_);

@@ -23,14 +23,23 @@
 // drained by a util/executor worker pool, so two tenants on two connections
 // share the machine fair-share while each sees an ordered stream.
 //
-// Request lifecycle on the connection thread: parse (strict rfn-req-v1;
-// "bad-request" on any codec error) → load the design ("load-failed") →
-// admission (FairQueue's named rejects) → enqueue + drain token. The worker
-// then exchanges the fresh load for a WarmStateCache lease — the second
-// request on a design hash runs on the cached netlist instance with its
-// warm SAT pool / BDD order / subcircuit memo — runs api::run_verify with a
-// streaming sink, stamps the warm-cache effects into the response, and
-// writes the final line.
+// Request lifecycle: the connection thread parses (strict rfn-req-v1;
+// "bad-request" on any codec error) and runs admission on the DECLARED
+// demands (FairQueue's named rejects) → enqueue + drain token. Loading the
+// design — up to 64 MB of inline Verilog/AIGER to parse and elaborate —
+// happens on the worker, after admission, so a rejected or flooding
+// request costs microseconds, never an elaboration ("load-failed" is
+// written by the worker). The worker then exchanges the fresh load for a
+// WarmStateCache lease — the second request on a design hash runs on the
+// cached netlist instance with its warm SAT pool / BDD order / subcircuit
+// memo — runs api::run_verify with a streaming sink, stamps the warm-cache
+// effects into the response, and writes the final line.
+//
+// Caveat: the batch-summary's metrics block diffs the process-global
+// MetricsRegistry against a per-request baseline, so with concurrent
+// requests it includes other in-flight requests' engine work. In server
+// mode those metrics are process-cumulative over the request's window, not
+// per-request; the CLI's single-run reading only holds for a lone request.
 
 #include <atomic>
 #include <condition_variable>
@@ -99,9 +108,17 @@ class Server {
     /// Guards fd writes and the close; the reader thread recvs unlocked
     /// (it is the only closer, and only after its last recv).
     std::mutex mu;
+    /// The serving thread, joined by reap_connections() or stop().
+    std::thread thread;
+    /// Set by the serving thread as its last act, making the Conn reapable.
+    std::atomic<bool> done{false};
   };
 
   void accept_loop(int listen_fd);
+  /// Joins finished connection threads and drops their Conns; called from
+  /// the accept loops so a long-lived daemon does not accumulate one thread
+  /// handle per connection ever served.
+  void reap_connections();
   void connection_loop(std::shared_ptr<Conn> conn);
   /// One request line, already parsed. Writes every reply itself.
   void handle_request(Conn& conn, const json::Value& doc);
@@ -128,8 +145,8 @@ class Server {
 
   std::vector<std::thread> accept_threads_;
   std::mutex conns_mu_;
+  /// Live (unreaped) connections; each owns its serving thread.
   std::vector<std::shared_ptr<Conn>> conns_;
-  std::vector<std::thread> conn_threads_;
 };
 
 }  // namespace rfn::serve

@@ -53,13 +53,22 @@ void WarmStateCache::release(Lease& lease) {
   Entry* e = lease.entry_;
   if (e == nullptr) return;
   lease = Lease{};
-  e->run_mu.unlock();
+  // The recharge walks the entry's ReuseCache containers (SatBmcPool,
+  // SubcircuitMemo), so it must happen while run_mu still serializes the
+  // entry: the moment run_mu drops, a waiter in acquire() may start a run
+  // that mutates those same containers. Taking mu_ while holding run_mu is
+  // deadlock-free because acquire() never holds mu_ while waiting on
+  // run_mu.
+  const int64_t now = entry_bytes(*e);
   std::lock_guard<std::mutex> lk(mu_);
-  int64_t now = entry_bytes(*e);
   bytes_ += now - e->bytes;
   e->bytes = now;
   e->last_used = ++tick_;
   --e->uses;
+  // run_mu must drop before eviction: with uses now possibly 0 this entry
+  // is a legal victim, and erasing it would destroy a held mutex. No new
+  // waiter can appear meanwhile — finding the entry requires mu_.
+  e->run_mu.unlock();
   evict_lru_locked();
 }
 

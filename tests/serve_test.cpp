@@ -107,6 +107,32 @@ TEST(FairQueue, RejectsWithNamedReasons) {
   EXPECT_TRUE(q5.try_push(job("c", 1.0), &reason, &detail));
 }
 
+TEST(FairQueue, DropsIdleTenantRecords) {
+  serve::FairQueue q(serve::AdmissionLimits{});
+  std::string reason, detail;
+  // Tenant names are client-controlled: a client cycling through unique
+  // names must not grow the map for the daemon's lifetime.
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        q.try_push(job("tenant-" + std::to_string(i)), &reason, &detail));
+    serve::Job j;
+    ASSERT_TRUE(q.pop_fairest(&j));
+    q.finish(j);
+    EXPECT_EQ(q.tenant_records(), 0u);
+  }
+  // A tenant with a queued or running job keeps its record.
+  ASSERT_TRUE(q.try_push(job("t"), &reason, &detail));
+  ASSERT_TRUE(q.try_push(job("t"), &reason, &detail));
+  serve::Job j;
+  ASSERT_TRUE(q.pop_fairest(&j));
+  q.finish(j);
+  EXPECT_EQ(q.tenant_records(), 1u);  // one job still queued
+  ASSERT_TRUE(q.pop_fairest(&j));
+  EXPECT_EQ(q.tenant_records(), 1u);  // popped but not finished: running
+  q.finish(j);
+  EXPECT_EQ(q.tenant_records(), 0u);
+}
+
 TEST(FairQueue, DemandFallsBackToTimeLimitThenDefault) {
   api::VerifyRequest req;
   req.options.budget_ms = 250.0;
@@ -551,6 +577,37 @@ TEST(ServeEndToEnd, CliAndServerAgreeThroughSharedApi) {
   };
   EXPECT_EQ(summary_of(cli_sink.records()), summary_of(served_records));
   EXPECT_FALSE(summary_of(served_records).empty());
+}
+
+TEST(ServeEndToEnd, ConcurrentRequestsOnOneDesignHash) {
+  serve::ServerOptions opt;
+  opt.tcp_port = 0;
+  opt.workers = 2;
+  serve::Server server(opt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client a(server.tcp_port()), b(server.tcp_port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  // Both requests are in flight before either response is read, so both
+  // workers contend for the same warm entry: one lease runs while the
+  // other waits on the entry's run mutex, and each release recharges the
+  // byte accounting as the waiter takes over — the hand-off the cache must
+  // survive (watched under TSan).
+  for (int round = 0; round < 3; ++round) {
+    const std::string r = std::to_string(round);
+    a.send_line(fifo_request("a" + r, "a").dump());
+    b.send_line(fifo_request("b" + r, "b").dump());
+    json::Value ra = a.read_response();
+    json::Value rb = b.read_response();
+    ASSERT_TRUE(ra.find("ok")->as_bool()) << ra.dump();
+    ASSERT_TRUE(rb.find("ok")->as_bool()) << rb.dump();
+  }
+  const serve::WarmStats ws = server.warm_stats();
+  EXPECT_EQ(ws.misses, 1u);  // one design hash: everything after is warm
+  EXPECT_EQ(ws.hits, 5u);
+  server.stop();
 }
 
 TEST(ServeEndToEnd, TwoTenantsOnTwoConnections) {
