@@ -197,10 +197,26 @@ BENCHMARK(BM_PostImage);
 // deterministic capacity counter the CI regression gate keys on.
 void export_portfolio_counters(benchmark::State& state) {
   const MetricsSnapshot s = MetricsRegistry::global().snapshot();
-  state.counters["wins_bdd"] = s.value("portfolio.wins.bdd-reach");
-  state.counters["wins_atpg"] = s.value("portfolio.wins.seq-atpg");
-  state.counters["wins_sim"] = s.value("portfolio.wins.rand-sim");
-  state.counters["wins_sat"] = s.value("portfolio.wins.sat-bmc");
+  // Win counters are exported generically from the portfolio.wins.* keys,
+  // so a new engine (job name) surfaces as wins_<short> with no bench
+  // change. The known job names map to their historical short names; an
+  // unknown job falls back to its raw name with '-' normalized to '_'.
+  static const std::map<std::string, std::string> kShortNames = {
+      {"bdd-reach", "bdd"}, {"seq-atpg", "atpg"}, {"rand-sim", "sim"},
+      {"sat-bmc", "sat"},   {"pdr", "pdr"},
+  };
+  for (const auto& [k, v] : kShortNames)
+    state.counters["wins_" + v] = s.value("portfolio.wins." + k);
+  constexpr std::string_view kWinsPrefix = "portfolio.wins.";
+  for (const auto& [key, value] : s.values) {
+    if (key.rfind(kWinsPrefix, 0) != 0) continue;
+    std::string job = key.substr(kWinsPrefix.size());
+    const auto it = kShortNames.find(job);
+    if (it == kShortNames.end()) {
+      for (char& c : job) c = c == '-' ? '_' : c;
+      state.counters["wins_" + job] = value;
+    }
+  }
   state.counters["jobs_cancelled"] = s.value("portfolio.jobs_cancelled");
   state.counters["bdd_peak_nodes"] = s.value("bdd.peak_live_nodes.max");
   // Byte-exact arena peaks (see util/prof and DESIGN.md "Resource
@@ -308,6 +324,32 @@ void BM_SessionBatchFifo(benchmark::State& state) {
   export_portfolio_counters(state);
 }
 BENCHMARK(BM_SessionBatchFifo)->Unit(benchmark::kMillisecond);
+
+// Full RFN runs with the race lineup pinned to IC3/PDR alone: the clause-
+// learning prover carries both the abstract probe and the concrete check,
+// proving psh_full unboundedly with no BDD fixpoint. Every race has one
+// racer, so wins_pdr counts both races per iteration — the counter
+// bench_gate.py requires to stay >= 1.
+void BM_PortfolioPdrFifo(benchmark::State& state) {
+  const rfn::designs::FifoDesign fifo =
+      rfn::designs::make_fifo({.addr_bits = 3, .data_bits = 2});
+  MetricsRegistry::global().reset();
+  for (auto _ : state) {
+    RfnOptions opt;
+    opt.engines = {"pdr"};
+    opt.portfolio_workers = static_cast<size_t>(state.range(0));
+    RfnVerifier v(fifo.netlist, fifo.bad_push_full, opt);
+    const RfnResult res = v.run();
+    if (res.verdict != Verdict::Holds) state.SkipWithError("psh_full must hold");
+    if (!res.pdr_invariant.present)
+      state.SkipWithError("pdr verdict must carry its inductive frame");
+  }
+  const MetricsSnapshot s = MetricsRegistry::global().snapshot();
+  state.counters["pdr_obligations"] = s.value("pdr.obligations");
+  state.counters["pdr_clauses"] = s.value("pdr.clauses");
+  export_portfolio_counters(state);
+}
+BENCHMARK(BM_PortfolioPdrFifo)->Arg(0)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // The SAT BMC engine in isolation: one fresh incremental instance per
 // iteration answering the concrete bounded question on the FIFO psh_full

@@ -200,6 +200,9 @@ json::Value VerifyRequest::to_json() const {
     opt.set("engines", std::move(engines));
   }
   opt.set("approx-fallback", options.approx_fallback);
+  opt.set("proof-shrink", options.proof_shrink);
+  opt.set("pdr-max-frames", options.race_pdr_max_frames);
+  opt.set("pdr-time", options.race_pdr_time_s);
   opt.set("budget-ms", options.budget_ms);
   opt.set("budget-bdd-nodes", options.budget_bdd_nodes);
   opt.set("budget-mem-mb", options.budget_mem_mb);
@@ -313,6 +316,12 @@ bool parse_options(const json::Value& v, RfnOptions* out, std::string* error) {
       }
     } else if (key == "approx-fallback") {
       if (!want_bool(val, ctx, &out->approx_fallback, error)) return false;
+    } else if (key == "proof-shrink") {
+      if (!want_bool(val, ctx, &out->proof_shrink, error)) return false;
+    } else if (key == "pdr-max-frames") {
+      if (!want_size(val, ctx, &out->race_pdr_max_frames, error)) return false;
+    } else if (key == "pdr-time") {
+      if (!want_double(val, ctx, &out->race_pdr_time_s, error)) return false;
     } else if (key == "budget-ms") {
       if (!want_double(val, ctx, &out->budget_ms, error)) return false;
     } else if (key == "budget-bdd-nodes") {
@@ -708,9 +717,11 @@ CertificateArtifact certify_property(const Netlist& design, GateId bad,
                                      const std::string& name, Verdict verdict,
                                      const Trace& trace,
                                      const std::vector<GateId>& final_registers,
-                                     CertificateRecord* rec) {
+                                     CertificateRecord* rec,
+                                     const PdrInvariantWitness* pdr_invariant) {
   CertificateArtifact art =
-      certify_with_witness(design, bad, name, verdict, trace, final_registers);
+      certify_with_witness(design, bad, name, verdict, trace, final_registers,
+                           {}, pdr_invariant);
   rec->property = name;
   rec->kind = cert::cert_kind_name(art.certificate.kind);
   rec->ok = art.checked;
@@ -771,7 +782,10 @@ bool run_verify(const LoadedDesign& design, const VerifyRequest& req,
       CertificateRecord rec;
       CertificateArtifact art =
           certify_property(design.netlist, r.bad, r.name, r.verdict, r.trace,
-                           r.stats.final_registers, &rec);
+                           r.stats.final_registers, &rec,
+                           r.stats.pdr_invariant.present
+                               ? &r.stats.pdr_invariant
+                               : nullptr);
       out->cert_records.push_back(std::move(rec));
       out->cert_artifacts.push_back(std::move(art));
     }

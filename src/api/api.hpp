@@ -211,12 +211,16 @@ bool resolve_properties(const Netlist& n,
 
 /// Builds + checks the witness for one concluded property and flattens the
 /// outcome into the rfn-trace-v2 certificate record (no file I/O — callers
-/// owning a --cert-dir write the artifact themselves).
+/// owning a --cert-dir write the artifact themselves). When the run's PDR
+/// engine concluded Holds, pass its invariant (RfnResult::pdr_invariant) so
+/// the witness comes from the inductive frame instead of a recomputed BDD
+/// fixpoint — the frame's register scope may not support one.
 CertificateArtifact certify_property(const Netlist& design, GateId bad,
                                      const std::string& name, Verdict verdict,
                                      const Trace& trace,
                                      const std::vector<GateId>& final_registers,
-                                     CertificateRecord* rec);
+                                     CertificateRecord* rec,
+                                     const PdrInvariantWitness* pdr_invariant = nullptr);
 
 /// Everything run_verify produced, for callers that post-process beyond the
 /// response (the CLI's table, witness export, cert-dir writing).

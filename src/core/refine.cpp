@@ -195,4 +195,26 @@ std::vector<GateId> identify_crucial_registers(const Netlist& m,
   return added;
 }
 
+size_t shrink_abstraction(std::vector<GateId>* included,
+                          const std::vector<GateId>& core_registers,
+                          std::vector<bool>* sticky) {
+  RFN_CHECK(included != nullptr && sticky != nullptr,
+            "shrink_abstraction needs an included set and a sticky map");
+  size_t dropped = 0;
+  auto out = included->begin();
+  for (GateId r : *included) {
+    const bool keep =
+        (r < sticky->size() && (*sticky)[r]) ||
+        std::binary_search(core_registers.begin(), core_registers.end(), r);
+    if (keep) {
+      *out++ = r;
+    } else {
+      if (r < sticky->size()) (*sticky)[r] = true;
+      ++dropped;
+    }
+  }
+  included->erase(out, included->end());
+  return dropped;
+}
+
 }  // namespace rfn

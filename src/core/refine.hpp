@@ -65,6 +65,21 @@ std::vector<GateId> identify_crucial_registers(const Netlist& m,
                                                const RefineOptions& opt = {},
                                                RefineStats* stats = nullptr);
 
+/// Proof-driven shrink (the Eén/Mishchenko/Amla counterpart to grow): drop
+/// from `included` (sorted) every register that is neither in
+/// `core_registers` (sorted; the registers a bounded-UNSAT refutation's
+/// assumption core needed) nor marked in `sticky`. Dropped registers are
+/// marked in `sticky` so a register refinement later re-adds can never be
+/// dropped again — the termination guarantee for the grow/shrink
+/// alternation. `included` stays sorted. Returns the number dropped.
+///
+/// Soundness: the abstract check over-approximates for EVERY included set
+/// and concrete checks always run on the full design, so shrinking changes
+/// which abstractions the loop visits, never what a verdict means.
+size_t shrink_abstraction(std::vector<GateId>* included,
+                          const std::vector<GateId>& core_registers,
+                          std::vector<bool>* sticky);
+
 /// Helper shared with phase 2: is the abstract error trace still satisfiable
 /// on the abstract model over `regs`? Maps the trace into the subcircuit,
 /// adds the property target at the last cycle, and runs sequential ATPG.

@@ -16,7 +16,7 @@ std::vector<std::string> RfnOptions::validate() const {
   std::vector<std::string> errors;
   // Single source of truth for the portfolio's engine names; the rejection
   // message spells out the whole valid set so a typo is self-correcting.
-  static const char* const kEngines[] = {"bdd", "atpg", "sim", "sat"};
+  static const char* const kEngines[] = {"bdd", "atpg", "sim", "sat", "pdr"};
   static const std::string kEngineList = [] {
     std::string list;
     for (const char* name : kEngines) {
@@ -34,6 +34,10 @@ std::vector<std::string> RfnOptions::validate() const {
   }
   if (race_sat_max_depth == 0)
     errors.push_back("race_sat_max_depth must be >= 1");
+  if (race_pdr_max_frames == 0)
+    errors.push_back("race_pdr_max_frames must be >= 1");
+  if (race_pdr_time_s < 0.0)
+    errors.push_back("race_pdr_time_s must be >= 0");
   if (max_iterations == 0)
     errors.push_back("max_iterations must be >= 1");
   if (traces_per_iteration == 0)

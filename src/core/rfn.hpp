@@ -72,22 +72,42 @@ struct RfnOptions {
   /// engines (BDD fixpoint, guided ATPG) keep their own limits.
   double race_probe_time_s = 2.0;
   /// Engines entering the Step-2 / Step-3 races. Empty = all of
-  /// {"bdd", "atpg", "sim", "sat"}; a non-empty list must be a subset of
-  /// those names (validate() rejects anything else). "bdd" is the only
-  /// engine that can prove Holds, so a list without it restricts the loop
+  /// {"bdd", "atpg", "sim", "sat", "pdr"}; a non-empty list must be a
+  /// subset of those names (validate() rejects anything else). Only "bdd"
+  /// and "pdr" can prove Holds, so a list with neither restricts the loop
   /// to falsification: a run that finds no error trace ends Unknown.
   std::vector<std::string> engines;
   /// Iterative-deepening bound for the SAT BMC engine's abstract probe
   /// (Step 2). The Step-3 concrete check is bounded by the abstract trace
   /// length instead, where bounded UNSAT is conclusive.
   size_t race_sat_max_depth = 48;
+  /// Frame bound for the IC3/PDR engine in both races. PDR is complete —
+  /// given enough frames it always converges — so this is purely a resource
+  /// valve against designs whose inductive proofs are deep.
+  size_t race_pdr_max_frames = 128;
+  /// Wall budget (seconds) per race for the PDR engine (0 = unlimited).
+  /// Unlike the probe engines, PDR can conclude Holds, but an unlimited PDR
+  /// job in an otherwise-winnerless race would stall the loop, so it gets
+  /// its own limit rather than race_probe_time_s.
+  double race_pdr_time_s = 10.0;
   /// Feed the registers named by Step-3 bounded-UNSAT assumption cores to
   /// Step-4 refinement as crucial-register hints. Hints only — they reorder
   /// which candidates greedy minimization tries first, never what a verdict
   /// means — so this is a performance switch, not a soundness one.
   bool sat_core_hints = true;
+  /// Proof-based abstraction shrinking (Eén/Mishchenko/Amla): after a
+  /// Step-3 bounded-UNSAT concrete check, drop included registers that the
+  /// proof's assumption core never touched, alternating counterexample-
+  /// driven grow with proof-driven shrink. Sound for any included set — the
+  /// abstract check over-approximates and concrete checks always run on the
+  /// full design — so shrinking can change iteration counts and the final
+  /// register set but never a verdict. Registers from the initial
+  /// abstraction and registers re-added after a previous shrink (sticky)
+  /// are never dropped, which guarantees loop progress.
+  bool proof_shrink = false;
 
-  /// True when `name` ("bdd", "atpg", "sim", "sat") participates in races.
+  /// True when `name` ("bdd", "atpg", "sim", "sat", "pdr") participates in
+  /// races.
   bool engine_enabled(const char* name) const;
   /// External cancellation of the whole run: polled at iteration boundaries
   /// and chained into every engine race.
@@ -145,6 +165,15 @@ struct RfnIteration {
   uint64_t sat_propagations = 0;
   size_t sat_depth = 0;
   size_t sat_core_size = 0;
+  /// IC3/PDR activity this iteration (zeros when the engine is disabled):
+  /// totals across this iteration's abstract + concrete runs, and the
+  /// highest frame either run opened.
+  uint64_t pdr_obligations = 0;
+  uint64_t pdr_clauses = 0;
+  size_t pdr_frames = 0;
+  /// Registers dropped by proof-based shrink this iteration (0 when
+  /// proof_shrink is off or no bounded-UNSAT proof was available).
+  size_t shrunk_registers = 0;
   /// Wall time of the Step-2 / Step-3 engine races, and the thread-CPU time
   /// their jobs burned (winner, losers and cancelled alike; see
   /// RaceResult::cpu_seconds).
@@ -162,6 +191,17 @@ struct BudgetTrip {
   double at_seconds = 0.0;
   int64_t bdd_nodes = 0;   // live nodes at the trip (node-budget trips)
   int64_t rss_bytes = 0;   // process RSS at the trip (0 when not sampled)
+};
+
+/// Inductive invariant carried out of a PDR Holds so certification can emit
+/// an rfn-cert-v1 witness without recomputing a BDD fixpoint (the PDR frame
+/// may hold over a register scope no BDD traversal was ever run on).
+/// `registers` is sorted ascending; `clauses` already use the rfn-cert-v1
+/// convention: literal ±(index into `registers` + 1).
+struct PdrInvariantWitness {
+  bool present = false;
+  std::vector<GateId> registers;
+  std::vector<std::vector<int32_t>> clauses;
 };
 
 struct RfnResult {
@@ -187,6 +227,9 @@ struct RfnResult {
   /// several runs share the process.
   MetricsSnapshot metrics_baseline;
   uint64_t metrics_epoch = 0;
+  /// Set when a PDR run concluded the verdict Holds: the inductive frame
+  /// certification should turn into the witness (see PdrInvariantWitness).
+  PdrInvariantWitness pdr_invariant;
 };
 
 /// Single-property compatibility wrapper over the session engine

@@ -11,9 +11,11 @@
 #include "bdd/bdd.hpp"
 #include "core/concretize.hpp"
 #include "core/portfolio.hpp"
+#include "core/refine.hpp"
 #include "mc/approx_reach.hpp"
 #include "mc/image.hpp"
 #include "netlist/analysis.hpp"
+#include "pdr/pdr.hpp"
 #include "sim/sim3.hpp"
 #include "util/executor.hpp"
 #include "util/log.hpp"
@@ -147,6 +149,17 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     }
   }
 
+  // Proof-based shrink bookkeeping (opt.proof_shrink): registers of the
+  // initial (seeded) abstraction are never dropped, and a register dropped
+  // once becomes sticky if refinement ever re-adds it — shrink_abstraction
+  // marks drops in this same bitmap, so the grow/shrink alternation cannot
+  // oscillate on any single register.
+  std::vector<bool> shrink_sticky;
+  if (opt.proof_shrink) {
+    shrink_sticky.assign(m.size(), false);
+    for (GateId r : included) shrink_sticky[r] = true;
+  }
+
   const auto note_crucial = [&hooks](const std::vector<GateId>& regs) {
     if (hooks.crucial_out == nullptr) return;
     const std::unordered_set<GateId> seen(hooks.crucial_out->begin(),
@@ -159,12 +172,14 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
   // exact fixpoint (Step 2) and the approximate fallback; "atpg" gates the
   // sequential-ATPG probe and guided concretization; "sim" gates both
   // random-simulation probes; "sat" gates the incremental BMC engine in both
-  // races. Only "bdd" can prove Holds, and only "atpg"/"sim"/"sat" can
-  // conclude Fails — a list without either side narrows what the loop can
-  // ever answer.
+  // races; "pdr" gates the IC3 engine in both races. "bdd" and "pdr" can
+  // prove Holds (pdr in either race — an unbounded Step-3 Holds is a
+  // concrete proof), and "atpg"/"sim"/"sat"/"pdr" can conclude Fails — a
+  // list without either side narrows what the loop can ever answer.
   const bool use_bdd = opt.engine_enabled("bdd");
   const bool use_atpg = opt.engine_enabled("atpg");
   const bool use_sim = opt.engine_enabled("sim");
+  const bool use_pdr = opt.engine_enabled("pdr");
   std::unique_ptr<SatBmc> sat_owned;
   SatBmc* sat_bmc = nullptr;
   if (opt.engine_enabled("sat")) {
@@ -245,10 +260,11 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     mgr.set_node_budget(opt.reach.max_live_nodes);
     if (use_bdd) img.emplace(*enc);
 
-    // SAT results live above finish_iteration so the per-iteration record
-    // can harvest them on every exit path; the stat snapshot turns the
-    // shared incremental solver's cumulative counters into deltas.
+    // SAT and PDR results live above finish_iteration so the per-iteration
+    // record can harvest them on every exit path; the stat snapshot turns
+    // the shared incremental solver's cumulative counters into deltas.
     SatBmcResult sat_probe, sat_conc;
+    PdrResult pdr_probe, pdr_conc;
     const sat::SolverStats sat_before =
         sat_bmc != nullptr ? sat_bmc->solver_stats() : sat::SolverStats{};
 
@@ -271,6 +287,12 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
         done.sat_core_size = sat_conc.status == AtpgStatus::Unsat
                                  ? sat_conc.core_registers.size()
                                  : 0;
+      }
+      if (use_pdr) {
+        done.pdr_obligations =
+            pdr_probe.stats.obligations + pdr_conc.stats.obligations;
+        done.pdr_clauses = pdr_probe.stats.clauses + pdr_conc.stats.clauses;
+        done.pdr_frames = std::max(pdr_probe.stats.frames, pdr_conc.stats.frames);
       }
       done.seconds = iter_watch.seconds();
       MetricsRegistry& reg = MetricsRegistry::global();
@@ -307,6 +329,16 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
         opt.time_limit_s >= 0.0
             ? std::min(opt.race_probe_time_s, deadline.remaining_seconds())
             : opt.race_probe_time_s;
+    // PDR's race budget: unlike the probes it can conclude Holds, but an
+    // unlimited PDR job in an otherwise-winnerless race would stall the
+    // loop, so it runs under its own wall limit (0 = unlimited).
+    const double pdr_race_s = opt.race_pdr_time_s > 0.0 ? opt.race_pdr_time_s : -1.0;
+    const double pdr_budget =
+        opt.time_limit_s >= 0.0
+            ? (pdr_race_s < 0.0
+                   ? deadline.remaining_seconds()
+                   : std::min(pdr_race_s, deadline.remaining_seconds()))
+            : pdr_race_s;
 
     // Up to four engines race the abstract obligation. BDD reachability is
     // the only one that can *prove*; the sequential-ATPG, random-simulation
@@ -317,7 +349,7 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     // SAT instance by the sat-bmc job; the other probes touch only the
     // immutable netlist. Jobs carry engine tags because the lineup depends
     // on opt.engines — winner indices alone say nothing.
-    enum class Eng { Bdd, Atpg, Sim, Sat };
+    enum class Eng { Bdd, Atpg, Sim, Sat, Pdr };
     ReachResult reach;
     SeqAtpgResult atpg_probe;
     Trace sim_probe;
@@ -372,6 +404,22 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
                       }});
       tags.push_back(Eng::Sat);
     }
+    if (use_pdr) {
+      // Same pseudo-input semantics again, IC3-style: the engine runs on the
+      // original design with only `included` as state, so a Holds here is an
+      // UNBOUNDED proof of the abstract obligation — the only non-BDD engine
+      // that can win this race in the Proved direction. A Cex is a real
+      // abstract error trace, already decoded into original-design ids.
+      jobs.push_back({"pdr", pdr_budget, [&](const CancelToken& token) {
+                        Pdr engine(m, bad, included);
+                        PdrOptions po;
+                        po.max_frames = opt.race_pdr_max_frames;
+                        pdr_probe = engine.run(po, &token);
+                        return pdr_probe.status == PdrStatus::Holds ||
+                               pdr_probe.status == PdrStatus::Cex;
+                      }});
+      tags.push_back(Eng::Pdr);
+    }
     const RaceResult abs_race = portfolio.race(jobs, cancel);
     it.abstract_engine = abs_race.winner_name;
     it.abstract_race_seconds = abs_race.seconds;
@@ -401,16 +449,34 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
         result.note = "hybrid trace engine exhausted candidates";
         break;
       }
+    } else if (abs_race.conclusive && tags[abs_race.winner] == Eng::Pdr &&
+               pdr_probe.status == PdrStatus::Holds) {
+      // PDR converged on the abstract obligation: the inductive frame is an
+      // unbounded proof, and subcircuit over-approximation lifts it to the
+      // original design. The frame travels out as the certification witness
+      // — a BDD fixpoint over this register scope may never have run.
+      it.reach_status = ReachStatus::Proved;
+      if (use_bdd && opt.save_var_order) saved_order = save_order(mgr, *enc, sub);
+      result.pdr_invariant.present = true;
+      result.pdr_invariant.registers = pdr_probe.scope;
+      result.pdr_invariant.clauses = pdr_probe.clauses;
+      finish_iteration(it);
+      result.verdict = Verdict::Holds;
+      RFN_INFO("iter %zu: pdr proved the abstract model (frames=%zu)", iter,
+               pdr_probe.stats.frames);
+      break;
     } else if (abs_race.conclusive) {
       // A probe engine found an abstract error trace while the fixpoint was
       // still running: the trace is a real trace of the abstract model, so
       // the obligation is BadReachable without any rings.
       it.reach_status = ReachStatus::BadReachable;
       const Eng w = tags[abs_race.winner];
-      if (w == Eng::Sat) {
-        // SAT traces are decoded straight into original-design ids (cut
-        // registers in the input cubes), so they skip trace_to_old below.
-        traces.push_back(std::move(sat_probe.trace));
+      if (w == Eng::Sat || w == Eng::Pdr) {
+        // SAT and PDR traces are decoded straight into original-design ids
+        // (cut registers in the input cubes), so they skip trace_to_old
+        // below.
+        traces.push_back(w == Eng::Sat ? std::move(sat_probe.trace)
+                                       : std::move(pdr_probe.trace));
       } else {
         traces_n.push_back(w == Eng::Atpg ? atpg_probe.trace : sim_probe);
       }
@@ -513,6 +579,22 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
                        }});
       ctags.push_back(Eng::Sat);
     }
+    if (use_pdr) {
+      // Unbounded concrete check: with every register included, PDR's
+      // verdict is conclusive both ways — Cex is a real error trace, and
+      // Holds is an inductive proof on the FULL design, stronger than the
+      // bounded refutations beside it: it ends the whole loop, not just
+      // this trace.
+      cjobs.push_back({"pdr", pdr_budget, [&](const CancelToken& token) {
+                         Pdr engine(m, bad, all_regs);
+                         PdrOptions po;
+                         po.max_frames = opt.race_pdr_max_frames;
+                         pdr_conc = engine.run(po, &token);
+                         return pdr_conc.status == PdrStatus::Holds ||
+                                pdr_conc.status == PdrStatus::Cex;
+                       }});
+      ctags.push_back(Eng::Pdr);
+    }
     RaceResult conc_race;
     if (!cjobs.empty()) conc_race = portfolio.race(cjobs, cancel);
     it.concretize_engine = conc_race.winner_name;
@@ -537,6 +619,26 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
           break;
         }
         // Unsat: spurious; fall through to refinement with the core hints.
+      }
+      if (w == Eng::Pdr) {
+        if (pdr_conc.status == PdrStatus::Cex) {
+          it.concretize_status = AtpgStatus::Sat;
+          finish_iteration(it);
+          result.verdict = Verdict::Fails;
+          result.error_trace = pdr_conc.trace;
+          break;
+        }
+        // Holds: an unbounded proof on the full design — the property holds
+        // outright, no matter what the abstract trace suggested.
+        it.concretize_status = AtpgStatus::Unsat;
+        result.pdr_invariant.present = true;
+        result.pdr_invariant.registers = pdr_conc.scope;
+        result.pdr_invariant.clauses = pdr_conc.clauses;
+        finish_iteration(it);
+        result.verdict = Verdict::Holds;
+        RFN_INFO("iter %zu: pdr proved the full design (frames=%zu)", iter,
+                 pdr_conc.stats.frames);
+        break;
       }
     }
     if (!conc_race.conclusive || ctags[conc_race.winner] == Eng::Atpg) {
@@ -571,6 +673,24 @@ RfnResult run_property(const Netlist& m, GateId bad, const RfnOptions& opt,
     }
     const std::vector<GateId> crucial = identify_crucial_registers(
         m, roots, bad, included, abs_trace, refine_opt, &it.refine);
+    // Proof-driven shrink (Eén/Mishchenko/Amla): the Step-3 bounded-UNSAT
+    // refutation names the registers it needed in its assumption core;
+    // included registers outside that core contributed nothing to refuting
+    // this trace, so drop them before growing with the crucial set. Sound
+    // for any included set — the abstract check over-approximates for every
+    // scope and concrete checks always run on the full design — so this can
+    // change which abstractions the loop visits, never a verdict.
+    if (opt.proof_shrink && sat_conc.status == AtpgStatus::Unsat) {
+      it.shrunk_registers = shrink_abstraction(
+          &included, sat_conc.core_registers, &shrink_sticky);
+      if (it.shrunk_registers > 0) {
+        MetricsRegistry::global()
+            .counter("rfn.shrink_registers")
+            .add(it.shrunk_registers);
+        RFN_INFO("iter %zu: proof shrink dropped %zu registers (now %zu)",
+                 iter, it.shrunk_registers, included.size());
+      }
+    }
     finish_iteration(it);
     if (crucial.empty()) {
       result.note = "refinement produced no crucial registers";

@@ -57,6 +57,14 @@ json::Value iteration_json(size_t index, const RfnIteration& it) {
   sat.set("core_size", it.sat_core_size);
   o.set("sat", std::move(sat));
 
+  // IC3/PDR activity (abstract + concrete runs combined); all-zero when the
+  // engine is disabled.
+  Value pdr = Value::object();
+  pdr.set("obligations", it.pdr_obligations);
+  pdr.set("clauses", it.pdr_clauses);
+  pdr.set("frames", it.pdr_frames);
+  o.set("pdr", std::move(pdr));
+
   Value refine = Value::object();
   refine.set("conflict_candidates", it.refine.conflict_candidates);
   refine.set("fallback_candidates", it.refine.fallback_candidates);
@@ -66,6 +74,7 @@ json::Value iteration_json(size_t index, const RfnIteration& it) {
   refine.set("final_count", it.refine.final_count);
   refine.set("atpg_calls", it.refine.atpg_calls);
   refine.set("trace_invalidated", it.refine.trace_invalidated);
+  refine.set("shrunk_registers", it.shrunk_registers);
   o.set("refine", std::move(refine));
 
   // Portfolio outcome per race: the winning engine ("" = inconclusive) and

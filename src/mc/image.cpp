@@ -55,9 +55,11 @@ ImageComputer::ImageComputer(Encoder& enc, const ImageOptions& opt) : enc_(&enc)
 Bdd ImageComputer::post_image(const Bdd& states) {
   if (aborted_ || states.is_null()) return Bdd();
   Span span("bdd.image");
-  // Registry reference cached once: image steps run in tight fixpoint loops.
-  static Counter& post_images = MetricsRegistry::global().counter("mc.post_images");
-  post_images.add(1);
+  // Resolved per call, not cached in a static: a static would pin whichever
+  // registry the first call's thread had bound, leaking one request's
+  // counters into another under rfn_serve's per-request MetricsScope. The
+  // find is one mutex + map lookup per image step — noise next to the step.
+  MetricsRegistry::global().counter("mc.post_images").add(1);
   BddMgr& mgr = enc_->mgr();
   // Early-quantification schedule: each state/input variable is eliminated
   // at the last partition whose support mentions it.
@@ -88,8 +90,8 @@ Bdd ImageComputer::post_image(const Bdd& states) {
 Bdd ImageComputer::pre_image_with_inputs(const Bdd& target) {
   if (aborted_ || target.is_null()) return Bdd();
   Span span("bdd.preimage");
-  static Counter& pre_images = MetricsRegistry::global().counter("mc.pre_images");
-  pre_images.add(1);
+  // Per call, not a static cache — see post_image.
+  MetricsRegistry::global().counter("mc.pre_images").add(1);
   BddMgr& mgr = enc_->mgr();
   Bdd acc = mgr.rename(target, rename_state_to_next_);
   // Each partition's next vars occur only in that partition (and in acc),

@@ -1,0 +1,523 @@
+#include "pdr/pdr.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+
+#include "netlist/analysis.hpp"
+#include "util/log.hpp"
+#include "util/metrics.hpp"
+#include "util/stopwatch.hpp"
+#include "util/trace.hpp"
+
+namespace rfn {
+
+using sat::Lit;
+
+const char* to_string(PdrStatus s) {
+  switch (s) {
+    case PdrStatus::Holds: return "holds";
+    case PdrStatus::Cex: return "cex";
+    case PdrStatus::FrameLimit: return "frame-limit";
+    case PdrStatus::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+Pdr::Pdr(const Netlist& m, GateId bad, std::vector<GateId> included)
+    : m_(&m), bad_(bad), included_(std::move(included)) {
+  RFN_CHECK(bad_ < m_->size(), "PDR bad signal out of range");
+  RFN_CHECK(std::is_sorted(included_.begin(), included_.end()),
+            "PDR included register set must be sorted");
+}
+
+Lit Pdr::fresh() { return Lit::make(solver_.new_var()); }
+
+Lit Pdr::const_lit(bool value) {
+  if (true_lit_ == sat::kUndefLit) {
+    true_lit_ = fresh();
+    solver_.add_clause({true_lit_});
+  }
+  return value ? true_lit_ : ~true_lit_;
+}
+
+void Pdr::encode() {
+  // Cone: everything bad depends on combinationally, plus — through every
+  // *included* register — that register's data cone (its next-state
+  // function). Registers outside `included` stop the traversal: they are
+  // free pseudo-inputs, exactly the abstraction's semantics.
+  std::vector<bool> cone(m_->size(), false);
+  std::vector<GateId> work{bad_};
+  cone[bad_] = true;
+  while (!work.empty()) {
+    const GateId g = work.back();
+    work.pop_back();
+    if (m_->type(g) == GateType::Reg) {
+      if (!std::binary_search(included_.begin(), included_.end(), g)) continue;
+      const GateId d = m_->reg_data(g);
+      if (!cone[d]) {
+        cone[d] = true;
+        work.push_back(d);
+      }
+      continue;
+    }
+    for (const GateId fi : m_->fanins(g)) {
+      if (!cone[fi]) {
+        cone[fi] = true;
+        work.push_back(fi);
+      }
+    }
+  }
+
+  for (const GateId r : m_->regs()) {
+    if (!cone[r]) continue;
+    if (std::binary_search(included_.begin(), included_.end(), r))
+      state_regs_.push_back(r);
+    else
+      pseudo_regs_.push_back(r);
+  }
+  for (const GateId g : m_->inputs())
+    if (g < m_->size() && cone[g]) cone_inputs_.push_back(g);
+
+  cur_.assign(m_->size(), sat::kUndefLit);
+  for (const GateId g : topo_order(*m_))
+    if (cone[g]) encode_gate(g);
+  bad_lit_ = cur_[bad_];
+  RFN_CHECK(bad_lit_ != sat::kUndefLit, "PDR bad signal not materialized");
+
+  // F_0 = I: binary-initialized state registers pinned behind act_0.
+  const Lit a0 = act(0);
+  for (const GateId r : state_regs_) {
+    switch (m_->reg_init(r)) {
+      case Tri::F: solver_.add_clause({~a0, ~cur_[r]}); break;
+      case Tri::T: solver_.add_clause({~a0, cur_[r]}); break;
+      case Tri::X: break;  // unconstrained either way
+    }
+  }
+  delta_.resize(1);
+  encoded_ = true;
+}
+
+void Pdr::encode_gate(GateId g) {
+  const auto add2 = [this](Lit a, Lit b) { solver_.add_clause({a, b}); };
+  const auto add3 = [this](Lit a, Lit b, Lit c) { solver_.add_clause({a, b, c}); };
+  const auto add_and = [&](Lit out, std::vector<Lit> ins) {
+    std::vector<Lit> big;
+    big.reserve(ins.size() + 1);
+    for (const Lit in : ins) {
+      add2(~out, in);  // out -> in
+      big.push_back(~in);
+    }
+    big.push_back(out);  // all ins -> out
+    solver_.add_clause(std::move(big));
+  };
+  const auto add_xor = [&](Lit out, Lit a, Lit b) {
+    add3(~out, a, b);
+    add3(~out, ~a, ~b);
+    add3(out, ~a, b);
+    add3(out, a, ~b);
+  };
+
+  switch (m_->type(g)) {
+    case GateType::Input:
+    case GateType::Reg:  // state and pseudo-input registers alike: free vars
+      cur_[g] = fresh();
+      break;
+    case GateType::Const0: cur_[g] = const_lit(false); break;
+    case GateType::Const1: cur_[g] = const_lit(true); break;
+    case GateType::Buf: cur_[g] = cur_[m_->fanins(g)[0]]; break;
+    case GateType::Not: cur_[g] = ~cur_[m_->fanins(g)[0]]; break;
+    case GateType::Mux: {
+      const Lit v = fresh();
+      cur_[g] = v;
+      const auto& fi = m_->fanins(g);
+      const Lit sel = cur_[fi[0]], d0 = cur_[fi[1]], d1 = cur_[fi[2]];
+      add3(~sel, ~d1, v);
+      add3(~sel, d1, ~v);
+      add3(sel, ~d0, v);
+      add3(sel, d0, ~v);
+      add3(~d0, ~d1, v);
+      add3(d0, d1, ~v);
+      break;
+    }
+    default: {  // And/Or/Nand/Nor/Xor/Xnor
+      const Lit v = fresh();
+      cur_[g] = v;
+      std::vector<Lit> ins;
+      ins.reserve(m_->fanins(g).size());
+      for (const GateId fi : m_->fanins(g)) {
+        RFN_CHECK(cur_[fi] != sat::kUndefLit, "PDR cone fanin not materialized");
+        ins.push_back(cur_[fi]);
+      }
+      switch (m_->type(g)) {
+        case GateType::And: add_and(v, ins); break;
+        case GateType::Nand: add_and(~v, ins); break;
+        case GateType::Or:
+          for (Lit& in : ins) in = ~in;
+          add_and(~v, ins);
+          break;
+        case GateType::Nor:
+          for (Lit& in : ins) in = ~in;
+          add_and(v, ins);
+          break;
+        case GateType::Xor: add_xor(v, ins[0], ins[1]); break;
+        case GateType::Xnor: add_xor(~v, ins[0], ins[1]); break;
+        default: RFN_CHECK(false, "unexpected gate type in PDR encoding");
+      }
+      break;
+    }
+  }
+}
+
+Lit Pdr::next_lit(const Literal& l) const {
+  const Lit d = cur_[m_->reg_data(l.signal)];
+  RFN_CHECK(d != sat::kUndefLit, "PDR next-state literal not materialized");
+  return l.value ? d : ~d;
+}
+
+Lit Pdr::act(size_t level) {
+  while (act_.size() <= level) act_.push_back(fresh());
+  return act_[level];
+}
+
+void Pdr::frame_assumps(size_t level, std::vector<Lit>* out) const {
+  for (size_t j = level; j <= k_; ++j) out->push_back(act_[j]);
+}
+
+bool Pdr::init_compatible(const Cube& cube) const {
+  for (const Literal& l : cube) {
+    const Tri init = m_->reg_init(l.signal);
+    if (init == Tri::X) continue;
+    if ((init == Tri::T) != l.value) return false;
+  }
+  return true;
+}
+
+bool Pdr::has_init_contradiction(const Cube& cube) const {
+  return !init_compatible(cube);
+}
+
+Cube Pdr::model_state() const {
+  Cube s;
+  s.reserve(state_regs_.size());
+  for (const GateId r : state_regs_)
+    cube_add(s, {r, solver_.lit_value(cur_[r]) == sat::LBool::True});
+  return s;
+}
+
+Cube Pdr::model_inputs() const {
+  Cube in;
+  in.reserve(pseudo_regs_.size() + cone_inputs_.size());
+  for (const GateId r : pseudo_regs_)
+    cube_add(in, {r, solver_.lit_value(cur_[r]) == sat::LBool::True});
+  for (const GateId g : cone_inputs_)
+    cube_add(in, {g, solver_.lit_value(cur_[g]) == sat::LBool::True});
+  return in;
+}
+
+void Pdr::add_frame_clause(const Cube& cube, size_t level) {
+  if (delta_.size() <= level) delta_.resize(level + 1);
+  delta_[level].push_back(cube);
+  std::vector<Lit> clause;
+  clause.reserve(cube.size() + 1);
+  clause.push_back(~act(level));
+  for (const Literal& l : cube)
+    clause.push_back(l.value ? ~cur_[l.signal] : cur_[l.signal]);
+  solver_.add_clause(std::move(clause));
+}
+
+Cube Pdr::generalize(Cube cube, size_t frame, Lit guard,
+                     const CancelToken* cancel) {
+  const size_t original = cube.size();
+  // Pass 1: keep only the literals whose next-state assumptions the
+  // refutation's final conflict actually used. Dropping to a subset keeps
+  // the query UNSAT (fewer s' assumptions were already enough), and the
+  // fixed ¬s guard only ever gets logically weaker than ¬g, so the stronger
+  // clause is blocked a fortiori.
+  const auto core_filter = [this](const Cube& c) {
+    std::vector<uint32_t> core;
+    for (const Lit l : solver_.final_conflict()) core.push_back(l.index());
+    std::sort(core.begin(), core.end());
+    Cube kept;
+    for (const Literal& l : c)
+      if (std::binary_search(core.begin(), core.end(), next_lit(l).index()))
+        kept.push_back(l);
+    return kept;
+  };
+  const auto restore_init_literal = [this](const Cube& from, Cube* to) {
+    if (has_init_contradiction(*to)) return;
+    for (const Literal& l : from) {
+      const Tri init = m_->reg_init(l.signal);
+      if (init != Tri::X && (init == Tri::T) != l.value) {
+        cube_add(*to, l);
+        return;
+      }
+    }
+    RFN_CHECK(false, "PDR blocked cube lost initial-state disjointness");
+  };
+
+  Cube g = core_filter(cube);
+  restore_init_literal(cube, &g);
+
+  // Pass 2: greedy literal dropping, re-querying relative induction for
+  // each candidate subcube (same frame assumptions, same ¬s guard).
+  for (size_t i = 0; i < g.size() && g.size() > 1;) {
+    Cube h;
+    h.reserve(g.size() - 1);
+    for (size_t j = 0; j < g.size(); ++j)
+      if (j != i) h.push_back(g[j]);
+    if (!has_init_contradiction(h)) {
+      ++i;
+      continue;
+    }
+    std::vector<Lit> assumps;
+    frame_assumps(frame - 1, &assumps);
+    assumps.push_back(guard);
+    for (const Literal& l : h) assumps.push_back(next_lit(l));
+    const sat::Solver::Result r = solver_.solve(assumps, cancel);
+    if (r == sat::Solver::Result::Undef) break;  // cancelled: keep what we have
+    if (r == sat::Solver::Result::Unsat) {
+      Cube shrunk = core_filter(h);
+      restore_init_literal(h, &shrunk);
+      g = std::move(shrunk);
+      // g may have shrunk past position i; do not advance.
+      if (i >= g.size()) i = 0;
+    } else {
+      ++i;
+    }
+  }
+  stats_.generalization_drops += original - g.size();
+  return g;
+}
+
+bool Pdr::block(Obligation root, PdrResult* res, const PdrOptions& opt,
+                const CancelToken* cancel) {
+  obligations_.clear();
+  obligations_.push_back(std::move(root));
+
+  // Min-frame first; ties go to the most recently created obligation so the
+  // search extends the current predecessor chain depth-first.
+  using Entry = std::pair<size_t, size_t>;  // (frame, obligation index)
+  const auto later = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(later)> queue(later);
+  queue.push({obligations_.front().frame, 0});
+
+  while (!queue.empty()) {
+    if (should_stop(cancel)) {
+      res->status = PdrStatus::Cancelled;
+      return false;
+    }
+    ++stats_.obligations;
+    if (opt.max_obligations > 0 && stats_.obligations > opt.max_obligations) {
+      res->status = PdrStatus::FrameLimit;
+      return false;
+    }
+    const auto [frame, idx] = queue.top();
+    queue.pop();
+
+    if (frame == 0 || init_compatible(obligations_[idx].state)) {
+      // The cube contains an initial state (it is a full assignment, and no
+      // literal contradicts a binary reset value): the predecessor chain is
+      // a real counterexample of the model.
+      build_trace(static_cast<int>(idx), res);
+      res->status = PdrStatus::Cex;
+      return false;
+    }
+
+    // Relative induction: F_{frame-1} ∧ ¬s ∧ T ∧ s'. ¬s lives behind a
+    // fresh guard assumed for this obligation's queries only, retired with
+    // a unit once the obligation is resolved.
+    const Cube s = obligations_[idx].state;
+    const Lit guard = fresh();
+    std::vector<Lit> not_s;
+    not_s.reserve(s.size() + 1);
+    not_s.push_back(~guard);
+    for (const Literal& l : s)
+      not_s.push_back(l.value ? ~cur_[l.signal] : cur_[l.signal]);
+    solver_.add_clause(std::move(not_s));
+
+    std::vector<Lit> assumps;
+    frame_assumps(frame - 1, &assumps);
+    assumps.push_back(guard);
+    for (const Literal& l : s) assumps.push_back(next_lit(l));
+    const sat::Solver::Result r = solver_.solve(assumps, cancel);
+
+    if (r == sat::Solver::Result::Undef) {
+      solver_.add_clause({~guard});
+      res->status = PdrStatus::Cancelled;
+      return false;
+    }
+    if (r == sat::Solver::Result::Sat) {
+      // A predecessor inside F_{frame-1} reaches s: block it first, then
+      // revisit s at the same frame.
+      Obligation pred;
+      pred.state = model_state();
+      pred.inputs = model_inputs();
+      pred.frame = frame - 1;
+      pred.succ = static_cast<int>(idx);
+      solver_.add_clause({~guard});
+      obligations_.push_back(std::move(pred));
+      queue.push({frame - 1, obligations_.size() - 1});
+      queue.push({frame, idx});
+      continue;
+    }
+
+    // UNSAT: s is unreachable from F_{frame-1}; generalize and learn.
+    Cube g = generalize(s, frame, guard, cancel);
+    solver_.add_clause({~guard});
+    add_frame_clause(g, frame);
+    ++stats_.clauses;
+    // Push the obligation forward: re-examining s at frame+1 drives the
+    // proof deeper and finds long counterexamples sooner (Eén/Mishchenko).
+    if (frame < k_) queue.push({frame + 1, idx});
+  }
+  return true;
+}
+
+bool Pdr::propagate(PdrResult* res, const CancelToken* cancel) {
+  for (size_t i = 1; i + 1 <= k_; ++i) {
+    std::vector<Cube> cubes = std::move(delta_[i]);
+    delta_[i].clear();
+    std::vector<Cube> kept;
+    for (size_t c = 0; c < cubes.size(); ++c) {
+      if (should_stop(cancel)) {
+        // Restore the unprocessed tail so the frame store stays consistent.
+        for (size_t rest = c; rest < cubes.size(); ++rest)
+          kept.push_back(std::move(cubes[rest]));
+        delta_[i] = std::move(kept);
+        res->status = PdrStatus::Cancelled;
+        return true;
+      }
+      std::vector<Lit> assumps;
+      frame_assumps(i, &assumps);
+      for (const Literal& l : cubes[c]) assumps.push_back(next_lit(l));
+      const sat::Solver::Result r = solver_.solve(assumps, cancel);
+      if (r == sat::Solver::Result::Unsat) {
+        // F_i ∧ T ⇒ ¬cube': the clause holds one frame further out.
+        add_frame_clause(cubes[c], i + 1);
+        ++stats_.pushed_clauses;
+      } else {
+        kept.push_back(std::move(cubes[c]));
+        if (r == sat::Solver::Result::Undef) {
+          for (size_t rest = c + 1; rest < cubes.size(); ++rest)
+            kept.push_back(std::move(cubes[rest]));
+          delta_[i] = std::move(kept);
+          res->status = PdrStatus::Cancelled;
+          return true;
+        }
+      }
+    }
+    delta_[i] = std::move(kept);
+    if (delta_[i].empty()) {
+      // F_i = F_{i+1}: the clauses at levels > i are an inductive invariant
+      // (initiation by construction, consecution by the frame invariant,
+      // safety because F_{i+1} ∧ bad was refuted before frame i+1 opened).
+      extract_invariant(i + 1, res);
+      res->status = PdrStatus::Holds;
+      return true;
+    }
+  }
+  return false;
+}
+
+void Pdr::extract_invariant(size_t level, PdrResult* res) const {
+  res->scope = state_regs_;
+  for (size_t j = level; j < delta_.size(); ++j) {
+    for (const Cube& cube : delta_[j]) {
+      std::vector<int32_t> clause;
+      clause.reserve(cube.size());
+      for (const Literal& l : cube) {
+        const auto it =
+            std::lower_bound(res->scope.begin(), res->scope.end(), l.signal);
+        const auto idx = static_cast<int32_t>(it - res->scope.begin()) + 1;
+        // The cube excludes states where the register carries l.value, so
+        // the clause carries the opposite polarity.
+        clause.push_back(l.value ? -idx : idx);
+      }
+      std::sort(clause.begin(), clause.end(), [](int32_t a, int32_t b) {
+        return (a < 0 ? -a : a) < (b < 0 ? -b : b);
+      });
+      res->clauses.push_back(std::move(clause));
+    }
+  }
+  std::sort(res->clauses.begin(), res->clauses.end());
+  res->clauses.erase(std::unique(res->clauses.begin(), res->clauses.end()),
+                     res->clauses.end());
+}
+
+void Pdr::build_trace(int leaf, PdrResult* res) const {
+  res->trace.steps.clear();
+  for (int idx = leaf; idx != -1; idx = obligations_[idx].succ) {
+    const Obligation& ob = obligations_[idx];
+    res->trace.steps.push_back({ob.state, ob.inputs});
+  }
+}
+
+PdrResult Pdr::run(const PdrOptions& opt, const CancelToken* cancel) {
+  Span span("pdr.run");
+  const Stopwatch watch;
+  const PdrStats before = stats_;
+  if (!encoded_) encode();
+
+  PdrResult res;
+  for (;;) {
+    if (should_stop(cancel)) {
+      res.status = PdrStatus::Cancelled;
+      break;
+    }
+    // Is bad reachable from F_K (some state + input valuation raises it)?
+    std::vector<Lit> assumps;
+    frame_assumps(k_, &assumps);
+    assumps.push_back(bad_lit_);
+    const sat::Solver::Result r = solver_.solve(assumps, cancel);
+    if (r == sat::Solver::Result::Undef) {
+      res.status = PdrStatus::Cancelled;
+      break;
+    }
+    if (r == sat::Solver::Result::Sat) {
+      Obligation root;
+      root.state = model_state();
+      root.inputs = model_inputs();
+      root.frame = k_;
+      root.succ = -1;
+      if (!block(std::move(root), &res, opt, cancel)) break;
+      continue;  // blocked: re-query bad at the same frame
+    }
+    // F_K ∧ bad is UNSAT: open the next frame and propagate clauses.
+    if (k_ + 1 > opt.max_frames) {
+      res.status = PdrStatus::FrameLimit;
+      break;
+    }
+    ++k_;
+    act(k_);
+    if (delta_.size() <= k_) delta_.resize(k_ + 1);
+    stats_.frames = k_;
+    if (propagate(&res, cancel)) break;
+  }
+
+  res.stats = stats_;
+  // Flush this run's activity into the registry once, at the boundary.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  reg.counter("pdr.runs").add(1);
+  reg.counter("pdr.obligations").add(stats_.obligations - before.obligations);
+  reg.counter("pdr.clauses").add(stats_.clauses - before.clauses);
+  reg.counter("pdr.pushed_clauses")
+      .add(stats_.pushed_clauses - before.pushed_clauses);
+  reg.counter("pdr.generalization_drops")
+      .add(stats_.generalization_drops - before.generalization_drops);
+  reg.gauge("pdr.frames").record_max(static_cast<int64_t>(k_));
+  reg.gauge("pdr.heap_bytes").record_max(static_cast<int64_t>(solver_.heap_bytes()));
+  reg.timer("pdr.run").record(watch.seconds());
+  span.annotate("status", to_string(res.status));
+  span.annotate("frames", static_cast<double>(k_));
+  RFN_INFO("pdr: %s after %zu frames (%llu obligations, %llu clauses)",
+           to_string(res.status), k_,
+           static_cast<unsigned long long>(stats_.obligations),
+           static_cast<unsigned long long>(stats_.clauses));
+  return res;
+}
+
+}  // namespace rfn

@@ -11,6 +11,8 @@
 #include <future>
 #include <utility>
 
+#include "util/metrics.hpp"
+
 namespace rfn::serve {
 
 Server::Server(ServerOptions opt)
@@ -271,8 +273,19 @@ void Server::process(Conn& conn, const api::VerifyRequest& req,
       [this, &conn](const json::Value& rec) { write_line(conn, rec.dump()); });
   api::RunOutput out;
   std::string err;
-  bool ok = api::run_verify(*d, req, &sink, /*stream_properties=*/true, cache,
-                            &out, &err);
+  bool ok;
+  {
+    // Per-request metrics isolation: the whole run — executor workers,
+    // portfolio jobs, and the watchdog included, via binding propagation —
+    // records into a registry this request owns, so the batch summary's
+    // metrics block is request-relative even with concurrent requests
+    // in flight. Server-level metrics (queue, warm cache) are recorded
+    // outside this scope and stay process-cumulative.
+    MetricsRegistry request_metrics;
+    MetricsScope scope(&request_metrics);
+    ok = api::run_verify(*d, req, &sink, /*stream_properties=*/true, cache,
+                         &out, &err);
+  }
   if (info.enabled) warm_.release(lease);
   api::VerifyResponse resp;
   if (ok) {

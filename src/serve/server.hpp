@@ -35,11 +35,12 @@
 // memo — runs api::run_verify with a streaming sink, stamps the warm-cache
 // effects into the response, and writes the final line.
 //
-// Caveat: the batch-summary's metrics block diffs the process-global
-// MetricsRegistry against a per-request baseline, so with concurrent
-// requests it includes other in-flight requests' engine work. In server
-// mode those metrics are process-cumulative over the request's window, not
-// per-request; the CLI's single-run reading only holds for a lone request.
+// Each request's run_verify executes under a MetricsScope binding a
+// registry the request owns (the binding propagates to executor workers and
+// the watchdog), so the batch-summary's metrics block is request-relative
+// even with concurrent requests in flight — the same single-run reading the
+// CLI gives. Server-level metrics (admission queue, warm cache) are
+// recorded outside the scope and stay process-cumulative on purpose.
 
 #include <atomic>
 #include <condition_variable>

@@ -1,5 +1,6 @@
 #include "util/executor.hpp"
 
+#include "util/metrics.hpp"
 #include "util/prof.hpp"
 
 namespace rfn {
@@ -30,9 +31,19 @@ void Executor::submit(std::function<void()> fn) {
     run_task(fn);
     return;
   }
+  // Metrics binding travels with the task: a worker records into the
+  // registry the submitter was bound to (rfn_serve's per-request isolation
+  // depends on this — portfolio jobs run here).
+  MetricsRegistry* bound = MetricsRegistry::current_binding();
+  std::function<void()> task = std::move(fn);
+  if (bound != nullptr)
+    task = [bound, f = std::move(task)] {
+      MetricsScope scope(bound);
+      f();
+    };
   {
     std::lock_guard<std::mutex> lk(mu_);
-    queue_.push_back(std::move(fn));
+    queue_.push_back(std::move(task));
   }
   cv_.notify_one();
 }

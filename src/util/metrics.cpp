@@ -11,11 +11,30 @@ MetricsSnapshot MetricsSnapshot::delta(const MetricsSnapshot& before) const {
   return out;
 }
 
-MetricsRegistry& MetricsRegistry::global() {
+namespace {
+// This thread's binding (MetricsScope); nullptr = the process registry.
+thread_local MetricsRegistry* t_bound_registry = nullptr;
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::process() {
   // Leaked intentionally: engines may record from detached executor threads
   // during process teardown, so the registry must outlive static dtors.
   static MetricsRegistry* g = new MetricsRegistry();
   return *g;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  return t_bound_registry != nullptr ? *t_bound_registry : process();
+}
+
+MetricsRegistry* MetricsRegistry::current_binding() {
+  return t_bound_registry;
+}
+
+MetricsRegistry* MetricsRegistry::bind(MetricsRegistry* reg) {
+  MetricsRegistry* prev = t_bound_registry;
+  t_bound_registry = reg;
+  return prev;
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {

@@ -121,8 +121,23 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
-  /// The process-wide registry every engine records into.
+  /// The registry engines record into: the registry bound to this thread
+  /// (MetricsScope), or the process-wide one when nothing is bound. Every
+  /// recording site already routes through global(), so binding a scope
+  /// redirects a whole run — including executor workers and the watchdog
+  /// monitor, which propagate their creator's binding — without touching
+  /// any call site.
   static MetricsRegistry& global();
+  /// The process-wide registry, ignoring any thread binding (server-level
+  /// counters that must aggregate across requests).
+  static MetricsRegistry& process();
+  /// This thread's current binding (nullptr = process registry). Exposed so
+  /// thread-launching utilities (Executor, Watchdog) can propagate it.
+  static MetricsRegistry* current_binding();
+  /// Rebinds this thread and returns the previous binding. Prefer
+  /// MetricsScope; this is the primitive it and the thread-propagation
+  /// paths use.
+  static MetricsRegistry* bind(MetricsRegistry* reg);
 
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
@@ -164,6 +179,24 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>, std::less<>> timers_;
+};
+
+/// RAII thread binding: while alive, MetricsRegistry::global() on this
+/// thread (and on any Executor worker running tasks submitted from it, and
+/// any Watchdog started under it) resolves to `reg`. Binding nullptr
+/// restores the process registry for the scope. rfn_serve binds one fresh
+/// registry per request so concurrent requests' batch summaries are
+/// request-relative instead of process-cumulative.
+class MetricsScope {
+ public:
+  explicit MetricsScope(MetricsRegistry* reg)
+      : prev_(MetricsRegistry::bind(reg)) {}
+  MetricsScope(const MetricsScope&) = delete;
+  MetricsScope& operator=(const MetricsScope&) = delete;
+  ~MetricsScope() { MetricsRegistry::bind(prev_); }
+
+ private:
+  MetricsRegistry* prev_;
 };
 
 /// Per-run isolation guard for a shared registry. Resetting the registry

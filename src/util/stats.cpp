@@ -109,6 +109,8 @@ std::string format_engine_stats(const MetricsSnapshot& s) {
              count("hybrid.atpg_calls") + " atpg calls", "-", "-"});
   t.add_row({"sat-bmc", count("sat.checks"),
              count("sat.conflicts") + " conflicts", "-", cpu({"sat-bmc"})});
+  t.add_row({"pdr", count("pdr.runs"), count("pdr.clauses") + " clauses",
+             fmt_double(s.value("pdr.run.seconds"), 3), cpu({"pdr"})});
   t.add_row({"rand-sim", "-", "-", "-", cpu({"rand-sim"})});
   return t.to_string();
 }

@@ -14,7 +14,14 @@ void Watchdog::start() {
       opt_.mem_budget_mb <= 0 && !opt_.sample_rss)
     return;
   started_ = true;
-  thread_ = std::thread([this] { run(); });
+  // The monitor inherits the starter's metrics binding so its trip/poll
+  // counters land in the same (possibly per-request) registry as the run it
+  // watches.
+  MetricsRegistry* bound = MetricsRegistry::current_binding();
+  thread_ = std::thread([this, bound] {
+    MetricsScope scope(bound);
+    run();
+  });
 }
 
 void Watchdog::stop() {

@@ -39,6 +39,7 @@
 #include "netlist/analysis.hpp"
 #include "netlist/blif.hpp"
 #include "netlist/builder.hpp"
+#include "pdr/pdr.hpp"
 #include "sat/bmc.hpp"
 #include "sim/sim3.hpp"
 #include "sim/sim64.hpp"
@@ -217,6 +218,44 @@ void check_engines_agree(const Netlist& m, uint64_t seed, size_t round) {
     }
   }
 
+  // IC3/PDR with the full register set: an unbounded concrete verdict in
+  // both polarities, so it must mirror the BDD ground truth exactly. A
+  // Holds frame is discharged through the independent rfn-cert-v1 checker
+  // (the acceptance bar for PDR certificates); a Cex trace must replay.
+  {
+    std::vector<GateId> regs(m.regs().begin(), m.regs().end());
+    std::sort(regs.begin(), regs.end());
+    Pdr pdr(m, bad, std::move(regs));
+    const PdrResult r = pdr.run();
+    ASSERT_TRUE(r.status == PdrStatus::Holds || r.status == PdrStatus::Cex)
+        << "PDR did not converge on a tiny netlist: " << to_string(r.status);
+    if (reach.status == ReachStatus::BadReachable) {
+      EXPECT_EQ(r.status, PdrStatus::Cex)
+          << "PDR proved a design the BDD engine found a trace for";
+      if (r.status == PdrStatus::Cex) {
+        EXPECT_EQ(simulate_trace(m, r.trace, bad), Tri::T)
+            << "PDR counterexample does not replay";
+        EXPECT_GE(r.trace.cycles(), reach.steps + 1)
+            << "PDR trace shorter than the BDD shortest trace";
+      }
+    } else {
+      EXPECT_EQ(r.status, PdrStatus::Holds)
+          << "PDR found a trace on a design the BDD engine proved safe";
+      if (r.status == PdrStatus::Holds) {
+        PdrInvariantWitness inv;
+        inv.present = true;
+        inv.registers = r.scope;
+        inv.clauses = r.clauses;
+        const CertificateBuild built =
+            build_holds_certificate_from_invariant(m, bad, "bad", inv);
+        ASSERT_TRUE(built.ok) << built.detail;
+        const cert::CheckResult chk = cert::check_certificate(m, built.certificate);
+        EXPECT_TRUE(chk.ok) << "PDR frame refused by the checker: obligation "
+                            << chk.obligation << ": " << chk.detail;
+      }
+    }
+  }
+
   // Random simulation: every visited state must lie inside the fixpoint,
   // and a bad hit at cycle c implies a trace of c+1 cycles, which the BDD
   // side caps from below by its first bad ring.
@@ -337,6 +376,22 @@ void check_engines_agree(const Netlist& m, uint64_t seed, size_t round) {
             << "checker accepted a holds witness for a violated property";
         EXPECT_EQ(rej.obligation, cert::kObligationSafety);
       }
+    }
+
+    // The proof-based shrink invariant: the grow/shrink loop must reach the
+    // same verdict as grow-only on every netlist it is sampled on, and any
+    // registers it drops must not cost the trace its replayability.
+    {
+      RfnOptions opt;
+      opt.proof_shrink = true;
+      opt.race_probe_time_s = 0.25;
+      RfnVerifier v(m, bad, opt);
+      const RfnResult res = v.run();
+      EXPECT_EQ(res.verdict, expect)
+          << "grow/shrink verdict diverged from grow-only; note: " << res.note;
+      if (res.verdict == Verdict::Fails)
+        EXPECT_EQ(simulate_trace(m, res.error_trace, bad), Tri::T)
+            << "grow/shrink error trace does not replay";
     }
   }
 }

@@ -509,6 +509,95 @@ TEST(ServeEndToEnd, WarmRepeatRequestsAndNamedRejects) {
   server.stop();
 }
 
+TEST(ServeEndToEnd, BatchSummaryMetricsAreRequestRelative) {
+  // Each request's run_verify executes under a per-request MetricsScope, so
+  // the batch-summary metrics block counts that request alone. Two identical
+  // requests must therefore report identical run counters — before the
+  // isolation the second summary included the first request's work too.
+  serve::ServerOptions opt;
+  opt.tcp_port = 0;
+  serve::Server server(opt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client client(server.tcp_port());
+  ASSERT_TRUE(client.connected());
+
+  auto summary_counter = [](const std::vector<json::Value>& records,
+                            const char* name) {
+    for (const json::Value& rec : records) {
+      const json::Value* type = rec.find("type");
+      if (type == nullptr || type->as_string() != "batch-summary") continue;
+      const json::Value* counters = rec.find_path("metrics.counters");
+      EXPECT_NE(counters, nullptr) << rec.dump();
+      if (counters == nullptr) return -1.0;
+      const json::Value* v = counters->find(name);
+      return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+    }
+    ADD_FAILURE() << "no batch-summary record";
+    return -1.0;
+  };
+
+  std::vector<json::Value> rec1, rec2;
+  json::Value r1 = client.transact(fifo_request("m1", "a"), &rec1);
+  ASSERT_TRUE(r1.find("ok")->as_bool()) << r1.dump();
+  json::Value r2 = client.transact(fifo_request("m2", "a"), &rec2);
+  ASSERT_TRUE(r2.find("ok")->as_bool()) << r2.dump();
+
+  const double runs1 = summary_counter(rec1, "rfn.runs");
+  const double runs2 = summary_counter(rec2, "rfn.runs");
+  EXPECT_GT(runs1, 0.0);
+  EXPECT_EQ(runs1, runs2)
+      << "second request's summary leaked the first request's counters";
+  server.stop();
+}
+
+TEST(ServeEndToEnd, ConcurrentSummariesStayRequestRelative) {
+  // The case the old process-global registry could not keep relative: two
+  // requests in flight at once on two connections. Baseline subtraction
+  // against a shared registry would fold the overlapping request's work into
+  // each summary; per-request registries pin each summary to its own runs.
+  serve::ServerOptions opt;
+  opt.tcp_port = 0;
+  opt.workers = 2;
+  serve::Server server(opt);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  Client a(server.tcp_port());
+  Client b(server.tcp_port());
+  ASSERT_TRUE(a.connected());
+  ASSERT_TRUE(b.connected());
+  a.send_line(fifo_request("c1", "ta").dump());
+  b.send_line(fifo_request("c2", "tb").dump());
+
+  std::vector<json::Value> rec_a, rec_b;
+  json::Value ra = a.read_response(&rec_a);
+  json::Value rb = b.read_response(&rec_b);
+  ASSERT_TRUE(ra.find("ok")->as_bool()) << ra.dump();
+  ASSERT_TRUE(rb.find("ok")->as_bool()) << rb.dump();
+
+  auto runs_of = [](const std::vector<json::Value>& records) {
+    for (const json::Value& rec : records) {
+      const json::Value* type = rec.find("type");
+      if (type != nullptr && type->as_string() == "batch-summary") {
+        const json::Value* counters = rec.find_path("metrics.counters");
+        const json::Value* v =
+            counters != nullptr ? counters->find("rfn.runs") : nullptr;
+        return v != nullptr && v->is_number() ? v->as_double() : 0.0;
+      }
+    }
+    return -1.0;
+  };
+  const double runs_a = runs_of(rec_a);
+  const double runs_b = runs_of(rec_b);
+  EXPECT_GT(runs_a, 0.0);
+  // Identical requests: identical per-request counts, no cross-bleed from
+  // the overlapping run.
+  EXPECT_EQ(runs_a, runs_b);
+  server.stop();
+}
+
 TEST(ServeEndToEnd, CliAndServerAgreeThroughSharedApi) {
   // The CLI path: api::run_verify with a collecting sink, post-run emission
   // (request order) — exactly what `rfn verify --trace-json` writes.

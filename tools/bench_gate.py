@@ -90,6 +90,11 @@ PROF_SUBSYSTEMS = ("bdd", "sat")
 BATCH_BENCH = "BM_SessionBatchFifo"
 INDEPENDENT_BENCH = "BM_SessionIndependentFifo"
 
+# The IC3/PDR engine must actually win races somewhere in the current
+# artifact (wins_pdr >= 1 on at least one benchmark) — a portfolio whose
+# unbounded prover never concludes is a wiring regression, not noise.
+PDR_WINS_COUNTER = "wins_pdr"
+
 
 def load(path):
     with open(path) as f:
@@ -327,6 +332,24 @@ def main():
             print(f"bench_gate: batch wall ok ({batch_t * 1e3:.3f} vs "
                   f"{indep_t * 1e3:.3f} ms/iter independent, "
                   f"{(1.0 - batch_t / indep_t) * 100.0:.1f}% saved)")
+
+    # Like the batch invariant, the PDR-wins floor is checked within the
+    # current artifact: some benchmark must report wins_pdr >= 1. Skipped
+    # only when no current benchmark exports the counter at all (a filtered
+    # run that excluded the portfolio benches).
+    pdr_benches = {name: b.get("counters", {}).get(PDR_WINS_COUNTER)
+                   for name, b in current.items()
+                   if PDR_WINS_COUNTER in b.get("counters", {})}
+    if pdr_benches:
+        best = max(pdr_benches.values())
+        if best < 1:
+            failures.append(
+                f"{PDR_WINS_COUNTER} < 1 on every benchmark that exports it "
+                f"({', '.join(sorted(pdr_benches))}) — the IC3/PDR racer "
+                f"never won a race")
+        else:
+            winner = max(pdr_benches, key=pdr_benches.get)
+            print(f"bench_gate: {PDR_WINS_COUNTER} ok ({winner}: {best:.0f})")
 
     if failures:
         print("bench_gate: FAILED", file=sys.stderr)

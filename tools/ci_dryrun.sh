@@ -57,6 +57,14 @@ for san in "${sanitizers[@]}"; do
   "./$dir/tests/sat_test"
   "./$dir/tools/rfn" verify builtin:processor --bad error_flag \
     --engine bdd,sat --workers 3 --budget-ms 5000 --certify
+  note "sanitize ($san): PDR suite + budgeted bdd+sat+pdr certify runs"
+  "./$dir/tests/pdr_test"
+  for spec in "fifo bad_full_q" "processor bad_mutex" \
+              "iu iu0" "usb bad_se1"; do
+    read -r design prop <<<"$spec"
+    "./$dir/tools/rfn" verify "builtin:$design" --bad "$prop" \
+      --engine bdd,sat,pdr --workers 3 --budget-ms 10000 --certify
+  done
   note "sanitize ($san): certificates checked by rfn_check"
   check_certs() { # <builddir> <design> <property args...>
     local bdir=$1 design=$2; shift 2
@@ -79,6 +87,7 @@ for san in "${sanitizers[@]}"; do
     "./$dir/tests/prof_test"
     "./$dir/tests/sat_test"
     "./$dir/tests/serve_test"
+    "./$dir/tests/pdr_test"
     note "sanitize (thread): serve daemon boot + replay"
     # Accept loop, connection threads, fair-share queue, executor workers
     # and the warm-cache lease hand-off all race by design — one
@@ -136,6 +145,7 @@ note "bench-gate: record run traces"
   --trace-spans build-ci-bench/run-spans.json \
   --trace-json build-ci-bench/run-trace.jsonl
 python3 tools/trace_report.py build-ci-bench/run-spans.json
+python3 tools/trace_report.py --run build-ci-bench/run-trace.jsonl
 
 # Batch verification of every shipped design's property suite through a
 # VerifySession, each rfn-trace-v2 artifact re-validated by trace_report.py.

@@ -16,9 +16,15 @@
 //   --time-limit S     wall-clock budget (default 300)
 //   --workers N        engine-portfolio worker threads (default 0: sequential)
 //   --engine LIST      engines entering the races, comma-separated subset of
-//                      bdd,atpg,sim,sat (repeatable; default: all four).
-//                      Unknown names are rejected up front. Only bdd can
-//                      prove HOLDS; a list without it can only falsify.
+//                      bdd,atpg,sim,sat,pdr (repeatable; default: all five).
+//                      Unknown names are rejected up front. Only bdd and pdr
+//                      can prove HOLDS; a list without either can only
+//                      falsify.
+//   --proof-shrink     proof-based abstraction shrinking: drop included
+//                      registers a Step-3 bounded-UNSAT core never touched
+//                      (alternating grow/shrink; never changes a verdict)
+//   --pdr-max-frames N IC3/PDR frame bound per race (default 128)
+//   --pdr-time S       IC3/PDR wall budget per race (default 10, 0=unlimited)
 //   --certify          build an rfn-cert-v1 witness for the verdict (an
 //                      inductive invariant for HOLDS, the error trace for
 //                      VIOLATED; see src/cert/format.hpp) and discharge it
@@ -422,9 +428,10 @@ int cmd_verify_single(const api::LoadedDesign& design, const Options& opts,
   }
   const std::string cert_out = opts.get("cert-out", "");
   if (opts.get_bool("certify", false) || !cert_out.empty()) {
-    const CertificateArtifact art =
-        certify_with_witness(net, bad, bad_name, result.verdict,
-                             result.error_trace, result.final_registers);
+    const CertificateArtifact art = certify_with_witness(
+        net, bad, bad_name, result.verdict, result.error_trace,
+        result.final_registers, {},
+        result.pdr_invariant.present ? &result.pdr_invariant : nullptr);
     std::string what = art.detail;
     if (!art.checked && art.built)
       what = "obligation " + art.obligation + ": " + what;
@@ -464,6 +471,12 @@ int cmd_verify(const api::LoadedDesign& design, const Options& opts) {
   // --prof-json wants the RSS timeline: the watchdog monitor thread samples
   // /proc/self/statm each poll even when no budget is set.
   req.options.sample_rss = !opts.get("prof-json", "").empty();
+  req.options.proof_shrink = opts.get_bool("proof-shrink", false);
+  req.options.race_pdr_max_frames = static_cast<size_t>(
+      opts.get_int("pdr-max-frames",
+                   static_cast<int64_t>(req.options.race_pdr_max_frames)));
+  req.options.race_pdr_time_s =
+      opts.get_double("pdr-time", req.options.race_pdr_time_s);
   for (const std::string& list : opts.get_all("engine")) {
     std::stringstream es(list);
     std::string e;
